@@ -1,0 +1,86 @@
+// Ablation: error control on the tag link (the paper's section 4.1
+// future work). Compares no FEC, 3x repetition and Hamming(7,4) at a
+// marginal tag placement (mid-link) where the raw channel drops bits:
+// frame delivery rate, effective payload goodput (FEC overhead costs
+// airtime) and FEC repair counts.
+//
+// Options: --rounds N (budget/frame), --polls N, --pos METERS, --seed S,
+//          --csv PATH
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "witag/reader.hpp"
+
+int main(int argc, char** argv) {
+  using namespace witag;
+  const util::Args args(argc, argv);
+  const auto polls = static_cast<std::size_t>(args.get_int("polls", 30));
+  const auto budget = static_cast<std::size_t>(args.get_int("rounds", 16));
+  const double pos = args.get_double("pos", 4.0);
+  const std::uint64_t seed = args.get_u64("seed", 808);
+  const std::string csv_path = args.get_string("csv", "");
+
+  std::cout << "=== Ablation: tag-link FEC at a marginal placement ===\n"
+            << "Tag " << pos << " m from the client (mid-link = weakest "
+            << "coupling); " << polls << " polls of an 8-byte frame, "
+            << budget << " query rounds budget each.\n\n";
+
+  core::Table table({"FEC", "frames ok", "polls failed", "rounds/frame",
+                     "bits repaired", "payload goodput [Kbps]"});
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(csv_path);
+    csv->header({"fec", "frames_ok", "polls_failed", "rounds_per_frame",
+                 "bits_repaired", "goodput_kbps"});
+  }
+
+  const util::ByteVec payload{'s', 'e', 'n', 's', 'o', 'r', '0', '1'};
+  const struct {
+    core::TagFec fec;
+    const char* name;
+  } fecs[] = {{core::TagFec::kNone, "none"},
+              {core::TagFec::kRepetition3, "repetition x3"},
+              {core::TagFec::kHamming74, "Hamming(7,4)"}};
+
+  for (const auto& fec : fecs) {
+    auto cfg = core::los_testbed_config(pos, seed);
+    core::Session session(cfg);
+    core::ReaderConfig rcfg;
+    rcfg.fec = fec.fec;
+    rcfg.max_rounds_per_frame = budget;
+    core::Reader reader(session, rcfg);
+    reader.load_tag(0, payload);
+
+    std::size_t repaired = 0;
+    for (std::size_t p = 0; p < polls; ++p) {
+      const auto result = reader.poll_frame();
+      if (result.ok) repaired += result.fec_corrected;
+    }
+    const auto& stats = reader.stats();
+    const double rpf =
+        stats.frames_ok ? static_cast<double>(stats.rounds) /
+                              static_cast<double>(stats.frames_ok)
+                        : 0.0;
+    const double goodput = stats.frame_goodput_kbps(payload.size());
+    table.add_row({fec.name, std::to_string(stats.frames_ok),
+                   std::to_string(stats.polls_failed),
+                   core::Table::num(rpf, 2), std::to_string(repaired),
+                   core::Table::num(goodput, 2)});
+    if (csv) {
+      csv->row({fec.name, std::to_string(stats.frames_ok),
+                std::to_string(stats.polls_failed),
+                util::CsvWriter::num(rpf), std::to_string(repaired),
+                util::CsvWriter::num(goodput)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: without FEC the CRC rejects corrupted frames "
+               "and the reader burns rounds on retries; repetition pays "
+               "3x overhead but repairs the marginal link; Hamming(7,4) "
+               "pays 1.75x and fixes isolated flips only. The right "
+               "choice depends on where the tag sits — exactly why the "
+               "paper leaves error control as a deployment decision.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Extension bench: multiple tags on one link, addressed through the
+// trigger-code pattern (second LOW trigger region stretched to 1 + code
+// subframes). Measures per-tag delivery, aggregate goodput and the cost
+// of addressing (longer trigger preambles for higher codes).
+//
+// Options: --tags N (1..4), --polls N, --seed S, --csv PATH
+#include <algorithm>
+#include <iostream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "witag/reader.hpp"
+
+int main(int argc, char** argv) {
+  using namespace witag;
+  const util::Args args(argc, argv);
+  const auto n_tags =
+      static_cast<unsigned>(std::clamp<long>(args.get_int("tags", 4), 1, 4));
+  const auto polls = static_cast<std::size_t>(args.get_int("polls", 12));
+  const std::uint64_t seed = args.get_u64("seed", 515);
+  const std::string csv_path = args.get_string("csv", "");
+
+  std::cout << "=== Extension: multi-tag polling by trigger code ===\n"
+            << static_cast<int>(n_tags) << " tags on the 8 m LOS link, "
+            << "round-robin polled, " << polls << " frames per tag.\n\n";
+
+  auto cfg = core::los_testbed_config(1.0, seed);  // tag 0 near the client
+  // Remaining tags sit near the AP, spaced ~0.3 m apart. Placement
+  // matters twice over: each tag needs a small Ds*Dr product for its own
+  // corruption margin, and the *resting* reflections of the other tags
+  // stack into per-subcarrier fades that erode everyone's margin — a
+  // real multi-tag deployment concern this bench surfaces (expect some
+  // retry-heavy polls as the fading state drifts).
+  const double xs[3] = {16.8, 16.5, 16.2};
+  for (unsigned t = 1; t < n_tags; ++t) {
+    cfg.extra_tags.push_back({{xs[t - 1], 3.5}, t, 7.1});
+  }
+  core::Session session(cfg);
+  core::ReaderConfig rcfg;
+  rcfg.fec = core::TagFec::kNone;
+  core::Reader reader(session, rcfg);
+  for (unsigned t = 0; t < n_tags; ++t) {
+    const util::ByteVec payload{static_cast<std::uint8_t>(0xC0 + t),
+                                static_cast<std::uint8_t>(t)};
+    reader.load_tag(t, payload);
+  }
+
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(csv_path);
+    csv->header({"tag", "frames_ok", "rounds", "airtime_ms", "payload_ok"});
+  }
+
+  core::Table table({"tag (address)", "frames ok / polls", "rounds",
+                     "airtime [ms]", "payload intact"});
+  double total_airtime_us = 0.0;
+  std::size_t total_frames = 0;
+  for (unsigned t = 0; t < n_tags; ++t) {
+    std::size_t ok = 0;
+    std::size_t rounds = 0;
+    std::size_t intact = 0;
+    double airtime = 0.0;
+    for (std::size_t p = 0; p < polls; ++p) {
+      const auto result = reader.poll_frame(t);
+      rounds += result.rounds;
+      airtime += result.airtime_us;
+      if (result.ok) {
+        ++ok;
+        if (result.payload.size() == 2 &&
+            result.payload[0] == 0xC0 + t && result.payload[1] == t) {
+          ++intact;
+        }
+      }
+    }
+    total_airtime_us += airtime;
+    total_frames += ok;
+    table.add_row({"tag " + std::to_string(t),
+                   std::to_string(ok) + " / " + std::to_string(polls),
+                   std::to_string(rounds),
+                   core::Table::num(airtime / 1000.0, 2),
+                   std::to_string(intact) + " / " + std::to_string(ok)});
+    if (csv) {
+      csv->row({std::to_string(t), std::to_string(ok), std::to_string(rounds),
+                util::CsvWriter::num(airtime / 1000.0),
+                std::to_string(intact)});
+    }
+  }
+  table.print(std::cout);
+
+  const double agg_kbps =
+      total_airtime_us > 0.0
+          ? static_cast<double>(total_frames * 16) / (total_airtime_us / 1e6) /
+                1e3
+          : 0.0;
+  std::cout << "\nAggregate frame payload goodput: "
+            << core::Table::num(agg_kbps, 2) << " Kbps across "
+            << static_cast<int>(n_tags)
+            << " tags (sequential polling shares one channel; higher "
+               "addresses pay slightly longer trigger preambles).\n"
+            << "The paper's system is single-tag; this bench exercises "
+               "the addressing extension end to end, including the "
+               "intact-payload check that proves tags never answer "
+               "queries addressed to others.\n";
+  return 0;
+}

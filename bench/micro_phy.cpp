@@ -1,0 +1,102 @@
+// Microbenchmarks (google-benchmark) for the PHY/MAC/crypto substrates
+// and the end-to-end session round — the costs that bound how fast the
+// experiment harness can simulate.
+#include <benchmark/benchmark.h>
+
+#include "mac/aes.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/fft.hpp"
+#include "phy/ppdu.hpp"
+#include "phy/viterbi.hpp"
+#include "tag/envelope.hpp"
+#include "util/rng.hpp"
+#include "witag/session.hpp"
+
+namespace {
+
+using namespace witag;
+
+void BM_Fft64(benchmark::State& state) {
+  util::Rng rng(1);
+  util::CxVec data(64);
+  for (auto& x : data) x = rng.complex_normal(1.0);
+  for (auto _ : state) {
+    phy::fft_inplace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft64);
+
+void BM_ViterbiPerKilobit(benchmark::State& state) {
+  util::Rng rng(2);
+  util::BitVec info = rng.bits(1000);
+  info.insert(info.end(), 6, 0);
+  const util::BitVec coded = phy::convolutional_encode(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0 : 4.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::viterbi_decode(llrs));
+  }
+}
+BENCHMARK(BM_ViterbiPerKilobit);
+
+void BM_PpduTransmit(benchmark::State& state) {
+  util::Rng rng(3);
+  const util::ByteVec psdu = rng.bytes(3328);  // 64 x 52-byte subframes
+  phy::TxConfig cfg;
+  cfg.mcs_index = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::transmit(psdu, cfg));
+  }
+}
+BENCHMARK(BM_PpduTransmit);
+
+void BM_PpduReceive(benchmark::State& state) {
+  util::Rng rng(4);
+  const util::ByteVec psdu = rng.bytes(3328);
+  phy::TxConfig cfg;
+  cfg.mcs_index = 5;
+  const phy::TxPpdu ppdu = phy::transmit(psdu, cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::receive(ppdu.symbols, {}));
+  }
+}
+BENCHMARK(BM_PpduReceive);
+
+void BM_AesBlock(benchmark::State& state) {
+  const mac::AesKey key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  const mac::Aes128 aes(key);
+  mac::AesBlock block{};
+  for (auto _ : state) {
+    block = aes.encrypt(block);
+    benchmark::DoNotOptimize(block.data());
+  }
+}
+BENCHMARK(BM_AesBlock);
+
+void BM_EnvelopeDetector(benchmark::State& state) {
+  util::Rng rng(5);
+  util::CxVec samples(16000);  // ~0.8 ms at 20 Msps
+  for (auto& x : samples) x = rng.complex_normal(1.0);
+  tag::EnvelopeConfig cfg;
+  tag::EnvelopeDetector det(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.process(samples));
+  }
+}
+BENCHMARK(BM_EnvelopeDetector);
+
+void BM_SessionRound(benchmark::State& state) {
+  auto cfg = core::los_testbed_config(4.0, 6);
+  core::Session session(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run_round());
+  }
+}
+BENCHMARK(BM_SessionRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,73 @@
+// The encryption story (the paper's "most importantly" claim): WiTAG
+// works unchanged on a WPA2 (CCMP) network, because the tag corrupts
+// ciphertext it never reads and the block ack operates below the crypto
+// layer — while the PHY-layer baselines die the moment encryption is on.
+//
+// The demo runs the same tag message over an open network, a WPA2
+// network and a WEP network, then shows HitchHike failing on the same
+// encrypted deployment.
+#include <iostream>
+#include <string>
+
+#include "baselines/hitchhike.hpp"
+#include "witag/link.hpp"
+#include "witag/session.hpp"
+
+namespace {
+
+using namespace witag;
+
+double run_witag(mac::Security security, std::uint64_t seed) {
+  core::SessionConfig cfg = core::los_testbed_config(1.0, seed);
+  cfg.security.mode = security;
+  cfg.security.ccmp_key = {0x57, 0x69, 0x54, 0x41, 0x47, 0x21, 0x00, 0x01,
+                           0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  for (std::size_t i = 0; i < cfg.security.wep_key.size(); ++i) {
+    cfg.security.wep_key[i] = static_cast<std::uint8_t>(0x20 + i);
+  }
+  core::Session session(cfg);
+  return session.run(20).metrics.ber();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "WiTAG vs encryption\n"
+            << "Same tag, same geometry (8 m LOS link, tag 1 m from the "
+               "client); only the BSS security mode changes.\n\n";
+
+  core::Table table({"network", "WiTAG BER", "works?"});
+  const struct {
+    mac::Security mode;
+    const char* name;
+  } nets[] = {{mac::Security::kOpen, "open"},
+              {mac::Security::kCcmp, "WPA2 (AES-CCMP)"},
+              {mac::Security::kWep, "WEP (RC4)"}};
+  for (const auto& net : nets) {
+    const double ber = run_witag(net.mode, 31415);
+    table.add_row({net.name, core::Table::num(ber, 4),
+                   ber < 0.1 ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nWhy: the tag corrupts subframes by moving the *channel*, "
+               "not the bits — FCS failure looks identical for plaintext "
+               "and ciphertext, and the AP's block ack reports it either "
+               "way.\n\n";
+
+  std::cout << "The PHY-layer alternative on the same encrypted network:\n";
+  util::Rng rng(1);
+  baselines::HitchhikeConfig hh;
+  hh.encrypted = true;
+  const auto result = baselines::run_hitchhike(hh, 1, rng);
+  std::cout << "  HitchHike: " << (result.works ? "works" : "fails")
+            << " — " << result.failure << "\n";
+
+  baselines::HitchhikeConfig hh_unmod;
+  hh_unmod.modified_ap = false;
+  const auto result2 = baselines::run_hitchhike(hh_unmod, 1, rng);
+  std::cout << "  HitchHike (unmodified AP, open network): "
+            << (result2.works ? "works" : "fails") << " — "
+            << result2.failure << "\n";
+  return 0;
+}

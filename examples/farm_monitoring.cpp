@@ -1,0 +1,105 @@
+// Farm monitoring: the paper's opening motivation ("battery-free sensors
+// ... from implantable body sensors to farm monitoring").
+//
+// A greenhouse WiFi network polls three battery-free soil sensors
+// sharing ONE link, addressed through the trigger-code extension (the
+// query's trigger pattern carries the tag address, so only the polled
+// sensor answers). Each sensor responds with a framed, FEC-protected
+// reading; the Reader API reassembles frames across queries. A power
+// budget shows why no batteries are needed.
+#include <cstdio>
+#include <iostream>
+
+#include "tag/power.hpp"
+#include "witag/reader.hpp"
+
+namespace {
+
+using namespace witag;
+
+struct SoilSensor {
+  const char* name;
+  std::uint8_t id;          ///< Tag address (trigger code).
+  double moisture_pct;
+  double temperature_c;
+};
+
+// Telemetry record: id, moisture (0.5% steps), temperature (0.25 C
+// steps over -10..+53.75 C).
+util::ByteVec pack_reading(const SoilSensor& s) {
+  return {s.id, static_cast<std::uint8_t>(s.moisture_pct * 2.0),
+          static_cast<std::uint8_t>((s.temperature_c + 10.0) * 4.0)};
+}
+
+void print_reading(std::span<const std::uint8_t> rec) {
+  if (rec.size() != 3) {
+    std::cout << "    malformed record\n";
+    return;
+  }
+  std::printf("    sensor %u: moisture %.1f %%, temperature %.2f C\n",
+              rec[0], rec[1] / 2.0, rec[2] / 4.0 - 10.0);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Greenhouse soil monitoring over WiTAG\n"
+            << "Three battery-free sensors share one 8 m client<->AP link "
+               "and are polled by address (trigger-code extension).\n"
+            << "Telemetry frames use Hamming(7,4) FEC + CRC-8 (the error "
+               "control the paper leaves as future work).\n\n";
+
+  const SoilSensor sensors[] = {
+      {"bed A (near the client)", 0, 41.5, 19.25},
+      {"bed B (near the AP)", 1, 33.0, 21.50},
+      {"bed C (by the AP wall)", 2, 27.5, 24.75},
+  };
+
+  // One session carries all three tags: sensor 0 a metre from the
+  // client, sensors 1-2 near the AP (small Ds*Dr products keep every
+  // tag's corruption margin healthy).
+  core::SessionConfig cfg = core::los_testbed_config(1.0, 9001);
+  cfg.extra_tags.push_back({{16.8, 3.5}, 1, 7.1});
+  cfg.extra_tags.push_back({{16.4, 3.5}, 2, 7.1});
+  core::Session session(cfg);
+
+  core::ReaderConfig rcfg;
+  rcfg.fec = core::TagFec::kHamming74;
+  core::Reader reader(session, rcfg);
+  for (const SoilSensor& s : sensors) {
+    reader.load_tag(s.id, pack_reading(s));
+  }
+
+  for (const SoilSensor& sensor : sensors) {
+    const auto result = reader.poll_frame(sensor.id);
+    std::cout << "  " << sensor.name << " (address " << int(sensor.id)
+              << "):\n";
+    if (result.ok) {
+      print_reading(result.payload);
+      std::cout << "    " << result.rounds << " queries, "
+                << result.fec_corrected << " bits repaired by FEC, "
+                << core::Table::num(result.airtime_us / 1000.0, 2)
+                << " ms airtime\n";
+    } else {
+      std::cout << "    poll failed after " << result.rounds << " queries\n";
+    }
+  }
+
+  const auto& stats = reader.stats();
+  std::cout << "\nPolling cycle: " << stats.rounds << " queries, "
+            << core::Table::num(stats.airtime_us / 1000.0, 2)
+            << " ms of airtime, " << stats.frames_ok << "/3 sensors read.\n";
+
+  // Why battery-free works: the whole tag draws a few microwatts.
+  tag::ClockConfig clock;
+  clock.nominal_hz = 50e3;
+  const auto power = tag::estimate_power(clock, 20e3);
+  std::cout << "Per-tag power budget: oscillator "
+            << core::Table::num(power.oscillator_uw, 2) << " uW, comparator "
+            << core::Table::num(power.comparator_uw, 2) << " uW, logic "
+            << core::Table::num(power.logic_uw, 2) << " uW, RF switch "
+            << core::Table::num(power.rf_switch_uw, 2) << " uW -> total "
+            << core::Table::num(power.total_uw(), 2)
+            << " uW (harvestable; no battery).\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Walkthrough of the paper's Figure 4 floor plan: an 18 m x 7 m
+// lab/office area. The demo moves the client (with its tag 1 m away)
+// from the LOS lab to NLOS locations A and B, printing for each stop the
+// obstruction profile, link SNR, tag perturbation and a live BER
+// measurement — the qualitative content of Figures 5 and 6 in one run.
+#include <iostream>
+
+#include "channel/geometry.hpp"
+#include "witag/session.hpp"
+
+namespace {
+
+using namespace witag;
+
+void report_stop(const char* name, core::SessionConfig cfg,
+                 std::size_t rounds) {
+  core::Session session(std::move(cfg));
+  const auto& c = session.config();
+  const double d_ap = channel::distance(c.ap_pos, c.client_pos);
+  const double walls =
+      c.plan.penetration_loss_db(c.ap_pos, c.client_pos);
+  const bool los = c.plan.line_of_sight(c.ap_pos, c.client_pos);
+
+  const auto stats = session.run(rounds);
+  std::cout << name << "\n"
+            << "  AP distance        : " << core::Table::num(d_ap, 1)
+            << " m (" << (los ? "line of sight" : "obstructed") << ", "
+            << core::Table::num(walls, 0) << " dB of walls)\n"
+            << "  link SNR           : "
+            << core::Table::num(stats.mean_snr_db, 1) << " dB\n"
+            << "  tag perturbation   : "
+            << core::Table::num(stats.tag_perturbation_db, 1) << " dB\n"
+            << "  measured BER       : "
+            << core::Table::num(stats.metrics.ber(), 4) << "\n"
+            << "  tag goodput        : "
+            << core::Table::num(stats.metrics.goodput_kbps(), 1)
+            << " Kbps\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Figure-4 office walkthrough (18 m x 7 m floor)\n"
+            << "The client carries a reader app; the tag sits 1 m away.\n\n";
+
+  const auto layout = channel::figure4_testbed();
+  std::cout << "Floor plan: AP at (" << layout.ap.x << ", " << layout.ap.y
+            << "), " << layout.plan.walls().size()
+            << " wall segments (cabinets, wood, concrete).\n\n";
+
+  report_stop("[1] Main lab, LOS, tag 2 m from the client (Figure 5 setup)",
+              core::los_testbed_config(2.0, 11), 30);
+  report_stop("[2] Location A: behind the metal cabinets, ~7 m (Figure 6)",
+              core::nlos_testbed_config(false, 12), 30);
+  report_stop("[3] Location B: far office, ~17 m, every wall (Figure 6)",
+              core::nlos_testbed_config(true, 13), 30);
+
+  std::cout << "Reading the numbers: placements near either radio give "
+               "the tag a strong channel change (mid-link is the worst "
+               "spot, by the radar 1/(Ds*Dr) law — see the fig5 bench); "
+               "NLOS walls eat SNR but the tag still works because "
+               "corruption needs only a *relative* channel change — the "
+               "paper's central robustness claim.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared pieces for the PHY-layer backscatter baselines (HitchHike,
+// FreeRider, MOXcatter): the two-AP deployment geometry, the
+// tag-as-codeword-translator link budget, and the secondary-channel
+// interference accounting that WiTAG avoids by construction.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+#include "channel/geometry.hpp"
+
+namespace witag::baselines {
+
+/// Deployment geometry common to the two-AP baselines: the querying
+/// client, the tag, the primary AP (receives the original packet) and
+/// the secondary AP (receives the channel-shifted backscatter).
+struct TwoApGeometry {
+  channel::Point2 client{0.0, 0.0};
+  channel::Point2 tag{1.0, 0.0};
+  channel::Point2 ap1{8.0, 0.0};
+  channel::Point2 ap2{3.0, 2.0};
+};
+
+/// Link budget for a backscatter hop at the given carrier.
+struct BackscatterLink {
+  double direct_amp = 0.0;       ///< Client -> AP1 amplitude gain.
+  double backscatter_amp = 0.0;  ///< Client -> tag -> AP2 amplitude gain.
+};
+
+/// Computes amplitude gains for the two-AP layout. `tag_strength` is the
+/// same dimensionless coupling used by the WiTAG tag model.
+BackscatterLink two_ap_link(const TwoApGeometry& geo, double tag_strength,
+                            double carrier_hz);
+
+/// Secondary-channel interference: backscatter tags shift their signal
+/// onto an adjacent channel without carrier sensing (paper section 2),
+/// so a victim network there sees unslotted-ALOHA-style collisions.
+/// Returns the victim's packet collision probability given the tag's
+/// transmission rate/duration and the victim's packet duration:
+/// p = 1 - exp(-rate * (t_tag + t_victim)).
+double victim_collision_probability(double tag_tx_per_s, double tag_tx_us,
+                                    double victim_packet_us);
+
+/// Minimum oscillator frequency a channel-shifting tag needs [Hz]: the
+/// secondary channel must be >= 20 MHz away (paper section 2).
+inline constexpr double kChannelShiftOscillatorHz = 20e6;
+
+/// Carrier-frequency error a receiver tolerates before the shifted
+/// backscatter falls outside its lock range [Hz] (order of the 802.11
+/// +/-25 ppm budget at 2.4 GHz, ~60 kHz, plus margin).
+inline constexpr double kReceiverCfoToleranceHz = 150e3;
+
+}  // namespace witag::baselines

@@ -1,0 +1,129 @@
+#include "baselines/compare.hpp"
+
+#include "baselines/freerider.hpp"
+#include "baselines/hitchhike.hpp"
+#include "baselines/moxcatter.hpp"
+#include "tag/power.hpp"
+#include "witag/session.hpp"
+
+namespace witag::baselines {
+namespace {
+
+double ring_power_uw() {
+  return tag::oscillator_power_uw(tag::OscillatorKind::kRing,
+                                  kChannelShiftOscillatorHz);
+}
+
+}  // namespace
+
+std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
+                                               std::size_t witag_rounds,
+                                               std::size_t baseline_packets) {
+  std::vector<SystemRow> rows;
+  util::Rng rng(seed);
+
+  {
+    SystemRow row;
+    row.system = "WiTAG";
+    row.standards = "802.11n/ac (ax-ready)";
+    row.works_unmodified_ap = true;
+    row.needs_second_ap = false;
+    row.interferes_secondary = false;
+    row.oscillator_hz = 50e3;
+    row.oscillator_power_uw = tag::oscillator_power_uw(
+        tag::OscillatorKind::kCrystal, row.oscillator_hz);
+
+    // Measured on the LOS testbed, open network.
+    auto cfg = core::los_testbed_config(1.0, seed);
+    core::Session session(cfg);
+    const auto stats = session.run(witag_rounds);
+    row.throughput_kbps = stats.metrics.goodput_kbps();
+    row.measured_ber = stats.metrics.ber();
+
+    // Encrypted network: same measurement under CCMP.
+    auto enc_cfg = core::los_testbed_config(1.0, seed + 1);
+    enc_cfg.security.mode = mac::Security::kCcmp;
+    enc_cfg.security.ccmp_key = {0, 1, 2,  3,  4,  5,  6,  7,
+                                 8, 9, 10, 11, 12, 13, 14, 15};
+    core::Session enc_session(enc_cfg);
+    const auto enc_stats = enc_session.run(witag_rounds);
+    row.works_encrypted = enc_stats.metrics.ber() < 0.1;
+    rows.push_back(row);
+  }
+
+  {
+    SystemRow row;
+    row.system = "HitchHike";
+    row.standards = "802.11b only";
+    row.needs_second_ap = true;
+    row.interferes_secondary = true;
+    row.oscillator_hz = kChannelShiftOscillatorHz;
+    row.oscillator_power_uw = ring_power_uw();
+
+    HitchhikeConfig cfg;
+    const auto nominal = run_hitchhike(cfg, baseline_packets, rng);
+    row.throughput_kbps = nominal.instantaneous_rate_kbps;
+    row.measured_ber = nominal.ber;
+
+    HitchhikeConfig unmod = cfg;
+    unmod.modified_ap = false;
+    row.works_unmodified_ap = run_hitchhike(unmod, 1, rng).works;
+
+    HitchhikeConfig enc = cfg;
+    enc.encrypted = true;
+    row.works_encrypted = run_hitchhike(enc, 1, rng).works;
+    rows.push_back(row);
+  }
+
+  {
+    SystemRow row;
+    row.system = "FreeRider";
+    row.standards = "802.11g";
+    row.needs_second_ap = true;
+    row.interferes_secondary = true;
+    row.oscillator_hz = kChannelShiftOscillatorHz;
+    row.oscillator_power_uw = ring_power_uw();
+
+    FreeriderConfig cfg;
+    const auto nominal = run_freerider(cfg, baseline_packets, rng);
+    row.throughput_kbps = nominal.instantaneous_rate_kbps;
+    row.measured_ber = nominal.ber;
+
+    FreeriderConfig unmod = cfg;
+    unmod.modified_ap = false;
+    row.works_unmodified_ap = run_freerider(unmod, 1, rng).works;
+
+    FreeriderConfig enc = cfg;
+    enc.encrypted = true;
+    row.works_encrypted = run_freerider(enc, 1, rng).works;
+    rows.push_back(row);
+  }
+
+  {
+    SystemRow row;
+    row.system = "MOXcatter";
+    row.standards = "802.11n (MIMO)";
+    row.needs_second_ap = true;
+    row.interferes_secondary = true;
+    row.oscillator_hz = kChannelShiftOscillatorHz;
+    row.oscillator_power_uw = ring_power_uw();
+
+    MoxcatterConfig cfg;
+    const auto nominal = run_moxcatter(cfg, baseline_packets, rng);
+    row.throughput_kbps = nominal.instantaneous_rate_kbps;
+    row.measured_ber = nominal.ber;
+
+    MoxcatterConfig unmod = cfg;
+    unmod.modified_ap = false;
+    row.works_unmodified_ap = run_moxcatter(unmod, 1, rng).works;
+
+    MoxcatterConfig enc = cfg;
+    enc.encrypted = true;
+    row.works_encrypted = run_moxcatter(enc, 1, rng).works;
+    rows.push_back(row);
+  }
+
+  return rows;
+}
+
+}  // namespace witag::baselines

@@ -1,0 +1,31 @@
+// Requirements-matrix harness: runs WiTAG and the three PHY-layer
+// baselines through the same gates the paper's sections 1-2 discuss and
+// produces one row per system (encryption, AP modification, standards,
+// secondary-channel interference, oscillator demands, throughput).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace witag::baselines {
+
+struct SystemRow {
+  std::string system;
+  std::string standards;        ///< WiFi generations it rides on.
+  bool works_unmodified_ap = false;
+  bool works_encrypted = false;
+  bool needs_second_ap = false;
+  bool interferes_secondary = false;
+  double oscillator_hz = 0.0;
+  double oscillator_power_uw = 0.0;
+  double throughput_kbps = 0.0;  ///< Measured/representative tag rate.
+  double measured_ber = 1.0;     ///< In its own best-case deployment.
+};
+
+/// Runs each system in its nominal deployment and under the gates;
+/// the WiTAG row is measured with a short LOS session.
+std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
+                                               std::size_t witag_rounds = 40,
+                                               std::size_t baseline_packets = 40);
+
+}  // namespace witag::baselines

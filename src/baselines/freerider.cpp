@@ -1,0 +1,70 @@
+#include "baselines/freerider.hpp"
+
+#include <cmath>
+
+#include "phy/ofdm.hpp"
+#include "util/bits.hpp"
+#include "util/units.hpp"
+
+namespace witag::baselines {
+
+FreeriderResult run_freerider(const FreeriderConfig& cfg,
+                              std::size_t n_packets, util::Rng& rng) {
+  FreeriderResult result;
+  if (!cfg.modified_ap) {
+    result.works = false;
+    result.failure = "unmodified AP drops CRC-broken backscatter packets";
+    return result;
+  }
+  if (cfg.encrypted) {
+    result.works = false;
+    result.failure = "symbol translation breaks ciphertext; packets cannot "
+                     "be decrypted";
+    return result;
+  }
+  const double cfo_hz = 0.006 * cfg.temperature_offset_c *
+                        kChannelShiftOscillatorHz;
+  if (std::abs(cfo_hz) > kReceiverCfoToleranceHz) {
+    result.works = false;
+    result.failure = "ring-oscillator drift pushed the shifted channel "
+                     "outside the receiver's lock range";
+    return result;
+  }
+
+  const BackscatterLink link =
+      two_ap_link(cfg.geometry, cfg.tag_strength, cfg.carrier_hz);
+  const double p_tx = util::dbm_to_watts(cfg.tx_power_dbm);
+  // Per-symbol correlation: the host correlates AP2's received symbol
+  // against the reference symbol it reconstructs from AP1's reception.
+  // With N_used subcarriers the effective amplitude gain is sqrt(N).
+  const double sym_amp = link.backscatter_amp * std::sqrt(p_tx / 56.0);
+  const double noise_var =
+      util::thermal_noise_watts(312'500.0) *
+      util::db_to_linear(cfg.noise_figure_db);
+
+  for (std::size_t pkt = 0; pkt < n_packets; ++pkt) {
+    const util::BitVec tag_bits = rng.bits(cfg.symbols_per_packet);
+    for (std::size_t s = 0; s < cfg.symbols_per_packet; ++s) {
+      // Coherent sum over 56 known subcarriers: signal amplitude adds,
+      // noise adds in power.
+      const double flip = (tag_bits[s] & 1u) ? -1.0 : 1.0;
+      util::Cx corr{};
+      for (unsigned k = 0; k < 56; ++k) {
+        const util::Cx rx =
+            util::Cx{flip * sym_amp, 0.0} + rng.complex_normal(noise_var);
+        corr += rx;  // reference is +1 per subcarrier
+      }
+      const std::uint8_t detected = corr.real() < 0.0 ? 1 : 0;
+      result.tag_bits += 1;
+      result.bit_errors += (detected != (tag_bits[s] & 1u)) ? 1 : 0;
+    }
+  }
+  result.ber = result.tag_bits == 0
+                   ? 1.0
+                   : static_cast<double>(result.bit_errors) /
+                         static_cast<double>(result.tag_bits);
+  result.instantaneous_rate_kbps = 1e3 / 4.0;  // one bit per 4 us symbol
+  return result;
+}
+
+}  // namespace witag::baselines

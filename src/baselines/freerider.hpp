@@ -1,0 +1,43 @@
+// FreeRider baseline (Zhang et al., CoNEXT 2017), per the WiTAG paper's
+// section 2: the tag phase-flips whole 802.11g OFDM symbols (0 or 180
+// degrees per symbol) while shifting the packet to a secondary channel;
+// a second AP demodulates the shifted copy and the host compares the two
+// receptions symbol-by-symbol to extract one tag bit per OFDM symbol.
+//
+// Inherits HitchHike's deployment constraints: second AP, modified AP,
+// no encryption, and a >= 20 MHz channel-shift oscillator.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "util/rng.hpp"
+
+namespace witag::baselines {
+
+struct FreeriderConfig {
+  TwoApGeometry geometry;
+  double tag_strength = 7.0;
+  double carrier_hz = 2.437e9;
+  double tx_power_dbm = 15.0;
+  double noise_figure_db = 7.0;
+  /// OFDM symbols per query packet (802.11g frame).
+  std::size_t symbols_per_packet = 200;
+  bool modified_ap = true;
+  bool encrypted = false;
+  double temperature_offset_c = 0.0;
+};
+
+struct FreeriderResult {
+  std::size_t tag_bits = 0;
+  std::size_t bit_errors = 0;
+  double ber = 1.0;
+  double instantaneous_rate_kbps = 0.0;  ///< One bit per 4 us symbol.
+  bool works = true;
+  const char* failure = "";
+};
+
+FreeriderResult run_freerider(const FreeriderConfig& cfg,
+                              std::size_t n_packets, util::Rng& rng);
+
+}  // namespace witag::baselines

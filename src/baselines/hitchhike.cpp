@@ -1,0 +1,98 @@
+#include "baselines/hitchhike.hpp"
+
+#include <cmath>
+
+#include "util/bits.hpp"
+#include "util/units.hpp"
+
+namespace witag::baselines {
+
+HitchhikeResult run_hitchhike(const HitchhikeConfig& cfg,
+                              std::size_t n_packets, util::Rng& rng) {
+  HitchhikeResult result;
+
+  // Compatibility gates first (these are the paper's core claims).
+  if (!cfg.modified_ap) {
+    result.works = false;
+    result.failure = "unmodified AP drops CRC-broken backscatter packets";
+    return result;
+  }
+  if (cfg.encrypted) {
+    result.works = false;
+    result.failure = "codeword translation breaks ciphertext; ICV fails";
+    return result;
+  }
+  // Ring-oscillator drift moves the 20 MHz channel shift; past the
+  // receiver's CFO tolerance AP2 cannot lock to the backscatter at all.
+  const double cfo_hz = 0.006 * cfg.temperature_offset_c *
+                        kChannelShiftOscillatorHz;
+  if (std::abs(cfo_hz) > kReceiverCfoToleranceHz) {
+    result.works = false;
+    result.failure = "ring-oscillator drift pushed the shifted channel "
+                     "outside the receiver's lock range";
+    return result;
+  }
+
+  const BackscatterLink link =
+      two_ap_link(cfg.geometry, cfg.tag_strength, cfg.carrier_hz);
+  const double p_tx = util::dbm_to_watts(cfg.tx_power_dbm);
+  const double chip_amp = link.backscatter_amp * std::sqrt(p_tx);
+  const double noise_var =
+      util::thermal_noise_watts(phy::dsss::kChipRateHz) *
+      util::db_to_linear(cfg.noise_figure_db);
+
+  const bool qpsk = cfg.rate == phy::dsss::DsssRate::kDqpsk2Mbps;
+  for (std::size_t pkt = 0; pkt < n_packets; ++pkt) {
+    const util::BitVec data = rng.bits(cfg.packet_bytes * 8);
+    const util::CxVec chips = phy::dsss::modulate(data, cfg.rate);
+    // Codeword 0 is the differential phase reference; the tag keys its
+    // flips to the data codewords that follow it.
+    const std::size_t n_codewords = phy::dsss::codeword_count(chips) - 1;
+
+    // Tag bits, one per data codeword; phase flip encodes a 1.
+    const util::BitVec tag_bits = rng.bits(n_codewords);
+    util::CxVec shifted(chips.size());
+    for (unsigned c = 0; c < phy::dsss::kChipsPerBit; ++c) {
+      shifted[c] = chips[c] * chip_amp + rng.complex_normal(noise_var);
+    }
+    for (std::size_t w = 0; w < n_codewords; ++w) {
+      const double flip = (tag_bits[w] & 1u) ? -1.0 : 1.0;
+      for (unsigned c = 0; c < phy::dsss::kChipsPerBit; ++c) {
+        const std::size_t i = (w + 1) * phy::dsss::kChipsPerBit + c;
+        shifted[i] = chips[i] * flip * chip_amp +
+                     rng.complex_normal(noise_var);
+      }
+    }
+
+    // Host extraction: XOR of the bits decoded at AP2 against the
+    // original bits from AP1 (assumed clean: the direct link is strong).
+    const util::BitVec rx_bits = phy::dsss::demodulate(shifted, cfg.rate);
+    // A phase flip of codeword w toggles the *differential* decision at
+    // w and at w+1; the host inverts that cumulative effect.
+    util::BitVec recovered(n_codewords, 0);
+    std::uint8_t running = 0;
+    for (std::size_t w = 0; w < n_codewords; ++w) {
+      // Differential re-encoding: the flip sequence seen at codeword w
+      // equals tag_bits[w] XOR tag_bits[w-1] in the differential domain.
+      const std::size_t bit_idx = qpsk ? 2 * w : w;
+      const std::uint8_t diff =
+          static_cast<std::uint8_t>((rx_bits[bit_idx] ^ data[bit_idx]) & 1u);
+      running ^= diff;
+      recovered[w] = running;
+    }
+
+    result.tag_bits += n_codewords;
+    result.bit_errors += util::hamming_distance(tag_bits, recovered);
+  }
+
+  result.ber = result.tag_bits == 0
+                   ? 1.0
+                   : static_cast<double>(result.bit_errors) /
+                         static_cast<double>(result.tag_bits);
+  const double codeword_rate =
+      phy::dsss::kChipRateHz / phy::dsss::kChipsPerBit;
+  result.instantaneous_rate_kbps = codeword_rate / 1e3;
+  return result;
+}
+
+}  // namespace witag::baselines

@@ -1,0 +1,59 @@
+// HitchHike baseline (Zhang et al., SenSys 2016), as characterized in
+// the WiTAG paper's section 2: a tag embeds data into 802.11b packets by
+// codeword translation — flipping the phase of individual Barker
+// codewords — while shifting the signal to a non-overlapping channel
+// received by a second AP. The host XORs the bits decoded at both APs to
+// extract the tag data.
+//
+// The model reproduces the paper's four compatibility complaints:
+//  1. encryption: the translated packet is ciphertext with a broken
+//     ICV/CRC, so nothing downstream of an unmodified receiver survives;
+//  2. CRC: even open packets arrive CRC-broken at AP2, so an unmodified
+//     AP drops them (requires_modified_ap);
+//  3. 802.11b only;
+//  4. needs the second AP.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "phy/dsss.hpp"
+#include "util/rng.hpp"
+
+namespace witag::baselines {
+
+struct HitchhikeConfig {
+  TwoApGeometry geometry;
+  double tag_strength = 7.0;
+  double carrier_hz = 2.437e9;
+  double tx_power_dbm = 15.0;
+  double noise_figure_db = 7.0;
+  phy::dsss::DsssRate rate = phy::dsss::DsssRate::kDbpsk1Mbps;
+  /// Packet payload the client transmits per query [bytes].
+  std::size_t packet_bytes = 128;
+  /// AP2 accepts CRC-broken packets (the modification HitchHike needs).
+  bool modified_ap = true;
+  /// The network encrypts packets (WEP/WPA): extraction fails.
+  bool encrypted = false;
+  /// Ring-oscillator temperature offset from calibration [C]; drives
+  /// the channel-shift CFO (paper footnote 4).
+  double temperature_offset_c = 0.0;
+};
+
+struct HitchhikeResult {
+  std::size_t tag_bits = 0;
+  std::size_t bit_errors = 0;
+  double ber = 1.0;
+  /// Tag data rate while a packet is on the air [Kbps].
+  double instantaneous_rate_kbps = 0.0;
+  /// False when a compatibility gate (unmodified AP, encryption, CFO)
+  /// prevents extraction entirely.
+  bool works = true;
+  const char* failure = "";
+};
+
+/// Runs `n_packets` query packets through the HitchHike model.
+HitchhikeResult run_hitchhike(const HitchhikeConfig& cfg,
+                              std::size_t n_packets, util::Rng& rng);
+
+}  // namespace witag::baselines

@@ -1,0 +1,46 @@
+// MOXcatter baseline (Zhao et al., MobiSys 2018), per the WiTAG paper's
+// section 2: spatial-stream backscatter for MIMO 802.11n. Because MIMO
+// spatial multiplexing scrambles individual OFDM symbols across antennas,
+// MOXcatter cannot flip per-symbol phases; it flips the phase of the
+// reflected copy once per *packet*, giving one tag bit per packet.
+//
+// The model runs the real 2x2 MIMO substrate (phy/mimo) for the client
+// transmission and detects the per-packet flip from the backscattered
+// copy at the second AP.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/common.hpp"
+#include "util/rng.hpp"
+
+namespace witag::baselines {
+
+struct MoxcatterConfig {
+  TwoApGeometry geometry;
+  double tag_strength = 7.0;
+  double carrier_hz = 2.437e9;
+  double tx_power_dbm = 15.0;
+  double noise_figure_db = 7.0;
+  /// OFDM symbols per MIMO packet.
+  std::size_t symbols_per_packet = 100;
+  /// Packet airtime including preamble/IFS [us] for the rate estimate.
+  double packet_airtime_us = 500.0;
+  bool modified_ap = true;
+  bool encrypted = false;
+  double temperature_offset_c = 0.0;
+};
+
+struct MoxcatterResult {
+  std::size_t tag_bits = 0;
+  std::size_t bit_errors = 0;
+  double ber = 1.0;
+  double instantaneous_rate_kbps = 0.0;  ///< One bit per packet.
+  bool works = true;
+  const char* failure = "";
+};
+
+MoxcatterResult run_moxcatter(const MoxcatterConfig& cfg,
+                              std::size_t n_packets, util::Rng& rng);
+
+}  // namespace witag::baselines

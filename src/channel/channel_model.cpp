@@ -1,0 +1,246 @@
+#include "channel/channel_model.hpp"
+
+#include <cmath>
+
+#include "channel/pathloss.hpp"
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::channel {
+namespace {
+
+using util::Cx;
+
+/// Subcarrier spacing of the 20 MHz OFDM PHY [Hz].
+constexpr double kSubcarrierSpacingHz = 312'500.0;
+
+/// Number of used subcarriers (52 data + 4 pilots).
+constexpr unsigned kUsedSubcarriers = 56;
+
+double subcarrier_offset_hz(int subcarrier) {
+  return static_cast<double>(subcarrier) * kSubcarrierSpacingHz;
+}
+
+// Logical subcarrier index for an FFT bin, or nullopt for unused bins.
+std::optional<int> logical_subcarrier(unsigned bin) {
+  const int k = bin < 32 ? static_cast<int>(bin) : static_cast<int>(bin) - 64;
+  if (k == 0 || k < -28 || k > 28) return std::nullopt;
+  return k;
+}
+
+}  // namespace
+
+std::vector<StaticReflector> default_room_reflectors(Point2 tx, Point2 rx) {
+  // Specular points roughly where walls/furniture would sit relative to
+  // the link: offset to the sides and beyond each endpoint. Strengths are
+  // modest so the direct path dominates (Rician-like channel) but the
+  // response stays frequency-selective across the 20 MHz band.
+  const Point2 mid{(tx.x + rx.x) / 2.0, (tx.y + rx.y) / 2.0};
+  return {
+      {{mid.x + 1.1, mid.y + 2.7}, 3.0},   // side wall
+      {{mid.x - 0.8, mid.y - 3.1}, 2.5},   // opposite wall
+      {{tx.x + 1.4, tx.y - 1.9}, 2.0},     // furniture near tx
+      {{rx.x - 1.6, rx.y + 1.3}, 2.0},     // furniture near rx
+      {{mid.x + 4.2, mid.y + 0.9}, 1.5},   // far cabinet
+  };
+}
+
+ChannelModel::ChannelModel(const RadioConfig& radio, LinkGeometry geometry,
+                           std::optional<TagPathConfig> tag,
+                           const FadingConfig& fading, std::uint64_t seed)
+    : radio_(radio),
+      geometry_(std::move(geometry)),
+      fading_cfg_(fading),
+      fading_(fading, util::Rng(seed)),
+      rng_(util::Rng(seed).split()) {
+  if (tag) tags_.push_back(*tag);
+  const double p_tx = util::dbm_to_watts(radio_.tx_power_dbm);
+  amp_scale_ = std::sqrt(p_tx / kUsedSubcarriers);
+}
+
+std::size_t ChannelModel::add_tag(const TagPathConfig& tag) {
+  tags_.push_back(tag);
+  cache_valid_ = false;
+  return tags_.size() - 1;
+}
+
+void ChannelModel::advance(double dt_s) {
+  fading_.advance(dt_s);
+  cache_valid_ = false;
+}
+
+std::optional<TagPathConfig> ChannelModel::tag() const {
+  if (tags_.empty()) return std::nullopt;
+  return tags_.front();
+}
+
+void ChannelModel::set_tag(std::optional<TagPathConfig> tag) {
+  if (!tag) {
+    tags_.clear();
+  } else if (tags_.empty()) {
+    tags_.push_back(*tag);
+  } else {
+    tags_.front() = *tag;
+  }
+  cache_valid_ = false;
+}
+
+void ChannelModel::rebuild_cache() const {
+  const double fc = radio_.carrier_hz;
+  const Point2 tx = geometry_.tx;
+  const Point2 rx = geometry_.rx;
+  const double direct_loss_db =
+      geometry_.plan.penetration_loss_db(tx, rx) +
+      fading_.direct_excess_loss_db();
+  const double d_direct = distance(tx, rx);
+
+  h_base_.fill(Cx{});
+  tag_delta_.assign(tags_.size(), phy::FreqSymbol{});
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    const auto k = logical_subcarrier(bin);
+    if (!k) continue;
+    const double off = subcarrier_offset_hz(*k);
+
+    Cx h = attenuate(direct_gain(d_direct, fc, off), direct_loss_db);
+    for (const StaticReflector& r : geometry_.reflectors) {
+      h += reflector_path_gain(r, tx, rx, geometry_.plan, fc, off);
+    }
+    for (const StaticReflector& r : fading_.scatterers()) {
+      h += reflector_path_gain(r, tx, rx, geometry_.plan, fc, off);
+    }
+    for (std::size_t t = 0; t < tags_.size(); ++t) {
+      const Cx coupling =
+          tag_coupling(tags_[t], tx, rx, geometry_.plan, fc, off);
+      h += tag_gamma(tags_[t].mode, false) * coupling;
+      tag_delta_[t][bin] =
+          amp_scale_ *
+          (tag_gamma(tags_[t].mode, true) - tag_gamma(tags_[t].mode, false)) *
+          coupling;
+    }
+    h_base_[bin] = amp_scale_ * h;
+  }
+  cache_valid_ = true;
+}
+
+phy::FreqSymbol ChannelModel::cfr(bool tag_asserted) const {
+  if (!cache_valid_) rebuild_cache();
+  phy::FreqSymbol h = h_base_;
+  if (tag_asserted && !tags_.empty()) {
+    for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+      h[bin] += tag_delta_[0][bin];
+    }
+  }
+  return h;
+}
+
+double ChannelModel::noise_variance() const {
+  return util::thermal_noise_watts(kSubcarrierSpacingHz, radio_.temperature_k) *
+         util::db_to_linear(radio_.noise_figure_db);
+}
+
+std::vector<double> ChannelModel::draw_interference(std::size_t n_symbols) {
+  std::vector<double> extra(n_symbols, 0.0);
+  if (fading_cfg_.interference_rate_hz <= 0.0) return extra;
+  const double sym_us = 4.0;
+  const double ppdu_us = static_cast<double>(n_symbols) * sym_us;
+  const double mean_us = fading_cfg_.interference_mean_us;
+  // Bursts that started up to one mean duration before the PPDU can
+  // still overlap it.
+  const double window_s = (ppdu_us + mean_us) * 1e-6;
+  const unsigned bursts =
+      rng_.poisson(fading_cfg_.interference_rate_hz * window_s);
+  if (bursts == 0) return extra;
+  const double power =
+      util::dbm_to_watts(fading_cfg_.interference_power_dbm);
+  // The interferer's 20 MHz energy spreads over all 64 bins.
+  const double per_subcarrier = power / 64.0;
+  for (unsigned b = 0; b < bursts; ++b) {
+    const double start = rng_.uniform(-mean_us, ppdu_us);
+    double u = rng_.uniform();
+    while (u <= 0.0) u = rng_.uniform();
+    const double duration = -mean_us * std::log(u);
+    const auto first = static_cast<std::size_t>(
+        std::max(0.0, std::floor(start / sym_us)));
+    const auto last = static_cast<std::size_t>(
+        std::max(0.0, std::ceil((start + duration) / sym_us)));
+    for (std::size_t s = first; s < std::min(last, n_symbols); ++s) {
+      extra[s] += per_subcarrier;
+    }
+  }
+  return extra;
+}
+
+std::vector<phy::FreqSymbol> ChannelModel::apply(
+    std::span<const phy::FreqSymbol> tx,
+    std::span<const std::uint8_t> tag_level) {
+  util::require(tag_level.empty() || tag_level.size() == tx.size(),
+                "ChannelModel::apply: tag_level size mismatch");
+  std::vector<std::vector<std::uint8_t>> levels;
+  if (!tag_level.empty()) {
+    levels.emplace_back(tag_level.begin(), tag_level.end());
+  }
+  return apply_multi(tx, levels);
+}
+
+std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
+    std::span<const phy::FreqSymbol> tx,
+    std::span<const std::vector<std::uint8_t>> levels_per_tag) {
+  util::require(levels_per_tag.size() <= tags_.size() ||
+                    (tags_.empty() && levels_per_tag.empty()),
+                "ChannelModel::apply_multi: more level rows than tags");
+  for (const auto& row : levels_per_tag) {
+    util::require(row.empty() || row.size() == tx.size(),
+                  "ChannelModel::apply_multi: level row size mismatch");
+  }
+  if (!cache_valid_) rebuild_cache();
+  const double noise_var = noise_variance();
+  const std::vector<double> interference = draw_interference(tx.size());
+
+  std::vector<phy::FreqSymbol> rx(tx.size());
+  for (std::size_t s = 0; s < tx.size(); ++s) {
+    // Compose the channel for this symbol from the asserted tags.
+    phy::FreqSymbol h = h_base_;
+    for (std::size_t t = 0; t < levels_per_tag.size(); ++t) {
+      const auto& row = levels_per_tag[t];
+      if (row.empty() || (row[s] & 1u) == 0) continue;
+      for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+        h[bin] += tag_delta_[t][bin];
+      }
+    }
+    const double var = noise_var + interference[s];
+    for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+      if (h[bin] == Cx{} && tx[s][bin] == Cx{}) continue;
+      rx[s][bin] = h[bin] * tx[s][bin] + rng_.complex_normal(var);
+    }
+  }
+  return rx;
+}
+
+double ChannelModel::mean_snr_db() const {
+  if (!cache_valid_) rebuild_cache();
+  double acc = 0.0;
+  unsigned used = 0;
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    if (!logical_subcarrier(bin)) continue;
+    acc += std::norm(h_base_[bin]);
+    ++used;
+  }
+  return util::linear_to_db(acc / used / noise_variance());
+}
+
+double ChannelModel::tag_perturbation_db() const {
+  util::require(!tags_.empty(), "tag_perturbation_db: no tag configured");
+  if (!cache_valid_) rebuild_cache();
+  double acc = 0.0;
+  unsigned used = 0;
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    if (!logical_subcarrier(bin)) continue;
+    const double denom = std::norm(h_base_[bin]);
+    if (denom <= 0.0) continue;
+    acc += std::norm(tag_delta_[0][bin]) / denom;
+    ++used;
+  }
+  return util::linear_to_db(acc / used);
+}
+
+}  // namespace witag::channel

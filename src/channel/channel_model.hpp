@@ -1,0 +1,130 @@
+// The composed wireless channel between one transmitter and one receiver,
+// optionally carrying a WiTAG tag as a modulated reflector.
+//
+// The channel frequency response per OFDM subcarrier is
+//
+//   h(f, t, level) = a_block(t) * direct(f) + sum_static reflected_i(f)
+//                  + sum_moving reflected_j(f, t)
+//                  + gamma(mode, level) * tag_coupling(f)
+//
+// with every term following the geometric path models in pathloss.hpp.
+// Transmit power is folded into the response (symbols are assumed to have
+// unit average power per used subcarrier), and the additive noise is
+// thermal noise over one subcarrier spacing times the receiver noise
+// figure — so post-equalization SNR comes out in physical units.
+//
+// Time advances between PPDUs (coherence time >> A-MPDU duration, paper
+// footnote 2). Within a PPDU only the tag's switch level changes, which
+// is exactly WiTAG's communication mechanism.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "channel/fading.hpp"
+#include "channel/geometry.hpp"
+#include "channel/tag_path.hpp"
+#include "phy/ofdm.hpp"
+#include "util/rng.hpp"
+
+namespace witag::channel {
+
+struct RadioConfig {
+  double carrier_hz = 2.437e9;      ///< Channel 6.
+  double tx_power_dbm = 15.0;       ///< Commodity NIC transmit power.
+  double noise_figure_db = 7.0;
+  double temperature_k = 290.0;
+};
+
+struct LinkGeometry {
+  Point2 tx;
+  Point2 rx;
+  FloorPlan plan;
+  std::vector<StaticReflector> reflectors;
+};
+
+/// Adds a default set of room reflectors around a link so the channel is
+/// frequency-selective (walls/furniture specular points).
+std::vector<StaticReflector> default_room_reflectors(Point2 tx, Point2 rx);
+
+class ChannelModel {
+ public:
+  /// `tag` is absent for links without a tag (plain WiFi). `fading` may
+  /// have n_scatterers == 0 and blocking_rate_hz == 0 for a static
+  /// channel. Additional tags (multi-tag deployments) are added with
+  /// add_tag(); tag index 0 is the one the single-tag API addresses.
+  ChannelModel(const RadioConfig& radio, LinkGeometry geometry,
+               std::optional<TagPathConfig> tag, const FadingConfig& fading,
+               std::uint64_t seed);
+
+  /// Adds another modulated reflector; returns its tag index.
+  std::size_t add_tag(const TagPathConfig& tag);
+  std::size_t tag_count() const { return tags_.size(); }
+
+  /// Advances simulated time (fading evolves; the in-PPDU channel is
+  /// frozen apart from the tag level).
+  void advance(double dt_s);
+
+  /// Per-bin channel response (including sqrt(tx power) scaling) for a
+  /// tag switch level. Unused bins are zero. `tag_asserted` is ignored
+  /// when no tag is configured.
+  phy::FreqSymbol cfr(bool tag_asserted) const;
+
+  /// Complex noise variance per subcarrier sample [W].
+  double noise_variance() const;
+
+  /// Applies the channel to a symbol timeline. `tag_level` gives tag 0's
+  /// switch level during each symbol (empty = tag never asserted;
+  /// otherwise size must match). Noise is drawn from the internal RNG;
+  /// co-channel interference bursts (FadingConfig) raise the noise on
+  /// the symbols they overlap.
+  std::vector<phy::FreqSymbol> apply(std::span<const phy::FreqSymbol> tx,
+                                     std::span<const std::uint8_t> tag_level);
+
+  /// Multi-tag variant: `levels_per_tag[t]` is tag t's per-symbol level
+  /// schedule (empty = that tag stays deasserted). Requires
+  /// levels_per_tag.size() <= tag_count().
+  std::vector<phy::FreqSymbol> apply_multi(
+      std::span<const phy::FreqSymbol> tx,
+      std::span<const std::vector<std::uint8_t>> levels_per_tag);
+
+  /// Mean received SNR per subcarrier [dB] with the tag deasserted.
+  double mean_snr_db() const;
+
+  /// Mean over used subcarriers of |h_asserted - h_deasserted|^2 /
+  /// |h_deasserted|^2 [dB] — the tag's relative channel perturbation
+  /// (Figure 3's vector length, squared and normalized). Requires a tag.
+  double tag_perturbation_db() const;
+
+  const LinkGeometry& geometry() const { return geometry_; }
+  /// Primary tag configuration, if any.
+  std::optional<TagPathConfig> tag() const;
+
+  /// Replaces the primary tag configuration (position sweeps in
+  /// benches); nullopt removes every tag.
+  void set_tag(std::optional<TagPathConfig> tag);
+
+ private:
+  void rebuild_cache() const;
+  /// Per-symbol extra noise variance from interference bursts over a
+  /// PPDU of `n_symbols` symbols.
+  std::vector<double> draw_interference(std::size_t n_symbols);
+
+  RadioConfig radio_;
+  LinkGeometry geometry_;
+  std::vector<TagPathConfig> tags_;
+  FadingConfig fading_cfg_;
+  FadingProcess fading_;
+  util::Rng rng_;
+  double amp_scale_ = 1.0;  ///< sqrt(tx power per subcarrier).
+
+  mutable bool cache_valid_ = false;
+  /// Static channel (direct + reflectors + fading + every tag resting).
+  mutable phy::FreqSymbol h_base_{};
+  /// Per-tag delta when asserted: (gamma_on - gamma_off) * coupling.
+  mutable std::vector<phy::FreqSymbol> tag_delta_;
+};
+
+}  // namespace witag::channel

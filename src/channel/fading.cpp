@@ -1,0 +1,55 @@
+#include "channel/fading.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace witag::channel {
+
+FadingProcess::FadingProcess(const FadingConfig& cfg, util::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  util::require(cfg.area_max_x > cfg.area_min_x &&
+                    cfg.area_max_y > cfg.area_min_y,
+                "FadingProcess: degenerate area");
+  scatterers_.reserve(cfg_.n_scatterers);
+  for (unsigned i = 0; i < cfg_.n_scatterers; ++i) {
+    scatterers_.push_back(
+        {{rng_.uniform(cfg_.area_min_x, cfg_.area_max_x),
+          rng_.uniform(cfg_.area_min_y, cfg_.area_max_y)},
+         cfg_.scatterer_strength});
+  }
+}
+
+void FadingProcess::advance(double dt_s) {
+  util::require(dt_s >= 0.0, "FadingProcess::advance: negative dt");
+  now_s_ += dt_s;
+
+  // Random walk: Gaussian step with standard deviation speed * dt,
+  // reflected at the area boundary.
+  const double sigma = cfg_.walk_speed_mps * dt_s;
+  for (StaticReflector& s : scatterers_) {
+    s.position.x += rng_.normal(0.0, sigma);
+    s.position.y += rng_.normal(0.0, sigma);
+    s.position.x = std::clamp(s.position.x, cfg_.area_min_x, cfg_.area_max_x);
+    s.position.y = std::clamp(s.position.y, cfg_.area_min_y, cfg_.area_max_y);
+  }
+
+  // Blocking events arrive as a Poisson process; each sets (or extends)
+  // the blocked interval by an exponential duration.
+  if (cfg_.blocking_rate_hz > 0.0) {
+    const unsigned arrivals = rng_.poisson(cfg_.blocking_rate_hz * dt_s);
+    for (unsigned i = 0; i < arrivals; ++i) {
+      double u = rng_.uniform();
+      while (u <= 0.0) u = rng_.uniform();
+      const double duration = -cfg_.blocking_mean_s * std::log(u);
+      blocked_until_s_ = std::max(blocked_until_s_, now_s_ + duration);
+    }
+  }
+}
+
+double FadingProcess::direct_excess_loss_db() const {
+  return now_s_ < blocked_until_s_ ? cfg_.blocking_loss_db : 0.0;
+}
+
+}  // namespace witag::channel

@@ -1,0 +1,66 @@
+// Temporal channel variation: "people walking around" during the paper's
+// experiments.
+//
+// Two effects are modeled:
+//  - A few moving scatterers (random-walk positions) whose reflected
+//    paths slowly change the multipath profile. WiFi coherence time is
+//    ~100 ms (paper footnote 2), far longer than one A-MPDU, so the
+//    process advances between PPDUs and is frozen within one.
+//  - Occasional deep fades: Poisson-arriving blocking events (somebody
+//    steps into the first Fresnel zone) that attenuate the direct path
+//    for an exponentially distributed duration.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "channel/reflector.hpp"
+#include "util/rng.hpp"
+
+namespace witag::channel {
+
+struct FadingConfig {
+  unsigned n_scatterers = 3;         ///< Number of moving "people".
+  double scatterer_strength = 1.2;   ///< Amplitude reflectivity of a person.
+  double walk_speed_mps = 0.8;       ///< RMS walking speed.
+  double area_min_x = 0.0;           ///< Scatterers stay in this box.
+  double area_max_x = 18.0;
+  double area_min_y = 0.0;
+  double area_max_y = 7.0;
+  double blocking_rate_hz = 0.05;    ///< Deep-fade arrivals per second.
+  double blocking_mean_s = 0.4;      ///< Mean blocking duration.
+  double blocking_loss_db = 8.0;     ///< Direct-path loss while blocked.
+
+  /// Co-channel interference from other WiFi networks (the paper cites
+  /// "interference from other devices" as the residual error source):
+  /// Poisson bursts that raise the noise floor for the symbols they
+  /// overlap. rate 0 disables.
+  double interference_rate_hz = 40.0;   ///< Bursts per second.
+  double interference_mean_us = 300.0;  ///< Mean burst duration.
+  double interference_power_dbm = -50.0;  ///< Received burst power.
+};
+
+/// Evolves the moving-scatterer and blocking state over simulated time.
+class FadingProcess {
+ public:
+  FadingProcess(const FadingConfig& cfg, util::Rng rng);
+
+  /// Advances simulated time by `dt_s` seconds (random-walk steps and
+  /// blocking arrivals/expiries).
+  void advance(double dt_s);
+
+  /// Current moving scatterers (positions change as time advances).
+  std::span<const StaticReflector> scatterers() const { return scatterers_; }
+
+  /// Extra direct-path loss [dB] at the current instant (0 when clear).
+  double direct_excess_loss_db() const;
+
+ private:
+  FadingConfig cfg_;
+  util::Rng rng_;
+  std::vector<StaticReflector> scatterers_;
+  double blocked_until_s_ = 0.0;
+  double now_s_ = 0.0;
+};
+
+}  // namespace witag::channel

@@ -1,0 +1,82 @@
+#include "channel/geometry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace witag::channel {
+namespace {
+
+int orientation(Point2 a, Point2 b, Point2 c) {
+  const double v = (b.y - a.y) * (c.x - b.x) - (b.x - a.x) * (c.y - b.y);
+  if (std::abs(v) < 1e-12) return 0;
+  return v > 0 ? 1 : 2;
+}
+
+bool on_segment(Point2 p, Point2 q, Point2 r) {
+  return q.x <= std::max(p.x, r.x) && q.x >= std::min(p.x, r.x) &&
+         q.y <= std::max(p.y, r.y) && q.y >= std::min(p.y, r.y);
+}
+
+}  // namespace
+
+double distance(Point2 a, Point2 b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+bool segments_intersect(Point2 p, Point2 q, Point2 r, Point2 s) {
+  const int o1 = orientation(p, q, r);
+  const int o2 = orientation(p, q, s);
+  const int o3 = orientation(r, s, p);
+  const int o4 = orientation(r, s, q);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(p, r, q)) return true;
+  if (o2 == 0 && on_segment(p, s, q)) return true;
+  if (o3 == 0 && on_segment(r, p, s)) return true;
+  if (o4 == 0 && on_segment(r, q, s)) return true;
+  return false;
+}
+
+double FloorPlan::penetration_loss_db(Point2 a, Point2 b) const {
+  double loss = 0.0;
+  for (const Wall& w : walls_) {
+    if (segments_intersect(a, b, w.a, w.b)) loss += w.attenuation_db;
+  }
+  return loss;
+}
+
+bool FloorPlan::line_of_sight(Point2 a, Point2 b) const {
+  return std::all_of(walls_.begin(), walls_.end(), [&](const Wall& w) {
+    return !segments_intersect(a, b, w.a, w.b);
+  });
+}
+
+TestbedLayout figure4_testbed() {
+  TestbedLayout layout;
+  // 18 m (x) by 7 m (y) area. The AP sits near the east side of the main
+  // lab; the LOS client is 8 m west of it in the same room, with nothing
+  // blocking the line between them (the Figure-5 experiment moves the tag
+  // along that line).
+  layout.ap = {17.2, 3.5};
+  layout.client_los = {9.2, 3.5};
+
+  FloorPlan plan;
+  // Metal cabinets inside the lab (heavy loss band over part of the room;
+  // the LOS client sits past their north end).
+  plan.add_wall({{10.5, 0.0}, {10.5, 3.0}, 6.0});
+  // Wall separating the main lab from the middle room (wood + door).
+  plan.add_wall({{8.5, 0.0}, {8.5, 7.0}, 6.0});
+  // Wall between the middle room and the far rooms (concrete).
+  plan.add_wall({{5.0, 0.0}, {5.0, 7.0}, 9.75});
+  // Far corridor wall before location B's office.
+  plan.add_wall({{2.5, 0.0}, {2.5, 7.0}, 6.0});
+  layout.plan = plan;
+
+  // Location A: in the lab but behind the metal cabinets, ~7 m from the
+  // AP (the paper's nearer NLOS point).
+  layout.location_a = {10.3, 1.5};
+  // Location B: far office, ~17 m from the AP, every wall in between.
+  layout.location_b = {0.5, 1.0};
+  return layout;
+}
+
+}  // namespace witag::channel

@@ -1,0 +1,65 @@
+// 2-D geometry for the simulated testbed, including the paper's Figure-4
+// floor plan (an 18 m x 7 m lab/office area on a university campus, with
+// the AP and client 8 m apart for the LOS experiment and NLOS locations
+// A and B roughly 7 m and 17 m from the AP behind walls).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace witag::channel {
+
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point2&) const = default;
+};
+
+double distance(Point2 a, Point2 b);
+
+/// A wall segment with a one-way penetration loss.
+struct Wall {
+  Point2 a;
+  Point2 b;
+  double attenuation_db = 5.0;  ///< Loss per crossing.
+};
+
+/// Returns true when segments pq and rs properly intersect (shared
+/// endpoints and collinear touching count as intersections).
+bool segments_intersect(Point2 p, Point2 q, Point2 r, Point2 s);
+
+/// A set of walls; computes the total penetration loss along a ray.
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+  explicit FloorPlan(std::vector<Wall> walls) : walls_(std::move(walls)) {}
+
+  void add_wall(Wall w) { walls_.push_back(w); }
+  std::span<const Wall> walls() const { return walls_; }
+
+  /// Sum of attenuation_db over every wall the segment a->b crosses.
+  double penetration_loss_db(Point2 a, Point2 b) const;
+
+  /// True when no wall blocks the segment a->b.
+  bool line_of_sight(Point2 a, Point2 b) const;
+
+ private:
+  std::vector<Wall> walls_;
+};
+
+/// The paper's evaluation geometry (Figure 4), in meters. Origin at the
+/// south-west corner of the 18 x 7 m area.
+struct TestbedLayout {
+  Point2 ap;         ///< Access point.
+  Point2 client_los; ///< Client for the LOS experiment (8 m from AP).
+  Point2 location_a; ///< NLOS location A (~7 m from AP, other room).
+  Point2 location_b; ///< NLOS location B (~17 m from AP, far room).
+  FloorPlan plan;    ///< Interior walls (metal cabinets, concrete, doors).
+};
+
+/// Builds the Figure-4 testbed: AP at one side, LOS client 8 m away,
+/// NLOS rooms separated by walls of increasing loss toward location B.
+TestbedLayout figure4_testbed();
+
+}  // namespace witag::channel

@@ -1,0 +1,41 @@
+#include "channel/pathloss.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::channel {
+
+using util::kPi;
+using util::kSpeedOfLight;
+
+std::complex<double> direct_gain(double dist_m, double freq_hz,
+                                 double offset_hz) {
+  util::require(dist_m > 0.0, "direct_gain: distance must be positive");
+  const double lambda = kSpeedOfLight / freq_hz;
+  const double amp = lambda / (4.0 * kPi * dist_m);
+  const double phase =
+      -2.0 * kPi * dist_m * (freq_hz + offset_hz) / kSpeedOfLight;
+  return std::polar(amp, phase);
+}
+
+std::complex<double> reflected_gain(double ds_m, double dr_m, double strength,
+                                    double freq_hz, double offset_hz) {
+  util::require(ds_m > 0.0 && dr_m > 0.0,
+                "reflected_gain: distances must be positive");
+  const double lambda = kSpeedOfLight / freq_hz;
+  const double amp = strength * lambda * lambda /
+                     (std::pow(4.0 * kPi, 1.5) * ds_m * dr_m);
+  const double total = ds_m + dr_m;
+  const double phase =
+      -2.0 * kPi * total * (freq_hz + offset_hz) / kSpeedOfLight;
+  return std::polar(amp, phase);
+}
+
+std::complex<double> attenuate(std::complex<double> gain, double loss_db) {
+  // Amplitude loss is half the power loss in dB.
+  return gain * std::pow(10.0, -loss_db / 20.0);
+}
+
+}  // namespace witag::channel

@@ -1,0 +1,32 @@
+// Propagation primitives: complex amplitude gains for the direct path and
+// for two-hop reflected paths.
+//
+// The reflected-path model follows the radar-equation form the paper uses
+// to explain Figure 5: received reflected power scales as 1/(Ds^2 * Dr^2)
+// where Ds and Dr are the reflector's distances to sender and receiver,
+// so the amplitude scales as 1/(Ds * Dr).
+#pragma once
+
+#include <complex>
+
+namespace witag::channel {
+
+/// Complex free-space gain of a direct path of length `dist_m` at carrier
+/// `freq_hz` for the signal component at baseband offset `offset_hz`
+/// (subcarrier frequency): amplitude lambda/(4 pi d), phase -2 pi d f / c.
+/// Requires dist_m > 0.
+std::complex<double> direct_gain(double dist_m, double freq_hz,
+                                 double offset_hz = 0.0);
+
+/// Complex gain of a two-hop path sender -> reflector -> receiver.
+/// `strength` is the reflector's dimensionless amplitude reflectivity
+/// (aperture/RCS factor); amplitude = strength * lambda^2 /
+/// ((4 pi)^(3/2) * ds * dr), phase from the total path length.
+/// Requires ds_m > 0 and dr_m > 0.
+std::complex<double> reflected_gain(double ds_m, double dr_m, double strength,
+                                    double freq_hz, double offset_hz = 0.0);
+
+/// Applies a penetration loss in dB to a complex gain.
+std::complex<double> attenuate(std::complex<double> gain, double loss_db);
+
+}  // namespace witag::channel

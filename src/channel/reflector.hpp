@@ -1,0 +1,25 @@
+// Static environment reflectors (furniture, walls' specular points).
+// Each contributes a two-hop path whose gain follows the radar-equation
+// 1/(Ds * Dr) amplitude law; together with the direct path they give the
+// frequency-selective multipath profile the OFDM receiver equalizes.
+#pragma once
+
+#include <complex>
+
+#include "channel/geometry.hpp"
+#include "channel/pathloss.hpp"
+
+namespace witag::channel {
+
+struct StaticReflector {
+  Point2 position;
+  double strength = 1.0;  ///< Amplitude reflectivity (dimensionless).
+};
+
+/// Complex gain of the two-hop path tx -> reflector -> rx at the given
+/// carrier + subcarrier offset, including wall penetration on both hops.
+std::complex<double> reflector_path_gain(const StaticReflector& r, Point2 tx,
+                                         Point2 rx, const FloorPlan& plan,
+                                         double freq_hz, double offset_hz);
+
+}  // namespace witag::channel

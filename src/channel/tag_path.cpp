@@ -1,0 +1,41 @@
+#include "channel/tag_path.hpp"
+
+#include "channel/pathloss.hpp"
+#include "util/require.hpp"
+
+namespace witag::channel {
+
+std::complex<double> tag_gamma(TagMode mode, bool asserted) {
+  switch (mode) {
+    case TagMode::kOpenShort:
+      return asserted ? std::complex<double>{1.0, 0.0}
+                      : std::complex<double>{0.0, 0.0};
+    case TagMode::kPhaseFlip:
+      return asserted ? std::complex<double>{-1.0, 0.0}
+                      : std::complex<double>{1.0, 0.0};
+  }
+  util::ensure(false, "tag_gamma: bad mode");
+  return {};
+}
+
+std::complex<double> tag_coupling(const TagPathConfig& tag, Point2 tx,
+                                  Point2 rx, const FloorPlan& plan,
+                                  double freq_hz, double offset_hz) {
+  const double ds = distance(tx, tag.position);
+  const double dr = distance(tag.position, rx);
+  std::complex<double> gain =
+      reflected_gain(ds, dr, tag.strength, freq_hz, offset_hz);
+  gain = attenuate(gain, plan.penetration_loss_db(tx, tag.position));
+  gain = attenuate(gain, plan.penetration_loss_db(tag.position, rx));
+  return gain;
+}
+
+double channel_change_magnitude(const TagPathConfig& tag, Point2 tx, Point2 rx,
+                                const FloorPlan& plan, double freq_hz) {
+  const std::complex<double> delta =
+      tag_gamma(tag.mode, true) - tag_gamma(tag.mode, false);
+  return std::abs(delta) *
+         std::abs(tag_coupling(tag, tx, rx, plan, freq_hz, 0.0));
+}
+
+}  // namespace witag::channel

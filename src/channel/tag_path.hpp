@@ -1,0 +1,49 @@
+// The tag as a modulated reflector.
+//
+// A WiTAG tag is an antenna behind an RF switch. Section 5 of the paper
+// describes two designs:
+//  - kOpenShort: the antenna toggles between open circuit (non-reflective,
+//    reflection coefficient 0) and short circuit (reflective, coefficient 1).
+//  - kPhaseFlip: the antenna always reflects but two different-length
+//    short-circuited stubs flip the reflected phase between 0 and 180
+//    degrees (coefficients +1 and -1), doubling the channel change
+//    (Figure 3) for the same geometry.
+//
+// The tag's contribution to the channel is gamma(level) * coupling, where
+// the coupling is the two-hop client -> tag -> AP path gain.
+#pragma once
+
+#include <complex>
+
+#include "channel/geometry.hpp"
+
+namespace witag::channel {
+
+enum class TagMode { kOpenShort, kPhaseFlip };
+
+struct TagPathConfig {
+  Point2 position;
+  /// Antenna coupling amplitude (aperture/gain factor of the tag antenna,
+  /// dimensionless; calibrated in DESIGN.md section 2).
+  double strength = 7.0;
+  TagMode mode = TagMode::kPhaseFlip;
+};
+
+/// Reflection coefficient for a logical switch level. `asserted` is the
+/// state the tag drives while corrupting a subframe; the deasserted state
+/// is what the receiver's channel estimate absorbs.
+std::complex<double> tag_gamma(TagMode mode, bool asserted);
+
+/// Two-hop coupling gain client/tx -> tag -> AP/rx (excluding gamma),
+/// including wall losses on both hops.
+std::complex<double> tag_coupling(const TagPathConfig& tag, Point2 tx,
+                                  Point2 rx, const FloorPlan& plan,
+                                  double freq_hz, double offset_hz);
+
+/// Magnitude of the channel change |h(asserted) - h(deasserted)| for the
+/// tag's two states: |gamma_a - gamma_d| * |coupling|. This is the vector
+/// the paper's Figure 3 wants maximized.
+double channel_change_magnitude(const TagPathConfig& tag, Point2 tx, Point2 rx,
+                                const FloorPlan& plan, double freq_hz);
+
+}  // namespace witag::channel

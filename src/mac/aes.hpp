@@ -1,0 +1,31 @@
+// AES-128 block cipher (FIPS-197), encryption direction only — CCM mode
+// (counter + CBC-MAC) needs just the forward cipher for both encryption
+// and decryption. Implemented from scratch; validated against FIPS-197
+// appendix vectors in the tests.
+//
+// Not constant-time: this is a protocol simulator, not a production
+// crypto library, and the threat model here is protocol fidelity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace witag::mac {
+
+using AesKey = std::array<std::uint8_t, 16>;
+using AesBlock = std::array<std::uint8_t, 16>;
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypts one 16-byte block.
+  AesBlock encrypt(const AesBlock& plaintext) const;
+
+ private:
+  std::array<std::array<std::uint8_t, 16>, 11> round_keys_{};
+};
+
+}  // namespace witag::mac

@@ -1,0 +1,63 @@
+#include "mac/ampdu.hpp"
+
+#include <array>
+
+#include "util/crc.hpp"
+#include "util/require.hpp"
+
+namespace witag::mac {
+
+std::array<std::uint8_t, kDelimiterBytes> make_delimiter(std::size_t length) {
+  util::require(length <= kMaxMpduLength, "make_delimiter: MPDU too long");
+  std::array<std::uint8_t, kDelimiterBytes> d{};
+  d[0] = static_cast<std::uint8_t>(length & 0xFF);
+  d[1] = static_cast<std::uint8_t>((length >> 8) & 0x0F);
+  d[2] = util::crc8(std::span<const std::uint8_t>(d.data(), 2));
+  d[3] = kDelimiterSignature;
+  return d;
+}
+
+int check_delimiter(std::span<const std::uint8_t, kDelimiterBytes> d) {
+  if (d[3] != kDelimiterSignature) return -1;
+  if (util::crc8(d.subspan(0, 2)) != d[2]) return -1;
+  return static_cast<int>(d[0] | (static_cast<unsigned>(d[1] & 0x0F) << 8));
+}
+
+util::ByteVec aggregate(std::span<const util::ByteVec> mpdus) {
+  util::require(!mpdus.empty() && mpdus.size() <= kMaxSubframes,
+                "aggregate: need 1..64 subframes");
+  util::ByteVec psdu;
+  for (const util::ByteVec& mpdu : mpdus) {
+    const auto delim = make_delimiter(mpdu.size());
+    psdu.insert(psdu.end(), delim.begin(), delim.end());
+    psdu.insert(psdu.end(), mpdu.begin(), mpdu.end());
+    while (psdu.size() % 4 != 0) psdu.push_back(0);  // pad to 4-byte boundary
+  }
+  return psdu;
+}
+
+std::vector<Subframe> deaggregate(std::span<const std::uint8_t> psdu) {
+  std::vector<Subframe> out;
+  std::size_t pos = 0;
+  while (pos + kDelimiterBytes <= psdu.size() && out.size() < kMaxSubframes) {
+    const std::span<const std::uint8_t, kDelimiterBytes> d(
+        psdu.data() + pos, kDelimiterBytes);
+    const int length = check_delimiter(d);
+    if (length < 0 ||
+        pos + kDelimiterBytes + static_cast<std::size_t>(length) >
+            psdu.size()) {
+      pos += 4;  // hunt forward at 4-byte alignment
+      continue;
+    }
+    Subframe sf;
+    sf.offset = pos;
+    const auto* begin = psdu.data() + pos + kDelimiterBytes;
+    sf.mpdu.assign(begin, begin + length);
+    out.push_back(std::move(sf));
+    pos += kDelimiterBytes + static_cast<std::size_t>(length);
+    pos = (pos + 3) & ~std::size_t{3};  // skip pad
+  }
+  return out;
+}
+
+}  // namespace witag::mac

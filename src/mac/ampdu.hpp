@@ -1,0 +1,46 @@
+// A-MPDU aggregation (802.11n 9.7): each subframe is prefixed by a
+// 4-byte delimiter { reserved(4) | length(12), CRC-8, signature 0x4E }
+// and padded to a 4-byte boundary. Deaggregation is robust: when a
+// delimiter fails its CRC (e.g. the tag corrupted that region), the
+// receiver hunts forward 4 bytes at a time for the next valid delimiter —
+// exactly how real receivers resynchronize, and the reason one corrupted
+// subframe does not take down the rest of the aggregate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace witag::mac {
+
+/// Delimiter signature byte (ASCII 'N').
+inline constexpr std::uint8_t kDelimiterSignature = 0x4E;
+inline constexpr std::size_t kDelimiterBytes = 4;
+inline constexpr std::size_t kMaxSubframes = 64;
+inline constexpr std::size_t kMaxMpduLength = 4095;  // 12-bit length field
+
+/// Builds the delimiter for an MPDU length. Requires length <= 4095.
+std::array<std::uint8_t, kDelimiterBytes> make_delimiter(std::size_t length);
+
+/// Validates a delimiter (CRC and signature) and extracts the length.
+/// Returns length or -1 when invalid.
+int check_delimiter(std::span<const std::uint8_t, kDelimiterBytes> d);
+
+/// Aggregates serialized MPDUs into a PSDU. Requires 1..64 subframes,
+/// each <= 4095 bytes.
+util::ByteVec aggregate(std::span<const util::ByteVec> mpdus);
+
+/// One deaggregated subframe: the raw MPDU bytes (still to be FCS
+/// checked) and where it started in the PSDU.
+struct Subframe {
+  std::size_t offset = 0;
+  util::ByteVec mpdu;
+};
+
+/// Scans a PSDU for subframes. Corrupted delimiters are skipped by
+/// hunting for the next valid one at 4-byte alignment.
+std::vector<Subframe> deaggregate(std::span<const std::uint8_t> psdu);
+
+}  // namespace witag::mac

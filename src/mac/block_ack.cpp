@@ -1,0 +1,58 @@
+#include "mac/block_ack.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::mac {
+
+int seq_offset(std::uint16_t start, std::uint16_t seq) {
+  const int diff = (static_cast<int>(seq) - static_cast<int>(start) + 4096) % 4096;
+  return diff < 64 ? diff : -1;
+}
+
+void BlockAck::set_received(std::uint16_t seq) {
+  const int off = seq_offset(start_seq, seq);
+  util::require(off >= 0, "BlockAck::set_received: seq outside window");
+  bitmap |= std::uint64_t{1} << off;
+}
+
+bool BlockAck::received(std::uint16_t seq) const {
+  const int off = seq_offset(start_seq, seq);
+  return off >= 0 && ((bitmap >> off) & 1u) != 0;
+}
+
+util::ByteVec serialize_block_ack(const BlockAck& ba) {
+  util::ByteVec out;
+  out.reserve(12);
+  out.push_back(0x05);  // BA control: compressed bitmap, normal ack policy
+  out.push_back(0x00);
+  const std::uint16_t ssc = static_cast<std::uint16_t>(ba.start_seq << 4);
+  out.push_back(static_cast<std::uint8_t>(ssc & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(ssc >> 8));
+  for (unsigned i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((ba.bitmap >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+std::optional<BlockAck> parse_block_ack(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 12 || bytes[0] != 0x05) return std::nullopt;
+  BlockAck ba;
+  const std::uint16_t ssc =
+      static_cast<std::uint16_t>(bytes[2] | (bytes[3] << 8));
+  ba.start_seq = static_cast<std::uint16_t>(ssc >> 4);
+  for (unsigned i = 0; i < 8; ++i) {
+    ba.bitmap |= static_cast<std::uint64_t>(bytes[4 + i]) << (8 * i);
+  }
+  return ba;
+}
+
+std::vector<bool> subframe_flags(const BlockAck& ba, std::size_t n) {
+  util::require(n <= 64, "subframe_flags: at most 64 subframes");
+  std::vector<bool> flags(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    flags[i] = ((ba.bitmap >> i) & 1u) != 0;
+  }
+  return flags;
+}
+
+}  // namespace witag::mac

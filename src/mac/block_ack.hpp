@@ -1,0 +1,44 @@
+// Compressed block ack (802.11n): a starting sequence number plus a
+// 64-bit bitmap, one bit per MPDU of the preceding A-MPDU. Bit i refers
+// to sequence number start + i (mod 4096); 1 = received (FCS passed).
+// In WiTAG this bitmap *is* the tag's data as observed by the client.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace witag::mac {
+
+struct BlockAck {
+  std::uint16_t start_seq = 0;  ///< 12-bit starting sequence number.
+  std::uint64_t bitmap = 0;
+
+  /// Marks sequence `seq` as received. Requires seq within
+  /// [start_seq, start_seq + 64) mod 4096.
+  void set_received(std::uint16_t seq);
+
+  /// True when sequence `seq` was acked.
+  bool received(std::uint16_t seq) const;
+
+  bool operator==(const BlockAck&) const = default;
+};
+
+/// Offset of `seq` relative to `start` mod 4096, or -1 if >= 64 away.
+int seq_offset(std::uint16_t start, std::uint16_t seq);
+
+/// Serializes to the on-air block-ack frame body layout (BA control +
+/// starting sequence control + 8-byte bitmap = 12 bytes).
+util::ByteVec serialize_block_ack(const BlockAck& ba);
+
+/// Parses a serialized block ack.
+std::optional<BlockAck> parse_block_ack(std::span<const std::uint8_t> bytes);
+
+/// Expands the bitmap to per-subframe booleans for `n` subframes
+/// starting at the BA's starting sequence number.
+std::vector<bool> subframe_flags(const BlockAck& ba, std::size_t n);
+
+}  // namespace witag::mac

@@ -1,0 +1,172 @@
+#include "mac/ccmp.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/require.hpp"
+
+namespace witag::mac {
+namespace {
+
+using Block = AesBlock;
+
+CcmNonce make_nonce(const MacHeader& header, std::uint64_t pn) {
+  CcmNonce nonce{};
+  nonce[0] = header.tid;  // priority octet
+  std::copy(header.addr2.octets.begin(), header.addr2.octets.end(),
+            nonce.begin() + 1);
+  for (int i = 0; i < 6; ++i) {
+    nonce[static_cast<std::size_t>(7 + i)] =
+        static_cast<std::uint8_t>((pn >> (8 * (5 - i))) & 0xFF);
+  }
+  return nonce;
+}
+
+// Additional authenticated data: the MAC header with the protected bit
+// forced on (both sides derive it identically; simplification relative
+// to 802.11's FC-masking rules noted in DESIGN.md).
+util::ByteVec make_aad(const MacHeader& header) {
+  MacHeader h = header;
+  h.protected_frame = true;
+  return serialize_header(h);
+}
+
+Block ctr_block(const CcmNonce& nonce, std::uint16_t counter) {
+  Block a{};
+  a[0] = 0x01;  // flags: L' = L - 1 = 1
+  std::copy(nonce.begin(), nonce.end(), a.begin() + 1);
+  a[14] = static_cast<std::uint8_t>(counter >> 8);
+  a[15] = static_cast<std::uint8_t>(counter & 0xFF);
+  return a;
+}
+
+// CBC-MAC tag (first kCcmpMicBytes bytes) over B0 | AAD | message.
+std::array<std::uint8_t, kCcmpMicBytes> cbc_mac(
+    const Aes128& aes, const CcmNonce& nonce,
+    std::span<const std::uint8_t> aad, std::span<const std::uint8_t> msg) {
+  Block b0{};
+  // flags: Adata | ((M-2)/2) << 3 | (L-1) = 0x40 | 0x18 | 0x01.
+  b0[0] = aad.empty() ? 0x19 : 0x59;
+  std::copy(nonce.begin(), nonce.end(), b0.begin() + 1);
+  b0[14] = static_cast<std::uint8_t>(msg.size() >> 8);
+  b0[15] = static_cast<std::uint8_t>(msg.size() & 0xFF);
+
+  Block x = aes.encrypt(b0);
+  auto absorb = [&](std::span<const std::uint8_t> chunk) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      x[i % 16] = static_cast<std::uint8_t>(x[i % 16] ^ chunk[i]);
+      if (i % 16 == 15) x = aes.encrypt(x);
+    }
+    if (chunk.size() % 16 != 0) x = aes.encrypt(x);
+  };
+
+  if (!aad.empty()) {
+    // AAD is prefixed with its 16-bit length, then zero-padded.
+    util::ByteVec aad_block;
+    aad_block.reserve(2 + aad.size());
+    aad_block.push_back(static_cast<std::uint8_t>(aad.size() >> 8));
+    aad_block.push_back(static_cast<std::uint8_t>(aad.size() & 0xFF));
+    aad_block.insert(aad_block.end(), aad.begin(), aad.end());
+    absorb(aad_block);
+  }
+  absorb(msg);
+
+  std::array<std::uint8_t, kCcmpMicBytes> tag{};
+  std::copy_n(x.begin(), kCcmpMicBytes, tag.begin());
+  return tag;
+}
+
+void ctr_crypt(const Aes128& aes, const CcmNonce& nonce,
+               std::span<std::uint8_t> data) {
+  // Counter 0 is reserved for the MIC; data starts at counter 1.
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint16_t counter = static_cast<std::uint16_t>(1 + i / 16);
+    const Block ks = aes.encrypt(ctr_block(nonce, counter));
+    const std::size_t run = std::min<std::size_t>(16, data.size() - i);
+    for (std::size_t k = 0; k < run; ++k) {
+      data[i + k] = static_cast<std::uint8_t>(data[i + k] ^ ks[k]);
+    }
+    i += run - 1;
+  }
+}
+
+}  // namespace
+
+util::ByteVec ccm_encrypt(const Aes128& aes, const CcmNonce& nonce,
+                          std::span<const std::uint8_t> aad,
+                          std::span<const std::uint8_t> plaintext) {
+  util::require(plaintext.size() < 65536, "ccm_encrypt: message too long");
+  const auto mic = cbc_mac(aes, nonce, aad, plaintext);
+
+  util::ByteVec out(plaintext.begin(), plaintext.end());
+  ctr_crypt(aes, nonce, out);
+  const Block a0 = aes.encrypt(ctr_block(nonce, 0));
+  for (std::size_t i = 0; i < kCcmpMicBytes; ++i) {
+    out.push_back(static_cast<std::uint8_t>(mic[i] ^ a0[i]));
+  }
+  return out;
+}
+
+std::optional<util::ByteVec> ccm_decrypt(const Aes128& aes,
+                                         const CcmNonce& nonce,
+                                         std::span<const std::uint8_t> aad,
+                                         std::span<const std::uint8_t> data) {
+  if (data.size() < kCcmpMicBytes) return std::nullopt;
+  const std::size_t cipher_len = data.size() - kCcmpMicBytes;
+  util::ByteVec plain(data.begin(),
+                      data.begin() + static_cast<std::ptrdiff_t>(cipher_len));
+  ctr_crypt(aes, nonce, plain);
+
+  const auto expected = cbc_mac(aes, nonce, aad, plain);
+  const Block a0 = aes.encrypt(ctr_block(nonce, 0));
+  for (std::size_t i = 0; i < kCcmpMicBytes; ++i) {
+    const std::uint8_t got =
+        static_cast<std::uint8_t>(data[cipher_len + i] ^ a0[i]);
+    if (got != expected[i]) return std::nullopt;
+  }
+  return plain;
+}
+
+CcmpSession::CcmpSession(const AesKey& temporal_key) : aes_(temporal_key) {}
+
+util::ByteVec CcmpSession::encrypt(const MacHeader& header,
+                                   std::span<const std::uint8_t> plaintext) {
+  util::require(plaintext.size() < 2048, "CcmpSession::encrypt: body too big");
+  const std::uint64_t pn = pn_++;
+  const CcmNonce nonce = make_nonce(header, pn);
+  const util::ByteVec aad = make_aad(header);
+
+  util::ByteVec body;
+  body.reserve(kCcmpHeaderBytes + plaintext.size() + kCcmpMicBytes);
+  // CCMP header: PN0 PN1 rsvd (ExtIV|KeyID) PN2 PN3 PN4 PN5.
+  body.push_back(static_cast<std::uint8_t>(pn & 0xFF));
+  body.push_back(static_cast<std::uint8_t>((pn >> 8) & 0xFF));
+  body.push_back(0x00);
+  body.push_back(0x20);  // ExtIV set, key id 0
+  for (int i = 2; i < 6; ++i) {
+    body.push_back(static_cast<std::uint8_t>((pn >> (8 * i)) & 0xFF));
+  }
+
+  const util::ByteVec sealed = ccm_encrypt(aes_, nonce, aad, plaintext);
+  body.insert(body.end(), sealed.begin(), sealed.end());
+  return body;
+}
+
+std::optional<util::ByteVec> CcmpSession::decrypt(
+    const MacHeader& header, std::span<const std::uint8_t> body) const {
+  if (body.size() < kCcmpHeaderBytes + kCcmpMicBytes) return std::nullopt;
+  if ((body[3] & 0x20) == 0) return std::nullopt;  // ExtIV must be set
+
+  std::uint64_t pn = 0;
+  pn |= body[0];
+  pn |= static_cast<std::uint64_t>(body[1]) << 8;
+  for (int i = 2; i < 6; ++i) {
+    pn |= static_cast<std::uint64_t>(body[static_cast<std::size_t>(2 + i)])
+          << (8 * i);
+  }
+  const CcmNonce nonce = make_nonce(header, pn);
+  const util::ByteVec aad = make_aad(header);
+  return ccm_decrypt(aes_, nonce, aad, body.subspan(kCcmpHeaderBytes));
+}
+
+}  // namespace witag::mac

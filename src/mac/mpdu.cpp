@@ -1,0 +1,39 @@
+#include "mac/mpdu.hpp"
+
+#include "util/crc.hpp"
+
+namespace witag::mac {
+
+util::ByteVec serialize_mpdu(const Mpdu& mpdu) {
+  util::ByteVec out = serialize_header(mpdu.header);
+  out.insert(out.end(), mpdu.body.begin(), mpdu.body.end());
+  const std::uint32_t fcs = util::crc32(out);
+  for (unsigned i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((fcs >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+bool fcs_ok(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kQosHeaderBytes + kFcsBytes) return false;
+  const std::size_t body_end = bytes.size() - kFcsBytes;
+  const std::uint32_t computed = util::crc32(bytes.subspan(0, body_end));
+  std::uint32_t stored = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(bytes[body_end + i]) << (8 * i);
+  }
+  return computed == stored;
+}
+
+std::optional<Mpdu> parse_mpdu(std::span<const std::uint8_t> bytes) {
+  if (!fcs_ok(bytes)) return std::nullopt;
+  const auto header = parse_header(bytes);
+  if (!header) return std::nullopt;
+  Mpdu mpdu;
+  mpdu.header = *header;
+  mpdu.body.assign(bytes.begin() + kQosHeaderBytes,
+                   bytes.end() - kFcsBytes);
+  return mpdu;
+}
+
+}  // namespace witag::mac

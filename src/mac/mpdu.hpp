@@ -1,0 +1,33 @@
+// MPDU framing: MAC header + frame body + FCS (CRC-32). The FCS check is
+// the decision the AP's block ack reports per subframe — and therefore
+// the exact mechanism a WiTAG tag modulates.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "mac/mac_header.hpp"
+#include "util/bits.hpp"
+
+namespace witag::mac {
+
+struct Mpdu {
+  MacHeader header;
+  util::ByteVec body;  ///< Frame body (possibly CCMP/WEP encrypted).
+};
+
+/// FCS length in bytes.
+inline constexpr std::size_t kFcsBytes = 4;
+
+/// Serializes header + body + FCS.
+util::ByteVec serialize_mpdu(const Mpdu& mpdu);
+
+/// Parses and FCS-checks an MPDU. Returns nullopt when the buffer is too
+/// short, the FCS does not match, or the header is malformed — i.e. when
+/// a real receiver would treat the subframe as not received.
+std::optional<Mpdu> parse_mpdu(std::span<const std::uint8_t> bytes);
+
+/// FCS check only (cheaper than a full parse).
+bool fcs_ok(std::span<const std::uint8_t> bytes);
+
+}  // namespace witag::mac

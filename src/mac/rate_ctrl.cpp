@@ -1,0 +1,53 @@
+#include "mac/rate_ctrl.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::mac {
+
+RateSelector::RateSelector(double target_success,
+                           std::size_t min_probe_subframes)
+    : target_success_(target_success),
+      min_probe_subframes_(min_probe_subframes) {
+  util::require(target_success > 0.0 && target_success <= 1.0,
+                "RateSelector: target_success must be in (0, 1]");
+  util::require(min_probe_subframes > 0,
+                "RateSelector: min_probe_subframes must be positive");
+}
+
+std::optional<unsigned> RateSelector::next_probe() const {
+  if (converged_) return std::nullopt;
+  return candidate_;
+}
+
+void RateSelector::record(unsigned mcs, std::size_t ok, std::size_t total) {
+  util::require(!converged_, "RateSelector::record: already converged");
+  util::require(mcs == candidate_, "RateSelector::record: wrong MCS");
+  util::require(ok <= total, "RateSelector::record: ok > total");
+  ok_ += ok;
+  total_ += total;
+  if (total_ < min_probe_subframes_) return;
+
+  const double success =
+      static_cast<double>(ok_) / static_cast<double>(total_);
+  if (success >= target_success_) {
+    converged_ = true;
+    selected_ = candidate_;
+    return;
+  }
+  if (candidate_ == 0) {
+    // Even the most robust rate misses the target; use it anyway.
+    converged_ = true;
+    selected_ = 0;
+    return;
+  }
+  --candidate_;
+  ok_ = 0;
+  total_ = 0;
+}
+
+unsigned RateSelector::selected() const {
+  util::require(converged_, "RateSelector::selected: not converged");
+  return selected_;
+}
+
+}  // namespace witag::mac

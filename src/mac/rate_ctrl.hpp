@@ -1,0 +1,48 @@
+// MCS selection for WiTAG query frames (paper section 4.1): use the
+// highest PHY rate whose subframe error rate is near zero with the tag
+// silent, so frame losses from path loss are not confused with tag data
+// while airtime per bit stays minimal.
+//
+// The selector runs a simple top-down probe: starting from the highest
+// MCS, the caller reports subframe outcomes for probe rounds; the first
+// MCS meeting the success threshold is selected.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "phy/mcs.hpp"
+
+namespace witag::mac {
+
+class RateSelector {
+ public:
+  /// `target_success`: minimum fraction of subframes that must pass with
+  /// the tag silent. `min_probe_subframes`: how many subframes to observe
+  /// per MCS before judging it.
+  explicit RateSelector(double target_success = 0.995,
+                        std::size_t min_probe_subframes = 256);
+
+  /// The MCS to probe next, or nullopt when selection has converged.
+  std::optional<unsigned> next_probe() const;
+
+  /// Records a probe round outcome for `mcs`: `ok` of `total` subframes
+  /// passed their FCS. Requires mcs == *next_probe().
+  void record(unsigned mcs, std::size_t ok, std::size_t total);
+
+  /// Converged choice. Requires next_probe() == nullopt.
+  unsigned selected() const;
+
+  bool converged() const { return converged_; }
+
+ private:
+  double target_success_;
+  std::size_t min_probe_subframes_;
+  unsigned candidate_ = phy::kNumMcs - 1;
+  std::size_t ok_ = 0;
+  std::size_t total_ = 0;
+  bool converged_ = false;
+  unsigned selected_ = 0;
+};
+
+}  // namespace witag::mac

@@ -1,0 +1,87 @@
+#include "mac/wep.hpp"
+
+#include "util/crc.hpp"
+#include "util/require.hpp"
+
+namespace witag::mac {
+
+Rc4::Rc4(std::span<const std::uint8_t> key) {
+  util::require(!key.empty(), "Rc4: empty key");
+  for (unsigned i = 0; i < 256; ++i) s_[i] = static_cast<std::uint8_t>(i);
+  std::uint8_t j = 0;
+  for (unsigned i = 0; i < 256; ++i) {
+    j = static_cast<std::uint8_t>(j + s_[i] + key[i % key.size()]);
+    std::swap(s_[i], s_[j]);
+  }
+}
+
+std::uint8_t Rc4::next() {
+  i_ = static_cast<std::uint8_t>(i_ + 1);
+  j_ = static_cast<std::uint8_t>(j_ + s_[i_]);
+  std::swap(s_[i_], s_[j_]);
+  return s_[static_cast<std::uint8_t>(s_[i_] + s_[j_])];
+}
+
+void Rc4::crypt(std::span<std::uint8_t> data) {
+  for (auto& b : data) b = static_cast<std::uint8_t>(b ^ next());
+}
+
+util::ByteVec wep_encrypt(const WepKey& key, std::uint32_t iv,
+                          std::span<const std::uint8_t> plaintext) {
+  util::require(iv < (1u << 24), "wep_encrypt: IV must be 24-bit");
+
+  // Seed = IV (3 bytes, little-endian on air) || key.
+  util::ByteVec seed;
+  seed.reserve(3 + key.size());
+  for (unsigned i = 0; i < 3; ++i) {
+    seed.push_back(static_cast<std::uint8_t>((iv >> (8 * i)) & 0xFF));
+  }
+  seed.insert(seed.end(), key.begin(), key.end());
+
+  util::ByteVec payload(plaintext.begin(), plaintext.end());
+  const std::uint32_t icv = util::crc32(payload);
+  for (unsigned i = 0; i < 4; ++i) {
+    payload.push_back(static_cast<std::uint8_t>((icv >> (8 * i)) & 0xFF));
+  }
+  Rc4 rc4(seed);
+  rc4.crypt(payload);
+
+  util::ByteVec body;
+  body.reserve(kWepHeaderBytes + payload.size());
+  for (unsigned i = 0; i < 3; ++i) {
+    body.push_back(static_cast<std::uint8_t>((iv >> (8 * i)) & 0xFF));
+  }
+  body.push_back(0x00);  // key id 0
+  body.insert(body.end(), payload.begin(), payload.end());
+  return body;
+}
+
+std::optional<util::ByteVec> wep_decrypt(const WepKey& key,
+                                         std::span<const std::uint8_t> body) {
+  if (body.size() < kWepHeaderBytes + kWepIcvBytes) return std::nullopt;
+  std::uint32_t iv = 0;
+  for (unsigned i = 0; i < 3; ++i) {
+    iv |= static_cast<std::uint32_t>(body[i]) << (8 * i);
+  }
+  util::ByteVec seed;
+  seed.reserve(3 + key.size());
+  for (unsigned i = 0; i < 3; ++i) {
+    seed.push_back(static_cast<std::uint8_t>((iv >> (8 * i)) & 0xFF));
+  }
+  seed.insert(seed.end(), key.begin(), key.end());
+
+  util::ByteVec payload(body.begin() + kWepHeaderBytes, body.end());
+  Rc4 rc4(seed);
+  rc4.crypt(payload);
+
+  std::uint32_t stored = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    stored |= static_cast<std::uint32_t>(payload[payload.size() - 4 + i])
+              << (8 * i);
+  }
+  payload.resize(payload.size() - kWepIcvBytes);
+  if (util::crc32(payload) != stored) return std::nullopt;
+  return payload;
+}
+
+}  // namespace witag::mac

@@ -1,0 +1,43 @@
+// WEP (legacy 802.11 encryption): RC4 keyed with IV || key, frame body =
+// IV(3) + key id(1) + ciphertext + encrypted ICV (CRC-32). Present so the
+// testbed can demonstrate WiTAG working over WEP networks too (and the
+// PHY-layer baselines failing on them). WEP is cryptographically broken;
+// it exists here purely for protocol fidelity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "util/bits.hpp"
+
+namespace witag::mac {
+
+using WepKey = std::array<std::uint8_t, 13>;  // WEP-104
+
+inline constexpr std::size_t kWepHeaderBytes = 4;   // IV + key id
+inline constexpr std::size_t kWepIcvBytes = 4;
+
+/// RC4 keystream generator (key-scheduling + PRGA).
+class Rc4 {
+ public:
+  explicit Rc4(std::span<const std::uint8_t> key);
+  std::uint8_t next();
+  void crypt(std::span<std::uint8_t> data);
+
+ private:
+  std::array<std::uint8_t, 256> s_{};
+  std::uint8_t i_ = 0;
+  std::uint8_t j_ = 0;
+};
+
+/// Encrypts a frame body under WEP with the given 24-bit IV.
+util::ByteVec wep_encrypt(const WepKey& key, std::uint32_t iv,
+                          std::span<const std::uint8_t> plaintext);
+
+/// Decrypts; nullopt when the body is malformed or the ICV fails.
+std::optional<util::ByteVec> wep_decrypt(const WepKey& key,
+                                         std::span<const std::uint8_t> body);
+
+}  // namespace witag::mac

@@ -1,0 +1,91 @@
+#include "phy/channel_est.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "phy/preamble.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+// Floor on |h|^2 to keep equalization of a faded bin from producing
+// non-finite values; such bins get an enormous noise variance instead.
+constexpr double kMinGain = 1e-18;
+
+}  // namespace
+
+ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx) {
+  util::require(!ltf_rx.empty(), "estimate_channel: need at least one LTF");
+  const FreqSymbol& ref = ltf_symbol();
+
+  ChannelEstimate est;
+  std::size_t used = 0;
+  for (unsigned bin = 0; bin < kFftSize; ++bin) {
+    if (ref[bin] == Cx{}) continue;
+    Cx sum{};
+    for (const FreqSymbol& rx : ltf_rx) sum += rx[bin] / ref[bin];
+    est.h[bin] = sum / static_cast<double>(ltf_rx.size());
+    est.mean_gain += std::norm(est.h[bin]);
+    ++used;
+  }
+  est.mean_gain /= static_cast<double>(used);
+
+  if (ltf_rx.size() >= 2) {
+    // Successive LTFs carry the same signal; their difference is noise.
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (unsigned bin = 0; bin < kFftSize; ++bin) {
+      if (ref[bin] == Cx{}) continue;
+      for (std::size_t r = 1; r < ltf_rx.size(); ++r) {
+        acc += std::norm(ltf_rx[r][bin] - ltf_rx[r - 1][bin]) / 2.0;
+        ++n;
+      }
+    }
+    est.noise_var = acc / static_cast<double>(n);
+  }
+  // Guard against a zero estimate (noise-free unit tests): the demapper
+  // requires a strictly positive variance.
+  if (!(est.noise_var > 0.0)) est.noise_var = 1e-12;
+  return est;
+}
+
+EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
+                         std::size_t symbol_index, bool cpe_correction) {
+  Cx cpe{1.0, 0.0};
+  if (cpe_correction) {
+    // Correlate received pilots against their expected post-channel
+    // values; the angle of the sum is the common phase error.
+    const auto pilots_rx = extract_pilots(rx);
+    const auto pilots_tx = pilot_values(symbol_index);
+    const auto pilot_sc = pilot_subcarriers();
+    Cx acc{};
+    for (std::size_t i = 0; i < kNumPilots; ++i) {
+      const Cx expected = est.h[bin_index(pilot_sc[i])] * pilots_tx[i];
+      acc += pilots_rx[i] * std::conj(expected);
+    }
+    if (std::abs(acc) > 0.0) cpe = acc / std::abs(acc);
+  }
+
+  const auto data_sc = data_subcarriers();
+  EqualizedSymbol out;
+  out.points.resize(data_sc.size());
+  out.noise_vars.resize(data_sc.size());
+  for (std::size_t i = 0; i < data_sc.size(); ++i) {
+    const unsigned bin = bin_index(data_sc[i]);
+    const double gain = std::norm(est.h[bin]);
+    if (gain < kMinGain) {
+      // A dead bin carries no information: neutral point, huge noise.
+      out.points[i] = Cx{};
+      out.noise_vars[i] = 1e18;
+      continue;
+    }
+    out.points[i] = rx[bin] * std::conj(cpe) / est.h[bin];
+    out.noise_vars[i] = std::max(est.noise_var, 1e-12) / gain;
+  }
+  return out;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,45 @@
+// Channel estimation and equalization.
+//
+// The receiver forms one least-squares channel estimate from the PPDU's
+// LTF symbols and equalizes every subsequent data symbol with it. This is
+// the 802.11 behaviour WiTAG exploits: if the channel changes mid-PPDU
+// (because the tag toggles its reflector), the stale estimate corrupts
+// the affected subframes. Pilot-based common-phase-error correction is
+// implemented too — it removes a shared rotation but cannot repair the
+// per-subcarrier error the tag induces.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/ofdm.hpp"
+#include "util/complexvec.hpp"
+
+namespace witag::phy {
+
+/// A per-subcarrier channel estimate plus the estimated noise level.
+struct ChannelEstimate {
+  FreqSymbol h{};          ///< Per-bin estimate; zero in unused bins.
+  double noise_var = 0.0;  ///< Complex noise variance per subcarrier.
+  double mean_gain = 0.0;  ///< Mean |h|^2 over used subcarriers.
+};
+
+/// Least-squares estimate from received LTF symbols (averaged). The noise
+/// variance is estimated from the difference between LTF repetitions when
+/// two or more are available. Requires at least one symbol.
+ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx);
+
+/// Result of equalizing one data symbol.
+struct EqualizedSymbol {
+  util::CxVec points;              ///< 52 equalized data points.
+  std::vector<double> noise_vars;  ///< Post-equalization noise per point.
+};
+
+/// Equalizes a received data symbol: divides by the channel estimate,
+/// optionally removes common phase error using the pilots, and reports
+/// the per-subcarrier post-equalization noise variance (noise_var/|h|^2)
+/// the soft demapper needs.
+EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
+                         std::size_t symbol_index, bool cpe_correction = true);
+
+}  // namespace witag::phy

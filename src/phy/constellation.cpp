@@ -1,0 +1,177 @@
+#include "phy/constellation.hpp"
+
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+using util::CxVec;
+
+// 802.11 Gray-coded PAM levels. For 16-QAM the two bits (b0 b1) select
+// the I level via 00->-3, 01->-1, 11->+1, 10->+3; 64-QAM extends the
+// same Gray pattern to 8 levels.
+double pam2(unsigned bits) { return bits ? 1.0 : -1.0; }
+
+double pam4(unsigned bits) {
+  switch (bits & 0x3u) {
+    case 0b00: return -3.0;
+    case 0b01: return -1.0;
+    case 0b11: return 1.0;
+    default: return 3.0;  // 0b10
+  }
+}
+
+double pam8(unsigned bits) {
+  switch (bits & 0x7u) {
+    case 0b000: return -7.0;
+    case 0b001: return -5.0;
+    case 0b011: return -3.0;
+    case 0b010: return -1.0;
+    case 0b110: return 1.0;
+    case 0b111: return 3.0;
+    case 0b101: return 5.0;
+    default: return 7.0;  // 0b100
+  }
+}
+
+// Builds the point table for a modulation; entry i is the point whose
+// LSB-first bit pattern encodes i. First half of the bits selects I,
+// second half selects Q (matching the standard's b0..b(N-1) split).
+CxVec make_table(Modulation mod) {
+  const unsigned n = bits_per_symbol(mod);
+  const unsigned count = 1u << n;
+  CxVec table(count);
+  for (unsigned i = 0; i < count; ++i) {
+    double re = 0.0;
+    double im = 0.0;
+    double norm = 1.0;
+    switch (mod) {
+      case Modulation::kBpsk:
+        re = pam2(i & 1u);
+        im = 0.0;
+        norm = 1.0;
+        break;
+      case Modulation::kQpsk:
+        re = pam2(i & 1u);
+        im = pam2((i >> 1) & 1u);
+        norm = std::sqrt(2.0);
+        break;
+      case Modulation::kQam16:
+        re = pam4(i & 0x3u);
+        im = pam4((i >> 2) & 0x3u);
+        norm = std::sqrt(10.0);
+        break;
+      case Modulation::kQam64:
+        re = pam8(i & 0x7u);
+        im = pam8((i >> 3) & 0x7u);
+        norm = std::sqrt(42.0);
+        break;
+    }
+    table[i] = Cx{re / norm, im / norm};
+  }
+  return table;
+}
+
+const CxVec kBpskTable = make_table(Modulation::kBpsk);
+const CxVec kQpskTable = make_table(Modulation::kQpsk);
+const CxVec kQam16Table = make_table(Modulation::kQam16);
+const CxVec kQam64Table = make_table(Modulation::kQam64);
+
+const CxVec& table_for(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return kBpskTable;
+    case Modulation::kQpsk: return kQpskTable;
+    case Modulation::kQam16: return kQam16Table;
+    case Modulation::kQam64: return kQam64Table;
+  }
+  util::ensure(false, "table_for: bad modulation");
+  return kBpskTable;
+}
+
+}  // namespace
+
+std::span<const Cx> constellation_points(Modulation mod) {
+  return table_for(mod);
+}
+
+CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod) {
+  const unsigned n = bits_per_symbol(mod);
+  util::require(bits.size() % n == 0,
+                "map_bits: bit count not a multiple of bits/symbol");
+  const CxVec& table = table_for(mod);
+  CxVec points(bits.size() / n);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    unsigned index = 0;
+    for (unsigned b = 0; b < n; ++b) {
+      index |= static_cast<unsigned>(bits[p * n + b] & 1u) << b;
+    }
+    points[p] = table[index];
+  }
+  return points;
+}
+
+util::BitVec demap_hard(std::span<const Cx> points, Modulation mod) {
+  const unsigned n = bits_per_symbol(mod);
+  const CxVec& table = table_for(mod);
+  util::BitVec bits;
+  bits.reserve(points.size() * n);
+  for (const Cx& y : points) {
+    unsigned best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (unsigned i = 0; i < table.size(); ++i) {
+      const double d = std::norm(y - table[i]);
+      if (d < best_dist) {
+        best_dist = d;
+        best = i;
+      }
+    }
+    for (unsigned b = 0; b < n; ++b) {
+      bits.push_back(static_cast<std::uint8_t>((best >> b) & 1u));
+    }
+  }
+  return bits;
+}
+
+std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
+                               double noise_var) {
+  util::require(noise_var > 0.0, "demap_soft: noise_var must be positive");
+  const std::vector<double> vars(points.size(), noise_var);
+  return demap_soft(points, mod, vars);
+}
+
+std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
+                               std::span<const double> noise_vars) {
+  util::require(points.size() == noise_vars.size(),
+                "demap_soft: noise_vars size mismatch");
+  const unsigned n = bits_per_symbol(mod);
+  const CxVec& table = table_for(mod);
+  std::vector<double> llrs;
+  llrs.reserve(points.size() * n);
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const Cx& y = points[p];
+    const double noise_var = noise_vars[p];
+    util::require(noise_var > 0.0, "demap_soft: noise_var must be positive");
+    for (unsigned b = 0; b < n; ++b) {
+      double min0 = std::numeric_limits<double>::infinity();
+      double min1 = std::numeric_limits<double>::infinity();
+      for (unsigned i = 0; i < table.size(); ++i) {
+        const double d = std::norm(y - table[i]);
+        if ((i >> b) & 1u) {
+          min1 = std::min(min1, d);
+        } else {
+          min0 = std::min(min0, d);
+        }
+      }
+      // Max-log LLR; positive favors bit value 0.
+      llrs.push_back((min1 - min0) / noise_var);
+    }
+  }
+  return llrs;
+}
+
+}  // namespace witag::phy

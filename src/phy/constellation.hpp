@@ -1,0 +1,41 @@
+// Gray-coded constellation mapping and soft demapping per 802.11
+// (17.3.5.8): BPSK, QPSK, 16-QAM, 64-QAM with the standard normalization
+// factors so every modulation has unit average power.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "phy/mcs.hpp"
+#include "util/bits.hpp"
+#include "util/complexvec.hpp"
+
+namespace witag::phy {
+
+/// Maps `bits` (group of n_bpsc per point, first bit = I-axis LSB-first
+/// per the standard's bit ordering) to constellation points.
+/// Requires bits.size() to be a multiple of bits_per_symbol(mod).
+util::CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod);
+
+/// Hard-decision demap: nearest constellation point back to bits.
+util::BitVec demap_hard(std::span<const util::Cx> points, Modulation mod);
+
+/// Soft demap to max-log LLRs. Positive LLR means bit 0 is more likely
+/// (the Viterbi decoder consumes this convention). `noise_var` is the
+/// complex noise variance per symbol; it scales the LLR magnitude.
+/// Requires noise_var > 0.
+std::vector<double> demap_soft(std::span<const util::Cx> points,
+                               Modulation mod, double noise_var);
+
+/// Soft demap with a per-point noise variance (post-equalization noise
+/// differs per subcarrier). Requires noise_vars.size() == points.size()
+/// and all variances > 0.
+std::vector<double> demap_soft(std::span<const util::Cx> points,
+                               Modulation mod,
+                               std::span<const double> noise_vars);
+
+/// The (normalized) points of a constellation in bit-pattern order:
+/// entry i is the point whose bits, LSB-first, encode i.
+std::span<const util::Cx> constellation_points(Modulation mod);
+
+}  // namespace witag::phy

@@ -1,0 +1,42 @@
+// 802.11 BCC: rate-1/2 convolutional encoder with constraint length 7 and
+// generator polynomials g0 = 133 (octal), g1 = 171 (octal), plus the
+// standard puncturing patterns for rates 2/3, 3/4 and 5/6.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "phy/mcs.hpp"
+#include "util/bits.hpp"
+
+namespace witag::phy {
+
+inline constexpr unsigned kConstraintLength = 7;
+inline constexpr unsigned kNumStates = 1u << (kConstraintLength - 1);
+inline constexpr std::uint8_t kGenPolyA = 0x5B;  // 133 octal, bit-reversed taps
+inline constexpr std::uint8_t kGenPolyB = 0x79;  // 171 octal
+
+/// Encodes at mother rate 1/2: each input bit yields output pair (A, B).
+/// The encoder starts from the all-zero state; callers append 6 zero tail
+/// bits to terminate the trellis (the PPDU layer does this).
+util::BitVec convolutional_encode(std::span<const std::uint8_t> bits);
+
+/// Punctures rate-1/2 output to the given rate by deleting bits in the
+/// standard pattern. Identity for rate 1/2.
+util::BitVec puncture(std::span<const std::uint8_t> coded, CodeRate rate);
+
+/// Inserts zero-LLR erasures where `puncture` deleted bits, restoring the
+/// mother-rate stream for the Viterbi decoder. `n_coded_bits` is the
+/// mother-rate length to restore (must be even).
+std::vector<double> depuncture(std::span<const double> llrs, CodeRate rate,
+                               std::size_t n_coded_bits);
+
+/// Mother-rate coded length -> punctured length for a code rate.
+std::size_t punctured_length(std::size_t mother_bits, CodeRate rate);
+
+/// The puncturing keep-mask over one period of (A, B) pairs.
+/// Element 2k is pair k's A bit, element 2k+1 its B bit.
+std::span<const std::uint8_t> puncture_pattern(CodeRate rate);
+
+}  // namespace witag::phy

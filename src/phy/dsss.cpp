@@ -1,0 +1,99 @@
+#include "phy/dsss.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::phy::dsss {
+namespace {
+
+using util::Cx;
+
+constexpr std::array<int, kChipsPerBit> kBarker{1, -1, 1,  1, -1, 1,
+                                                1, 1,  -1, -1, -1};
+
+}  // namespace
+
+std::span<const int> barker11() { return kBarker; }
+
+util::CxVec modulate(std::span<const std::uint8_t> bits, DsssRate rate) {
+  const bool qpsk = rate == DsssRate::kDqpsk2Mbps;
+  util::require(!qpsk || bits.size() % 2 == 0,
+                "dsss::modulate: DQPSK needs an even bit count");
+  const std::size_t n_codewords = qpsk ? bits.size() / 2 : bits.size();
+
+  util::CxVec chips;
+  chips.reserve((n_codewords + 1) * kChipsPerBit);
+  double phase = 0.0;
+  // Reference codeword at phase 0 anchors the differential detector.
+  for (const int ch : kBarker) {
+    chips.push_back(Cx{static_cast<double>(ch), 0.0});
+  }
+  for (std::size_t w = 0; w < n_codewords; ++w) {
+    // Differential encoding: bit 1 adds a 180 degree shift (DBPSK);
+    // DQPSK maps dibits to {0, 90, 180, 270} degree increments.
+    if (qpsk) {
+      const unsigned dibit = static_cast<unsigned>((bits[2 * w] & 1u) |
+                                                   ((bits[2 * w + 1] & 1u) << 1));
+      static constexpr std::array<double, 4> kInc{0.0, 0.5, 1.5, 1.0};
+      phase += kInc[dibit] * util::kPi;
+    } else {
+      if (bits[w] & 1u) phase += util::kPi;
+    }
+    const Cx rot{std::cos(phase), std::sin(phase)};
+    for (const int c : kBarker) {
+      chips.push_back(rot * static_cast<double>(c));
+    }
+  }
+  return chips;
+}
+
+std::size_t codeword_count(std::span<const Cx> chips) {
+  return chips.size() / kChipsPerBit;
+}
+
+Cx correlate_codeword(std::span<const Cx> chips, std::size_t codeword_index) {
+  util::require((codeword_index + 1) * kChipsPerBit <= chips.size(),
+                "correlate_codeword: index out of range");
+  Cx acc{};
+  for (unsigned c = 0; c < kChipsPerBit; ++c) {
+    acc += chips[codeword_index * kChipsPerBit + c] *
+           static_cast<double>(kBarker[c]);
+  }
+  return acc / static_cast<double>(kChipsPerBit);
+}
+
+util::BitVec demodulate(std::span<const Cx> chips, DsssRate rate) {
+  util::require(chips.size() % kChipsPerBit == 0,
+                "dsss::demodulate: not a whole number of codewords");
+  const bool qpsk = rate == DsssRate::kDqpsk2Mbps;
+  const std::size_t n = codeword_count(chips);
+  util::require(n >= 1, "dsss::demodulate: missing reference codeword");
+
+  util::BitVec bits;
+  bits.reserve(qpsk ? (n - 1) * 2 : n - 1);
+  Cx prev = correlate_codeword(chips, 0);  // reference codeword
+  for (std::size_t w = 1; w < n; ++w) {
+    const Cx cur = correlate_codeword(chips, w);
+    const Cx diff = cur * std::conj(prev);
+    prev = cur;
+    const double angle = std::arg(diff);
+    if (qpsk) {
+      // Quantize to the nearest of {0, 90, 180, 270} degrees.
+      const double quarter = angle / (0.5 * util::kPi);
+      const int q = (static_cast<int>(std::lround(quarter)) % 4 + 4) % 4;
+      // Inverse of kInc: increment q*90deg -> dibit (Gray-ish mapping).
+      static constexpr std::array<std::array<std::uint8_t, 2>, 4> kDibit{{
+          {0, 0}, {1, 0}, {1, 1}, {0, 1}}};
+      bits.push_back(kDibit[static_cast<std::size_t>(q)][0]);
+      bits.push_back(kDibit[static_cast<std::size_t>(q)][1]);
+    } else {
+      bits.push_back(std::abs(angle) > 0.5 * util::kPi ? 1 : 0);
+    }
+  }
+  return bits;
+}
+
+}  // namespace witag::phy::dsss

@@ -1,0 +1,47 @@
+// Minimal 802.11b DSSS PHY: DBPSK at 1 Mbps (and DQPSK at 2 Mbps) with
+// Barker-11 spreading at 11 Mchip/s. This is the substrate the HitchHike
+// baseline rides on — HitchHike tags flip the phase of whole codewords
+// (one spread bit) to embed their data, which is easy to express at chip
+// level here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/complexvec.hpp"
+
+namespace witag::phy::dsss {
+
+/// The 11-chip Barker sequence (+1/-1).
+std::span<const int> barker11();
+
+inline constexpr unsigned kChipsPerBit = 11;
+inline constexpr double kChipRateHz = 11e6;
+
+/// DSSS modulation rate.
+enum class DsssRate { kDbpsk1Mbps, kDqpsk2Mbps };
+
+/// Spreads `bits` to baseband chips. A leading reference codeword (the
+/// role the 802.11b preamble's last symbol plays) anchors the
+/// differential phase; each bit (DBPSK) or dibit (DQPSK) then becomes
+/// one 11-chip Barker codeword rotated by the accumulated differential
+/// phase. DQPSK requires an even bit count.
+util::CxVec modulate(std::span<const std::uint8_t> bits, DsssRate rate);
+
+/// Despreads chips back to bits by correlating each codeword against the
+/// Barker sequence and detecting the differential phase against the
+/// leading reference codeword. Requires a whole number of codewords
+/// (at least the reference).
+util::BitVec demodulate(std::span<const util::Cx> chips, DsssRate rate);
+
+/// Number of codewords (spread symbols) for a chip vector.
+std::size_t codeword_count(std::span<const util::Cx> chips);
+
+/// Correlates one codeword (11 chips starting at `offset`) against the
+/// Barker sequence; used by tag models that operate per codeword.
+util::Cx correlate_codeword(std::span<const util::Cx> chips,
+                            std::size_t codeword_index);
+
+}  // namespace witag::phy::dsss

@@ -1,0 +1,65 @@
+#include "phy/fft.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+void transform(std::span<Cx> data, bool inverse) {
+  const std::size_t n = data.size();
+  util::require(n >= 1 && std::has_single_bit(n),
+                "fft: length must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * util::kPi / static_cast<double>(len);
+    const Cx wlen{std::cos(angle), std::sin(angle)};
+    for (std::size_t i = 0; i < n; i += len) {
+      Cx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cx u = data[i + k];
+        const Cx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  for (Cx& x : data) x *= scale;
+}
+
+}  // namespace
+
+void fft_inplace(std::span<Cx> data) { transform(data, false); }
+void ifft_inplace(std::span<Cx> data) { transform(data, true); }
+
+util::CxVec fft(std::span<const Cx> data) {
+  util::CxVec out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+util::CxVec ifft(std::span<const Cx> data) {
+  util::CxVec out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,22 @@
+// Iterative radix-2 FFT/IFFT with unitary (1/sqrt(N)) scaling in both
+// directions so transforms preserve signal power — convenient for SNR
+// bookkeeping across the time/frequency boundary.
+#pragma once
+
+#include <span>
+
+#include "util/complexvec.hpp"
+
+namespace witag::phy {
+
+/// In-place forward FFT. Requires a power-of-two length >= 1.
+void fft_inplace(std::span<util::Cx> data);
+
+/// In-place inverse FFT. Requires a power-of-two length >= 1.
+void ifft_inplace(std::span<util::Cx> data);
+
+/// Out-of-place convenience wrappers.
+util::CxVec fft(std::span<const util::Cx> data);
+util::CxVec ifft(std::span<const util::Cx> data);
+
+}  // namespace witag::phy

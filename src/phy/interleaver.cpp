@@ -1,0 +1,64 @@
+#include "phy/interleaver.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+constexpr unsigned kNcol = 13;
+
+unsigned n_cbps_for(Modulation mod) {
+  return kDataSubcarriers * bits_per_symbol(mod);
+}
+
+}  // namespace
+
+std::vector<std::size_t> interleave_map(unsigned n_cbps, unsigned n_bpsc) {
+  util::require(n_cbps == kDataSubcarriers * n_bpsc,
+                "interleave_map: n_cbps / n_bpsc mismatch");
+  const unsigned n_row = n_cbps / kNcol;
+  const unsigned s = std::max(n_bpsc / 2, 1u);
+  std::vector<std::size_t> map(n_cbps);
+  for (unsigned k = 0; k < n_cbps; ++k) {
+    // First permutation: write row-wise, read column-wise.
+    const unsigned i = n_row * (k % kNcol) + k / kNcol;
+    // Second permutation: rotate within groups of s bits so adjacent coded
+    // bits land on alternating halves of the constellation point.
+    const unsigned j = s * (i / s) +
+                       (i + n_cbps - (kNcol * i) / n_cbps) % s;
+    map[k] = j;
+  }
+  return map;
+}
+
+util::BitVec interleave(std::span<const std::uint8_t> bits, Modulation mod) {
+  const unsigned n_cbps = n_cbps_for(mod);
+  util::require(bits.size() == n_cbps, "interleave: wrong symbol size");
+  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
+  util::BitVec out(n_cbps);
+  for (unsigned k = 0; k < n_cbps; ++k) out[map[k]] = bits[k];
+  return out;
+}
+
+util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod) {
+  const unsigned n_cbps = n_cbps_for(mod);
+  util::require(bits.size() == n_cbps, "deinterleave: wrong symbol size");
+  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
+  util::BitVec out(n_cbps);
+  for (unsigned k = 0; k < n_cbps; ++k) out[k] = bits[map[k]];
+  return out;
+}
+
+std::vector<double> deinterleave_llrs(std::span<const double> llrs,
+                                      Modulation mod) {
+  const unsigned n_cbps = n_cbps_for(mod);
+  util::require(llrs.size() == n_cbps, "deinterleave_llrs: wrong symbol size");
+  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
+  std::vector<double> out(n_cbps);
+  for (unsigned k = 0; k < n_cbps; ++k) out[k] = llrs[map[k]];
+  return out;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,61 @@
+#include "phy/mcs.hpp"
+
+#include <array>
+
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+constexpr std::array<McsParams, kNumMcs> kTable{{
+    {0, Modulation::kBpsk, CodeRate::kHalf, 1, 52, 26, 6.5, "MCS0 (BPSK 1/2)"},
+    {1, Modulation::kQpsk, CodeRate::kHalf, 2, 104, 52, 13.0, "MCS1 (QPSK 1/2)"},
+    {2, Modulation::kQpsk, CodeRate::kThreeQuarters, 2, 104, 78, 19.5,
+     "MCS2 (QPSK 3/4)"},
+    {3, Modulation::kQam16, CodeRate::kHalf, 4, 208, 104, 26.0,
+     "MCS3 (16-QAM 1/2)"},
+    {4, Modulation::kQam16, CodeRate::kThreeQuarters, 4, 208, 156, 39.0,
+     "MCS4 (16-QAM 3/4)"},
+    {5, Modulation::kQam64, CodeRate::kTwoThirds, 6, 312, 208, 52.0,
+     "MCS5 (64-QAM 2/3)"},
+    {6, Modulation::kQam64, CodeRate::kThreeQuarters, 6, 312, 234, 58.5,
+     "MCS6 (64-QAM 3/4)"},
+    {7, Modulation::kQam64, CodeRate::kFiveSixths, 6, 312, 260, 65.0,
+     "MCS7 (64-QAM 5/6)"},
+}};
+
+}  // namespace
+
+unsigned bits_per_symbol(Modulation mod) {
+  switch (mod) {
+    case Modulation::kBpsk: return 1;
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+  }
+  util::ensure(false, "bits_per_symbol: bad modulation");
+  return 0;
+}
+
+RateFraction rate_fraction(CodeRate rate) {
+  switch (rate) {
+    case CodeRate::kHalf: return {1, 2};
+    case CodeRate::kTwoThirds: return {2, 3};
+    case CodeRate::kThreeQuarters: return {3, 4};
+    case CodeRate::kFiveSixths: return {5, 6};
+  }
+  util::ensure(false, "rate_fraction: bad rate");
+  return {1, 2};
+}
+
+const McsParams& mcs(unsigned index) {
+  util::require(index < kNumMcs, "mcs: index out of range");
+  return kTable[index];
+}
+
+std::size_t data_symbols_for(std::size_t psdu_bytes, const McsParams& m) {
+  const std::size_t payload_bits = 16 + 8 * psdu_bytes + 6;
+  return (payload_bits + m.n_dbps - 1) / m.n_dbps;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,46 @@
+#include "phy/plcp.hpp"
+
+#include "util/crc.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+constexpr std::size_t kFieldBits = 24;  // mcs(7) + length(16) + reserved(1)
+
+}  // namespace
+
+util::BitVec encode_sig(const HtSig& sig) {
+  util::require(sig.mcs_index < 128, "encode_sig: mcs_index out of range");
+  util::require(sig.length < 65536, "encode_sig: length out of range");
+
+  util::BitWriter w;
+  w.write(sig.mcs_index, 7);
+  w.write(sig.length, 16);
+  w.write_bit(false);  // reserved
+
+  const util::ByteVec packed = util::bits_to_bytes(w.bits());
+  w.write(util::crc8(packed), 8);
+  w.write(0, 6);  // tail bits terminate the SIG's own trellis segment
+
+  util::BitVec bits = w.take();
+  bits.resize(kSigBits, 0);
+  return bits;
+}
+
+std::optional<HtSig> decode_sig(std::span<const std::uint8_t> bits) {
+  util::require(bits.size() == kSigBits, "decode_sig: need 52 bits");
+  util::BitReader r(bits);
+  HtSig sig;
+  sig.mcs_index = static_cast<unsigned>(r.read(7));
+  sig.length = static_cast<std::size_t>(r.read(16));
+  r.read(1);  // reserved
+
+  const util::ByteVec packed =
+      util::bits_to_bytes(bits.subspan(0, kFieldBits));
+  const auto crc = static_cast<std::uint8_t>(r.read(8));
+  if (crc != util::crc8(packed)) return std::nullopt;
+  return sig;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,203 @@
+#include "phy/ppdu.hpp"
+
+#include <algorithm>
+
+#include "phy/constellation.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/preamble.hpp"
+#include "phy/scrambler.hpp"
+#include "phy/viterbi.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+constexpr std::size_t kServiceBits = 16;
+constexpr std::size_t kTailBits = 6;
+
+// Encodes `bits` (already scrambled where applicable) into OFDM data
+// symbols at the given modulation/rate. `bits` must fill a whole number
+// of symbols after encoding. `first_symbol_index` sets pilot polarity.
+std::vector<FreqSymbol> encode_field(std::span<const std::uint8_t> bits,
+                                     Modulation mod, CodeRate rate,
+                                     std::size_t first_symbol_index) {
+  const util::BitVec mother = convolutional_encode(bits);
+  const util::BitVec coded = puncture(mother, rate);
+  const unsigned n_cbps = kDataSubcarriers * bits_per_symbol(mod);
+  util::require(coded.size() % n_cbps == 0,
+                "encode_field: bits do not fill whole symbols");
+
+  std::vector<FreqSymbol> symbols;
+  symbols.reserve(coded.size() / n_cbps);
+  for (std::size_t off = 0; off < coded.size(); off += n_cbps) {
+    const std::span<const std::uint8_t> chunk(coded.data() + off, n_cbps);
+    const util::BitVec interleaved = interleave(chunk, mod);
+    const util::CxVec points = map_bits(interleaved, mod);
+    symbols.push_back(
+        assemble_data_symbol(points, first_symbol_index + symbols.size()));
+  }
+  return symbols;
+}
+
+// Inverse of encode_field: equalize, soft-demap and deinterleave each
+// symbol, then depuncture and Viterbi-decode the concatenated stream.
+// `n_info_bits` truncates decoding at the known end of the field
+// (through the tail bits), where the trellis is terminated — the
+// scrambled pad bits beyond it carry no data and do not end in state 0.
+// 0 decodes everything.
+util::BitVec decode_field(std::span<const FreqSymbol> symbols,
+                          const ChannelEstimate& est, Modulation mod,
+                          CodeRate rate, std::size_t first_symbol_index,
+                          bool cpe_correction, std::size_t n_info_bits = 0) {
+  std::vector<double> llrs;
+  const unsigned n_cbps = kDataSubcarriers * bits_per_symbol(mod);
+  llrs.reserve(symbols.size() * n_cbps);
+  for (std::size_t s = 0; s < symbols.size(); ++s) {
+    const EqualizedSymbol eq =
+        equalize(symbols[s], est, first_symbol_index + s, cpe_correction);
+    const std::vector<double> sym_llrs =
+        demap_soft(eq.points, mod, eq.noise_vars);
+    const std::vector<double> deint = deinterleave_llrs(sym_llrs, mod);
+    llrs.insert(llrs.end(), deint.begin(), deint.end());
+  }
+
+  const auto frac = rate_fraction(rate);
+  // llrs.size() punctured bits carry llrs.size() * num / den info bits at
+  // the mother rate.
+  const std::size_t n_info = llrs.size() * frac.num / frac.den;
+  std::vector<double> mother = depuncture(llrs, rate, 2 * n_info);
+  if (n_info_bits != 0) {
+    util::require(n_info_bits <= n_info,
+                  "decode_field: field longer than the symbols carry");
+    mother.resize(2 * n_info_bits);
+  }
+  return viterbi_decode(mother);
+}
+
+}  // namespace
+
+double TxPpdu::duration_us() const {
+  return static_cast<double>(symbols.size()) * kSymbolDurationUs;
+}
+
+SlotKind TxPpdu::kind(std::size_t slot) const {
+  util::require(slot < symbols.size(), "TxPpdu::kind: slot out of range");
+  if (slot < kStfSlots) return SlotKind::kStf;
+  if (slot < kPreambleSlots) return SlotKind::kLtf;
+  if (slot < kHeaderSlots) return SlotKind::kSig;
+  return SlotKind::kData;
+}
+
+TxPpdu transmit(std::span<const std::uint8_t> psdu, const TxConfig& cfg) {
+  util::require(!psdu.empty(), "transmit: empty PSDU");
+  util::require(psdu.size() < 65536, "transmit: PSDU too large");
+  const McsParams& m = mcs(cfg.mcs_index);
+
+  TxPpdu ppdu;
+  ppdu.sig = HtSig{cfg.mcs_index, psdu.size()};
+
+  // Preamble.
+  ppdu.symbols.push_back(stf_symbol());
+  for (std::size_t i = 0; i < kLtfSlots; ++i) ppdu.symbols.push_back(ltf_symbol());
+
+  // SIG field: BPSK rate 1/2, symbol indices 0..1 for pilot polarity.
+  const util::BitVec sig_bits = encode_sig(ppdu.sig);
+  const auto sig_syms =
+      encode_field(sig_bits, Modulation::kBpsk, CodeRate::kHalf, 0);
+  util::ensure(sig_syms.size() == kSigSymbols, "transmit: SIG symbol count");
+  ppdu.symbols.insert(ppdu.symbols.end(), sig_syms.begin(), sig_syms.end());
+
+  // DATA field: service + PSDU + tail, padded to whole symbols, scrambled
+  // (with the tail re-zeroed so the decoder's trellis terminates).
+  const std::size_t n_sym = data_symbols_for(psdu.size(), m);
+  const std::size_t n_bits = n_sym * m.n_dbps;
+  util::BitWriter w;
+  w.write(0, kServiceBits);
+  w.write_bits(util::bytes_to_bits(psdu));
+  w.write(0, kTailBits);
+  util::BitVec data_bits = w.take();
+  data_bits.resize(n_bits, 0);
+
+  util::BitVec scrambled = scramble(data_bits, cfg.scrambler_seed);
+  const std::size_t tail_at = kServiceBits + 8 * psdu.size();
+  std::fill_n(scrambled.begin() + static_cast<std::ptrdiff_t>(tail_at),
+              kTailBits, std::uint8_t{0});
+
+  const auto data_syms =
+      encode_field(scrambled, m.modulation, m.rate, kSigSymbols);
+  ppdu.n_data_symbols = data_syms.size();
+  ppdu.symbols.insert(ppdu.symbols.end(), data_syms.begin(), data_syms.end());
+  return ppdu;
+}
+
+RxResult receive(std::span<const FreqSymbol> symbols, const RxConfig& cfg) {
+  util::require(symbols.size() >= kHeaderSlots,
+                "receive: too few symbols for a PPDU header");
+  RxResult out;
+
+  // One channel estimate for the whole PPDU, taken from the LTF slots.
+  out.estimate = estimate_channel(symbols.subspan(kStfSlots, kLtfSlots));
+
+  // SIG field.
+  const util::BitVec sig_bits =
+      decode_field(symbols.subspan(kPreambleSlots, kSigSymbols), out.estimate,
+                   Modulation::kBpsk, CodeRate::kHalf, 0, cfg.cpe_correction);
+  const auto sig = decode_sig(sig_bits);
+  if (!sig || sig->mcs_index >= kNumMcs || sig->length == 0) {
+    return out;  // header unusable; receiver drops the PPDU
+  }
+  out.sig = *sig;
+
+  const McsParams& m = mcs(out.sig.mcs_index);
+  const std::size_t n_sym = data_symbols_for(out.sig.length, m);
+  if (symbols.size() < kHeaderSlots + n_sym) {
+    return out;  // truncated capture; treat as undecodable
+  }
+  out.sig_ok = true;
+
+  // Decode through service + PSDU + tail; the trellis terminates there
+  // and the remaining pad bits carry nothing.
+  const std::size_t field_bits = 16 + 8 * out.sig.length + 6;
+  const util::BitVec scrambled =
+      decode_field(symbols.subspan(kHeaderSlots, n_sym), out.estimate,
+                   m.modulation, m.rate, kSigSymbols, cfg.cpe_correction,
+                   field_bits);
+
+  // Descramble: the service field is transmitted as zeros, so the first 7
+  // scrambled bits reveal the scrambler state (802.11 receivers recover
+  // the seed the same way).
+  const util::BitVec plain = descramble_recover(scrambled);
+
+  const std::size_t payload_bits = 8 * out.sig.length;
+  util::ensure(plain.size() >= kServiceBits + payload_bits,
+               "receive: decoded stream shorter than SIG length");
+  const std::span<const std::uint8_t> payload(plain.data() + kServiceBits,
+                                              payload_bits);
+  out.psdu = util::bits_to_bytes(payload);
+  return out;
+}
+
+util::CxVec to_samples(const TxPpdu& ppdu) {
+  util::CxVec samples;
+  samples.reserve(ppdu.symbols.size() * kSamplesPerSymbol);
+  for (const FreqSymbol& sym : ppdu.symbols) {
+    const util::CxVec block = to_time(sym);
+    samples.insert(samples.end(), block.begin(), block.end());
+  }
+  return samples;
+}
+
+RxResult receive_samples(std::span<const util::Cx> samples,
+                         const RxConfig& cfg) {
+  util::require(samples.size() % kSamplesPerSymbol == 0,
+                "receive_samples: not a whole number of symbol slots");
+  std::vector<FreqSymbol> symbols;
+  symbols.reserve(samples.size() / kSamplesPerSymbol);
+  for (std::size_t off = 0; off < samples.size(); off += kSamplesPerSymbol) {
+    symbols.push_back(from_time(samples.subspan(off, kSamplesPerSymbol)));
+  }
+  return receive(symbols, cfg);
+}
+
+}  // namespace witag::phy

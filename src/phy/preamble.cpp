@@ -1,0 +1,66 @@
+#include "phy/preamble.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+// L-LTF values for subcarriers -26..-1, then +1..+26 (DC omitted),
+// per 802.11-2016 Table 17-9.
+constexpr std::array<int, 52> kLltf{
+    // -26 .. -1
+    1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1,
+    1, 1, 1, 1,
+    // +1 .. +26
+    1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1,
+    -1, 1, 1, 1, 1};
+
+// STF tone positions and signs (sign of the (1+j)/sqrt(2) factor),
+// per 802.11-2016 Eq. 17-7.
+constexpr std::array<int, 12> kStfTones{-24, -20, -16, -12, -8, -4,
+                                        4,   8,   12,  16,  20, 24};
+constexpr std::array<int, 12> kStfSigns{1, -1, 1, -1, -1, 1, -1, -1, 1, 1, 1, 1};
+
+FreqSymbol make_ltf() {
+  FreqSymbol symbol{};
+  std::size_t idx = 0;
+  for (int k = -26; k <= 26; ++k) {
+    if (k == 0) continue;
+    symbol[bin_index(k)] = Cx{static_cast<double>(kLltf[idx++]), 0.0};
+  }
+  // Extend training to the HT edge subcarriers so the whole 56-bin grid
+  // gets an estimate.
+  for (const int k : {-28, -27, 27, 28}) {
+    symbol[bin_index(k)] = Cx{1.0, 0.0};
+  }
+  return symbol;
+}
+
+FreqSymbol make_stf() {
+  FreqSymbol symbol{};
+  // sqrt(13/6) * (1+j) keeps the 12-tone STF at the same total power
+  // as a 52-tone data symbol (12 * |sqrt(13/6) * (1+j)|^2 = 52).
+  const double amp = std::sqrt(13.0 / 6.0);
+  for (std::size_t i = 0; i < kStfTones.size(); ++i) {
+    const double s = static_cast<double>(kStfSigns[i]) * amp;
+    symbol[bin_index(kStfTones[i])] = Cx{s, s};
+  }
+  return symbol;
+}
+
+}  // namespace
+
+const FreqSymbol& ltf_symbol() {
+  static const FreqSymbol kSymbol = make_ltf();
+  return kSymbol;
+}
+
+const FreqSymbol& stf_symbol() {
+  static const FreqSymbol kSymbol = make_stf();
+  return kSymbol;
+}
+
+}  // namespace witag::phy

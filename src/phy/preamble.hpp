@@ -1,0 +1,30 @@
+// PHY preamble training fields.
+//
+// The transmitter sends a short training field (STF) used for packet
+// detection / AGC (and, in WiTAG, by the tag's envelope detector), then
+// two long training fields (LTF) from which the receiver takes its one
+// and only channel estimate for the whole PPDU — the property WiTAG's
+// subframe corruption exploits.
+//
+// Deviation from 802.11n noted in DESIGN.md: we use the L-LTF sequence on
+// subcarriers -26..26 extended with +1 at +/-27 and +/-28 so all 56 HT
+// subcarriers are trained, instead of the standard's separate L-LTF and
+// HT-LTF fields. Any known +/-1 training sequence gives the same
+// least-squares estimator behaviour.
+#pragma once
+
+#include "phy/ofdm.hpp"
+
+namespace witag::phy {
+
+/// Number of LTF repetitions transmitted (estimates are averaged).
+inline constexpr unsigned kNumLtf = 2;
+
+/// Frequency-domain LTF training symbol (+/-1 on all 56 used bins).
+const FreqSymbol& ltf_symbol();
+
+/// Frequency-domain STF symbol (12 tones, power-normalized to match the
+/// data symbols' total power).
+const FreqSymbol& stf_symbol();
+
+}  // namespace witag::phy

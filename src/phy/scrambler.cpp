@@ -1,0 +1,58 @@
+#include "phy/scrambler.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+// One LFSR step: returns the output bit and advances the 7-bit state.
+std::uint8_t lfsr_step(std::uint8_t& state) {
+  const std::uint8_t out =
+      static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1u);
+  state = static_cast<std::uint8_t>(((state << 1) | out) & 0x7Fu);
+  return out;
+}
+
+}  // namespace
+
+util::BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
+  util::require(seed >= 1 && seed <= 127, "scramble: seed must be in [1,127]");
+  std::uint8_t state = seed;
+  util::BitVec out;
+  out.reserve(bits.size());
+  for (const std::uint8_t b : bits) {
+    out.push_back(static_cast<std::uint8_t>((b ^ lfsr_step(state)) & 1u));
+  }
+  return out;
+}
+
+util::BitVec descramble_recover(std::span<const std::uint8_t> bits) {
+  util::require(bits.size() >= 7, "descramble_recover: need >= 7 bits");
+  // With zero inputs, scrambled bit i equals LFSR output i, and the LFSR
+  // state shifts its own output in — so after 7 steps the state is just
+  // the first 7 scrambled bits.
+  std::uint8_t state = 0;
+  for (unsigned i = 0; i < 7; ++i) {
+    state = static_cast<std::uint8_t>(((state << 1) | (bits[i] & 1u)) & 0x7Fu);
+  }
+  util::BitVec out(bits.size(), 0);
+  for (std::size_t i = 7; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ lfsr_step(state)) & 1u);
+  }
+  return out;
+}
+
+const std::array<int, 127>& pilot_polarity_sequence() {
+  static const std::array<int, 127> kSequence = [] {
+    std::array<int, 127> seq{};
+    std::uint8_t state = 0x7F;  // all ones
+    for (auto& s : seq) {
+      // The polarity sequence maps scrambler output 0 -> +1 and 1 -> -1.
+      s = lfsr_step(state) ? -1 : 1;
+    }
+    return seq;
+  }();
+  return kSequence;
+}
+
+}  // namespace witag::phy

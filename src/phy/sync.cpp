@@ -1,0 +1,139 @@
+#include "phy/sync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "phy/ofdm.hpp"
+#include "phy/preamble.hpp"
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+constexpr std::size_t kStfPeriod = 16;
+constexpr std::size_t kDetectWindow = 64;
+constexpr int kFineSearchHalf = 24;
+
+// Known 64-sample LTF body (without CP) for fine timing.
+const util::CxVec& ltf_body() {
+  static const util::CxVec kBody = [] {
+    const util::CxVec full = to_time(ltf_symbol());
+    return util::CxVec(full.begin() + kCpLen, full.end());
+  }();
+  return kBody;
+}
+
+}  // namespace
+
+std::optional<SyncResult> detect_ppdu(std::span<const Cx> samples,
+                                      const SyncConfig& cfg) {
+  util::require(cfg.detection_threshold > 0.0 && cfg.detection_threshold < 1.0,
+                "detect_ppdu: threshold must be in (0, 1)");
+  const std::size_t need =
+      kDetectWindow + kStfPeriod + 3 * kSamplesPerSymbol;
+  if (samples.size() < need) return std::nullopt;
+
+  // Noise-floor estimate: the quietest 64-sample block. The whole-stream
+  // mean would be dominated by the frame itself when the stream is
+  // mostly packet.
+  double noise_floor = 0.0;
+  {
+    double min_block = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b + kDetectWindow <= samples.size();
+         b += kDetectWindow) {
+      double p = 0.0;
+      for (std::size_t n = 0; n < kDetectWindow; ++n) {
+        p += std::norm(samples[b + n]);
+      }
+      min_block = std::min(min_block, p / kDetectWindow);
+    }
+    noise_floor = min_block;
+  }
+  if (!std::isfinite(noise_floor)) return std::nullopt;
+
+  // Schmidl-Cox style sliding metric on the STF's 16-sample periodicity.
+  std::size_t coarse = 0;
+  double best_metric = 0.0;
+  bool detected = false;
+  for (std::size_t d = 0;
+       d + kDetectWindow + kStfPeriod < samples.size() - 3 * kSamplesPerSymbol;
+       ++d) {
+    Cx p{};
+    double r = 0.0;
+    for (std::size_t n = 0; n < kDetectWindow; ++n) {
+      p += samples[d + n] * std::conj(samples[d + n + kStfPeriod]);
+      r += std::norm(samples[d + n + kStfPeriod]);
+    }
+    if (r <= 0.0) continue;
+    const double metric = std::abs(p) / r;
+    const double window_power = r / kDetectWindow;
+    if (metric > cfg.detection_threshold &&
+        window_power > cfg.min_power_ratio * noise_floor) {
+      coarse = d;
+      best_metric = metric;
+      detected = true;
+      break;
+    }
+  }
+  if (!detected) return std::nullopt;
+
+  // Fine timing: cross-correlate the known LTF body around the coarse
+  // estimate. The LTF body starts kSamplesPerSymbol + kCpLen samples
+  // into the frame.
+  const auto& ref = ltf_body();
+  std::size_t best_start = coarse;
+  double best_corr = -1.0;
+  for (int off = -kFineSearchHalf; off <= kFineSearchHalf; ++off) {
+    const long start_l = static_cast<long>(coarse) + off;
+    if (start_l < 0) continue;
+    const std::size_t start = static_cast<std::size_t>(start_l);
+    const std::size_t ltf_at = start + kSamplesPerSymbol + kCpLen;
+    if (ltf_at + ref.size() > samples.size()) break;
+    Cx acc{};
+    double energy = 0.0;
+    for (std::size_t n = 0; n < ref.size(); ++n) {
+      acc += samples[ltf_at + n] * std::conj(ref[n]);
+      energy += std::norm(samples[ltf_at + n]);
+    }
+    if (energy <= 0.0) continue;
+    const double corr = std::norm(acc) / energy;
+    if (corr > best_corr) {
+      best_corr = corr;
+      best_start = start;
+    }
+  }
+
+  // CFO from the phase drift between the two LTF repetitions (spaced one
+  // 80-sample slot apart).
+  SyncResult result;
+  result.frame_start = best_start;
+  result.metric = best_metric;
+  const std::size_t ltf1 = best_start + kSamplesPerSymbol + kCpLen;
+  const std::size_t ltf2 = ltf1 + kSamplesPerSymbol;
+  if (ltf2 + 64 <= samples.size()) {
+    Cx acc{};
+    for (std::size_t n = 0; n < 64; ++n) {
+      acc += std::conj(samples[ltf1 + n]) * samples[ltf2 + n];
+    }
+    const double spacing_s = kSamplesPerSymbol / kSampleRateHz;
+    result.cfo_hz = std::arg(acc) / (2.0 * util::kPi * spacing_s);
+  }
+  return result;
+}
+
+util::CxVec correct_cfo(std::span<const Cx> samples, double cfo_hz,
+                        double sample_rate_hz) {
+  util::require(sample_rate_hz > 0.0, "correct_cfo: bad sample rate");
+  util::CxVec out(samples.size());
+  const double step = -2.0 * util::kPi * cfo_hz / sample_rate_hz;
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    out[n] = samples[n] * std::polar(1.0, step * static_cast<double>(n));
+  }
+  return out;
+}
+
+}  // namespace witag::phy

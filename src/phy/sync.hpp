@@ -1,0 +1,43 @@
+// Packet detection and synchronization from raw samples.
+//
+// The PPDU receiver (ppdu.hpp) takes an aligned symbol timeline; this
+// module finds that alignment in a continuous 20 Msps stream the way
+// real receivers do:
+//  - packet detection / coarse timing from the STF's 16-sample
+//    periodicity (Schmidl-Cox style delay-correlate-and-normalize),
+//  - fine timing from cross-correlation against the known LTF waveform,
+//  - carrier frequency offset (CFO) estimation from the phase drift
+//    between the two LTF repetitions, and correction.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "util/complexvec.hpp"
+
+namespace witag::phy {
+
+struct SyncConfig {
+  /// Detection threshold on the normalized STF autocorrelation (0..1).
+  double detection_threshold = 0.75;
+  /// Minimum mean power (relative to the stream's overall mean) for a
+  /// window to count as signal (rejects pure-noise false locks).
+  double min_power_ratio = 2.0;
+};
+
+struct SyncResult {
+  std::size_t frame_start = 0;  ///< Sample index of the PPDU's first sample.
+  double cfo_hz = 0.0;          ///< Estimated carrier frequency offset.
+  double metric = 0.0;          ///< Peak detection metric (diagnostic).
+};
+
+/// Scans `samples` for a PPDU. Returns the sync result or nullopt when
+/// no packet is detected.
+std::optional<SyncResult> detect_ppdu(std::span<const util::Cx> samples,
+                                      const SyncConfig& cfg = {});
+
+/// Removes a carrier frequency offset: y[n] = x[n] * e^{-j 2 pi f n / fs}.
+util::CxVec correct_cfo(std::span<const util::Cx> samples, double cfo_hz,
+                        double sample_rate_hz = 20e6);
+
+}  // namespace witag::phy

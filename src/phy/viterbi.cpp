@@ -1,0 +1,99 @@
+#include "phy/viterbi.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <limits>
+
+#include "phy/convolutional.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+// Transition model (matches convolutional_encode): from state s (the top
+// six register bits) with input u, the full 7-bit register becomes
+// f = s | (u << 6); the branch outputs are the parities of f with each
+// generator and the next state is f >> 1.
+struct Transitions {
+  // For [state][input]: next state and the two expected output bits.
+  std::array<std::array<std::uint8_t, 2>, kNumStates> next{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_a{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_b{};
+};
+
+Transitions make_transitions() {
+  Transitions t;
+  for (std::uint32_t s = 0; s < kNumStates; ++s) {
+    for (std::uint32_t u = 0; u < 2; ++u) {
+      const std::uint32_t full = s | (u << 6);
+      t.next[s][u] = static_cast<std::uint8_t>(full >> 1);
+      t.out_a[s][u] =
+          static_cast<std::uint8_t>(std::popcount(full & kGenPolyA) & 1);
+      t.out_b[s][u] =
+          static_cast<std::uint8_t>(std::popcount(full & kGenPolyB) & 1);
+    }
+  }
+  return t;
+}
+
+const Transitions kTrellis = make_transitions();
+
+// Branch metric contribution of one coded bit: LLR > 0 favors bit 0, so a
+// branch expecting bit 0 gains +llr and one expecting bit 1 gains -llr.
+double bit_metric(double llr, std::uint8_t expected) {
+  return expected ? -llr : llr;
+}
+
+}  // namespace
+
+util::BitVec viterbi_decode(std::span<const double> llrs) {
+  util::require(!llrs.empty() && llrs.size() % 2 == 0,
+                "viterbi_decode: LLR count must be even and non-zero");
+  const std::size_t n_steps = llrs.size() / 2;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  std::vector<double> metric(kNumStates, kNegInf);
+  std::vector<double> next_metric(kNumStates, kNegInf);
+  metric[0] = 0.0;  // encoder starts zeroed
+
+  // survivor[step][state] = (previous state << 1) | input bit.
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor(n_steps);
+
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    const double la = llrs[2 * step];
+    const double lb = llrs[2 * step + 1];
+    for (std::uint32_t s = 0; s < kNumStates; ++s) {
+      if (metric[s] == kNegInf) continue;
+      for (std::uint32_t u = 0; u < 2; ++u) {
+        const std::uint8_t ns = kTrellis.next[s][u];
+        const double m = metric[s] + bit_metric(la, kTrellis.out_a[s][u]) +
+                         bit_metric(lb, kTrellis.out_b[s][u]);
+        if (m > next_metric[ns]) {
+          next_metric[ns] = m;
+          survivor[step][ns] = static_cast<std::uint8_t>((s << 1) | u);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // The tail drives the encoder back to state 0; fall back to the best
+  // surviving state if 0 was pruned (can happen under extreme noise).
+  std::uint32_t state = 0;
+  if (metric[0] == kNegInf) {
+    state = static_cast<std::uint32_t>(
+        std::max_element(metric.begin(), metric.end()) - metric.begin());
+  }
+
+  util::BitVec bits(n_steps);
+  for (std::size_t step = n_steps; step-- > 0;) {
+    const std::uint8_t sv = survivor[step][state];
+    bits[step] = sv & 1u;
+    state = sv >> 1;
+  }
+  return bits;
+}
+
+}  // namespace witag::phy

@@ -1,0 +1,20 @@
+// Soft-decision Viterbi decoder for the 802.11 rate-1/2 mother code
+// (K = 7, generators 133/171 octal). Consumes LLRs in the demapper's
+// convention (positive = bit 0 more likely) including the zero-LLR
+// erasures inserted by depuncturing, and assumes the encoder both starts
+// and ends in the all-zero state (6 zero tail bits).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace witag::phy {
+
+/// Decodes `llrs` (two per information bit at the mother rate) back to
+/// information bits (including the tail). Requires an even, non-zero
+/// LLR count.
+util::BitVec viterbi_decode(std::span<const double> llrs);
+
+}  // namespace witag::phy

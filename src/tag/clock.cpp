@@ -1,0 +1,40 @@
+#include "tag/clock.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace witag::tag {
+
+TagClock::TagClock(const ClockConfig& cfg) : cfg_(cfg) {
+  util::require(cfg.nominal_hz > 0.0, "TagClock: nominal_hz must be positive");
+  const double dt = cfg_.temperature_c - cfg_.reference_temp_c;
+  double frac = 0.0;
+  switch (cfg_.kind) {
+    case OscillatorKind::kCrystal:
+      frac = cfg_.crystal_ppm * 1e-6 +
+             cfg_.crystal_tempco_ppm_per_c * dt * 1e-6;
+      break;
+    case OscillatorKind::kRing:
+      frac = cfg_.ring_frac_per_c * dt;
+      break;
+  }
+  actual_hz_ = cfg_.nominal_hz * (1.0 + frac);
+  util::require(actual_hz_ > 0.0, "TagClock: frequency error drove f <= 0");
+}
+
+double TagClock::fractional_error() const {
+  return actual_hz_ / cfg_.nominal_hz - 1.0;
+}
+
+double TagClock::realize_instant_us(double t_rel_us, Round round) const {
+  util::require(t_rel_us >= 0.0, "realize_instant_us: negative time");
+  const double tick = tick_period_us();
+  const double ticks = round == Round::kUp ? std::ceil(t_rel_us / tick - 1e-9)
+                                           : std::floor(t_rel_us / tick + 1e-9);
+  // The timer counts `ticks` periods of the *actual* oscillator.
+  const double actual_tick = 1e6 / actual_hz_;
+  return std::max(0.0, ticks) * actual_tick;
+}
+
+}  // namespace witag::tag

@@ -1,0 +1,68 @@
+// Tag clock models (paper section 7).
+//
+// WiTAG's key power argument is that it needs no channel-shifting
+// oscillator: a 50 kHz crystal (accurate to tens of ppm, stable over
+// temperature) suffices, versus the >= 20 MHz oscillators of
+// HitchHike/FreeRider/MOXcatter — where precision parts burn > 1 mW and
+// the low-power alternative (ring oscillators) drifts ~600 kHz per 5 C
+// at 20 MHz (3% per 5 C), breaking timing when the room temperature
+// moves.
+//
+// The clock model turns ideal switching instants into the instants the
+// tag actually hits: phase-aligned to the detected trigger edge, then
+// quantized to the tick grid and scaled by the fractional frequency
+// error.
+#pragma once
+
+#include <cstdint>
+
+namespace witag::tag {
+
+enum class OscillatorKind { kCrystal, kRing };
+
+struct ClockConfig {
+  OscillatorKind kind = OscillatorKind::kCrystal;
+  double nominal_hz = 50e3;
+  /// Crystal accuracy [ppm].
+  double crystal_ppm = 20.0;
+  /// Crystal temperature coefficient [ppm per degree C from reference].
+  double crystal_tempco_ppm_per_c = 0.5;
+  /// Ring-oscillator fractional drift per degree C (paper footnote 4:
+  /// 600 kHz per 5 C at 20 MHz = 0.6% per degree C).
+  double ring_frac_per_c = 0.006;
+  double temperature_c = 25.0;
+  double reference_temp_c = 25.0;
+};
+
+class TagClock {
+ public:
+  explicit TagClock(const ClockConfig& cfg);
+
+  /// Actual oscillator frequency including error terms [Hz].
+  double actual_hz() const { return actual_hz_; }
+
+  /// Nominal tick period [us].
+  double tick_period_us() const { return 1e6 / cfg_.nominal_hz; }
+
+  /// Fractional frequency error (actual/nominal - 1).
+  double fractional_error() const;
+
+  /// Tick rounding direction when an ideal instant falls between ticks.
+  enum class Round { kUp, kDown };
+
+  /// Maps an ideal instant (us, relative to the phase-alignment edge at
+  /// t = 0) to the instant the tag's timer actually fires: the ideal
+  /// time is rounded to a whole number of nominal ticks (firmware
+  /// schedules in ticks; round window starts up and window ends down so
+  /// quantization never spills outside the subframe), then stretched by
+  /// the frequency error. Requires t_rel_us >= 0.
+  double realize_instant_us(double t_rel_us, Round round) const;
+
+  const ClockConfig& config() const { return cfg_; }
+
+ private:
+  ClockConfig cfg_;
+  double actual_hz_ = 0.0;
+};
+
+}  // namespace witag::tag

@@ -1,0 +1,63 @@
+#include "tag/device.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace witag::tag {
+
+TagDevice::TagDevice(const TagDeviceConfig& cfg)
+    : cfg_(cfg), clock_(cfg.clock) {
+  util::require(cfg.guard_us >= 0.0, "TagDevice: negative guard");
+}
+
+void TagDevice::set_payload(util::BitVec bits) {
+  util::require(!bits.empty(), "TagDevice::set_payload: empty payload");
+  payload_ = std::move(bits);
+  cursor_ = 0;
+}
+
+std::size_t TagDevice::pending_bits() const {
+  return payload_.size() - cursor_;
+}
+
+TagDevice::Plan TagDevice::respond(const QueryTiming& timing,
+                                   std::size_t n_data_subframes) {
+  util::require(!payload_.empty(), "TagDevice::respond: no payload set");
+  util::require(n_data_subframes > 0, "TagDevice::respond: no subframes");
+  util::require(timing.subframe_duration_us > 0.0,
+                "TagDevice::respond: bad subframe duration");
+
+  // Consume the next bits, cycling through the payload.
+  util::BitVec bits(n_data_subframes);
+  for (auto& b : bits) {
+    b = payload_[cursor_];
+    cursor_ = (cursor_ + 1) % payload_.size();
+  }
+
+  // The tag phase-aligns its tick counter at the last trigger edge (plus
+  // comparator/interrupt latency); all later instants are realized on
+  // its own clock from that origin.
+  const double origin = timing.align_edge_us + cfg_.trigger_latency_us;
+  const double d = timing.subframe_duration_us;
+
+  std::vector<AssertWindow> windows;
+  for (std::size_t k = 0; k < n_data_subframes; ++k) {
+    if (bits[k] & 1u) continue;  // bit 1 = leave the subframe alone
+    const double ideal_start =
+        timing.data_start_us + static_cast<double>(k) * d + cfg_.guard_us;
+    const double ideal_end =
+        timing.data_start_us + static_cast<double>(k + 1) * d - cfg_.guard_us;
+    if (ideal_end <= ideal_start) continue;  // guards ate the subframe
+    const double start =
+        origin + clock_.realize_instant_us(std::max(0.0, ideal_start - origin),
+                                           TagClock::Round::kUp);
+    const double end =
+        origin + clock_.realize_instant_us(std::max(0.0, ideal_end - origin),
+                                           TagClock::Round::kDown);
+    if (end > start) windows.emplace_back(start, end);
+  }
+  return Plan{std::move(bits), ReflectorControl(cfg_.rf_switch, std::move(windows))};
+}
+
+}  // namespace witag::tag

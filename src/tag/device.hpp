@@ -1,0 +1,65 @@
+// The WiTAG tag state machine.
+//
+// Per detected query, the device takes the next bits of its pending
+// payload and plans reflector assert windows: bit 0 -> assert during the
+// interior of that data subframe (guard bands keep tick-quantization and
+// clock drift from spilling into neighbours), bit 1 -> stay quiet. All
+// instants pass through the clock model, so crystal-vs-ring-oscillator
+// timing error shows up as real corruption misplacement.
+#pragma once
+
+#include <cstddef>
+
+#include "channel/tag_path.hpp"
+#include "tag/clock.hpp"
+#include "tag/reflector_ctl.hpp"
+#include "tag/trigger.hpp"
+#include "util/bits.hpp"
+
+namespace witag::tag {
+
+struct TagDeviceConfig {
+  ClockConfig clock;
+  SwitchConfig rf_switch;
+  channel::TagMode mode = channel::TagMode::kPhaseFlip;
+  /// Guard kept clear at each end of a corrupted subframe [us].
+  double guard_us = 4.0;
+  /// Comparator + interrupt latency from a real edge to the tag's
+  /// phase-alignment instant [us].
+  double trigger_latency_us = 1.0;
+};
+
+class TagDevice {
+ public:
+  explicit TagDevice(const TagDeviceConfig& cfg);
+
+  /// Queues payload bits; queries consume them in order, cycling when
+  /// exhausted (a sensor would refresh this buffer).
+  void set_payload(util::BitVec bits);
+
+  /// Bits still pending before the cycle restarts.
+  std::size_t pending_bits() const;
+
+  /// Result of planning one query response.
+  struct Plan {
+    util::BitVec bits;          ///< Bits assigned to the data subframes.
+    ReflectorControl control;   ///< Assert windows realized on the clock.
+  };
+
+  /// Plans the reflector schedule for a detected query with
+  /// `n_data_subframes` data subframes. Timing fields are relative to
+  /// the PPDU start (the session provides ideal timing, or trigger
+  /// detection provides measured timing). Requires a non-empty payload.
+  Plan respond(const QueryTiming& timing, std::size_t n_data_subframes);
+
+  const TagDeviceConfig& config() const { return cfg_; }
+  const TagClock& clock() const { return clock_; }
+
+ private:
+  TagDeviceConfig cfg_;
+  TagClock clock_;
+  util::BitVec payload_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace witag::tag

@@ -1,0 +1,68 @@
+#include "tag/envelope.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::tag {
+
+EnvelopeDetector::EnvelopeDetector(const EnvelopeConfig& cfg) {
+  util::require(cfg.sample_rate_hz > 0.0 && cfg.rc_cutoff_hz > 0.0,
+                "EnvelopeDetector: rates must be positive");
+  // One-pole IIR: alpha = dt / (RC + dt).
+  const double dt = 1.0 / cfg.sample_rate_hz;
+  const double rc = 1.0 / (2.0 * util::kPi * cfg.rc_cutoff_hz);
+  alpha_ = dt / (rc + dt);
+}
+
+std::vector<double> EnvelopeDetector::process(
+    std::span<const util::Cx> samples) {
+  std::vector<double> out(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    state_ += alpha_ * (std::abs(samples[i]) - state_);
+    out[i] = state_;
+  }
+  return out;
+}
+
+void EnvelopeDetector::reset() { state_ = 0.0; }
+
+Comparator::Comparator(const EnvelopeConfig& cfg)
+    : threshold_fraction_(cfg.threshold_fraction),
+      release_fraction_(cfg.release_fraction) {
+  util::require(cfg.threshold_fraction > 0.0 && cfg.threshold_fraction < 1.0,
+                "Comparator: threshold_fraction must be in (0, 1)");
+  util::require(cfg.release_fraction > 0.0 &&
+                    cfg.release_fraction <= cfg.threshold_fraction,
+                "Comparator: release_fraction must be in (0, threshold]");
+  util::require(cfg.peak_decay_s > 0.0, "Comparator: bad peak decay");
+  const double dt = 1.0 / cfg.sample_rate_hz;
+  peak_decay_ = std::exp(-dt / cfg.peak_decay_s);
+}
+
+std::vector<std::uint8_t> Comparator::process(
+    std::span<const double> envelope) {
+  std::vector<std::uint8_t> out(envelope.size());
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    peak_ = std::max(envelope[i], peak_ * peak_decay_);
+    if (state_ == 0 && envelope[i] > threshold_fraction_ * peak_) {
+      state_ = 1;
+    } else if (state_ == 1 && envelope[i] < release_fraction_ * peak_) {
+      state_ = 0;
+    }
+    out[i] = state_;
+  }
+  return out;
+}
+
+void Comparator::reset() {
+  peak_ = 0.0;
+  state_ = 0;
+}
+
+double Comparator::threshold() const {
+  return threshold_fraction_ * peak_;
+}
+
+}  // namespace witag::tag

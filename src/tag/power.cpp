@@ -1,0 +1,44 @@
+#include "tag/power.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::tag {
+namespace {
+
+// Anchors (see header): 20 MHz precision oscillator ~= 1.04 mW,
+// 20 MHz ring oscillator ~= 20 uW, 50 kHz crystal ~= 0.5 uW.
+constexpr double kCrystalFloorUw = 0.5;
+constexpr double kCrystalK = 2.6e-12;  // uW per Hz^2
+constexpr double kRingFloorUw = 0.05;
+constexpr double kRingK = 5.0e-14;  // uW per Hz^2
+
+constexpr double kComparatorUw = 0.8;
+constexpr double kLogicUw = 0.5;
+constexpr double kSwitchEnergyPj = 30.0;  // per toggle
+
+}  // namespace
+
+double oscillator_power_uw(OscillatorKind kind, double freq_hz) {
+  util::require(freq_hz > 0.0, "oscillator_power_uw: bad frequency");
+  switch (kind) {
+    case OscillatorKind::kCrystal:
+      return kCrystalFloorUw + kCrystalK * freq_hz * freq_hz;
+    case OscillatorKind::kRing:
+      return kRingFloorUw + kRingK * freq_hz * freq_hz;
+  }
+  util::ensure(false, "oscillator_power_uw: bad kind");
+  return 0.0;
+}
+
+PowerBreakdown estimate_power(const ClockConfig& clock,
+                              double toggle_rate_hz) {
+  util::require(toggle_rate_hz >= 0.0, "estimate_power: negative rate");
+  PowerBreakdown p;
+  p.oscillator_uw = oscillator_power_uw(clock.kind, clock.nominal_hz);
+  p.comparator_uw = kComparatorUw;
+  p.logic_uw = kLogicUw;
+  p.rf_switch_uw = kSwitchEnergyPj * 1e-12 * toggle_rate_hz * 1e6;  // pJ*Hz->uW
+  return p;
+}
+
+}  // namespace witag::tag

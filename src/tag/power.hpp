@@ -1,0 +1,38 @@
+// Tag power model (paper section 7).
+//
+// Oscillator power follows P = P_floor + k * f^2 with k chosen per
+// oscillator class so the paper's anchor points hold:
+//  - precision (crystal-derived) oscillators at 20 MHz burn > 1 mW,
+//  - ring oscillators at 20 MHz burn tens of microwatts,
+//  - a 50 kHz crystal clock costs well under a microwatt of dynamic
+//    power, leaving the whole tag at "a few microwatts".
+// The remaining terms (comparator, control logic, switch toggling) are
+// small constants plus an energy-per-toggle charge.
+#pragma once
+
+#include "tag/clock.hpp"
+
+namespace witag::tag {
+
+struct PowerBreakdown {
+  double oscillator_uw = 0.0;
+  double comparator_uw = 0.0;
+  double logic_uw = 0.0;
+  double rf_switch_uw = 0.0;
+
+  double total_uw() const {
+    return oscillator_uw + comparator_uw + logic_uw + rf_switch_uw;
+  }
+};
+
+/// Oscillator power [uW] for a class and frequency. `precision` selects
+/// a crystal-derived precision oscillator (vs a free-running ring
+/// oscillator, which is cheaper but drifts with temperature).
+double oscillator_power_uw(OscillatorKind kind, double freq_hz);
+
+/// Whole-tag power estimate at a clock configuration and average switch
+/// toggle rate. Requires toggle_rate_hz >= 0.
+PowerBreakdown estimate_power(const ClockConfig& clock,
+                              double toggle_rate_hz);
+
+}  // namespace witag::tag

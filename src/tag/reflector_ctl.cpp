@@ -1,0 +1,48 @@
+#include "tag/reflector_ctl.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace witag::tag {
+
+ReflectorControl::ReflectorControl(SwitchConfig cfg,
+                                   std::vector<AssertWindow> windows)
+    : cfg_(cfg), windows_(std::move(windows)) {
+  util::require(cfg_.transition_us >= 0.0,
+                "ReflectorControl: negative transition time");
+  std::sort(windows_.begin(), windows_.end());
+  // Merge overlapping/adjacent windows (consecutive zero bits).
+  std::vector<AssertWindow> merged;
+  for (const AssertWindow& w : windows_) {
+    util::require(w.second >= w.first, "ReflectorControl: inverted window");
+    if (!merged.empty() && w.first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, w.second);
+    } else {
+      merged.push_back(w);
+    }
+  }
+  windows_ = std::move(merged);
+}
+
+bool ReflectorControl::level_at(double t_us) const {
+  for (const AssertWindow& w : windows_) {
+    // The transition tail after each edge counts as asserted: a moving
+    // channel corrupts the symbol either way.
+    if (t_us >= w.first && t_us < w.second + cfg_.transition_us) return true;
+    if (w.first > t_us) break;
+  }
+  return false;
+}
+
+std::vector<std::uint8_t> ReflectorControl::slot_levels(
+    std::size_t n_slots, double symbol_us) const {
+  std::vector<std::uint8_t> levels(n_slots, 0);
+  for (std::size_t s = 0; s < n_slots; ++s) {
+    const double mid = (static_cast<double>(s) + 0.5) * symbol_us;
+    levels[s] = level_at(mid) ? 1 : 0;
+  }
+  return levels;
+}
+
+}  // namespace witag::tag

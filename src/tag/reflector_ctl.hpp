@@ -1,0 +1,48 @@
+// RF switch control: turns planned assert windows into the reflector
+// level actually present on the antenna at any instant, modeling the
+// SPDT switch's transition time (SKY13314-class parts switch in well
+// under a microsecond, but the model keeps it explicit so the ablation
+// benches can exaggerate it).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace witag::tag {
+
+/// A time interval [start_us, end_us) during which the tag asserts its
+/// corrupting reflector state.
+using AssertWindow = std::pair<double, double>;
+
+struct SwitchConfig {
+  /// Time for the SPDT switch to settle after a toggle [us].
+  double transition_us = 0.05;
+};
+
+class ReflectorControl {
+ public:
+  ReflectorControl(SwitchConfig cfg, std::vector<AssertWindow> windows);
+
+  /// Level at instant `t_us`: true while asserted. During a transition
+  /// the switch is treated as asserted (the channel is already moving,
+  /// which corrupts just like the settled state).
+  bool level_at(double t_us) const;
+
+  /// Per-OFDM-symbol levels for a PPDU of `n_slots` symbol slots: slot s
+  /// is asserted when the reflector is asserted at its midpoint.
+  std::vector<std::uint8_t> slot_levels(std::size_t n_slots,
+                                        double symbol_us = 4.0) const;
+
+  /// Number of switch toggles the plan costs (for the power model).
+  std::size_t toggle_count() const { return 2 * windows_.size(); }
+
+  std::span<const AssertWindow> windows() const { return windows_; }
+
+ private:
+  SwitchConfig cfg_;
+  std::vector<AssertWindow> windows_;  ///< Sorted, non-overlapping.
+};
+
+}  // namespace witag::tag

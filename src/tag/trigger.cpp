@@ -1,0 +1,96 @@
+#include "tag/trigger.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace witag::tag {
+namespace {
+
+struct Run {
+  std::uint8_t level;
+  std::size_t start;
+  std::size_t length;
+};
+
+std::vector<Run> run_lengths(std::span<const std::uint8_t> bits) {
+  std::vector<Run> runs;
+  for (std::size_t i = 0; i < bits.size();) {
+    const std::uint8_t level = bits[i] & 1u;
+    std::size_t j = i;
+    while (j < bits.size() && (bits[j] & 1u) == level) ++j;
+    runs.push_back({level, i, j - i});
+    i = j;
+  }
+  return runs;
+}
+
+bool close(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * std::max(a, b);
+}
+
+}  // namespace
+
+std::optional<QueryTiming> detect_trigger(
+    std::span<const std::uint8_t> comparator_bits, double sample_rate_hz,
+    const TriggerConfig& cfg) {
+  util::require(sample_rate_hz > 0.0, "detect_trigger: bad sample rate");
+  util::require(cfg.n_trigger_subframes >= 5,
+                "detect_trigger: need >= 5 trigger subframes");
+  const double us_per_sample = 1e6 / sample_rate_hz;
+  const auto runs = run_lengths(comparator_bits);
+
+  // Look for HIGH, LOW(D), HIGH(D), LOW(D), HIGH... where the first HIGH
+  // is the preamble+header region of any length.
+  for (std::size_t i = 0; i + 3 < runs.size(); ++i) {
+    if (runs[i].level != 1) continue;
+    const Run& low1 = runs[i + 1];
+    const Run& high1 = runs[i + 2];
+    const Run& low2 = runs[i + 3];
+    if (low1.level != 0 || high1.level != 1 || low2.level != 0) continue;
+
+    const double d1 = static_cast<double>(low1.length) * us_per_sample;
+    const double d2 = static_cast<double>(high1.length) * us_per_sample;
+    const double d3 = static_cast<double>(low2.length) * us_per_sample;
+    if (d1 < cfg.min_subframe_us || d1 > cfg.max_subframe_us) continue;
+    if (!close(d1, d2, cfg.duration_tolerance)) continue;
+    // The second LOW region spans (1 + code) subframes; recover the
+    // code from its length relative to the first LOW run.
+    const double ratio = d3 / d1;
+    const int code = static_cast<int>(std::lround(ratio)) - 1;
+    if (code < 0 || code > 8) continue;
+    if (!close(d3, (code + 1) * d1, cfg.duration_tolerance)) continue;
+    if (cfg.accept_code >= 0 && code != cfg.accept_code) continue;
+
+    QueryTiming timing;
+    timing.code = static_cast<unsigned>(code);
+    // Estimate D from same-polarity edge spacings: the RC detector lags
+    // rising and falling edges by different amounts, which biases raw
+    // run lengths, but the distance between two rising edges (or two
+    // falling edges) is a whole number of subframes with the lag
+    // cancelling: rise-to-rise = (2 + code) D, fall-to-fall = 2 D.
+    const double rise_to_rise =
+        static_cast<double>((low2.start + low2.length) -
+                            (low1.start + low1.length)) *
+        us_per_sample;
+    const double fall_to_fall =
+        static_cast<double>(low2.start - low1.start) * us_per_sample;
+    timing.subframe_duration_us =
+        (rise_to_rise + fall_to_fall) / static_cast<double>(4 + code);
+    // The last precise edge is the end of the second LOW region, i.e.
+    // the end of trigger subframe 3 + code.
+    timing.align_edge_us =
+        static_cast<double>(low2.start + low2.length) * us_per_sample;
+    // Data begins after the remaining HIGH trigger subframes, which
+    // merge into the data region on the comparator.
+    const double remaining =
+        static_cast<double>(cfg.n_trigger_subframes - 4 - timing.code);
+    timing.data_start_us =
+        timing.align_edge_us + remaining * timing.subframe_duration_us;
+    return timing;
+  }
+  return std::nullopt;
+}
+
+}  // namespace witag::tag

@@ -1,0 +1,60 @@
+// Trigger detection (paper section 7, "Query Packet Detection").
+//
+// Query A-MPDUs open with trigger subframes whose payloads produce the
+// alternating envelope pattern HIGH LOW HIGH LOW ... HIGH (the leading
+// and trailing subframes stay at full power to protect the PHY SERVICE
+// field and the first data subframe). On the tag's comparator output a
+// query appears as
+//
+//   HIGH (preamble + header + trigger sf0) | LOW D | HIGH D | LOW D |
+//   HIGH (trigger tail + data)...
+//
+// Seeing three alternating runs of matching duration D identifies a
+// query (other WiFi traffic lacks the alternation) and measures the
+// subframe duration in one shot — the tag needs no decoding at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace witag::tag {
+
+struct TriggerConfig {
+  /// Trigger subframes at the head of each query (>= 5: HIGH at both
+  /// ends with three measurable alternating runs in between). Queries
+  /// addressed with trigger code c stretch the second LOW region to
+  /// (1 + c) subframes, so n_trigger = 5 + c.
+  unsigned n_trigger_subframes = 5;
+  /// Only accept queries whose measured trigger code equals this tag's
+  /// address; -1 accepts any code (and reports it).
+  int accept_code = -1;
+  /// Relative tolerance when matching run durations.
+  double duration_tolerance = 0.25;
+  /// Plausible subframe duration bounds [us] (rejects random traffic).
+  double min_subframe_us = 8.0;
+  double max_subframe_us = 200.0;
+};
+
+/// What the tag learns from a detected query.
+struct QueryTiming {
+  double subframe_duration_us = 0.0;
+  /// Measured trigger code (second LOW region length ratio - 1); the
+  /// tag-addressing extension. 0 for plain queries.
+  unsigned code = 0;
+  /// Start of the first data subframe, relative to the start of the
+  /// comparator sample stream.
+  double data_start_us = 0.0;
+  /// The last precisely-observed comparator edge (the tag phase-aligns
+  /// its tick counter here).
+  double align_edge_us = 0.0;
+};
+
+/// Scans a comparator bit stream for the trigger pattern. `sample_rate_hz`
+/// is the rate of `comparator_bits`. Returns the measured timing or
+/// nullopt when no trigger is present.
+std::optional<QueryTiming> detect_trigger(
+    std::span<const std::uint8_t> comparator_bits, double sample_rate_hz,
+    const TriggerConfig& cfg);
+
+}  // namespace witag::tag

@@ -1,0 +1,70 @@
+#include "util/bits.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace witag::util {
+
+BitVec bytes_to_bits(std::span<const std::uint8_t> bytes) {
+  BitVec bits;
+  bits.reserve(bytes.size() * 8);
+  for (const std::uint8_t byte : bytes) {
+    for (unsigned i = 0; i < 8; ++i) {
+      bits.push_back(static_cast<std::uint8_t>((byte >> i) & 1u));
+    }
+  }
+  return bits;
+}
+
+ByteVec bits_to_bytes(std::span<const std::uint8_t> bits) {
+  ByteVec bytes((bits.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] & 1u) {
+      bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] | (1u << (i % 8)));
+    }
+  }
+  return bytes;
+}
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  const std::size_t common = std::min(a.size(), b.size());
+  std::size_t distance = std::max(a.size(), b.size()) - common;
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] != b[i]) ++distance;
+  }
+  return distance;
+}
+
+void BitWriter::write(std::uint64_t value, unsigned count) {
+  require(count <= 64, "BitWriter::write: count must be <= 64");
+  for (unsigned i = 0; i < count; ++i) {
+    bits_.push_back(static_cast<std::uint8_t>((value >> i) & 1u));
+  }
+}
+
+void BitWriter::write_bit(bool bit) {
+  bits_.push_back(bit ? std::uint8_t{1} : std::uint8_t{0});
+}
+
+void BitWriter::write_bits(std::span<const std::uint8_t> bits) {
+  for (const std::uint8_t b : bits) bits_.push_back(b & 1u);
+}
+
+std::uint64_t BitReader::read(unsigned count) {
+  require(count <= 64, "BitReader::read: count must be <= 64");
+  require(remaining() >= count, "BitReader::read: not enough bits");
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < count; ++i) {
+    value |= static_cast<std::uint64_t>(bits_[pos_++] & 1u) << i;
+  }
+  return value;
+}
+
+bool BitReader::read_bit() {
+  require(remaining() >= 1, "BitReader::read_bit: no bits left");
+  return (bits_[pos_++] & 1u) != 0;
+}
+
+}  // namespace witag::util

@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace witag::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    require(arg.rfind("--", 0) == 0,
+            "Args: options must start with -- (positional args unsupported)");
+    const std::string name = arg.substr(2);
+    require(!name.empty(), "Args: empty option name");
+    // A following token that is not itself an option is this option's
+    // value; otherwise it's a bare flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[name] = argv[++i];
+    } else {
+      values_[name] = "";
+    }
+  }
+}
+
+double Args::get_double(const std::string& name, double fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stod(it->second);
+}
+
+long Args::get_int(const std::string& name, long fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stol(it->second);
+}
+
+std::uint64_t Args::get_u64(const std::string& name,
+                            std::uint64_t fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return std::stoull(it->second);
+}
+
+std::string Args::get_string(const std::string& name,
+                             const std::string& fallback) const {
+  used_.insert(name);
+  const auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  return it->second;
+}
+
+bool Args::has(const std::string& name) const {
+  used_.insert(name);
+  return values_.contains(name);
+}
+
+std::set<std::string> Args::unused() const {
+  std::set<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (!used_.contains(name)) out.insert(name);
+  }
+  return out;
+}
+
+}  // namespace witag::util

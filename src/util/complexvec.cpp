@@ -1,0 +1,45 @@
+#include "util/complexvec.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace witag::util {
+
+double mean_power(std::span<const Cx> samples) {
+  if (samples.empty()) return 0.0;
+  return energy(samples) / static_cast<double>(samples.size());
+}
+
+double energy(std::span<const Cx> samples) {
+  double total = 0.0;
+  for (const Cx& s : samples) total += std::norm(s);
+  return total;
+}
+
+double evm(std::span<const Cx> rx, std::span<const Cx> ref) {
+  require(rx.size() == ref.size(), "evm: length mismatch");
+  require(!ref.empty(), "evm: empty input");
+  double err = 0.0;
+  double pow_ref = 0.0;
+  for (std::size_t i = 0; i < rx.size(); ++i) {
+    err += std::norm(rx[i] - ref[i]);
+    pow_ref += std::norm(ref[i]);
+  }
+  require(pow_ref > 0.0, "evm: zero reference power");
+  return std::sqrt(err / pow_ref);
+}
+
+void add_scaled(std::span<Cx> out, std::span<const Cx> in, Cx scale) {
+  require(out.size() == in.size(), "add_scaled: length mismatch");
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] += scale * in[i];
+}
+
+CxVec hadamard(std::span<const Cx> a, std::span<const Cx> b) {
+  require(a.size() == b.size(), "hadamard: length mismatch");
+  CxVec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+}  // namespace witag::util

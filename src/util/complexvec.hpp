@@ -1,0 +1,30 @@
+// Complex baseband sample helpers shared by the PHY and channel layers.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace witag::util {
+
+using Cx = std::complex<double>;
+using CxVec = std::vector<Cx>;
+
+/// Mean power (E[|x|^2]) of the samples; 0 for an empty span.
+double mean_power(std::span<const Cx> samples);
+
+/// Total energy (sum |x|^2).
+double energy(std::span<const Cx> samples);
+
+/// Error-vector magnitude between received and reference symbols,
+/// normalized by reference power: sqrt(E[|rx - ref|^2] / E[|ref|^2]).
+/// Requires equal, non-zero lengths and non-zero reference power.
+double evm(std::span<const Cx> rx, std::span<const Cx> ref);
+
+/// out[i] += scale * in[i]; requires equal lengths.
+void add_scaled(std::span<Cx> out, std::span<const Cx> in, Cx scale);
+
+/// Element-wise product a[i] * b[i]; requires equal lengths.
+CxVec hadamard(std::span<const Cx> a, std::span<const Cx> b);
+
+}  // namespace witag::util

@@ -1,0 +1,60 @@
+#include "util/crc.hpp"
+
+#include <array>
+
+namespace witag::util {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint8_t, 256> make_crc8_table() {
+  std::array<std::uint8_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint8_t c = static_cast<std::uint8_t>(i);
+    for (int k = 0; k < 8; ++k) {
+      c = static_cast<std::uint8_t>((c & 0x80u) ? ((c << 1) ^ 0x07u) : (c << 1));
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+const std::array<std::uint8_t, 256> kCrc8Table = make_crc8_table();
+
+}  // namespace
+
+std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
+
+std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state = kCrc32Table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+std::uint32_t crc32_final(std::uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  return crc32_final(crc32_update(crc32_init(), data));
+}
+
+std::uint8_t crc8(std::span<const std::uint8_t> data) {
+  std::uint8_t state = 0xFFu;
+  for (const std::uint8_t byte : data) {
+    state = kCrc8Table[state ^ byte];
+  }
+  return static_cast<std::uint8_t>(state ^ 0xFFu);
+}
+
+}  // namespace witag::util

@@ -1,0 +1,58 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/require.hpp"
+
+namespace witag::util {
+namespace {
+
+std::string escape(const std::string& v) {
+  if (v.find_first_of(",\"\n") == std::string::npos) return v;
+  std::string out = "\"";
+  for (const char c : v) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string> columns) {
+  require(columns_ == 0, "CsvWriter: header already written");
+  require(columns.size() > 0, "CsvWriter: empty header");
+  columns_ = columns.size();
+  bool first = true;
+  for (const auto& c : columns) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  require(columns_ > 0, "CsvWriter: header not written");
+  require(values.size() == columns_, "CsvWriter: arity mismatch");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(values[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace witag::util

@@ -1,0 +1,33 @@
+// Small CSV writer used by benches to export raw measurement data
+// alongside their console tables (so plots can be regenerated without
+// re-running the simulation).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace witag::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes the header row. Call once, before any row().
+  void header(std::initializer_list<std::string> columns);
+
+  /// Writes one data row; values are escaped if they contain commas or
+  /// quotes. Requires the same arity as the header.
+  void row(const std::vector<std::string>& values);
+
+  /// Convenience: formats doubles with 6 significant digits.
+  static std::string num(double v);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace witag::util

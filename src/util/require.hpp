@@ -1,0 +1,23 @@
+// Contract-check helpers (C++ Core Guidelines I.6/I.8 style).
+//
+// `require` guards preconditions on public APIs: violations are programmer
+// errors and throw std::invalid_argument so tests can assert on them.
+// `ensure` guards internal invariants and throws std::logic_error.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace witag::util {
+
+/// Throws std::invalid_argument with `what` unless `cond` holds.
+inline void require(bool cond, const char* what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+/// Throws std::logic_error with `what` unless `cond` holds.
+inline void ensure(bool cond, const char* what) {
+  if (!cond) throw std::logic_error(what);
+}
+
+}  // namespace witag::util

@@ -1,0 +1,123 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::util {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo must not exceed hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_int(std::uint64_t n) {
+  require(n > 0, "Rng::uniform_int: n must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v = next_u64();
+  while (v >= limit) v = next_u64();
+  return v % n;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  spare_normal_ = r * std::sin(2.0 * kPi * u2);
+  has_spare_ = true;
+  return r * std::cos(2.0 * kPi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  require(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+std::complex<double> Rng::complex_normal(double variance) {
+  require(variance >= 0.0, "Rng::complex_normal: variance must be >= 0");
+  const double sigma = std::sqrt(variance / 2.0);
+  return {normal(0.0, sigma), normal(0.0, sigma)};
+}
+
+unsigned Rng::poisson(double lambda) {
+  require(lambda >= 0.0, "Rng::poisson: lambda must be non-negative");
+  if (lambda == 0.0) return 0;
+  if (lambda > 30.0) {
+    const double v = normal(lambda, std::sqrt(lambda));
+    return v <= 0.0 ? 0u : static_cast<unsigned>(std::lround(v));
+  }
+  const double threshold = std::exp(-lambda);
+  unsigned k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > threshold);
+  return k - 1;
+}
+
+std::vector<std::uint8_t> Rng::bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(next_u64() & 0xFF);
+  return out;
+}
+
+std::vector<std::uint8_t> Rng::bits(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(next_u64() & 1);
+  return out;
+}
+
+}  // namespace witag::util

@@ -1,0 +1,72 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace witag::util {
+
+void Running::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Running::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Running::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> data, double q) {
+  require(!data.empty(), "percentile: empty data");
+  require(q >= 0.0 && q <= 1.0, "percentile: q must be in [0, 1]");
+  std::sort(data.begin(), data.end());
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+Ecdf::Ecdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  require(!sorted_.empty(), "Ecdf: empty samples");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Ecdf::at(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double q) const {
+  require(q > 0.0 && q <= 1.0, "Ecdf::quantile: q must be in (0, 1]");
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size()))) - 1;
+  return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials) {
+  require(successes <= trials, "wilson_interval: successes > trials");
+  if (trials == 0) return {0.0, 1.0};
+  const double z = 1.959963985;  // 95%
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = p + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {(center - margin) / denom, (center + margin) / denom};
+}
+
+}  // namespace witag::util

@@ -1,0 +1,60 @@
+// Statistics helpers for experiment harnesses: running moments,
+// percentiles, empirical CDFs, and binomial confidence intervals for BER
+// estimates.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace witag::util {
+
+/// Welford running mean/variance accumulator.
+class Running {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated percentile of unsorted data; q in [0, 1].
+/// Requires non-empty data.
+double percentile(std::vector<double> data, double q);
+
+/// Empirical CDF: sorted sample values with cumulative probabilities.
+class Ecdf {
+ public:
+  explicit Ecdf(std::vector<double> samples);
+
+  /// P(X <= x) under the empirical distribution.
+  double at(double x) const;
+
+  /// Smallest sample v with P(X <= v) >= q; q in (0, 1].
+  double quantile(double q) const;
+
+  const std::vector<double>& samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Wilson score interval for a binomial proportion at ~95% confidence.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Interval wilson_interval(std::size_t successes, std::size_t trials);
+
+}  // namespace witag::util

@@ -1,0 +1,49 @@
+// Physical constants and unit helpers shared across the testbed.
+//
+// The simulator works in SI base units (seconds, meters, hertz, linear
+// power ratios); these helpers keep dB<->linear and wavelength conversions
+// in one audited place.
+#pragma once
+
+#include <cmath>
+
+namespace witag::util {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Center frequency of 2.4 GHz WiFi channel 6 [Hz].
+inline constexpr double kWifi24GHz = 2.437e9;
+
+/// Center frequency of a 5 GHz WiFi channel (ch 36) [Hz].
+inline constexpr double kWifi5GHz = 5.18e9;
+
+/// 802.11n 20 MHz channel bandwidth [Hz].
+inline constexpr double kBandwidth20MHz = 20e6;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Converts a power ratio in dB to linear scale.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Converts a linear power ratio to dB.
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+
+/// Converts dBm to watts.
+inline double dbm_to_watts(double dbm) { return 1e-3 * db_to_linear(dbm); }
+
+/// Converts watts to dBm.
+inline double watts_to_dbm(double w) { return linear_to_db(w / 1e-3); }
+
+/// Wavelength [m] at carrier frequency `hz`.
+inline double wavelength(double hz) { return kSpeedOfLight / hz; }
+
+/// Thermal noise power [W] in bandwidth `bw_hz` at temperature `kelvin`.
+inline double thermal_noise_watts(double bw_hz, double kelvin = 290.0) {
+  return kBoltzmann * kelvin * bw_hz;
+}
+
+}  // namespace witag::util

@@ -1,0 +1,68 @@
+#include "witag/config.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::core {
+namespace {
+
+tag::TagDeviceConfig prototype_tag_device() {
+  tag::TagDeviceConfig dev;
+  // The paper's prototype drives the SKY13314 switch from an
+  // AT91SAM3X8E; its timer gives microsecond-grade switching. The
+  // aspirational 50 kHz clock is studied in tab_throughput_model and
+  // tab_power_oscillator.
+  dev.clock.kind = tag::OscillatorKind::kCrystal;
+  dev.clock.nominal_hz = 1e6;
+  dev.clock.crystal_ppm = 20.0;
+  dev.guard_us = 4.0;
+  dev.trigger_latency_us = 1.0;
+  return dev;
+}
+
+}  // namespace
+
+SessionConfig los_testbed_config(double tag_to_client_m, std::uint64_t seed) {
+  util::require(tag_to_client_m > 0.0 && tag_to_client_m < 8.0,
+                "los_testbed_config: tag must sit between client and AP");
+  const auto layout = channel::figure4_testbed();
+  SessionConfig cfg;
+  cfg.ap_pos = layout.ap;
+  cfg.client_pos = layout.client_los;
+  // Tag on the client->AP line (both at y = 3.5, AP east of client).
+  cfg.tag_pos = {cfg.client_pos.x + tag_to_client_m, cfg.client_pos.y};
+  cfg.plan = layout.plan;
+  cfg.tag_device = prototype_tag_device();
+  // LOS lab with a few students around.
+  cfg.fading.n_scatterers = 3;
+  cfg.fading.scatterer_strength = 1.5;
+  cfg.fading.blocking_rate_hz = 0.02;
+  cfg.time_dilation = 200.0;  // one-minute measurements, sampled sparsely
+  cfg.seed = seed;
+  return cfg;
+}
+
+SessionConfig nlos_testbed_config(bool location_b, std::uint64_t seed) {
+  const auto layout = channel::figure4_testbed();
+  SessionConfig cfg;
+  cfg.ap_pos = layout.ap;
+  cfg.client_pos = location_b ? layout.location_b : layout.location_a;
+  // Tag 1 m from the client, toward the AP.
+  const double dx = layout.ap.x - cfg.client_pos.x;
+  const double dy = layout.ap.y - cfg.client_pos.y;
+  const double d = channel::distance(layout.ap, cfg.client_pos);
+  cfg.tag_pos = {cfg.client_pos.x + dx / d, cfg.client_pos.y + dy / d};
+  cfg.plan = layout.plan;
+  cfg.tag_device = prototype_tag_device();
+  // Students working and moving near the AP and the client.
+  cfg.fading.n_scatterers = 4;
+  cfg.fading.blocking_rate_hz = 0.015;
+  cfg.fading.blocking_mean_s = 0.2;
+  cfg.fading.blocking_loss_db = location_b ? 10.0 : 8.0;
+  // The far rooms see less co-channel traffic than the main lab.
+  cfg.fading.interference_rate_hz = 8.0;
+  cfg.time_dilation = 200.0;  // one-minute measurements, sampled sparsely
+  cfg.seed = seed;
+  return cfg;
+}
+
+}  // namespace witag::core

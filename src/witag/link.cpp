@@ -1,0 +1,174 @@
+#include "witag/link.hpp"
+
+#include "util/crc.hpp"
+#include "util/require.hpp"
+
+namespace witag::core {
+namespace {
+
+constexpr std::size_t kHeaderRawBits = 16;  // preamble + length
+constexpr std::size_t kCrcRawBits = 8;
+
+std::size_t encoded_bits(std::size_t raw_bits, TagFec fec) {
+  switch (fec) {
+    case TagFec::kNone: return raw_bits;
+    case TagFec::kRepetition3: return raw_bits * 3;
+    case TagFec::kHamming74: return (raw_bits / 4) * 7;
+  }
+  util::ensure(false, "encoded_bits: bad fec");
+  return 0;
+}
+
+// Hamming(7,4) codeword layout: [p1 p2 d0 p3 d1 d2 d3].
+std::array<std::uint8_t, 7> hamming_encode4(std::uint8_t d0, std::uint8_t d1,
+                                            std::uint8_t d2, std::uint8_t d3) {
+  const std::uint8_t p1 = d0 ^ d1 ^ d3;
+  const std::uint8_t p2 = d0 ^ d2 ^ d3;
+  const std::uint8_t p3 = d1 ^ d2 ^ d3;
+  return {p1, p2, d0, p3, d1, d2, d3};
+}
+
+}  // namespace
+
+util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
+  switch (fec) {
+    case TagFec::kNone:
+      return util::BitVec(bits.begin(), bits.end());
+    case TagFec::kRepetition3: {
+      util::BitVec out;
+      out.reserve(bits.size() * 3);
+      for (const std::uint8_t b : bits) {
+        out.push_back(b & 1u);
+        out.push_back(b & 1u);
+        out.push_back(b & 1u);
+      }
+      return out;
+    }
+    case TagFec::kHamming74: {
+      util::require(bits.size() % 4 == 0,
+                    "fec_encode: Hamming(7,4) needs a multiple of 4 bits");
+      util::BitVec out;
+      out.reserve((bits.size() / 4) * 7);
+      for (std::size_t i = 0; i < bits.size(); i += 4) {
+        const auto cw = hamming_encode4(bits[i] & 1u, bits[i + 1] & 1u,
+                                        bits[i + 2] & 1u, bits[i + 3] & 1u);
+        out.insert(out.end(), cw.begin(), cw.end());
+      }
+      return out;
+    }
+  }
+  util::ensure(false, "fec_encode: bad fec");
+  return {};
+}
+
+FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
+  FecDecodeResult result;
+  switch (fec) {
+    case TagFec::kNone:
+      result.bits.assign(bits.begin(), bits.end());
+      return result;
+    case TagFec::kRepetition3: {
+      util::require(bits.size() % 3 == 0,
+                    "fec_decode: repetition needs a multiple of 3 bits");
+      result.bits.reserve(bits.size() / 3);
+      for (std::size_t i = 0; i < bits.size(); i += 3) {
+        const unsigned sum = (bits[i] & 1u) + (bits[i + 1] & 1u) +
+                             (bits[i + 2] & 1u);
+        const std::uint8_t majority = sum >= 2 ? 1 : 0;
+        if (sum == 1 || sum == 2) ++result.corrected;
+        result.bits.push_back(majority);
+      }
+      return result;
+    }
+    case TagFec::kHamming74: {
+      util::require(bits.size() % 7 == 0,
+                    "fec_decode: Hamming(7,4) needs a multiple of 7 bits");
+      result.bits.reserve((bits.size() / 7) * 4);
+      for (std::size_t i = 0; i < bits.size(); i += 7) {
+        std::array<std::uint8_t, 7> cw{};
+        for (std::size_t k = 0; k < 7; ++k) cw[k] = bits[i + k] & 1u;
+        const std::uint8_t s1 = cw[0] ^ cw[2] ^ cw[4] ^ cw[6];
+        const std::uint8_t s2 = cw[1] ^ cw[2] ^ cw[5] ^ cw[6];
+        const std::uint8_t s3 = cw[3] ^ cw[4] ^ cw[5] ^ cw[6];
+        const unsigned syndrome =
+            static_cast<unsigned>(s1) | (static_cast<unsigned>(s2) << 1) |
+            (static_cast<unsigned>(s3) << 2);
+        if (syndrome != 0) {
+          cw[syndrome - 1] ^= 1u;
+          ++result.corrected;
+        }
+        result.bits.push_back(cw[2]);
+        result.bits.push_back(cw[4]);
+        result.bits.push_back(cw[5]);
+        result.bits.push_back(cw[6]);
+      }
+      return result;
+    }
+  }
+  util::ensure(false, "fec_decode: bad fec");
+  return result;
+}
+
+util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
+                              TagFec fec) {
+  util::require(payload.size() <= kMaxTagPayload,
+                "encode_tag_frame: payload too large");
+  util::ByteVec check;
+  check.push_back(static_cast<std::uint8_t>(payload.size()));
+  check.insert(check.end(), payload.begin(), payload.end());
+
+  util::BitWriter w;
+  w.write(kTagPreamble, 8);
+  w.write(payload.size(), 8);
+  for (const std::uint8_t b : payload) w.write(b, 8);
+  w.write(util::crc8(check), 8);
+  return fec_encode(w.bits(), fec);
+}
+
+std::size_t tag_frame_bits(std::size_t payload_bytes, TagFec fec) {
+  return encoded_bits(kHeaderRawBits + 8 * payload_bytes + kCrcRawBits, fec);
+}
+
+std::optional<DecodedTagFrame> decode_tag_frame(
+    std::span<const std::uint8_t> bits, std::size_t offset, TagFec fec) {
+  const std::size_t header_enc = encoded_bits(kHeaderRawBits, fec);
+  for (std::size_t i = offset; i + header_enc <= bits.size(); ++i) {
+    const FecDecodeResult header =
+        fec_decode(bits.subspan(i, header_enc), fec);
+    util::BitReader r(header.bits);
+    if (r.read(8) != kTagPreamble) continue;
+    const auto length = static_cast<std::size_t>(r.read(8));
+    const std::size_t frame_enc = tag_frame_bits(length, fec);
+    if (i + frame_enc > bits.size()) continue;
+
+    const FecDecodeResult body = fec_decode(bits.subspan(i, frame_enc), fec);
+    util::BitReader br(body.bits);
+    br.read(8);  // preamble (already matched)
+    util::ByteVec check;
+    check.push_back(static_cast<std::uint8_t>(br.read(8)));
+    util::ByteVec payload(length);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(br.read(8));
+    check.insert(check.end(), payload.begin(), payload.end());
+    if (static_cast<std::uint8_t>(br.read(8)) != util::crc8(check)) continue;
+
+    DecodedTagFrame out;
+    out.payload = std::move(payload);
+    out.next_offset = i + frame_enc;
+    out.corrected_bits = body.corrected;
+    return out;
+  }
+  return std::nullopt;
+}
+
+std::vector<DecodedTagFrame> decode_tag_stream(
+    std::span<const std::uint8_t> bits, TagFec fec) {
+  std::vector<DecodedTagFrame> frames;
+  std::size_t offset = 0;
+  while (auto frame = decode_tag_frame(bits, offset, fec)) {
+    offset = frame->next_offset;
+    frames.push_back(std::move(*frame));
+  }
+  return frames;
+}
+
+}  // namespace witag::core

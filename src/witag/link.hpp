@@ -1,0 +1,60 @@
+// Tag-link framing and error control.
+//
+// The paper leaves error detection/correction on the tag link as future
+// work (section 4.1); this module implements it. A tag frame is
+//
+//   preamble (8 bits, 0xB5) | length (8 bits) | payload | CRC-8
+//
+// optionally protected by FEC (3x repetition or Hamming(7,4)) applied to
+// the whole frame. The decoder scans a raw bit stream (the concatenated
+// block-ack bits across queries, possibly with gaps from lost rounds),
+// resynchronizes on the preamble and validates the CRC.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace witag::core {
+
+enum class TagFec { kNone, kRepetition3, kHamming74 };
+
+inline constexpr std::uint8_t kTagPreamble = 0xB5;
+inline constexpr std::size_t kMaxTagPayload = 255;
+
+/// Encodes a payload into the bit stream the tag transmits.
+/// Requires payload.size() <= kMaxTagPayload.
+util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
+                              TagFec fec);
+
+/// Number of channel bits one frame of `payload_bytes` occupies.
+std::size_t tag_frame_bits(std::size_t payload_bytes, TagFec fec);
+
+struct DecodedTagFrame {
+  util::ByteVec payload;
+  std::size_t next_offset = 0;  ///< Stream offset just past this frame.
+  std::size_t corrected_bits = 0;  ///< FEC corrections performed.
+};
+
+/// Scans `bits` from `offset` for the next valid frame. Returns nullopt
+/// when no frame with a valid CRC exists in the remaining stream.
+std::optional<DecodedTagFrame> decode_tag_frame(
+    std::span<const std::uint8_t> bits, std::size_t offset, TagFec fec);
+
+/// Decodes every recoverable frame in a stream.
+std::vector<DecodedTagFrame> decode_tag_stream(
+    std::span<const std::uint8_t> bits, TagFec fec);
+
+/// FEC primitives (exposed for tests and ablations).
+util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec);
+struct FecDecodeResult {
+  util::BitVec bits;
+  std::size_t corrected = 0;
+};
+/// Requires the input length to be a multiple of the FEC block size.
+FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec);
+
+}  // namespace witag::core

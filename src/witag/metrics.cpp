@@ -1,0 +1,93 @@
+#include "witag/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace witag::core {
+
+void LinkMetrics::record_round(std::span<const std::uint8_t> sent,
+                               const std::vector<bool>& received,
+                               bool round_lost, double airtime_us) {
+  util::require(round_lost || sent.size() == received.size(),
+                "LinkMetrics::record_round: size mismatch");
+  util::require(airtime_us >= 0.0, "LinkMetrics::record_round: bad airtime");
+  ++rounds_;
+  elapsed_us_ += airtime_us;
+  bits_ += sent.size();
+  if (round_lost) {
+    ++rounds_lost_;
+    errors_ += sent.size();
+    return;
+  }
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    const bool sent_one = (sent[i] & 1u) != 0;
+    if (sent_one == received[i]) continue;
+    ++errors_;
+    if (sent_one) {
+      ++false_;  // quiet subframe failed anyway
+    } else {
+      ++missed_;  // corruption did not stick
+    }
+  }
+}
+
+double LinkMetrics::ber() const {
+  if (bits_ == 0) return 0.0;
+  return static_cast<double>(errors_) / static_cast<double>(bits_);
+}
+
+double LinkMetrics::goodput_kbps() const {
+  if (elapsed_us_ <= 0.0) return 0.0;
+  const double good = static_cast<double>(bits_ - errors_);
+  return good / (elapsed_us_ / 1e6) / 1e3;
+}
+
+double LinkMetrics::raw_rate_kbps() const {
+  if (elapsed_us_ <= 0.0) return 0.0;
+  return static_cast<double>(bits_) / (elapsed_us_ / 1e6) / 1e3;
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  util::require(cells.size() == headers_.size(),
+                "Table::add_row: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+         << cells[c];
+    }
+    os << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule.append(widths[c] + 2, '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace witag::core

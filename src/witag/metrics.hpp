@@ -1,0 +1,70 @@
+// Measurement bookkeeping for WiTAG experiments: BER against the bits
+// the tag actually scheduled, throughput from standards airtime, and
+// simple console/CSV table reporting shared by the benches.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace witag::core {
+
+/// Accumulates per-round outcomes into link-level metrics.
+class LinkMetrics {
+ public:
+  /// Records one query round: the bits the tag sent, the bits the client
+  /// read from the block ack, and the exchange airtime.
+  /// `round_lost` marks exchanges with no usable block ack (every bit of
+  /// the round is then wrong-or-missing; they count as errors).
+  void record_round(std::span<const std::uint8_t> sent,
+                    const std::vector<bool>& received, bool round_lost,
+                    double airtime_us);
+
+  std::size_t bits() const { return bits_; }
+  std::size_t bit_errors() const { return errors_; }
+  /// Tag sent 0 (corrupt) but the subframe was acked: missed corruption.
+  std::size_t missed_corruptions() const { return missed_; }
+  /// Tag sent 1 (quiet) but the subframe failed: false corruption.
+  std::size_t false_corruptions() const { return false_; }
+  std::size_t rounds() const { return rounds_; }
+  std::size_t rounds_lost() const { return rounds_lost_; }
+  double elapsed_us() const { return elapsed_us_; }
+
+  /// Bit error rate over everything recorded.
+  double ber() const;
+
+  /// Successfully delivered tag bits per second [Kbps] — the paper's
+  /// "number of bits sent successfully over one second".
+  double goodput_kbps() const;
+
+  /// Raw tag bit rate [Kbps] ignoring errors.
+  double raw_rate_kbps() const;
+
+ private:
+  std::size_t bits_ = 0;
+  std::size_t errors_ = 0;
+  std::size_t missed_ = 0;
+  std::size_t false_ = 0;
+  std::size_t rounds_ = 0;
+  std::size_t rounds_lost_ = 0;
+  double elapsed_us_ = 0.0;
+};
+
+/// Minimal fixed-width table printer used by the bench binaries.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string num(double v, int digits = 3);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace witag::core

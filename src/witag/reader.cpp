@@ -1,0 +1,67 @@
+#include "witag/reader.hpp"
+
+#include "util/require.hpp"
+
+namespace witag::core {
+
+Reader::Reader(Session& session, ReaderConfig cfg)
+    : session_(session), cfg_(cfg) {
+  util::require(cfg.max_rounds_per_frame > 0,
+                "Reader: need a positive round budget");
+  util::require(cfg.stream_cap_bits >= 1024, "Reader: stream cap too small");
+}
+
+void Reader::load_tag(std::size_t tag_index,
+                      std::span<const std::uint8_t> payload) {
+  session_.tag_device(tag_index).set_payload(
+      encode_tag_frame(payload, cfg_.fec));
+}
+
+double Reader::Stats::frame_goodput_kbps(std::size_t payload_bytes) const {
+  if (airtime_us <= 0.0) return 0.0;
+  const double bits = static_cast<double>(frames_ok * payload_bytes * 8);
+  return bits / (airtime_us / 1e6) / 1e3;
+}
+
+Reader::PollResult Reader::poll_frame(unsigned address) {
+  if (streams_.size() <= address) streams_.resize(address + 1);
+  util::BitVec& stream = streams_[address];
+
+  PollResult result;
+  for (std::size_t round = 0; round < cfg_.max_rounds_per_frame; ++round) {
+    const Session::RoundResult r = session_.run_round_addressed(address);
+    ++result.rounds;
+    ++stats_.rounds;
+    stats_.airtime_us += r.airtime_us;
+    result.airtime_us += r.airtime_us;
+    if (r.lost) {
+      // Nothing usable arrived this round; the frame CRC + preamble
+      // resync absorb the gap.
+      ++stats_.rounds_lost;
+      continue;
+    }
+    for (const bool bit : r.received) stream.push_back(bit ? 1 : 0);
+
+    if (auto frame = decode_tag_frame(stream, 0, cfg_.fec)) {
+      stream.erase(stream.begin(),
+                   stream.begin() +
+                       static_cast<std::ptrdiff_t>(frame->next_offset));
+      result.ok = true;
+      result.payload = std::move(frame->payload);
+      result.fec_corrected = frame->corrected_bits;
+      ++stats_.frames_ok;
+      return result;
+    }
+    // Bound the buffer: drop the oldest bits (they can no longer start
+    // a frame we would still care about).
+    if (stream.size() > cfg_.stream_cap_bits) {
+      stream.erase(stream.begin(),
+                   stream.begin() + static_cast<std::ptrdiff_t>(
+                                        stream.size() - cfg_.stream_cap_bits));
+    }
+  }
+  ++stats_.polls_failed;
+  return result;
+}
+
+}  // namespace witag::core

@@ -1,0 +1,71 @@
+// Reader: the application-level API a deployment would actually use.
+//
+// Wraps a Session and turns raw block-ack bit streams into framed,
+// FEC-protected tag messages: it keeps a per-tag stream buffer across
+// queries (frames may straddle A-MPDU boundaries and survive lost
+// rounds via preamble resync), retries up to a round budget, and keeps
+// running statistics. With multiple tags it polls by address using the
+// trigger-code extension.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "witag/link.hpp"
+#include "witag/session.hpp"
+
+namespace witag::core {
+
+struct ReaderConfig {
+  /// FEC the tags apply to their frames (reader must match).
+  TagFec fec = TagFec::kRepetition3;
+  /// Maximum query rounds spent per poll_frame call.
+  std::size_t max_rounds_per_frame = 64;
+  /// Stream buffer cap per tag [bits]; oldest bits are dropped beyond it.
+  std::size_t stream_cap_bits = 1 << 16;
+};
+
+class Reader {
+ public:
+  /// The session must outlive the reader.
+  Reader(Session& session, ReaderConfig cfg);
+
+  struct PollResult {
+    bool ok = false;
+    util::ByteVec payload;
+    std::size_t rounds = 0;           ///< Queries spent in this poll.
+    std::size_t fec_corrected = 0;    ///< Channel bits FEC repaired.
+    double airtime_us = 0.0;
+  };
+
+  /// Queries tag `address` until one whole frame decodes or the round
+  /// budget runs out. Leftover bits stay buffered for the next poll.
+  PollResult poll_frame(unsigned address = 0);
+
+  /// Aggregate statistics across every poll.
+  struct Stats {
+    std::size_t frames_ok = 0;
+    std::size_t polls_failed = 0;
+    std::size_t rounds = 0;
+    std::size_t rounds_lost = 0;
+    double airtime_us = 0.0;
+
+    /// Delivered frame payload bits per second of airtime [Kbps].
+    double frame_goodput_kbps(std::size_t payload_bytes) const;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Loads a tag with a framed payload using the reader's FEC (test and
+  /// example convenience; a real sensor frames its own readings).
+  void load_tag(std::size_t tag_index, std::span<const std::uint8_t> payload);
+
+ private:
+  Session& session_;
+  ReaderConfig cfg_;
+  /// Per-address stream buffers (indexed by trigger code).
+  std::vector<util::BitVec> streams_;
+  Stats stats_;
+};
+
+}  // namespace witag::core

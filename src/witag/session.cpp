@@ -1,0 +1,278 @@
+#include "witag/session.hpp"
+
+#include <cmath>
+
+#include "channel/pathloss.hpp"
+#include "mac/airtime.hpp"
+#include "mac/rate_ctrl.hpp"
+#include "tag/envelope.hpp"
+#include "util/require.hpp"
+#include "util/units.hpp"
+
+namespace witag::core {
+namespace {
+
+constexpr double kIdleNoisePrefixUs = 20.0;  // quiet air before the PPDU
+
+}  // namespace
+
+Session::Session(SessionConfig cfg)
+    : cfg_(std::move(cfg)),
+      rng_(cfg_.seed),
+      client_(mac::make_address(0x01), mac::make_address(0x02),
+              cfg_.security),
+      ap_(mac::make_address(0x02), cfg_.security) {
+  channel::LinkGeometry geo;
+  geo.tx = cfg_.client_pos;
+  geo.rx = cfg_.ap_pos;
+  geo.plan = cfg_.plan;
+  geo.reflectors = cfg_.reflectors.empty()
+                       ? channel::default_room_reflectors(geo.tx, geo.rx)
+                       : cfg_.reflectors;
+
+  channel::TagPathConfig tag_path;
+  tag_path.position = cfg_.tag_pos;
+  tag_path.strength = cfg_.tag_strength;
+  tag_path.mode = cfg_.tag_mode;
+
+  channel_ = std::make_unique<channel::ChannelModel>(
+      cfg_.radio, std::move(geo), tag_path, cfg_.fading, rng_.next_u64());
+
+  // Primary tag.
+  tags_.push_back(TagUnit{tag::TagDevice(cfg_.tag_device), cfg_.tag_address,
+                          link_amp_to(cfg_.tag_pos)});
+  // Extra tags share the primary's device configuration.
+  for (const auto& extra : cfg_.extra_tags) {
+    channel::TagPathConfig path;
+    path.position = extra.position;
+    path.strength = extra.strength;
+    path.mode = cfg_.tag_mode;
+    channel_->add_tag(path);
+    tags_.push_back(TagUnit{tag::TagDevice(cfg_.tag_device), extra.address,
+                            link_amp_to(extra.position)});
+  }
+
+  tag_noise_var_ =
+      util::thermal_noise_watts(20e6, cfg_.radio.temperature_k) *
+      util::db_to_linear(cfg_.tag_detector_nf_db);
+
+  layout_ = plan_query(cfg_.query, cfg_.query.mcs_index, cfg_.security.mode,
+                       tags_[0].device.clock().tick_period_us(),
+                       cfg_.tag_device.guard_us);
+
+  // Default payloads: deterministic pseudo-random bits per tag.
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    tags_[t].device.set_payload(
+        util::Rng(cfg_.seed ^ (0x7461677331ull + t)).bits(4096));
+  }
+}
+
+double Session::link_amp_to(channel::Point2 tag_pos) const {
+  const double d = channel::distance(cfg_.client_pos, tag_pos);
+  const double wall_db =
+      cfg_.plan.penetration_loss_db(cfg_.client_pos, tag_pos);
+  const double gain = std::abs(channel::attenuate(
+      channel::direct_gain(d, cfg_.radio.carrier_hz), wall_db));
+  return gain * std::sqrt(util::dbm_to_watts(cfg_.radio.tx_power_dbm) / 56.0);
+}
+
+double Session::draw_backoff_us() {
+  return static_cast<double>(rng_.uniform_int(mac::kCwMin + 1)) * mac::kSlotUs;
+}
+
+const QueryLayout& Session::layout_for(unsigned address) {
+  if (address == cfg_.query.trigger_code) return layout_;
+  if (layout_cache_.size() <= address) layout_cache_.resize(address + 1);
+  if (!layout_cache_[address]) {
+    QueryConfig qcfg = cfg_.query;
+    qcfg.trigger_code = address;
+    qcfg.n_trigger = std::max(qcfg.n_trigger, 5 + address);
+    // layout_.mcs_index tracks select_rate()'s choice.
+    layout_cache_[address] =
+        plan_query(qcfg, layout_.mcs_index, cfg_.security.mode,
+                   tags_[0].device.clock().tick_period_us(),
+                   cfg_.tag_device.guard_us);
+  }
+  return *layout_cache_[address];
+}
+
+std::optional<tag::QueryTiming> Session::tag_timing(const QueryFrame& frame,
+                                                    const TagUnit& unit) {
+  if (cfg_.trigger_mode == TriggerMode::kIdeal) {
+    // A real tag only reacts to queries carrying its address; the ideal
+    // mode applies the same filter without the envelope render.
+    if (frame.layout.trigger_code != unit.address) return std::nullopt;
+    return frame.layout.ideal_timing();
+  }
+
+  // Envelope path: render the header + trigger region to time-domain
+  // samples as seen by this tag (flat client->tag gain), run the
+  // envelope detector + comparator + correlator with the tag's address
+  // filter.
+  const std::size_t slots_needed =
+      phy::kHeaderSlots +
+      static_cast<std::size_t>(frame.layout.n_trigger + 1) *
+          frame.layout.symbols_per_subframe;
+  const std::size_t prefix =
+      static_cast<std::size_t>(kIdleNoisePrefixUs * phy::kSampleRateHz / 1e6);
+
+  util::CxVec samples;
+  samples.reserve(prefix + slots_needed * phy::kSamplesPerSymbol);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    samples.push_back(rng_.complex_normal(tag_noise_var_));
+  }
+  for (std::size_t s = 0; s < slots_needed && s < frame.ppdu.symbols.size();
+       ++s) {
+    const util::CxVec block = phy::to_time(frame.ppdu.symbols[s]);
+    for (const util::Cx& x : block) {
+      samples.push_back(x * frame.slot_scale[s] * unit.link_amp +
+                        rng_.complex_normal(tag_noise_var_));
+    }
+  }
+
+  tag::EnvelopeConfig env_cfg;
+  env_cfg.sample_rate_hz = phy::kSampleRateHz;
+  tag::EnvelopeDetector detector(env_cfg);
+  tag::Comparator comparator(env_cfg);
+  const auto envelope = detector.process(samples);
+  const auto bits = comparator.process(envelope);
+
+  tag::TriggerConfig trig_cfg;
+  trig_cfg.n_trigger_subframes = frame.layout.n_trigger;
+  trig_cfg.accept_code = static_cast<int>(unit.address);
+  auto timing = tag::detect_trigger(bits, phy::kSampleRateHz, trig_cfg);
+  if (!timing) return std::nullopt;
+  // Re-reference from stream start to PPDU start.
+  timing->align_edge_us -= kIdleNoisePrefixUs;
+  timing->data_start_us -= kIdleNoisePrefixUs;
+  return timing;
+}
+
+Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
+  QueryFrame frame =
+      build_query(layout_for(address), client_, cfg_.query.trigger_low_scale);
+
+  RoundResult result;
+
+  // Tag side: every tag hears the query; each plans its own schedule
+  // (only the addressed one should detect/respond).
+  std::vector<std::vector<std::uint8_t>> levels(tags_.size());
+  bool addressed_tag_heard = false;
+  if (tag_active) {
+    for (std::size_t t = 0; t < tags_.size(); ++t) {
+      const auto timing = tag_timing(frame, tags_[t]);
+      if (!timing) continue;
+      tag::TagDevice::Plan plan =
+          tags_[t].device.respond(*timing, frame.layout.n_data_subframes);
+      levels[t] = plan.control.slot_levels(frame.ppdu.symbols.size());
+      if (tags_[t].address == address) {
+        result.sent = std::move(plan.bits);
+        addressed_tag_heard = true;
+      }
+    }
+    if (!addressed_tag_heard) {
+      result.trigger_detected = false;
+      result.lost = true;
+    }
+  }
+
+  // Air: per-symbol channel application with the trigger envelope scale.
+  std::vector<phy::FreqSymbol> tx = frame.ppdu.symbols;
+  for (std::size_t s = 0; s < tx.size(); ++s) {
+    if (frame.slot_scale[s] == 1.0) continue;
+    for (auto& bin : tx[s]) bin *= frame.slot_scale[s];
+  }
+  const auto rx_syms = channel_->apply_multi(tx, levels);
+
+  // AP side: PHY receive, deaggregate, FCS-check, block ack.
+  phy::RxConfig rx_cfg;
+  rx_cfg.cpe_correction = cfg_.cpe_correction;
+  const phy::RxResult rx = phy::receive(rx_syms, rx_cfg);
+
+  std::optional<mac::BlockAck> ba;
+  if (rx.sig_ok) {
+    const auto psdu_result = ap_.receive_psdu(rx.psdu);
+    result.subframes_valid = psdu_result.subframes_valid;
+    ba = psdu_result.block_ack;
+  }
+
+  // Client side: read the tag bits out of the block ack.
+  const auto outcomes = client_.subframe_outcomes(ba);
+  result.received.assign(
+      outcomes.begin() + frame.layout.n_trigger, outcomes.end());
+  if (!ba) result.lost = true;
+
+  // Airtime accounting for the exchange.
+  const auto airtime =
+      mac::ampdu_exchange(frame.ppdu.duration_us(), draw_backoff_us());
+  result.airtime_us = airtime.total_us() + cfg_.inter_query_gap_us;
+
+  channel_->advance(result.airtime_us * cfg_.time_dilation / 1e6);
+  return result;
+}
+
+Session::RoundResult Session::run_round() {
+  return exchange(true, cfg_.query.trigger_code);
+}
+
+Session::RoundResult Session::run_round_addressed(unsigned address) {
+  return exchange(true, address);
+}
+
+double Session::probe_subframe_success() {
+  const RoundResult r = exchange(false, cfg_.query.trigger_code);
+  std::size_t ok = 0;
+  for (const bool b : r.received) ok += b ? 1 : 0;
+  if (r.received.empty()) return 0.0;
+  return static_cast<double>(ok) / static_cast<double>(r.received.size());
+}
+
+unsigned Session::select_rate() {
+  mac::RateSelector selector;
+  while (const auto probe = selector.next_probe()) {
+    QueryLayout saved = layout_;
+    bool planned = false;
+    try {
+      layout_ = plan_query(cfg_.query, *probe, cfg_.security.mode,
+                           tags_[0].device.clock().tick_period_us(),
+                           cfg_.tag_device.guard_us);
+      planned = true;
+    } catch (const std::invalid_argument&) {
+      layout_ = saved;
+    }
+    if (!planned) {
+      // This MCS cannot form valid queries; treat as total failure.
+      selector.record(*probe, 0,
+                      static_cast<std::size_t>(layout_.n_data_subframes));
+      continue;
+    }
+    const RoundResult r = exchange(false, cfg_.query.trigger_code);
+    std::size_t ok = 0;
+    for (const bool b : r.received) ok += b ? 1 : 0;
+    selector.record(*probe, ok, r.received.size());
+  }
+  const unsigned mcs = selector.selected();
+  layout_ = plan_query(cfg_.query, mcs, cfg_.security.mode,
+                       tags_[0].device.clock().tick_period_us(),
+                       cfg_.tag_device.guard_us);
+  layout_cache_.clear();  // cached layouts used the old MCS
+  return mcs;
+}
+
+Session::RunStats Session::run(std::size_t rounds) {
+  RunStats stats;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const RoundResult r = run_round();
+    if (!r.trigger_detected) ++stats.triggers_missed;
+    if (r.lost) {
+      stats.metrics.record_round(r.sent, {}, true, r.airtime_us);
+    } else {
+      stats.metrics.record_round(r.sent, r.received, false, r.airtime_us);
+    }
+  }
+  stats.mean_snr_db = channel_->mean_snr_db();
+  stats.tag_perturbation_db = channel_->tag_perturbation_db();
+  return stats;
+}
+
+}  // namespace witag::core

@@ -1,0 +1,97 @@
+// End-to-end WiTAG session: client STA -> (channel + tag) -> AP STA ->
+// block ack -> client, exactly the two-step exchange of the paper's
+// Figure 2. The session owns every component and advances simulated time
+// from standards airtime, so BER and throughput come from the same
+// mechanics the paper measures.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "channel/channel_model.hpp"
+#include "mac/station.hpp"
+#include "tag/device.hpp"
+#include "util/rng.hpp"
+#include "witag/config.hpp"
+#include "witag/metrics.hpp"
+#include "witag/query.hpp"
+
+namespace witag::core {
+
+class Session {
+ public:
+  explicit Session(SessionConfig cfg);
+
+  /// Outcome of one query/block-ack exchange.
+  struct RoundResult {
+    util::BitVec sent;           ///< Bits the tag scheduled.
+    std::vector<bool> received;  ///< Client's reading per data subframe.
+    bool lost = false;           ///< No usable block ack / missed trigger.
+    bool trigger_detected = true;
+    double airtime_us = 0.0;
+    std::size_t subframes_valid = 0;  ///< FCS-valid subframes at the AP.
+  };
+
+  /// Runs one exchange with the tag(s) active, addressing the tag whose
+  /// address matches cfg.query.trigger_code.
+  RoundResult run_round();
+
+  /// Addresses a specific tag (multi-tag extension): the query's trigger
+  /// pattern carries `address`, so only the matching tag answers and
+  /// RoundResult::sent holds that tag's bits.
+  RoundResult run_round_addressed(unsigned address);
+
+  /// Runs `rounds` exchanges and accumulates metrics.
+  struct RunStats {
+    LinkMetrics metrics;
+    std::size_t triggers_missed = 0;
+    double mean_snr_db = 0.0;
+    double tag_perturbation_db = 0.0;
+  };
+  RunStats run(std::size_t rounds);
+
+  /// Applies the paper's section 4.1 rate rule: probes MCS 7 downward
+  /// with the tag idle until one achieves near-zero subframe errors,
+  /// re-plans the query layout for it, and returns the choice.
+  unsigned select_rate();
+
+  /// Runs one exchange with the tag idle and reports the fraction of
+  /// subframes the AP acked (used by select_rate and diagnostics).
+  double probe_subframe_success();
+
+  tag::TagDevice& tag_device() { return tags_[0].device; }
+  /// Device of tag `i` (0 = primary, then extra tags in config order).
+  tag::TagDevice& tag_device(std::size_t i) { return tags_.at(i).device; }
+  std::size_t tag_count() const { return tags_.size(); }
+  channel::ChannelModel& channel() { return *channel_; }
+  const QueryLayout& layout() const { return layout_; }
+  const SessionConfig& config() const { return cfg_; }
+
+ private:
+  struct TagUnit {
+    tag::TagDevice device;
+    unsigned address = 0;
+    double link_amp = 0.0;  ///< Client->tag amplitude for envelope mode.
+  };
+
+  RoundResult exchange(bool tag_active, unsigned address);
+  double draw_backoff_us();
+  std::optional<tag::QueryTiming> tag_timing(const QueryFrame& frame,
+                                             const TagUnit& unit);
+  const QueryLayout& layout_for(unsigned address);
+  double link_amp_to(channel::Point2 tag_pos) const;
+
+  SessionConfig cfg_;
+  util::Rng rng_;
+  std::unique_ptr<channel::ChannelModel> channel_;
+  mac::Client client_;
+  mac::AccessPoint ap_;
+  std::vector<TagUnit> tags_;
+  QueryLayout layout_;
+  /// Layout cache for addressed queries (index = trigger code).
+  std::vector<std::optional<QueryLayout>> layout_cache_;
+  double tag_noise_var_ = 0.0;      ///< Noise at the tag detector [W].
+};
+
+}  // namespace witag::core

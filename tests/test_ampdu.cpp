@@ -1,0 +1,130 @@
+#include "mac/ampdu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mac/mpdu.hpp"
+#include "util/rng.hpp"
+
+namespace witag::mac {
+namespace {
+
+std::vector<util::ByteVec> sample_mpdus(std::size_t count, std::size_t body) {
+  std::vector<util::ByteVec> mpdus;
+  util::Rng rng(count * 1000 + body);
+  for (std::size_t i = 0; i < count; ++i) {
+    Mpdu m;
+    m.header.addr1 = make_address(1);
+    m.header.addr2 = make_address(2);
+    m.header.addr3 = make_address(1);
+    m.header.sequence = static_cast<std::uint16_t>(i);
+    m.body = rng.bytes(body);
+    mpdus.push_back(serialize_mpdu(m));
+  }
+  return mpdus;
+}
+
+TEST(Ampdu, DelimiterRoundTrip) {
+  for (const std::size_t len : {0u, 1u, 52u, 260u, 4095u}) {
+    const auto d = make_delimiter(len);
+    EXPECT_EQ(check_delimiter(d), static_cast<int>(len));
+  }
+}
+
+TEST(Ampdu, DelimiterRejectsCorruption) {
+  auto d = make_delimiter(100);
+  d[0] ^= 1;
+  EXPECT_EQ(check_delimiter(d), -1);
+  d = make_delimiter(100);
+  d[2] ^= 0x10;  // CRC byte
+  EXPECT_EQ(check_delimiter(d), -1);
+  d = make_delimiter(100);
+  d[3] = 0x00;  // signature
+  EXPECT_EQ(check_delimiter(d), -1);
+}
+
+TEST(Ampdu, DelimiterRejectsOversizedLength) {
+  EXPECT_THROW(make_delimiter(4096), std::invalid_argument);
+}
+
+class AmpduCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AmpduCounts, AggregateDeaggregateRoundTrip) {
+  const auto mpdus = sample_mpdus(GetParam(), 40);
+  const util::ByteVec psdu = aggregate(mpdus);
+  const auto subframes = deaggregate(psdu);
+  ASSERT_EQ(subframes.size(), mpdus.size());
+  for (std::size_t i = 0; i < mpdus.size(); ++i) {
+    EXPECT_EQ(subframes[i].mpdu, mpdus[i]) << "subframe " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, AmpduCounts,
+                         ::testing::Values(1, 2, 7, 63, 64));
+
+TEST(Ampdu, PsduIsFourByteAligned) {
+  const auto mpdus = sample_mpdus(5, 33);  // forces padding
+  const util::ByteVec psdu = aggregate(mpdus);
+  EXPECT_EQ(psdu.size() % 4, 0u);
+}
+
+TEST(Ampdu, SubframeOffsetsAreAligned) {
+  const auto mpdus = sample_mpdus(8, 41);
+  const auto subframes = deaggregate(aggregate(mpdus));
+  for (const Subframe& sf : subframes) {
+    EXPECT_EQ(sf.offset % 4, 0u);
+  }
+}
+
+TEST(Ampdu, CorruptedDelimiterSkipsOnlyThatSubframe) {
+  const auto mpdus = sample_mpdus(6, 60);
+  util::ByteVec psdu = aggregate(mpdus);
+  // Corrupt the delimiter of subframe 2.
+  const auto subframes = deaggregate(psdu);
+  psdu[subframes[2].offset + 3] = 0x00;  // kill its signature
+  const auto after = deaggregate(psdu);
+  // Subframe 2's delimiter is gone; the hunt resynchronizes at 3.
+  ASSERT_EQ(after.size(), mpdus.size() - 1);
+  EXPECT_EQ(after[0].mpdu, mpdus[0]);
+  EXPECT_EQ(after[1].mpdu, mpdus[1]);
+  EXPECT_EQ(after[2].mpdu, mpdus[3]);
+}
+
+TEST(Ampdu, CorruptedMpduBodyStillDeaggregates) {
+  // Body corruption (what the tag causes) leaves delimiters intact:
+  // deaggregation yields all subframes; the FCS check catches the bad one.
+  const auto mpdus = sample_mpdus(4, 80);
+  util::ByteVec psdu = aggregate(mpdus);
+  const auto before = deaggregate(psdu);
+  psdu[before[1].offset + kDelimiterBytes + 30] ^= 0xFF;
+  const auto after = deaggregate(psdu);
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_TRUE(fcs_ok(after[0].mpdu));
+  EXPECT_FALSE(fcs_ok(after[1].mpdu));
+  EXPECT_TRUE(fcs_ok(after[2].mpdu));
+  EXPECT_TRUE(fcs_ok(after[3].mpdu));
+}
+
+TEST(Ampdu, GarbagePsduYieldsNothing) {
+  util::Rng rng(3);
+  // Random bytes: delimiter (CRC8 + signature) false-positive rate is
+  // ~2^-16 per position, so a short garbage buffer yields no subframes.
+  const util::ByteVec garbage = rng.bytes(512);
+  EXPECT_TRUE(deaggregate(garbage).empty());
+}
+
+TEST(Ampdu, RejectsEmptyAndOversizedAggregates) {
+  EXPECT_THROW(aggregate({}), std::invalid_argument);
+  const auto too_many = sample_mpdus(65, 10);
+  EXPECT_THROW(aggregate(too_many), std::invalid_argument);
+}
+
+TEST(Ampdu, TruncatedFinalSubframeIsDropped) {
+  const auto mpdus = sample_mpdus(3, 50);
+  util::ByteVec psdu = aggregate(mpdus);
+  psdu.resize(psdu.size() - 20);  // chop into the last MPDU
+  const auto subframes = deaggregate(psdu);
+  EXPECT_EQ(subframes.size(), 2u);
+}
+
+}  // namespace
+}  // namespace witag::mac

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "baselines/compare.hpp"
+#include "baselines/freerider.hpp"
+#include "baselines/hitchhike.hpp"
+#include "baselines/moxcatter.hpp"
+
+namespace witag::baselines {
+namespace {
+
+TEST(Common, VictimCollisionProbability) {
+  EXPECT_DOUBLE_EQ(victim_collision_probability(0.0, 100.0, 1000.0), 0.0);
+  const double p = victim_collision_probability(100.0, 1000.0, 1000.0);
+  EXPECT_GT(p, 0.15);
+  EXPECT_LT(p, 0.25);  // 1 - exp(-0.2)
+  // More tag traffic -> more collisions.
+  EXPECT_GT(victim_collision_probability(500.0, 1000.0, 1000.0), p);
+}
+
+TEST(Common, LinkBudgetOrders) {
+  TwoApGeometry geo;
+  const BackscatterLink link = two_ap_link(geo, 7.0, 2.437e9);
+  EXPECT_GT(link.direct_amp, 0.0);
+  EXPECT_GT(link.backscatter_amp, 0.0);
+  // The two-hop backscatter path is far weaker than the direct path.
+  EXPECT_LT(link.backscatter_amp, link.direct_amp);
+}
+
+TEST(Hitchhike, NominalDeploymentDecodes) {
+  util::Rng rng(1);
+  HitchhikeConfig cfg;
+  const auto result = run_hitchhike(cfg, 10, rng);
+  ASSERT_TRUE(result.works);
+  EXPECT_GT(result.tag_bits, 0u);
+  EXPECT_LT(result.ber, 0.01);
+  EXPECT_NEAR(result.instantaneous_rate_kbps, 1000.0, 1.0);  // 1 Mcw/s
+}
+
+TEST(Hitchhike, UnmodifiedApGate) {
+  util::Rng rng(2);
+  HitchhikeConfig cfg;
+  cfg.modified_ap = false;
+  const auto result = run_hitchhike(cfg, 1, rng);
+  EXPECT_FALSE(result.works);
+}
+
+TEST(Hitchhike, EncryptionGate) {
+  util::Rng rng(3);
+  HitchhikeConfig cfg;
+  cfg.encrypted = true;
+  EXPECT_FALSE(run_hitchhike(cfg, 1, rng).works);
+}
+
+TEST(Hitchhike, TemperatureDriftGate) {
+  util::Rng rng(4);
+  HitchhikeConfig cfg;
+  cfg.temperature_offset_c = 5.0;  // 600 kHz shift >> tolerance
+  EXPECT_FALSE(run_hitchhike(cfg, 1, rng).works);
+  cfg.temperature_offset_c = 0.5;  // 60 kHz: within tolerance
+  EXPECT_TRUE(run_hitchhike(cfg, 1, rng).works);
+}
+
+TEST(Hitchhike, DqpskModeAlsoWorks) {
+  util::Rng rng(5);
+  HitchhikeConfig cfg;
+  cfg.rate = phy::dsss::DsssRate::kDqpsk2Mbps;
+  const auto result = run_hitchhike(cfg, 10, rng);
+  ASSERT_TRUE(result.works);
+  EXPECT_LT(result.ber, 0.01);
+}
+
+TEST(Freerider, NominalDeploymentDecodes) {
+  util::Rng rng(6);
+  FreeriderConfig cfg;
+  const auto result = run_freerider(cfg, 10, rng);
+  ASSERT_TRUE(result.works);
+  EXPECT_LT(result.ber, 0.01);
+  EXPECT_NEAR(result.instantaneous_rate_kbps, 250.0, 1.0);
+}
+
+TEST(Freerider, Gates) {
+  util::Rng rng(7);
+  FreeriderConfig cfg;
+  cfg.modified_ap = false;
+  EXPECT_FALSE(run_freerider(cfg, 1, rng).works);
+  cfg.modified_ap = true;
+  cfg.encrypted = true;
+  EXPECT_FALSE(run_freerider(cfg, 1, rng).works);
+  cfg.encrypted = false;
+  cfg.temperature_offset_c = 5.0;
+  EXPECT_FALSE(run_freerider(cfg, 1, rng).works);
+}
+
+TEST(Moxcatter, NominalDeploymentDecodes) {
+  util::Rng rng(8);
+  MoxcatterConfig cfg;
+  const auto result = run_moxcatter(cfg, 20, rng);
+  ASSERT_TRUE(result.works);
+  EXPECT_LT(result.ber, 0.1);
+  // One bit per packet: orders of magnitude below the per-symbol tags.
+  EXPECT_NEAR(result.instantaneous_rate_kbps, 2.0, 0.1);
+}
+
+TEST(Moxcatter, Gates) {
+  util::Rng rng(9);
+  MoxcatterConfig cfg;
+  cfg.encrypted = true;
+  EXPECT_FALSE(run_moxcatter(cfg, 1, rng).works);
+}
+
+TEST(Comparison, MatrixMatchesPaperClaims) {
+  const auto rows = build_comparison_matrix(1234, 6, 6);
+  ASSERT_EQ(rows.size(), 4u);
+
+  const SystemRow& witag_row = rows[0];
+  EXPECT_EQ(witag_row.system, "WiTAG");
+  EXPECT_TRUE(witag_row.works_unmodified_ap);
+  EXPECT_TRUE(witag_row.works_encrypted);
+  EXPECT_FALSE(witag_row.needs_second_ap);
+  EXPECT_FALSE(witag_row.interferes_secondary);
+  EXPECT_LT(witag_row.oscillator_power_uw, 1.0);
+  EXPECT_GT(witag_row.throughput_kbps, 20.0);
+
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const SystemRow& r = rows[i];
+    EXPECT_FALSE(r.works_unmodified_ap) << r.system;
+    EXPECT_FALSE(r.works_encrypted) << r.system;
+    EXPECT_TRUE(r.needs_second_ap) << r.system;
+    EXPECT_TRUE(r.interferes_secondary) << r.system;
+    EXPECT_DOUBLE_EQ(r.oscillator_hz, kChannelShiftOscillatorHz);
+    // Ring oscillator at 20 MHz: tens of microwatts, far above WiTAG's.
+    EXPECT_GT(r.oscillator_power_uw, 10.0 * witag_row.oscillator_power_uw);
+  }
+
+  // Throughput ordering: HitchHike/FreeRider per-codeword rates beat
+  // WiTAG's; MOXcatter's per-packet rate is far below it (paper: the
+  // field spans 1 Kbps - 300 Kbps).
+  EXPECT_GT(rows[1].throughput_kbps, witag_row.throughput_kbps);
+  EXPECT_GT(rows[2].throughput_kbps, witag_row.throughput_kbps);
+  EXPECT_LT(rows[3].throughput_kbps, witag_row.throughput_kbps);
+}
+
+}  // namespace
+}  // namespace witag::baselines

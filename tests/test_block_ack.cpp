@@ -1,0 +1,88 @@
+#include "mac/block_ack.hpp"
+
+#include <gtest/gtest.h>
+
+namespace witag::mac {
+namespace {
+
+TEST(BlockAck, SeqOffsetBasics) {
+  EXPECT_EQ(seq_offset(100, 100), 0);
+  EXPECT_EQ(seq_offset(100, 163), 63);
+  EXPECT_EQ(seq_offset(100, 164), -1);
+  EXPECT_EQ(seq_offset(100, 99), -1);
+}
+
+TEST(BlockAck, SeqOffsetWrapsAround4096) {
+  EXPECT_EQ(seq_offset(4090, 5), 11);
+  EXPECT_EQ(seq_offset(4095, 0), 1);
+  EXPECT_EQ(seq_offset(10, 4000), -1);
+}
+
+TEST(BlockAck, SetAndTest) {
+  BlockAck ba;
+  ba.start_seq = 50;
+  ba.set_received(50);
+  ba.set_received(113);
+  EXPECT_TRUE(ba.received(50));
+  EXPECT_TRUE(ba.received(113));
+  EXPECT_FALSE(ba.received(51));
+  EXPECT_FALSE(ba.received(49));
+  EXPECT_FALSE(ba.received(114));
+}
+
+TEST(BlockAck, SetOutsideWindowThrows) {
+  BlockAck ba;
+  ba.start_seq = 0;
+  EXPECT_THROW(ba.set_received(64), std::invalid_argument);
+  EXPECT_THROW(ba.set_received(4095), std::invalid_argument);
+}
+
+TEST(BlockAck, SerializeParseRoundTrip) {
+  BlockAck ba;
+  ba.start_seq = 3000;
+  ba.set_received(3000);
+  ba.set_received(3010);
+  ba.set_received(3063);
+  const auto parsed = parse_block_ack(serialize_block_ack(ba));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, ba);
+}
+
+TEST(BlockAck, SerializedSizeIsTwelveBytes) {
+  EXPECT_EQ(serialize_block_ack(BlockAck{}).size(), 12u);
+}
+
+TEST(BlockAck, ParseRejectsGarbage) {
+  EXPECT_FALSE(parse_block_ack(util::ByteVec(5, 0)).has_value());
+  util::ByteVec wrong(12, 0);
+  wrong[0] = 0xFF;  // bad BA control
+  EXPECT_FALSE(parse_block_ack(wrong).has_value());
+}
+
+TEST(BlockAck, SubframeFlagsMatchBitmap) {
+  BlockAck ba;
+  ba.start_seq = 10;
+  ba.set_received(10);
+  ba.set_received(12);
+  const auto flags = subframe_flags(ba, 5);
+  ASSERT_EQ(flags.size(), 5u);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_FALSE(flags[1]);
+  EXPECT_TRUE(flags[2]);
+  EXPECT_FALSE(flags[3]);
+  EXPECT_FALSE(flags[4]);
+}
+
+TEST(BlockAck, SubframeFlagsLimit) {
+  EXPECT_THROW(subframe_flags(BlockAck{}, 65), std::invalid_argument);
+}
+
+TEST(BlockAck, FullWindowBitmap) {
+  BlockAck ba;
+  ba.start_seq = 0;
+  for (std::uint16_t s = 0; s < 64; ++s) ba.set_received(s);
+  EXPECT_EQ(ba.bitmap, ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace witag::mac

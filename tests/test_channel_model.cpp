@@ -1,0 +1,211 @@
+#include "channel/channel_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/ppdu.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace witag::channel {
+namespace {
+
+RadioConfig radio() { return RadioConfig{}; }
+
+LinkGeometry los_link() {
+  LinkGeometry geo;
+  geo.tx = {0.0, 0.0};
+  geo.rx = {8.0, 0.0};
+  geo.reflectors = default_room_reflectors(geo.tx, geo.rx);
+  return geo;
+}
+
+FadingConfig no_fading() {
+  FadingConfig f;
+  f.n_scatterers = 0;
+  f.blocking_rate_hz = 0.0;
+  f.interference_rate_hz = 0.0;
+  return f;
+}
+
+TagPathConfig mid_tag() {
+  return TagPathConfig{{4.0, 0.0}, 7.0, TagMode::kPhaseFlip};
+}
+
+TEST(ChannelModel, SnrIsPlausibleForEightMeterLosLink) {
+  ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 1);
+  const double snr = ch.mean_snr_db();
+  // Commodity WiFi at 8 m LOS: tens of dB.
+  EXPECT_GT(snr, 35.0);
+  EXPECT_LT(snr, 70.0);
+}
+
+TEST(ChannelModel, CfrIsFrequencySelective) {
+  ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 2);
+  const phy::FreqSymbol h = ch.cfr(false);
+  double min_mag = 1e9;
+  double max_mag = 0.0;
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    const double m = std::abs(h[bin]);
+    if (m == 0.0) continue;
+    min_mag = std::min(min_mag, m);
+    max_mag = std::max(max_mag, m);
+  }
+  EXPECT_GT(max_mag / min_mag, 1.01);  // multipath ripple exists
+}
+
+TEST(ChannelModel, UnusedBinsAreZero) {
+  ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 3);
+  const phy::FreqSymbol h = ch.cfr(false);
+  EXPECT_EQ(h[0], util::Cx{});                       // DC
+  EXPECT_EQ(h[phy::bin_index(29)], util::Cx{});      // beyond +28
+  EXPECT_EQ(h[phy::bin_index(-29)], util::Cx{});
+}
+
+TEST(ChannelModel, TagTogglesChannel) {
+  ChannelModel ch(radio(), los_link(), mid_tag(), no_fading(), 4);
+  const phy::FreqSymbol off = ch.cfr(false);
+  const phy::FreqSymbol on = ch.cfr(true);
+  double delta = 0.0;
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    delta += std::abs(on[bin] - off[bin]);
+  }
+  EXPECT_GT(delta, 0.0);
+}
+
+TEST(ChannelModel, NoTagMeansNoToggle) {
+  ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 5);
+  const phy::FreqSymbol off = ch.cfr(false);
+  const phy::FreqSymbol on = ch.cfr(true);
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    EXPECT_EQ(on[bin], off[bin]);
+  }
+}
+
+TEST(ChannelModel, PerturbationFollowsTagPosition) {
+  // Mid-link tag perturbs least (radar 1/(Ds Dr) law).
+  auto perturb_at = [&](double x) {
+    TagPathConfig tag{{x, 0.0}, 7.0, TagMode::kPhaseFlip};
+    ChannelModel ch(radio(), los_link(), tag, no_fading(), 6);
+    return ch.tag_perturbation_db();
+  };
+  const double mid = perturb_at(4.0);
+  EXPECT_GT(perturb_at(1.0), mid);
+  EXPECT_GT(perturb_at(7.0), mid);
+}
+
+TEST(ChannelModel, PhaseFlipBeatsOpenShort) {
+  TagPathConfig os = mid_tag();
+  os.mode = TagMode::kOpenShort;
+  ChannelModel ch_os(radio(), los_link(), os, no_fading(), 7);
+  ChannelModel ch_pf(radio(), los_link(), mid_tag(), no_fading(), 7);
+  // 2x the channel change = ~+6 dB perturbation. The normalization
+  // differs slightly between modes (the phase-flip tag's resting
+  // reflection is part of its baseline channel), so allow some slack.
+  const double gain_db =
+      ch_pf.tag_perturbation_db() - ch_os.tag_perturbation_db();
+  EXPECT_GT(gain_db, 4.0);
+  EXPECT_LT(gain_db, 8.0);
+}
+
+TEST(ChannelModel, AdvanceEvolvesChannelOnlyWithFading) {
+  FadingConfig moving = no_fading();
+  moving.n_scatterers = 3;
+  ChannelModel ch(radio(), los_link(), std::nullopt, moving, 8);
+  const phy::FreqSymbol before = ch.cfr(false);
+  ch.advance(0.5);
+  const phy::FreqSymbol after = ch.cfr(false);
+  double delta = 0.0;
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    delta += std::abs(after[bin] - before[bin]);
+  }
+  EXPECT_GT(delta, 0.0);
+
+  ChannelModel still(radio(), los_link(), std::nullopt, no_fading(), 9);
+  const phy::FreqSymbol b2 = still.cfr(false);
+  still.advance(0.5);
+  const phy::FreqSymbol a2 = still.cfr(false);
+  for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+    EXPECT_EQ(a2[bin], b2[bin]);
+  }
+}
+
+TEST(ChannelModel, ApplyAddsCalibratedNoise) {
+  ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 10);
+  // Send zero symbols: output is pure noise with the advertised variance.
+  std::vector<phy::FreqSymbol> tx(200);
+  const auto rx = ch.apply(tx, {});
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& sym : rx) {
+    for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+      const auto k = bin < 32 ? static_cast<int>(bin)
+                              : static_cast<int>(bin) - 64;
+      if (k == 0 || k < -28 || k > 28) continue;
+      acc += std::norm(sym[bin]);
+      ++n;
+    }
+  }
+  EXPECT_NEAR(acc / static_cast<double>(n), ch.noise_variance(),
+              ch.noise_variance() * 0.1);
+}
+
+TEST(ChannelModel, ApplyRespectsTagLevels) {
+  ChannelModel ch(radio(), los_link(), mid_tag(), no_fading(), 11);
+  // Unit impulses on one subcarrier over 2 symbols, tag asserted on the
+  // second only.
+  std::vector<phy::FreqSymbol> tx(2);
+  const unsigned bin = phy::bin_index(7);
+  tx[0][bin] = util::Cx{1.0, 0.0};
+  tx[1][bin] = util::Cx{1.0, 0.0};
+  const std::vector<std::uint8_t> levels{0, 1};
+  const auto rx = ch.apply(tx, levels);
+  const util::Cx expected_off = ch.cfr(false)[bin];
+  const util::Cx expected_on = ch.cfr(true)[bin];
+  // Noise floor is ~120 dB below signal here, so direct compare works.
+  EXPECT_NEAR(std::abs(rx[0][bin] - expected_off), 0.0,
+              std::abs(expected_off) * 1e-2);
+  EXPECT_NEAR(std::abs(rx[1][bin] - expected_on), 0.0,
+              std::abs(expected_on) * 1e-2);
+  EXPECT_GT(std::abs(rx[1][bin] - rx[0][bin]), 0.0);
+}
+
+TEST(ChannelModel, InterferenceRaisesSymbolNoise) {
+  FadingConfig noisy = no_fading();
+  noisy.interference_rate_hz = 1e6;  // essentially always on
+  noisy.interference_mean_us = 1000.0;
+  noisy.interference_power_dbm = -50.0;
+  ChannelModel ch(radio(), los_link(), std::nullopt, noisy, 12);
+  std::vector<phy::FreqSymbol> tx(50);
+  const auto rx = ch.apply(tx, {});
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (const auto& sym : rx) {
+    for (unsigned bin = 1; bin < 29; ++bin) {
+      acc += std::norm(sym[bin]);
+      ++n;
+    }
+  }
+  EXPECT_GT(acc / static_cast<double>(n), ch.noise_variance() * 100.0);
+}
+
+TEST(ChannelModel, SetTagInvalidatesCache) {
+  ChannelModel ch(radio(), los_link(), mid_tag(), no_fading(), 13);
+  const double before = ch.tag_perturbation_db();
+  TagPathConfig close{{1.0, 0.0}, 7.0, TagMode::kPhaseFlip};
+  ch.set_tag(close);
+  EXPECT_GT(ch.tag_perturbation_db(), before);
+  ch.set_tag(std::nullopt);
+  EXPECT_THROW(ch.tag_perturbation_db(), std::invalid_argument);
+}
+
+TEST(ChannelModel, ApplyChecksLevelSize) {
+  ChannelModel ch(radio(), los_link(), mid_tag(), no_fading(), 14);
+  std::vector<phy::FreqSymbol> tx(3);
+  const std::vector<std::uint8_t> levels{0, 1};
+  EXPECT_THROW(ch.apply(tx, levels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::channel

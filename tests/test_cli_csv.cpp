@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace witag::util {
+namespace {
+
+Args parse(std::initializer_list<const char*> argv) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), argv.begin(), argv.end());
+  return Args(static_cast<int>(v.size()), v.data());
+}
+
+TEST(Args, ParsesTypedOptions) {
+  const Args args = parse({"--rounds", "40", "--seed", "1234",
+                           "--strength", "7.5", "--out", "data.csv"});
+  EXPECT_EQ(args.get_int("rounds", 0), 40);
+  EXPECT_EQ(args.get_u64("seed", 0), 1234u);
+  EXPECT_DOUBLE_EQ(args.get_double("strength", 0.0), 7.5);
+  EXPECT_EQ(args.get_string("out", ""), "data.csv");
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const Args args = parse({});
+  EXPECT_EQ(args.get_int("rounds", 17), 17);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 2.5), 2.5);
+  EXPECT_EQ(args.get_string("out", "fallback"), "fallback");
+  EXPECT_FALSE(args.has("csv"));
+}
+
+TEST(Args, BareFlags) {
+  const Args args = parse({"--verbose", "--n", "3"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(Args, RejectsPositional) {
+  EXPECT_THROW(parse({"positional"}), std::invalid_argument);
+}
+
+TEST(Args, TracksUnusedOptions) {
+  const Args args = parse({"--used", "1", "--typo", "2"});
+  args.get_int("used", 0);
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_TRUE(unused.contains("typo"));
+}
+
+TEST(Csv, WritesEscapedRows) {
+  const std::string path = "/tmp/witag_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.row({"1", "plain"});
+    csv.row({"2", "with,comma"});
+    csv.row({"3", "with\"quote"});
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("2,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("3,\"with\"\"quote\"\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, EnforcesArity) {
+  const std::string path = "/tmp/witag_csv_test2.csv";
+  CsvWriter csv(path);
+  EXPECT_THROW(csv.row({"too", "early"}), std::logic_error);
+  csv.header({"x", "y"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv"), std::runtime_error);
+}
+
+TEST(Csv, NumFormatting) {
+  EXPECT_EQ(CsvWriter::num(0.5), "0.5");
+  EXPECT_EQ(CsvWriter::num(1e-3), "0.001");
+}
+
+}  // namespace
+}  // namespace witag::util

@@ -1,0 +1,72 @@
+#include "util/complexvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/units.hpp"
+
+namespace witag::util {
+namespace {
+
+TEST(ComplexVec, MeanPowerAndEnergy) {
+  const CxVec v{{1.0, 0.0}, {0.0, 2.0}, {1.0, 1.0}};
+  EXPECT_DOUBLE_EQ(energy(v), 1.0 + 4.0 + 2.0);
+  EXPECT_DOUBLE_EQ(mean_power(v), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(mean_power({}), 0.0);
+}
+
+TEST(ComplexVec, EvmZeroForIdentical) {
+  const CxVec v{{1.0, 0.5}, {-0.3, 0.2}};
+  EXPECT_DOUBLE_EQ(evm(v, v), 0.0);
+}
+
+TEST(ComplexVec, EvmScalesWithError) {
+  const CxVec ref{{1.0, 0.0}, {1.0, 0.0}};
+  const CxVec rx{{1.1, 0.0}, {0.9, 0.0}};
+  EXPECT_NEAR(evm(rx, ref), 0.1, 1e-12);
+}
+
+TEST(ComplexVec, EvmContractChecks) {
+  const CxVec a{{1.0, 0.0}};
+  const CxVec b{{1.0, 0.0}, {1.0, 0.0}};
+  EXPECT_THROW(evm(a, b), std::invalid_argument);
+  EXPECT_THROW(evm({}, {}), std::invalid_argument);
+  const CxVec zero{{0.0, 0.0}};
+  EXPECT_THROW(evm(a, zero), std::invalid_argument);
+}
+
+TEST(ComplexVec, AddScaled) {
+  CxVec out{{1.0, 0.0}, {0.0, 0.0}};
+  const CxVec in{{1.0, 0.0}, {0.0, 1.0}};
+  add_scaled(out, in, {2.0, 0.0});
+  EXPECT_EQ(out[0], (Cx{3.0, 0.0}));
+  EXPECT_EQ(out[1], (Cx{0.0, 2.0}));
+}
+
+TEST(ComplexVec, HadamardProduct) {
+  const CxVec a{{1.0, 0.0}, {0.0, 1.0}};
+  const CxVec b{{2.0, 0.0}, {0.0, 1.0}};
+  const CxVec p = hadamard(a, b);
+  EXPECT_EQ(p[0], (Cx{2.0, 0.0}));
+  EXPECT_EQ(p[1], (Cx{-1.0, 0.0}));
+}
+
+TEST(Units, DbConversions) {
+  EXPECT_NEAR(db_to_linear(3.0), 1.995, 0.01);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-9);
+  EXPECT_NEAR(linear_to_db(db_to_linear(-7.3)), -7.3, 1e-9);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+}
+
+TEST(Units, WavelengthAt24GHz) {
+  EXPECT_NEAR(wavelength(kWifi24GHz), 0.123, 0.001);
+}
+
+TEST(Units, ThermalNoiseFloor) {
+  // kTB for 20 MHz at 290 K is about -101 dBm.
+  const double dbm = watts_to_dbm(thermal_noise_watts(20e6));
+  EXPECT_NEAR(dbm, -101.0, 0.5);
+}
+
+}  // namespace
+}  // namespace witag::util

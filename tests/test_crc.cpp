@@ -1,0 +1,82 @@
+#include "util/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bits.hpp"
+#include "util/rng.hpp"
+
+namespace witag::util {
+namespace {
+
+ByteVec ascii(const char* s) {
+  ByteVec v;
+  while (*s) v.push_back(static_cast<std::uint8_t>(*s++));
+  return v;
+}
+
+TEST(Crc32, KnownCheckValue) {
+  // The standard CRC-32 check string.
+  EXPECT_EQ(crc32(ascii("123456789")), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyInput) {
+  EXPECT_EQ(crc32({}), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Rng rng(1);
+  const ByteVec data = rng.bytes(1000);
+  const std::span<const std::uint8_t> s(data);
+  std::uint32_t state = crc32_init();
+  state = crc32_update(state, s.subspan(0, 123));
+  state = crc32_update(state, s.subspan(123, 456));
+  state = crc32_update(state, s.subspan(579));
+  EXPECT_EQ(crc32_final(state), crc32(data));
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  Rng rng(2);
+  ByteVec data = rng.bytes(64);
+  const std::uint32_t orig = crc32(data);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t byte = rng.uniform_int(data.size());
+    const unsigned bit = static_cast<unsigned>(rng.uniform_int(8));
+    data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    EXPECT_NE(crc32(data), orig);
+    data[byte] ^= static_cast<std::uint8_t>(1u << bit);  // restore
+  }
+}
+
+TEST(Crc32, DetectsByteSwaps) {
+  ByteVec a = ascii("abcd");
+  ByteVec b = ascii("abdc");
+  EXPECT_NE(crc32(a), crc32(b));
+}
+
+TEST(Crc8, StableAndOrderSensitive) {
+  const ByteVec a = ascii("12");
+  const ByteVec b = ascii("21");
+  EXPECT_EQ(crc8(a), crc8(a));
+  EXPECT_NE(crc8(a), crc8(b));
+}
+
+TEST(Crc8, DetectsSingleBitFlips) {
+  Rng rng(3);
+  ByteVec data = rng.bytes(2);  // delimiter-sized input
+  const std::uint8_t orig = crc8(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(crc8(data), orig);
+      data[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+}
+
+TEST(Crc8, EmptyInputIsDefined) {
+  // init ^ xorout with no data: must be stable.
+  EXPECT_EQ(crc8({}), crc8({}));
+}
+
+}  // namespace
+}  // namespace witag::util

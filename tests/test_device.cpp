@@ -1,0 +1,213 @@
+#include "tag/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tag/power.hpp"
+#include "tag/reflector_ctl.hpp"
+
+namespace witag::tag {
+namespace {
+
+TagDeviceConfig prototype_config() {
+  TagDeviceConfig cfg;
+  cfg.clock.nominal_hz = 1e6;  // 1 us ticks (prototype MCU timer)
+  cfg.clock.crystal_ppm = 0.0;
+  cfg.guard_us = 4.0;
+  cfg.trigger_latency_us = 0.0;
+  return cfg;
+}
+
+QueryTiming timing_16us() {
+  QueryTiming t;
+  t.subframe_duration_us = 16.0;
+  t.align_edge_us = 84.0;   // end of trigger sf3
+  t.data_start_us = 100.0;  // after trigger sf4
+  return t;
+}
+
+TEST(ReflectorControl, MergesOverlappingWindows) {
+  ReflectorControl ctl({}, {{10.0, 20.0}, {15.0, 30.0}, {40.0, 50.0}});
+  EXPECT_EQ(ctl.windows().size(), 2u);
+  EXPECT_TRUE(ctl.level_at(25.0));
+  EXPECT_FALSE(ctl.level_at(35.0));
+  EXPECT_TRUE(ctl.level_at(45.0));
+  EXPECT_EQ(ctl.toggle_count(), 4u);
+}
+
+TEST(ReflectorControl, LevelAtBoundaries) {
+  ReflectorControl ctl({}, {{10.0, 20.0}});
+  EXPECT_FALSE(ctl.level_at(9.99));
+  EXPECT_TRUE(ctl.level_at(10.0));
+  EXPECT_TRUE(ctl.level_at(19.99));
+  EXPECT_FALSE(ctl.level_at(20.5));
+}
+
+TEST(ReflectorControl, TransitionTailCountsAsAsserted) {
+  SwitchConfig sw;
+  sw.transition_us = 1.0;
+  ReflectorControl ctl(sw, {{10.0, 20.0}});
+  EXPECT_TRUE(ctl.level_at(20.5));  // still settling
+  EXPECT_FALSE(ctl.level_at(21.5));
+}
+
+TEST(ReflectorControl, SlotLevelsUseMidpoints) {
+  ReflectorControl ctl({}, {{4.0, 12.0}});
+  const auto levels = ctl.slot_levels(4);  // slots [0,4) [4,8) [8,12) [12,16)
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], 0);  // midpoint 2
+  EXPECT_EQ(levels[1], 1);  // midpoint 6
+  EXPECT_EQ(levels[2], 1);  // midpoint 10
+  EXPECT_EQ(levels[3], 0);  // midpoint 14
+}
+
+TEST(ReflectorControl, RejectsInvertedWindows) {
+  EXPECT_THROW(ReflectorControl({}, {{5.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(TagDevice, ConsumesPayloadBitsInOrder) {
+  TagDevice dev(prototype_config());
+  dev.set_payload({1, 0, 1, 1, 0});
+  const auto plan = dev.respond(timing_16us(), 3);
+  EXPECT_EQ(plan.bits, (util::BitVec{1, 0, 1}));
+  EXPECT_EQ(dev.pending_bits(), 2u);
+  const auto plan2 = dev.respond(timing_16us(), 3);
+  EXPECT_EQ(plan2.bits, (util::BitVec{1, 0, 1}));  // wraps: 1,0 then 1
+}
+
+TEST(TagDevice, ZeroBitsGetAssertWindowsInsideSubframes) {
+  TagDevice dev(prototype_config());
+  dev.set_payload({0, 1, 0});
+  const auto plan = dev.respond(timing_16us(), 3);
+  const auto& windows = plan.control.windows();
+  ASSERT_EQ(windows.size(), 2u);
+  // Subframe k spans [100 + 16k, 100 + 16(k+1)); windows stay inside
+  // with the 4 us guards.
+  EXPECT_GE(windows[0].first, 104.0 - 1e-9);
+  EXPECT_LE(windows[0].second, 112.0 + 1e-9);
+  EXPECT_GE(windows[1].first, 136.0 - 1e-9);
+  EXPECT_LE(windows[1].second, 144.0 + 1e-9);
+}
+
+TEST(TagDevice, OneBitsLeaveNoWindows) {
+  TagDevice dev(prototype_config());
+  dev.set_payload({1, 1, 1, 1});
+  const auto plan = dev.respond(timing_16us(), 4);
+  EXPECT_TRUE(plan.control.windows().empty());
+}
+
+TEST(TagDevice, CoarseClockQuantizesWindows) {
+  TagDeviceConfig cfg = prototype_config();
+  cfg.clock.nominal_hz = 50e3;  // 20 us ticks
+  TagDevice dev(cfg);
+  dev.set_payload({0});
+  QueryTiming t;
+  // Three ticks per subframe: a quantized window always fits (a 2-tick
+  // subframe only holds one grid point after the guards, depending on
+  // phase — which is exactly why plan_query demands the extra margin).
+  t.subframe_duration_us = 60.0;
+  t.align_edge_us = 80.0;
+  t.data_start_us = 120.0;
+  const auto plan = dev.respond(t, 1);
+  ASSERT_EQ(plan.control.windows().size(), 1u);
+  const auto [start, end] = plan.control.windows()[0];
+  // Window must stay inside [124, 176] (guards) and land on the tick
+  // grid relative to the align edge.
+  EXPECT_GE(start, 124.0 - 1e-9);
+  EXPECT_LE(end, 176.0 + 1e-9);
+  EXPECT_GT(end, start);
+  EXPECT_NEAR(std::fmod(start - 80.0, 20.0), 0.0, 1e-9);
+}
+
+TEST(TagDevice, TooCoarseClockLosesTheWindow) {
+  TagDeviceConfig cfg = prototype_config();
+  cfg.clock.nominal_hz = 50e3;  // 20 us ticks
+  TagDevice dev(cfg);
+  dev.set_payload({0});
+  // 16 us subframes cannot hold a quantized window at 20 us ticks.
+  const auto plan = dev.respond(timing_16us(), 1);
+  EXPECT_TRUE(plan.control.windows().empty());
+}
+
+TEST(TagDevice, RingOscillatorDriftMisplacesLateWindows) {
+  TagDeviceConfig hot = prototype_config();
+  hot.clock.kind = OscillatorKind::kRing;
+  hot.clock.temperature_c = 30.0;  // +5 C -> 3% fast
+  TagDevice dev(hot);
+  util::BitVec zeros(40, 0);
+  dev.set_payload(zeros);
+  const auto plan = dev.respond(timing_16us(), 40);
+  // The last subframe starts at 100 + 39*16 = 724; with 3% drift over
+  // ~640 us from the align edge the window is ~19 us early, i.e. in the
+  // previous subframe.
+  const auto& windows = plan.control.windows();
+  ASSERT_FALSE(windows.empty());
+  const double last_ideal_start = 100.0 + 39.0 * 16.0 + 4.0;
+  EXPECT_LT(windows.back().first, last_ideal_start - 10.0);
+}
+
+TEST(TagDevice, GuardsLargerThanSubframeYieldNothing) {
+  TagDeviceConfig cfg = prototype_config();
+  cfg.guard_us = 10.0;  // 2 * 10 >= 16
+  TagDevice dev(cfg);
+  dev.set_payload({0, 0});
+  const auto plan = dev.respond(timing_16us(), 2);
+  EXPECT_TRUE(plan.control.windows().empty());
+}
+
+TEST(TagDevice, ContractChecks) {
+  TagDevice dev(prototype_config());
+  EXPECT_THROW(dev.respond(timing_16us(), 1), std::invalid_argument);  // no payload
+  dev.set_payload({1});
+  EXPECT_THROW(dev.respond(timing_16us(), 0), std::invalid_argument);
+  QueryTiming bad = timing_16us();
+  bad.subframe_duration_us = 0.0;
+  EXPECT_THROW(dev.respond(bad, 1), std::invalid_argument);
+  EXPECT_THROW(dev.set_payload({}), std::invalid_argument);
+}
+
+TEST(Power, OscillatorAnchorsMatchPaper) {
+  // >= 1 mW for a 20 MHz precision oscillator.
+  EXPECT_GT(oscillator_power_uw(OscillatorKind::kCrystal, 20e6), 1000.0);
+  // Tens of microwatts for a 20 MHz ring oscillator.
+  const double ring = oscillator_power_uw(OscillatorKind::kRing, 20e6);
+  EXPECT_GT(ring, 10.0);
+  EXPECT_LT(ring, 100.0);
+  // Well under a microwatt for the 50 kHz crystal.
+  EXPECT_LT(oscillator_power_uw(OscillatorKind::kCrystal, 50e3), 1.0);
+}
+
+TEST(Power, WholeTagIsAFewMicrowatts) {
+  ClockConfig clock;
+  clock.nominal_hz = 50e3;
+  // A 40 Kbps tag toggles at most ~40 k/2 times per second on average.
+  const PowerBreakdown p = estimate_power(clock, 20e3);
+  EXPECT_GT(p.total_uw(), 1.0);
+  EXPECT_LT(p.total_uw(), 10.0);
+}
+
+TEST(Power, ChannelShiftingTagsPayTheOscillator) {
+  ClockConfig shift;
+  shift.kind = OscillatorKind::kRing;
+  shift.nominal_hz = 20e6;
+  ClockConfig witag;
+  witag.nominal_hz = 50e3;
+  EXPECT_GT(estimate_power(shift, 20e3).total_uw(),
+            5.0 * estimate_power(witag, 20e3).total_uw());
+}
+
+TEST(Power, SwitchTogglingCost) {
+  ClockConfig clock;
+  const double idle = estimate_power(clock, 0.0).rf_switch_uw;
+  EXPECT_DOUBLE_EQ(idle, 0.0);
+  EXPECT_GT(estimate_power(clock, 1e6).rf_switch_uw, 1.0);
+}
+
+TEST(Power, ContractChecks) {
+  ClockConfig clock;
+  EXPECT_THROW(estimate_power(clock, -1.0), std::invalid_argument);
+  EXPECT_THROW(oscillator_power_uw(OscillatorKind::kRing, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::tag

@@ -1,0 +1,100 @@
+#include "phy/dsss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace witag::phy::dsss {
+namespace {
+
+using util::Cx;
+
+TEST(Dsss, BarkerAutocorrelationProperty) {
+  // Barker-11: peak 11 at zero lag, |sidelobes| <= 1.
+  const auto b = barker11();
+  for (int lag = 0; lag < 11; ++lag) {
+    int acc = 0;
+    for (int i = 0; i + lag < 11; ++i) {
+      acc += b[static_cast<std::size_t>(i)] *
+             b[static_cast<std::size_t>(i + lag)];
+    }
+    if (lag == 0) {
+      EXPECT_EQ(acc, 11);
+    } else {
+      EXPECT_LE(std::abs(acc), 1) << "lag " << lag;
+    }
+  }
+}
+
+class DsssRates : public ::testing::TestWithParam<DsssRate> {};
+
+TEST_P(DsssRates, CleanRoundTrip) {
+  util::Rng rng(1);
+  const util::BitVec bits = rng.bits(400);
+  const util::CxVec chips = modulate(bits, GetParam());
+  EXPECT_EQ(demodulate(chips, GetParam()), bits);
+}
+
+TEST_P(DsssRates, RoundTripWithNoise) {
+  util::Rng rng(2);
+  const util::BitVec bits = rng.bits(200);
+  util::CxVec chips = modulate(bits, GetParam());
+  // 10 dB chip SNR; despreading adds 10.4 dB of gain.
+  for (Cx& c : chips) c += rng.complex_normal(0.1);
+  EXPECT_EQ(demodulate(chips, GetParam()), bits);
+}
+
+TEST_P(DsssRates, RoundTripWithCommonPhase) {
+  // Differential detection is immune to a constant phase offset.
+  util::Rng rng(3);
+  const util::BitVec bits = rng.bits(100);
+  util::CxVec chips = modulate(bits, GetParam());
+  const Cx rot = std::polar(1.0, 1.1);
+  for (Cx& c : chips) c *= rot;
+  EXPECT_EQ(demodulate(chips, GetParam()), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothRates, DsssRates,
+                         ::testing::Values(DsssRate::kDbpsk1Mbps,
+                                           DsssRate::kDqpsk2Mbps));
+
+TEST(Dsss, ChipCountMatchesRate) {
+  // One extra codeword: the differential phase reference.
+  const util::BitVec bits(20, 0);
+  EXPECT_EQ(modulate(bits, DsssRate::kDbpsk1Mbps).size(), 21u * kChipsPerBit);
+  EXPECT_EQ(modulate(bits, DsssRate::kDqpsk2Mbps).size(), 11u * kChipsPerBit);
+}
+
+TEST(Dsss, CodewordCorrelationDetectsFlip) {
+  const util::BitVec bits{0, 0};
+  util::CxVec chips = modulate(bits, DsssRate::kDbpsk1Mbps);
+  const Cx before = correlate_codeword(chips, 1);
+  for (unsigned c = 0; c < kChipsPerBit; ++c) {
+    chips[kChipsPerBit + c] *= -1.0;  // flip the first data codeword
+  }
+  const Cx after = correlate_codeword(chips, 1);
+  EXPECT_NEAR(std::abs(before + after), 0.0, 1e-12);  // exact negation
+}
+
+TEST(Dsss, DqpskRequiresEvenBits) {
+  const util::BitVec bits(3, 0);
+  EXPECT_THROW(modulate(bits, DsssRate::kDqpsk2Mbps), std::invalid_argument);
+}
+
+TEST(Dsss, DemodulateRequiresWholeCodewords) {
+  const util::CxVec chips(12);
+  EXPECT_THROW(demodulate(chips, DsssRate::kDbpsk1Mbps),
+               std::invalid_argument);
+}
+
+TEST(Dsss, AllDibitsRoundTrip) {
+  // Explicitly exercise every DQPSK phase increment.
+  const util::BitVec bits{0, 0, 1, 0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 1, 0, 1};
+  const util::CxVec chips = modulate(bits, DsssRate::kDqpsk2Mbps);
+  EXPECT_EQ(demodulate(chips, DsssRate::kDqpsk2Mbps), bits);
+}
+
+}  // namespace
+}  // namespace witag::phy::dsss

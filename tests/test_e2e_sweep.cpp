@@ -1,0 +1,77 @@
+// End-to-end property sweep: the WiTAG invariant — with the tag close to
+// a radio on a clean channel, the block-ack bits equal the tag's bits
+// exactly — must hold across every MCS the query planner supports, every
+// security mode, and both trigger paths. This is the closest thing the
+// system has to a single theorem; TEST_P keeps the matrix honest.
+#include <gtest/gtest.h>
+
+#include "witag/session.hpp"
+
+namespace witag::core {
+namespace {
+
+struct SweepCase {
+  unsigned mcs;
+  mac::Security security;
+  TriggerMode trigger;
+  const char* name;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) { *os << c.name; }
+
+class EndToEndSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(EndToEndSweep, BlockAckBitsEqualTagBits) {
+  const SweepCase& c = GetParam();
+  SessionConfig cfg = los_testbed_config(1.0, 1000 + c.mcs);
+  cfg.fading.n_scatterers = 0;
+  cfg.fading.blocking_rate_hz = 0.0;
+  cfg.fading.interference_rate_hz = 0.0;
+  cfg.query.mcs_index = c.mcs;
+  cfg.security.mode = c.security;
+  cfg.security.ccmp_key = {1, 2, 3, 4, 5, 6, 7, 8,
+                           9, 10, 11, 12, 13, 14, 15, 16};
+  for (std::size_t i = 0; i < cfg.security.wep_key.size(); ++i) {
+    cfg.security.wep_key[i] = static_cast<std::uint8_t>(i + 7);
+  }
+  cfg.trigger_mode = c.trigger;
+  // Only the dense MCSes (5, 7) are in the matrix: robust rates resist
+  // the calibrated tag coupling by design — that tradeoff is quantified
+  // in bench/tab_throughput_model, not re-tested here.
+  Session session(cfg);
+  for (int round = 0; round < 3; ++round) {
+    const auto r = session.run_round();
+    ASSERT_FALSE(r.lost) << c.name << " round " << round;
+    ASSERT_EQ(r.received.size(), r.sent.size()) << c.name;
+    for (std::size_t i = 0; i < r.sent.size(); ++i) {
+      EXPECT_EQ(r.received[i], (r.sent[i] & 1u) != 0)
+          << c.name << " round " << round << " bit " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EndToEndSweep,
+    ::testing::Values(
+        SweepCase{5, mac::Security::kOpen, TriggerMode::kIdeal,
+                  "mcs5_open_ideal"},
+        SweepCase{5, mac::Security::kCcmp, TriggerMode::kIdeal,
+                  "mcs5_ccmp_ideal"},
+        SweepCase{5, mac::Security::kWep, TriggerMode::kIdeal,
+                  "mcs5_wep_ideal"},
+        SweepCase{5, mac::Security::kOpen, TriggerMode::kEnvelope,
+                  "mcs5_open_envelope"},
+        SweepCase{5, mac::Security::kCcmp, TriggerMode::kEnvelope,
+                  "mcs5_ccmp_envelope"},
+        SweepCase{7, mac::Security::kOpen, TriggerMode::kIdeal,
+                  "mcs7_open_ideal"},
+        SweepCase{7, mac::Security::kCcmp, TriggerMode::kIdeal,
+                  "mcs7_ccmp_ideal"},
+        SweepCase{7, mac::Security::kOpen, TriggerMode::kEnvelope,
+                  "mcs7_open_envelope"}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace witag::core

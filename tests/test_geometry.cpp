@@ -1,0 +1,79 @@
+#include "channel/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace witag::channel {
+namespace {
+
+TEST(Geometry, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Geometry, SegmentsCross) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+  EXPECT_FALSE(segments_intersect({0, 0}, {1, 0}, {0, 1}, {1, 1}));
+}
+
+TEST(Geometry, SharedEndpointCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));
+}
+
+TEST(Geometry, CollinearOverlapCounts) {
+  EXPECT_TRUE(segments_intersect({0, 0}, {2, 0}, {1, 0}, {3, 0}));
+}
+
+TEST(FloorPlan, AccumulatesWallLoss) {
+  FloorPlan plan;
+  plan.add_wall({{1, -1}, {1, 1}, 5.0});
+  plan.add_wall({{2, -1}, {2, 1}, 7.0});
+  EXPECT_DOUBLE_EQ(plan.penetration_loss_db({0, 0}, {3, 0}), 12.0);
+  EXPECT_DOUBLE_EQ(plan.penetration_loss_db({0, 0}, {1.5, 0}), 5.0);
+  EXPECT_DOUBLE_EQ(plan.penetration_loss_db({0, 0}, {0.5, 0}), 0.0);
+}
+
+TEST(FloorPlan, LineOfSight) {
+  FloorPlan plan;
+  plan.add_wall({{1, -1}, {1, 1}, 5.0});
+  EXPECT_FALSE(plan.line_of_sight({0, 0}, {2, 0}));
+  EXPECT_TRUE(plan.line_of_sight({0, 0}, {0.5, 0}));
+  EXPECT_TRUE(plan.line_of_sight({0, 2}, {2, 2}));
+}
+
+TEST(Figure4, ApClientDistanceIsEightMeters) {
+  const TestbedLayout layout = figure4_testbed();
+  EXPECT_NEAR(distance(layout.ap, layout.client_los), 8.0, 1e-9);
+}
+
+TEST(Figure4, LosPathIsClear) {
+  const TestbedLayout layout = figure4_testbed();
+  EXPECT_TRUE(layout.plan.line_of_sight(layout.ap, layout.client_los));
+}
+
+TEST(Figure4, TagPositionsAlongLosAreClear) {
+  const TestbedLayout layout = figure4_testbed();
+  for (double d = 1.0; d <= 7.0; d += 1.0) {
+    const Point2 tag{layout.client_los.x + d, layout.client_los.y};
+    EXPECT_TRUE(layout.plan.line_of_sight(layout.ap, tag)) << d;
+    EXPECT_TRUE(layout.plan.line_of_sight(layout.client_los, tag)) << d;
+  }
+}
+
+TEST(Figure4, NlosDistancesMatchPaper) {
+  const TestbedLayout layout = figure4_testbed();
+  EXPECT_NEAR(distance(layout.ap, layout.location_a), 7.0, 0.3);
+  EXPECT_NEAR(distance(layout.ap, layout.location_b), 17.0, 0.5);
+}
+
+TEST(Figure4, NlosLocationsAreObstructed) {
+  const TestbedLayout layout = figure4_testbed();
+  EXPECT_FALSE(layout.plan.line_of_sight(layout.ap, layout.location_a));
+  EXPECT_FALSE(layout.plan.line_of_sight(layout.ap, layout.location_b));
+  // B sits behind more walls than A.
+  EXPECT_GT(layout.plan.penetration_loss_db(layout.ap, layout.location_b),
+            layout.plan.penetration_loss_db(layout.ap, layout.location_a));
+}
+
+}  // namespace
+}  // namespace witag::channel

@@ -1,0 +1,145 @@
+#include "witag/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace witag::core {
+namespace {
+
+class LinkFec : public ::testing::TestWithParam<TagFec> {};
+
+TEST_P(LinkFec, FrameRoundTrip) {
+  const util::ByteVec payload{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  const util::BitVec bits = encode_tag_frame(payload, GetParam());
+  EXPECT_EQ(bits.size(), tag_frame_bits(payload.size(), GetParam()));
+  const auto decoded = decode_tag_frame(bits, 0, GetParam());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+  EXPECT_EQ(decoded->next_offset, bits.size());
+}
+
+TEST_P(LinkFec, EmptyPayloadRoundTrip) {
+  const util::BitVec bits = encode_tag_frame({}, GetParam());
+  const auto decoded = decode_tag_frame(bits, 0, GetParam());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST_P(LinkFec, ResyncsAfterGarbagePrefix) {
+  util::Rng rng(1);
+  const util::ByteVec payload{1, 2, 3};
+  util::BitVec stream = rng.bits(83);  // unaligned garbage
+  const util::BitVec frame = encode_tag_frame(payload, GetParam());
+  stream.insert(stream.end(), frame.begin(), frame.end());
+  const auto decoded = decode_tag_frame(stream, 0, GetParam());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+TEST_P(LinkFec, DecodesBackToBackFrames) {
+  const util::ByteVec p1{0x11};
+  const util::ByteVec p2{0x22, 0x33};
+  util::BitVec stream = encode_tag_frame(p1, GetParam());
+  const util::BitVec f2 = encode_tag_frame(p2, GetParam());
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  const auto frames = decode_tag_stream(stream, GetParam());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].payload, p1);
+  EXPECT_EQ(frames[1].payload, p2);
+}
+
+TEST_P(LinkFec, CrcRejectsCorruptPayloadBits) {
+  // Corrupt beyond FEC's correction capability: a burst.
+  const util::ByteVec payload{9, 8, 7, 6};
+  util::BitVec bits = encode_tag_frame(payload, GetParam());
+  for (std::size_t i = 20; i < 32 && i < bits.size(); ++i) bits[i] ^= 1;
+  const auto decoded = decode_tag_frame(bits, 0, GetParam());
+  // Either rejected outright or (for FEC) corrected; a burst of 12
+  // consecutive flips exceeds every FEC here, so it must not return the
+  // corrupted frame as valid.
+  if (decoded) {
+    EXPECT_NE(decoded->payload, payload);
+  } else {
+    SUCCEED();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFecs, LinkFec,
+                         ::testing::Values(TagFec::kNone,
+                                           TagFec::kRepetition3,
+                                           TagFec::kHamming74));
+
+TEST(LinkFecCoding, Repetition3CorrectsSingleErrorsPerTriple) {
+  util::Rng rng(2);
+  const util::BitVec raw = rng.bits(64);
+  util::BitVec coded = fec_encode(raw, TagFec::kRepetition3);
+  // Flip one bit in every triple.
+  for (std::size_t t = 0; t < coded.size() / 3; ++t) {
+    coded[3 * t + (t % 3)] ^= 1;
+  }
+  const FecDecodeResult out = fec_decode(coded, TagFec::kRepetition3);
+  EXPECT_EQ(out.bits, raw);
+  EXPECT_EQ(out.corrected, raw.size());
+}
+
+TEST(LinkFecCoding, Hamming74CorrectsSingleErrorPerBlock) {
+  util::Rng rng(3);
+  const util::BitVec raw = rng.bits(64);
+  util::BitVec coded = fec_encode(raw, TagFec::kHamming74);
+  for (std::size_t b = 0; b < coded.size() / 7; ++b) {
+    coded[7 * b + (b % 7)] ^= 1;
+  }
+  const FecDecodeResult out = fec_decode(coded, TagFec::kHamming74);
+  EXPECT_EQ(out.bits, raw);
+  EXPECT_EQ(out.corrected, coded.size() / 7);
+}
+
+TEST(LinkFecCoding, Hamming74DoubleErrorIsNotCorrected) {
+  const util::BitVec raw{1, 0, 1, 1};
+  util::BitVec coded = fec_encode(raw, TagFec::kHamming74);
+  coded[0] ^= 1;
+  coded[3] ^= 1;
+  const FecDecodeResult out = fec_decode(coded, TagFec::kHamming74);
+  EXPECT_NE(out.bits, raw);  // Hamming(7,4) cannot fix two errors
+}
+
+TEST(LinkFecCoding, RatesAreAsExpected) {
+  EXPECT_EQ(tag_frame_bits(10, TagFec::kNone), 16u + 80u + 8u);
+  EXPECT_EQ(tag_frame_bits(10, TagFec::kRepetition3), 3u * 104u);
+  EXPECT_EQ(tag_frame_bits(10, TagFec::kHamming74), 104u / 4u * 7u);
+}
+
+TEST(LinkFecCoding, BlockSizeContracts) {
+  const util::BitVec ragged(5, 0);
+  EXPECT_THROW(fec_encode(ragged, TagFec::kHamming74), std::invalid_argument);
+  EXPECT_THROW(fec_decode(ragged, TagFec::kRepetition3),
+               std::invalid_argument);
+  EXPECT_THROW(fec_decode(ragged, TagFec::kHamming74), std::invalid_argument);
+}
+
+TEST(Link, StreamWithNoFrameReturnsNothing) {
+  util::Rng rng(4);
+  const util::BitVec noise = rng.bits(600);
+  EXPECT_TRUE(decode_tag_stream(noise, TagFec::kNone).empty());
+}
+
+TEST(Link, PayloadSizeLimit) {
+  const util::ByteVec big(kMaxTagPayload + 1, 0);
+  EXPECT_THROW(encode_tag_frame(big, TagFec::kNone), std::invalid_argument);
+}
+
+TEST(Link, OffsetSkipsEarlierFrames) {
+  const util::ByteVec p1{0xAA};
+  const util::ByteVec p2{0xBB};
+  util::BitVec stream = encode_tag_frame(p1, TagFec::kNone);
+  const std::size_t first_len = stream.size();
+  const util::BitVec f2 = encode_tag_frame(p2, TagFec::kNone);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  const auto decoded = decode_tag_frame(stream, first_len, TagFec::kNone);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, p2);
+}
+
+}  // namespace
+}  // namespace witag::core

@@ -1,0 +1,80 @@
+#include "mac/mac_header.hpp"
+
+#include <gtest/gtest.h>
+
+namespace witag::mac {
+namespace {
+
+MacHeader sample_header() {
+  MacHeader h;
+  h.addr1 = make_address(0x10);
+  h.addr2 = make_address(0x20);
+  h.addr3 = make_address(0x30);
+  h.sequence = 1234;
+  h.tid = 5;
+  h.protected_frame = true;
+  h.to_ds = true;
+  return h;
+}
+
+TEST(MacHeader, SerializedSize) {
+  EXPECT_EQ(serialize_header(sample_header()).size(), kQosHeaderBytes);
+}
+
+TEST(MacHeader, RoundTrip) {
+  const MacHeader h = sample_header();
+  const auto bytes = serialize_header(h);
+  const auto parsed = parse_header(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(MacHeader, RoundTripMinimalFields) {
+  MacHeader h;
+  h.addr1 = make_address(1);
+  h.addr2 = make_address(2);
+  h.addr3 = make_address(3);
+  const auto parsed = parse_header(serialize_header(h));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, h);
+}
+
+TEST(MacHeader, SequenceBounds) {
+  MacHeader h = sample_header();
+  h.sequence = 4095;
+  EXPECT_TRUE(parse_header(serialize_header(h)).has_value());
+  h.sequence = 4096;
+  EXPECT_THROW(serialize_header(h), std::invalid_argument);
+}
+
+TEST(MacHeader, TidBounds) {
+  MacHeader h = sample_header();
+  h.tid = 15;
+  EXPECT_EQ(parse_header(serialize_header(h))->tid, 15);
+  h.tid = 16;
+  EXPECT_THROW(serialize_header(h), std::invalid_argument);
+}
+
+TEST(MacHeader, ParseRejectsShortBuffer) {
+  const util::ByteVec tiny(10, 0);
+  EXPECT_FALSE(parse_header(tiny).has_value());
+}
+
+TEST(MacHeader, ParseRejectsNonQosData) {
+  util::ByteVec bytes = serialize_header(sample_header());
+  bytes[0] = 0x80;  // beacon-ish frame control
+  EXPECT_FALSE(parse_header(bytes).has_value());
+}
+
+TEST(MacHeader, AddressFormatting) {
+  const MacAddress a = make_address(0xAB);
+  EXPECT_EQ(a.to_string(), "02:57:69:54:41:ab");
+}
+
+TEST(MacHeader, DistinctTailsGiveDistinctAddresses) {
+  EXPECT_NE(make_address(1), make_address(2));
+  EXPECT_EQ(make_address(7), make_address(7));
+}
+
+}  // namespace
+}  // namespace witag::mac

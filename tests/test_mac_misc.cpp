@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "mac/airtime.hpp"
+#include "mac/rate_ctrl.hpp"
+
+namespace witag::mac {
+namespace {
+
+TEST(Airtime, LegacyFrameMath) {
+  // 32 bytes at 24 Mbps: (16+6+256)/96 = 2.9 -> 3 symbols -> 20+12 us.
+  EXPECT_DOUBLE_EQ(legacy_frame_airtime_us(32, 24.0), 32.0);
+  // 1500 bytes at 6 Mbps: (22+12000)/24 = 500.9 -> 501 symbols.
+  EXPECT_DOUBLE_EQ(legacy_frame_airtime_us(1500, 6.0), 20.0 + 4.0 * 501.0);
+}
+
+TEST(Airtime, BlockAckDuration) {
+  EXPECT_DOUBLE_EQ(block_ack_airtime_us(), 32.0);
+}
+
+TEST(Airtime, InterframeConstants) {
+  EXPECT_DOUBLE_EQ(kDifsUs, kSifsUs + 2.0 * kSlotUs);
+  EXPECT_DOUBLE_EQ(expected_backoff_us(), 9.0 * 15.0 / 2.0);
+}
+
+TEST(Airtime, ExchangeTotal) {
+  const ExchangeAirtime t = ampdu_exchange(1000.0, 45.0);
+  EXPECT_DOUBLE_EQ(t.total_us(),
+                   kDifsUs + 45.0 + 1000.0 + kSifsUs + block_ack_airtime_us());
+}
+
+TEST(RateSelector, PicksHighestCleanRate) {
+  RateSelector sel(0.99, 100);
+  // MCS 7 and 6 are lossy; MCS 5 is clean.
+  while (const auto probe = sel.next_probe()) {
+    if (*probe >= 6) {
+      sel.record(*probe, 50, 100);
+    } else {
+      sel.record(*probe, 100, 100);
+    }
+  }
+  EXPECT_TRUE(sel.converged());
+  EXPECT_EQ(sel.selected(), 5u);
+}
+
+TEST(RateSelector, StartsFromTheTop) {
+  RateSelector sel;
+  ASSERT_TRUE(sel.next_probe().has_value());
+  EXPECT_EQ(*sel.next_probe(), phy::kNumMcs - 1);
+}
+
+TEST(RateSelector, AccumulatesAcrossRounds) {
+  RateSelector sel(0.99, 100);
+  sel.record(7, 40, 40);
+  EXPECT_TRUE(sel.next_probe().has_value());  // not enough samples yet
+  sel.record(7, 60, 60);
+  EXPECT_FALSE(sel.next_probe().has_value());
+  EXPECT_EQ(sel.selected(), 7u);
+}
+
+TEST(RateSelector, FallsBackToMcs0) {
+  RateSelector sel(0.99, 10);
+  while (const auto probe = sel.next_probe()) {
+    sel.record(*probe, 0, 10);  // everything fails
+  }
+  EXPECT_EQ(sel.selected(), 0u);
+}
+
+TEST(RateSelector, ContractChecks) {
+  RateSelector sel(0.99, 10);
+  EXPECT_THROW(sel.record(3, 1, 1), std::invalid_argument);  // wrong MCS
+  EXPECT_THROW(sel.record(7, 5, 1), std::invalid_argument);  // ok > total
+  EXPECT_THROW(RateSelector(0.0, 10), std::invalid_argument);
+  EXPECT_THROW(RateSelector(0.5, 0), std::invalid_argument);
+  EXPECT_THROW(sel.selected(), std::invalid_argument);  // not converged
+}
+
+}  // namespace
+}  // namespace witag::mac

@@ -1,0 +1,94 @@
+#include "witag/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/bits.hpp"
+
+namespace witag::core {
+namespace {
+
+TEST(LinkMetrics, CountsErrorsByDirection) {
+  LinkMetrics m;
+  const util::BitVec sent{1, 0, 1, 0};
+  const std::vector<bool> received{true, true, false, false};
+  m.record_round(sent, received, false, 1000.0);
+  EXPECT_EQ(m.bits(), 4u);
+  EXPECT_EQ(m.bit_errors(), 2u);
+  EXPECT_EQ(m.missed_corruptions(), 1u);  // sent 0, read 1
+  EXPECT_EQ(m.false_corruptions(), 1u);   // sent 1, read 0
+  EXPECT_DOUBLE_EQ(m.ber(), 0.5);
+}
+
+TEST(LinkMetrics, LostRoundCountsAllBitsAsErrors) {
+  LinkMetrics m;
+  const util::BitVec sent{1, 1, 0};
+  m.record_round(sent, {}, true, 500.0);
+  EXPECT_EQ(m.bits(), 3u);
+  EXPECT_EQ(m.bit_errors(), 3u);
+  EXPECT_EQ(m.rounds_lost(), 1u);
+}
+
+TEST(LinkMetrics, ThroughputFromAirtime) {
+  LinkMetrics m;
+  const util::BitVec sent(64, 1);
+  const std::vector<bool> received(64, true);
+  // 64 bits in 1600 us -> 40 Kbps.
+  m.record_round(sent, received, false, 1600.0);
+  EXPECT_DOUBLE_EQ(m.raw_rate_kbps(), 40.0);
+  EXPECT_DOUBLE_EQ(m.goodput_kbps(), 40.0);
+}
+
+TEST(LinkMetrics, GoodputExcludesErrors) {
+  LinkMetrics m;
+  util::BitVec sent(10, 1);
+  std::vector<bool> received(10, true);
+  received[0] = false;
+  m.record_round(sent, received, false, 1000.0);
+  EXPECT_DOUBLE_EQ(m.goodput_kbps(), 9.0 / 1e-3 / 1e3);
+}
+
+TEST(LinkMetrics, EmptyIsWellDefined) {
+  LinkMetrics m;
+  EXPECT_DOUBLE_EQ(m.ber(), 0.0);
+  EXPECT_DOUBLE_EQ(m.goodput_kbps(), 0.0);
+  EXPECT_DOUBLE_EQ(m.raw_rate_kbps(), 0.0);
+}
+
+TEST(LinkMetrics, ContractChecks) {
+  LinkMetrics m;
+  const util::BitVec sent{1};
+  const std::vector<bool> wrong_size{true, false};
+  EXPECT_THROW(m.record_round(sent, wrong_size, false, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(m.record_round(sent, {true}, false, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Table, FormatsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22.5"), std::string::npos);
+  // Header rule line present.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(40.0, 1), "40.0");
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::core

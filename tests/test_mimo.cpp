@@ -1,0 +1,134 @@
+#include "phy/mimo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "phy/constellation.hpp"
+#include "util/rng.hpp"
+
+namespace witag::phy::mimo {
+namespace {
+
+using util::Cx;
+
+std::vector<Matrix2> random_channels(util::Rng& rng, std::size_t n) {
+  std::vector<Matrix2> h(n);
+  for (auto& m : h) {
+    for (auto& row : m.m) {
+      for (auto& e : row) e = Cx{1.0, 0.0} + 0.5 * rng.complex_normal(1.0);
+    }
+  }
+  return h;
+}
+
+class MimoModulations : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(MimoModulations, StreamParseDeparseInverse) {
+  util::Rng rng(1);
+  const unsigned s = std::max(bits_per_symbol(GetParam()) / 2, 1u);
+  const util::BitVec bits = rng.bits(2 * s * 100);
+  const auto streams = stream_parse(bits, GetParam());
+  EXPECT_EQ(streams[0].size(), bits.size() / 2);
+
+  std::vector<double> l0(streams[0].size());
+  std::vector<double> l1(streams[1].size());
+  for (std::size_t i = 0; i < l0.size(); ++i) {
+    l0[i] = streams[0][i] ? -1.0 : 1.0;
+    l1[i] = streams[1][i] ? -1.0 : 1.0;
+  }
+  const auto merged = stream_deparse_llrs(l0, l1, GetParam());
+  ASSERT_EQ(merged.size(), bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    EXPECT_EQ(merged[i] < 0.0, bits[i] == 1) << i;
+  }
+}
+
+TEST_P(MimoModulations, ZeroForcingRecoversStreams) {
+  util::Rng rng(2);
+  const unsigned n_bpsc = bits_per_symbol(GetParam());
+  const util::BitVec s0 = rng.bits(kDataSubcarriers * n_bpsc);
+  const util::BitVec s1 = rng.bits(kDataSubcarriers * n_bpsc);
+  const MimoSymbol tx = map_symbol(s0, s1, GetParam());
+  const auto h = random_channels(rng, kDataSubcarriers);
+  const MimoSymbol rx = apply_channel(tx, h);
+  const ZfResult zf = zero_forcing(rx, h);
+  EXPECT_EQ(demap_hard(zf.detected.points[0], GetParam()), s0);
+  EXPECT_EQ(demap_hard(zf.detected.points[1], GetParam()), s1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModulations, MimoModulations,
+                         ::testing::Values(Modulation::kBpsk,
+                                           Modulation::kQpsk,
+                                           Modulation::kQam16,
+                                           Modulation::kQam64));
+
+TEST(Mimo, SingularChannelYieldsHugeNoiseEnhancement) {
+  util::Rng rng(3);
+  const util::BitVec s0 = rng.bits(kDataSubcarriers * 2);
+  const util::BitVec s1 = rng.bits(kDataSubcarriers * 2);
+  const MimoSymbol tx = map_symbol(s0, s1, Modulation::kQpsk);
+  // Rank-1 channel everywhere: rows identical.
+  std::vector<Matrix2> h(kDataSubcarriers);
+  for (auto& m : h) {
+    m.m[0] = {Cx{1.0, 0.0}, Cx{0.5, 0.0}};
+    m.m[1] = m.m[0];
+  }
+  const MimoSymbol rx = apply_channel(tx, h);
+  const ZfResult zf = zero_forcing(rx, h);
+  for (unsigned stream = 0; stream < kStreams; ++stream) {
+    for (const double ne : zf.noise_enhancement[stream]) {
+      EXPECT_GE(ne, 1e17);
+    }
+  }
+}
+
+TEST(Mimo, NoiseEnhancementIsPositiveAndCalibrated) {
+  // Identity channel: H^-1 = I, noise enhancement exactly 1 per stream.
+  util::Rng rng(4);
+  const util::BitVec s0 = rng.bits(kDataSubcarriers);
+  const util::BitVec s1 = rng.bits(kDataSubcarriers);
+  const MimoSymbol tx = map_symbol(s0, s1, Modulation::kBpsk);
+  std::vector<Matrix2> h(kDataSubcarriers);
+  for (auto& m : h) {
+    m.m[0] = {Cx{1.0, 0.0}, Cx{}};
+    m.m[1] = {Cx{}, Cx{1.0, 0.0}};
+  }
+  const ZfResult zf = zero_forcing(apply_channel(tx, h), h);
+  for (unsigned stream = 0; stream < kStreams; ++stream) {
+    for (const double ne : zf.noise_enhancement[stream]) {
+      EXPECT_DOUBLE_EQ(ne, 1.0);
+    }
+  }
+}
+
+TEST(Mimo, CrossTalkActuallyMixes) {
+  util::Rng rng(5);
+  const util::BitVec s0 = rng.bits(kDataSubcarriers);
+  const util::BitVec s1 = rng.bits(kDataSubcarriers);
+  const MimoSymbol tx = map_symbol(s0, s1, Modulation::kBpsk);
+  std::vector<Matrix2> h(kDataSubcarriers);
+  for (auto& m : h) {
+    m.m[0] = {Cx{1.0, 0.0}, Cx{0.7, 0.0}};
+    m.m[1] = {Cx{0.2, 0.0}, Cx{1.0, 0.0}};
+  }
+  const MimoSymbol rx = apply_channel(tx, h);
+  // Antenna 0 must differ from stream 0 alone wherever stream 1 is
+  // non-zero (always, for BPSK).
+  bool differs = false;
+  for (std::size_t k = 0; k < kDataSubcarriers; ++k) {
+    if (std::abs(rx.points[0][k] - tx.points[0][k]) > 0.1) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Mimo, ContractChecks) {
+  util::Rng rng(6);
+  const util::BitVec ragged = rng.bits(3);
+  EXPECT_THROW(stream_parse(ragged, Modulation::kQam16),
+               std::invalid_argument);
+  const util::BitVec s0 = rng.bits(kDataSubcarriers);
+  EXPECT_THROW(map_symbol(s0, rng.bits(10), Modulation::kBpsk),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::phy::mimo

@@ -1,0 +1,68 @@
+#include "mac/mpdu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace witag::mac {
+namespace {
+
+Mpdu sample_mpdu(std::size_t body_bytes) {
+  Mpdu m;
+  m.header.addr1 = make_address(1);
+  m.header.addr2 = make_address(2);
+  m.header.addr3 = make_address(1);
+  m.header.sequence = 77;
+  m.body = util::Rng(42).bytes(body_bytes);
+  return m;
+}
+
+TEST(Mpdu, SerializedLayout) {
+  const Mpdu m = sample_mpdu(10);
+  const auto bytes = serialize_mpdu(m);
+  EXPECT_EQ(bytes.size(), kQosHeaderBytes + 10 + kFcsBytes);
+}
+
+TEST(Mpdu, RoundTrip) {
+  const Mpdu m = sample_mpdu(100);
+  const auto parsed = parse_mpdu(serialize_mpdu(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->header, m.header);
+  EXPECT_EQ(parsed->body, m.body);
+}
+
+TEST(Mpdu, EmptyBodyRoundTrip) {
+  const Mpdu m = sample_mpdu(0);
+  const auto parsed = parse_mpdu(serialize_mpdu(m));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(Mpdu, FcsDetectsEveryByteCorruption) {
+  const auto bytes = serialize_mpdu(sample_mpdu(30));
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    util::ByteVec corrupted = bytes;
+    corrupted[i] ^= 0x40;
+    EXPECT_FALSE(fcs_ok(corrupted)) << "byte " << i;
+    EXPECT_FALSE(parse_mpdu(corrupted).has_value()) << "byte " << i;
+  }
+}
+
+TEST(Mpdu, FcsOkOnClean) {
+  EXPECT_TRUE(fcs_ok(serialize_mpdu(sample_mpdu(64))));
+}
+
+TEST(Mpdu, TooShortIsRejected) {
+  const util::ByteVec tiny(kQosHeaderBytes + kFcsBytes - 1, 0);
+  EXPECT_FALSE(fcs_ok(tiny));
+  EXPECT_FALSE(parse_mpdu(tiny).has_value());
+}
+
+TEST(Mpdu, TruncationIsDetected) {
+  auto bytes = serialize_mpdu(sample_mpdu(50));
+  bytes.pop_back();
+  EXPECT_FALSE(parse_mpdu(bytes).has_value());
+}
+
+}  // namespace
+}  // namespace witag::mac

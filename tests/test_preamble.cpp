@@ -1,0 +1,90 @@
+#include "phy/preamble.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/complexvec.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+TEST(Preamble, LtfCoversAllUsedBins) {
+  const FreqSymbol& ltf = ltf_symbol();
+  for (const int k : data_subcarriers()) {
+    EXPECT_NE(ltf[bin_index(k)], Cx{}) << "data sc " << k;
+  }
+  for (const int k : pilot_subcarriers()) {
+    EXPECT_NE(ltf[bin_index(k)], Cx{}) << "pilot sc " << k;
+  }
+}
+
+TEST(Preamble, LtfValuesArePlusMinusOne) {
+  const FreqSymbol& ltf = ltf_symbol();
+  unsigned used = 0;
+  for (unsigned bin = 0; bin < kFftSize; ++bin) {
+    if (ltf[bin] == Cx{}) continue;
+    ++used;
+    EXPECT_DOUBLE_EQ(ltf[bin].imag(), 0.0);
+    EXPECT_DOUBLE_EQ(std::abs(ltf[bin].real()), 1.0);
+  }
+  EXPECT_EQ(used, 56u);
+}
+
+TEST(Preamble, LtfMatchesStandardPrefix) {
+  // L-LTF at subcarriers 1..8 (802.11-2016 Table 17-9):
+  // 1, -1, -1, 1, 1, -1, 1, -1.
+  const FreqSymbol& ltf = ltf_symbol();
+  const int expected[8] = {1, -1, -1, 1, 1, -1, 1, -1};
+  for (int k = 1; k <= 8; ++k) {
+    EXPECT_DOUBLE_EQ(ltf[bin_index(k)].real(),
+                     static_cast<double>(expected[k - 1]))
+        << "sc " << k;
+  }
+}
+
+TEST(Preamble, LtfDcIsZero) {
+  EXPECT_EQ(ltf_symbol()[0], Cx{});
+}
+
+TEST(Preamble, StfHasTwelveTones) {
+  const FreqSymbol& stf = stf_symbol();
+  unsigned tones = 0;
+  for (unsigned bin = 0; bin < kFftSize; ++bin) {
+    if (stf[bin] != Cx{}) ++tones;
+  }
+  EXPECT_EQ(tones, 12u);
+}
+
+TEST(Preamble, StfTonesOnMultiplesOfFour) {
+  const FreqSymbol& stf = stf_symbol();
+  for (int k = -28; k <= 28; ++k) {
+    if (k == 0) continue;
+    if (stf[bin_index(k)] != Cx{}) {
+      EXPECT_EQ(k % 4, 0) << "tone at sc " << k;
+    }
+  }
+}
+
+TEST(Preamble, StfPowerMatchesDataSymbol) {
+  // sqrt(13/6)*(1+j) scaling makes the 12-tone STF carry the same total
+  // power as a 52-tone unit-power data symbol: 12 * 2 * 13/6 = 52.
+  const FreqSymbol& stf = stf_symbol();
+  double power = 0.0;
+  for (unsigned bin = 0; bin < kFftSize; ++bin) power += std::norm(stf[bin]);
+  EXPECT_NEAR(power, 52.0, 1e-9);
+}
+
+TEST(Preamble, StfPeriodicInTime) {
+  // Tones on multiples of 4 make the 64-sample IFFT 16-sample periodic —
+  // the property STF correlators rely on.
+  const util::CxVec samples = to_time(stf_symbol());
+  for (unsigned i = kCpLen; i + 16 < samples.size(); ++i) {
+    EXPECT_NEAR(std::abs(samples[i] - samples[i + 16]), 0.0, 1e-9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace witag::phy

@@ -1,0 +1,161 @@
+#include "witag/query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mac/ampdu.hpp"
+#include "phy/mcs.hpp"
+
+namespace witag::core {
+namespace {
+
+struct PlanCase {
+  unsigned mcs;
+  mac::Security security;
+};
+
+class QueryPlanParam : public ::testing::TestWithParam<PlanCase> {};
+
+TEST_P(QueryPlanParam, LayoutSatisfiesAllConstraints) {
+  QueryConfig cfg;
+  const QueryLayout layout =
+      plan_query(cfg, GetParam().mcs, GetParam().security, 1.0, 4.0);
+
+  const phy::McsParams& m = phy::mcs(GetParam().mcs);
+  // Whole symbols: bytes * 8 == symbols * n_dbps.
+  EXPECT_EQ(layout.subframe_bytes * 8,
+            layout.symbols_per_subframe * m.n_dbps);
+  // A-MPDU padding alignment.
+  EXPECT_EQ(layout.subframe_bytes % 4, 0u);
+  // Room for the MAC machinery.
+  EXPECT_GE(layout.subframe_bytes,
+            mac::kDelimiterBytes + mac::kQosHeaderBytes + mac::kFcsBytes);
+  // Tag timing: at least one whole OFDM symbol of corruption window.
+  const double window = layout.subframe_duration_us() - 2.0 * 4.0 - 2.0 * 1.0;
+  EXPECT_GE(window, phy::kSymbolDurationUs);
+  EXPECT_EQ(layout.n_data_subframes, layout.n_subframes - layout.n_trigger);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    McsAndSecurity, QueryPlanParam,
+    ::testing::Values(PlanCase{0, mac::Security::kOpen},
+                      PlanCase{1, mac::Security::kOpen},
+                      PlanCase{3, mac::Security::kOpen},
+                      PlanCase{5, mac::Security::kOpen},
+                      PlanCase{7, mac::Security::kOpen},
+                      PlanCase{5, mac::Security::kCcmp},
+                      PlanCase{5, mac::Security::kWep},
+                      PlanCase{7, mac::Security::kCcmp}));
+
+TEST(QueryPlan, CoarserClockForcesLongerSubframes) {
+  QueryConfig cfg;
+  const QueryLayout fine =
+      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  const QueryLayout coarse =
+      plan_query(cfg, 5, mac::Security::kOpen, 20.0, 4.0);
+  EXPECT_GT(coarse.symbols_per_subframe, fine.symbols_per_subframe);
+}
+
+TEST(QueryPlan, ExplicitSymbolsRespected) {
+  QueryConfig cfg;
+  cfg.symbols_per_subframe = 8;
+  const QueryLayout layout =
+      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  EXPECT_EQ(layout.symbols_per_subframe, 8u);
+  EXPECT_EQ(layout.subframe_bytes, 208u);
+}
+
+TEST(QueryPlan, ExplicitSymbolsValidated) {
+  QueryConfig cfg;
+  cfg.symbols_per_subframe = 3;  // 3 * 208 / 8 = 78, not 4-aligned
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+               std::invalid_argument);
+}
+
+TEST(QueryPlan, TriggerCountValidated) {
+  QueryConfig cfg;
+  cfg.n_trigger = 4;  // must be odd >= 5
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+               std::invalid_argument);
+  cfg.n_trigger = 63;
+  cfg.n_subframes = 63;  // no data subframes left
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+               std::invalid_argument);
+}
+
+TEST(QueryPlan, IdealTimingGeometry) {
+  QueryConfig cfg;
+  const QueryLayout layout =
+      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  const tag::QueryTiming t = layout.ideal_timing();
+  EXPECT_DOUBLE_EQ(t.subframe_duration_us, layout.subframe_duration_us());
+  EXPECT_DOUBLE_EQ(t.data_start_us,
+                   layout.subframes_start_us() +
+                       layout.n_trigger * layout.subframe_duration_us());
+  // Align edge = end of trigger subframe 3.
+  EXPECT_DOUBLE_EQ(t.align_edge_us,
+                   layout.subframes_start_us() +
+                       4.0 * layout.subframe_duration_us());
+}
+
+TEST(QueryBuild, PsduShapeAndPpduLayout) {
+  QueryConfig qcfg;
+  const QueryLayout layout =
+      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  mac::Client client(mac::make_address(1), mac::make_address(2), {});
+  const QueryFrame frame = build_query(layout, client, 0.35);
+  EXPECT_EQ(frame.ppdu.sig.length,
+            layout.subframe_bytes * layout.n_subframes);
+  EXPECT_EQ(frame.slot_scale.size(), frame.ppdu.symbols.size());
+}
+
+TEST(QueryBuild, TriggerScalePatternHighLowAlternates) {
+  QueryConfig qcfg;
+  const QueryLayout layout =
+      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  mac::Client client(mac::make_address(1), mac::make_address(2), {});
+  const QueryFrame frame = build_query(layout, client, 0.35);
+  const std::size_t s_per = layout.symbols_per_subframe;
+  // Header slots stay at 1.0.
+  for (std::size_t s = 0; s < phy::kHeaderSlots; ++s) {
+    EXPECT_DOUBLE_EQ(frame.slot_scale[s], 1.0) << s;
+  }
+  for (unsigned k = 0; k < layout.n_trigger; ++k) {
+    const double expected = (k % 2 == 1) ? 0.35 : 1.0;
+    for (std::size_t s = 0; s < s_per; ++s) {
+      EXPECT_DOUBLE_EQ(
+          frame.slot_scale[phy::kHeaderSlots + k * s_per + s], expected)
+          << "trigger " << k;
+    }
+  }
+  // Data region stays at 1.0.
+  for (std::size_t s = phy::kHeaderSlots + layout.n_trigger * s_per;
+       s < frame.slot_scale.size(); ++s) {
+    EXPECT_DOUBLE_EQ(frame.slot_scale[s], 1.0);
+  }
+}
+
+TEST(QueryBuild, DeaggregatesToUniformSubframes) {
+  QueryConfig qcfg;
+  const QueryLayout layout =
+      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  mac::Client client(mac::make_address(1), mac::make_address(2), {});
+  const QueryFrame frame = build_query(layout, client, 0.35);
+  // Rebuild the PSDU through the client to inspect subframe boundaries.
+  mac::Client client2(mac::make_address(1), mac::make_address(2), {});
+  const QueryFrame frame2 = build_query(layout, client2, 0.35);
+  (void)frame2;
+  EXPECT_EQ(layout.subframe_bytes * layout.n_subframes,
+            frame.ppdu.sig.length);
+}
+
+TEST(QueryBuild, ScaleValidated) {
+  QueryConfig qcfg;
+  const QueryLayout layout =
+      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+  mac::Client client(mac::make_address(1), mac::make_address(2), {});
+  EXPECT_THROW(build_query(layout, client, 0.0), std::invalid_argument);
+  EXPECT_THROW(build_query(layout, client, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::core

@@ -1,0 +1,128 @@
+#include "witag/reader.hpp"
+
+#include <gtest/gtest.h>
+
+namespace witag::core {
+namespace {
+
+SessionConfig quiet_los(double tag_at, std::uint64_t seed) {
+  SessionConfig cfg = los_testbed_config(tag_at, seed);
+  cfg.fading.n_scatterers = 0;
+  cfg.fading.blocking_rate_hz = 0.0;
+  cfg.fading.interference_rate_hz = 0.0;
+  return cfg;
+}
+
+TEST(Reader, PollsOneFrame) {
+  Session session(quiet_los(1.0, 21));
+  Reader reader(session, {});
+  const util::ByteVec payload{1, 2, 3, 4};
+  reader.load_tag(0, payload);
+  const auto result = reader.poll_frame();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_GT(result.rounds, 0u);
+  EXPECT_EQ(reader.stats().frames_ok, 1u);
+}
+
+TEST(Reader, RepeatedPollsReuseLeftoverBits) {
+  Session session(quiet_los(1.0, 22));
+  Reader reader(session, {});
+  const util::ByteVec payload{0xAB, 0xCD};
+  reader.load_tag(0, payload);
+  // The tag cycles its payload, so polls keep decoding copies.
+  for (int i = 0; i < 4; ++i) {
+    const auto result = reader.poll_frame();
+    ASSERT_TRUE(result.ok) << "poll " << i;
+    EXPECT_EQ(result.payload, payload) << "poll " << i;
+  }
+  EXPECT_EQ(reader.stats().frames_ok, 4u);
+}
+
+TEST(Reader, FecRepairsNoisyLink) {
+  // Mid-link at calibrated coupling: a few percent raw BER; repetition
+  // FEC + CRC must still deliver intact frames.
+  SessionConfig cfg = los_testbed_config(4.0, 23);
+  Session session(cfg);
+  ReaderConfig rcfg;
+  rcfg.fec = TagFec::kRepetition3;
+  rcfg.max_rounds_per_frame = 48;
+  Reader reader(session, rcfg);
+  const util::ByteVec payload{0x11, 0x22, 0x33};
+  reader.load_tag(0, payload);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto result = reader.poll_frame();
+    if (result.ok) {
+      ++delivered;
+      EXPECT_EQ(result.payload, payload);
+    }
+  }
+  EXPECT_GE(delivered, 4u);  // CRC rejects, it never lies
+}
+
+TEST(Reader, MultiTagPollingByAddress) {
+  SessionConfig cfg = quiet_los(1.0, 24);
+  // Keep every tag near a radio: the corruption margin follows the
+  // radar 1/(Ds*Dr) product, so tags cluster near the AP or client.
+  cfg.extra_tags.push_back({{16.4, 3.5}, 1, 7.1});
+  cfg.extra_tags.push_back({{16.8, 3.5}, 2, 7.1});
+  Session session(cfg);
+  Reader reader(session, {});
+  const util::ByteVec p0{0xA0};
+  const util::ByteVec p1{0xA1};
+  const util::ByteVec p2{0xA2};
+  reader.load_tag(0, p0);
+  reader.load_tag(1, p1);
+  reader.load_tag(2, p2);
+  for (unsigned address = 0; address < 3; ++address) {
+    const auto result = reader.poll_frame(address);
+    ASSERT_TRUE(result.ok) << "address " << address;
+    ASSERT_EQ(result.payload.size(), 1u);
+    EXPECT_EQ(result.payload[0], 0xA0 + address) << "address " << address;
+  }
+}
+
+TEST(Reader, MultiTagInterleavedPolls) {
+  SessionConfig cfg = quiet_los(1.0, 25);
+  cfg.extra_tags.push_back({{16.2, 3.5}, 1, 7.1});
+  Session session(cfg);
+  Reader reader(session, {});
+  const util::ByteVec pa{0x55, 0x01};
+  const util::ByteVec pb{0x66, 0x02};
+  reader.load_tag(0, pa);
+  reader.load_tag(1, pb);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const auto a = reader.poll_frame(0);
+    const auto b = reader.poll_frame(1);
+    ASSERT_TRUE(a.ok && b.ok) << cycle;
+    EXPECT_EQ(a.payload[0], 0x55);
+    EXPECT_EQ(b.payload[0], 0x66);
+  }
+}
+
+TEST(Reader, StatsAccumulate) {
+  Session session(quiet_los(1.0, 26));
+  Reader reader(session, {});
+  const util::ByteVec p9{9};
+  reader.load_tag(0, p9);
+  reader.poll_frame();
+  reader.poll_frame();
+  const auto& stats = reader.stats();
+  EXPECT_EQ(stats.frames_ok, 2u);
+  EXPECT_GT(stats.airtime_us, 0.0);
+  EXPECT_GT(stats.frame_goodput_kbps(1), 0.0);
+}
+
+TEST(Reader, ConfigValidated) {
+  Session session(quiet_los(1.0, 27));
+  ReaderConfig bad;
+  bad.max_rounds_per_frame = 0;
+  EXPECT_THROW(Reader(session, bad), std::invalid_argument);
+  ReaderConfig bad2;
+  bad2.stream_cap_bits = 10;
+  EXPECT_THROW(Reader(session, bad2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::core

@@ -1,0 +1,88 @@
+#include "phy/scrambler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace witag::phy {
+namespace {
+
+class ScramblerSeeds : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(ScramblerSeeds, IsAnInvolution) {
+  util::Rng rng(GetParam());
+  const util::BitVec bits = rng.bits(500);
+  const util::BitVec once = scramble(bits, GetParam());
+  EXPECT_EQ(scramble(once, GetParam()), bits);
+}
+
+TEST_P(ScramblerSeeds, ChangesTheStream) {
+  const util::BitVec zeros(200, 0);
+  const util::BitVec scrambled = scramble(zeros, GetParam());
+  std::size_t ones = 0;
+  for (const auto b : scrambled) ones += b;
+  // The LFSR output is balanced-ish; an all-zero output would mean a
+  // broken register.
+  EXPECT_GT(ones, 50u);
+  EXPECT_LT(ones, 150u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScramblerSeeds,
+                         ::testing::Values(1, 2, 0x5D, 0x7F, 93));
+
+TEST(Scrambler, RejectsBadSeeds) {
+  const util::BitVec bits(8, 0);
+  EXPECT_THROW(scramble(bits, 0), std::invalid_argument);
+  EXPECT_THROW(scramble(bits, 128), std::invalid_argument);
+}
+
+TEST(Scrambler, Period127) {
+  // Scrambling zeros exposes the raw LFSR sequence, which has period 127.
+  const util::BitVec zeros(254, 0);
+  const util::BitVec seq = scramble(zeros, 0x35);
+  for (int i = 0; i < 127; ++i) {
+    EXPECT_EQ(seq[static_cast<std::size_t>(i)],
+              seq[static_cast<std::size_t>(i + 127)]);
+  }
+}
+
+TEST(Scrambler, DescrambleRecoverMatchesKnownSeed) {
+  util::Rng rng(5);
+  for (std::uint8_t seed : {1, 37, 93, 127}) {
+    // First 7 plain bits zero (the SERVICE convention), then payload.
+    util::BitVec plain(7, 0);
+    const util::BitVec payload = rng.bits(300);
+    plain.insert(plain.end(), payload.begin(), payload.end());
+    const util::BitVec scrambled = scramble(plain, seed);
+    const util::BitVec recovered = descramble_recover(scrambled);
+    // Bits 7.. must match; the first 7 are zero by construction.
+    for (std::size_t i = 0; i < recovered.size(); ++i) {
+      EXPECT_EQ(recovered[i], plain[i]) << "at " << i << " seed " << int(seed);
+    }
+  }
+}
+
+TEST(Scrambler, DescrambleRecoverNeedsSevenBits) {
+  const util::BitVec bits(6, 0);
+  EXPECT_THROW(descramble_recover(bits), std::invalid_argument);
+}
+
+TEST(Scrambler, PilotPolarityMatchesStandardPrefix) {
+  // 802.11-2016 17.3.5.10: p0..p15 =
+  // 1,1,1,1,-1,-1,-1,1,-1,-1,-1,-1,1,1,-1,1 ...
+  const auto& p = pilot_polarity_sequence();
+  const int expected[16] = {1, 1, 1, 1, -1, -1, -1, 1,
+                            -1, -1, -1, -1, 1, 1, -1, 1};
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(p[static_cast<std::size_t>(i)], expected[i]) << "p" << i;
+  }
+}
+
+TEST(Scrambler, PilotPolarityAllPlusMinusOne) {
+  for (const int v : pilot_polarity_sequence()) {
+    EXPECT_TRUE(v == 1 || v == -1);
+  }
+}
+
+}  // namespace
+}  // namespace witag::phy

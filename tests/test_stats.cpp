@@ -1,0 +1,94 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace witag::util {
+namespace {
+
+TEST(Running, MeanVarianceMinMax) {
+  Running r;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+  EXPECT_EQ(r.count(), 8u);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 9.0);
+}
+
+TEST(Running, SingleSampleHasZeroVariance) {
+  Running r;
+  r.add(3.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.stddev(), 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> data{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> data{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Ecdf, StepFunction) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(10.0), 1.0);
+}
+
+TEST(Ecdf, Quantiles) {
+  Ecdf e({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0});
+  EXPECT_DOUBLE_EQ(e.quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(e.quantile(0.05), 1.0);
+}
+
+TEST(Ecdf, RejectsEmpty) {
+  EXPECT_THROW(Ecdf({}), std::invalid_argument);
+}
+
+TEST(Wilson, CoversTrueProportion) {
+  // 30 successes of 1000: interval should include 0.03.
+  const Interval iv = wilson_interval(30, 1000);
+  EXPECT_LT(iv.lo, 0.03);
+  EXPECT_GT(iv.hi, 0.03);
+  EXPECT_GT(iv.lo, 0.0);
+  EXPECT_LT(iv.hi, 1.0);
+}
+
+TEST(Wilson, DegenerateCases) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_DOUBLE_EQ(zero.lo, 0.0);
+  EXPECT_GT(zero.hi, 0.0);
+  const Interval all = wilson_interval(100, 100);
+  EXPECT_LT(all.lo, 1.0);
+  const Interval none = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_DOUBLE_EQ(none.hi, 1.0);
+}
+
+TEST(Wilson, RejectsImpossibleCounts) {
+  EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
+}
+
+TEST(Wilson, ShrinksWithSamples) {
+  const Interval small = wilson_interval(5, 50);
+  const Interval big = wilson_interval(500, 5000);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+}
+
+}  // namespace
+}  // namespace witag::util

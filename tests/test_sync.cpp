@@ -1,0 +1,127 @@
+#include "phy/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/ppdu.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace witag::phy {
+namespace {
+
+using util::Cx;
+
+// A PPDU embedded in a noisy stream with `prefix` noise samples first.
+struct Stream {
+  util::CxVec samples;
+  std::size_t true_start;
+  util::ByteVec psdu;
+};
+
+Stream make_stream(util::Rng& rng, std::size_t prefix, double noise_amp,
+                   double cfo_hz = 0.0) {
+  Stream s;
+  s.psdu = rng.bytes(120);
+  TxConfig cfg;
+  cfg.mcs_index = 3;
+  const util::CxVec frame = to_samples(transmit(s.psdu, cfg));
+
+  s.true_start = prefix;
+  s.samples.reserve(prefix + frame.size() + 200);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    s.samples.push_back(noise_amp * rng.complex_normal(1.0));
+  }
+  const double step = 2.0 * util::kPi * cfo_hz / kSampleRateHz;
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    const Cx rotated =
+        frame[n] * std::polar(1.0, step * static_cast<double>(prefix + n));
+    s.samples.push_back(rotated + noise_amp * rng.complex_normal(1.0));
+  }
+  for (std::size_t i = 0; i < 200; ++i) {
+    s.samples.push_back(noise_amp * rng.complex_normal(1.0));
+  }
+  return s;
+}
+
+TEST(Sync, FindsFrameStartExactly) {
+  util::Rng rng(1);
+  const Stream s = make_stream(rng, 777, 1e-3);
+  const auto sync = detect_ppdu(s.samples);
+  ASSERT_TRUE(sync.has_value());
+  EXPECT_EQ(sync->frame_start, s.true_start);
+}
+
+TEST(Sync, WorksAcrossPrefixLengths) {
+  util::Rng rng(2);
+  for (const std::size_t prefix : {100u, 333u, 1000u, 2049u}) {
+    const Stream s = make_stream(rng, prefix, 1e-3);
+    const auto sync = detect_ppdu(s.samples);
+    ASSERT_TRUE(sync.has_value()) << prefix;
+    EXPECT_EQ(sync->frame_start, s.true_start) << prefix;
+  }
+}
+
+TEST(Sync, EstimatesCfo) {
+  util::Rng rng(3);
+  for (const double cfo : {-60e3, -10e3, 0.0, 25e3, 80e3}) {
+    const Stream s = make_stream(rng, 500, 5e-4, cfo);
+    const auto sync = detect_ppdu(s.samples);
+    ASSERT_TRUE(sync.has_value()) << cfo;
+    EXPECT_NEAR(sync->cfo_hz, cfo, 600.0) << cfo;
+  }
+}
+
+TEST(Sync, EndToEndWithCfoCorrection) {
+  util::Rng rng(4);
+  const double cfo = 40e3;
+  const Stream s = make_stream(rng, 640, 1e-4, cfo);
+  const auto sync = detect_ppdu(s.samples);
+  ASSERT_TRUE(sync.has_value());
+
+  // Correct CFO over the whole stream, then decode from the detected
+  // start.
+  const util::CxVec corrected = correct_cfo(s.samples, sync->cfo_hz);
+  const std::size_t frame_len =
+      (corrected.size() - sync->frame_start) / kSamplesPerSymbol *
+      kSamplesPerSymbol;
+  const std::span<const Cx> frame(corrected.data() + sync->frame_start,
+                                  frame_len);
+  const RxResult rx = receive_samples(frame, {});
+  ASSERT_TRUE(rx.sig_ok);
+  EXPECT_EQ(rx.psdu, s.psdu);
+}
+
+TEST(Sync, NoDetectionOnPureNoise) {
+  util::Rng rng(5);
+  util::CxVec noise(8000);
+  for (auto& x : noise) x = rng.complex_normal(1.0);
+  EXPECT_FALSE(detect_ppdu(noise).has_value());
+}
+
+TEST(Sync, NoDetectionOnTooShortInput) {
+  const util::CxVec tiny(50);
+  EXPECT_FALSE(detect_ppdu(tiny).has_value());
+}
+
+TEST(Sync, CfoCorrectionIsExactInverse) {
+  util::Rng rng(6);
+  util::CxVec x(500);
+  for (auto& v : x) v = rng.complex_normal(1.0);
+  const util::CxVec shifted = correct_cfo(x, -12345.0);
+  const util::CxVec back = correct_cfo(shifted, 12345.0);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    EXPECT_NEAR(std::abs(back[n] - x[n]), 0.0, 1e-12);
+  }
+}
+
+TEST(Sync, ThresholdValidated) {
+  const util::CxVec s(10000);
+  SyncConfig cfg;
+  cfg.detection_threshold = 1.5;
+  EXPECT_THROW(detect_ppdu(s, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::phy

@@ -1,0 +1,88 @@
+#include "tag/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace witag::tag {
+namespace {
+
+TEST(TagClock, NominalCrystalAtReferenceTemp) {
+  ClockConfig cfg;
+  cfg.kind = OscillatorKind::kCrystal;
+  cfg.nominal_hz = 50e3;
+  cfg.crystal_ppm = 0.0;
+  TagClock clock(cfg);
+  EXPECT_DOUBLE_EQ(clock.actual_hz(), 50e3);
+  EXPECT_DOUBLE_EQ(clock.tick_period_us(), 20.0);
+  EXPECT_DOUBLE_EQ(clock.fractional_error(), 0.0);
+}
+
+TEST(TagClock, CrystalPpmError) {
+  ClockConfig cfg;
+  cfg.crystal_ppm = 20.0;
+  TagClock clock(cfg);
+  EXPECT_NEAR(clock.fractional_error(), 20e-6, 1e-12);
+}
+
+TEST(TagClock, CrystalTemperatureCoefficientIsSmall) {
+  ClockConfig cfg;
+  cfg.crystal_ppm = 0.0;
+  cfg.temperature_c = 45.0;  // +20 C
+  TagClock clock(cfg);
+  EXPECT_NEAR(clock.fractional_error(), 20.0 * 0.5e-6, 1e-12);
+}
+
+TEST(TagClock, RingOscillatorDriftMatchesPaperFootnote) {
+  // Paper footnote 4: 5 C shifts a 20 MHz ring oscillator by 600 kHz.
+  ClockConfig cfg;
+  cfg.kind = OscillatorKind::kRing;
+  cfg.nominal_hz = 20e6;
+  cfg.temperature_c = 30.0;  // +5 C
+  TagClock clock(cfg);
+  EXPECT_NEAR(clock.actual_hz() - 20e6, 600e3, 1.0);
+}
+
+TEST(TagClock, RealizeRoundsUpToTicks) {
+  ClockConfig cfg;
+  cfg.nominal_hz = 50e3;  // 20 us ticks
+  cfg.crystal_ppm = 0.0;
+  TagClock clock(cfg);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(0.0, TagClock::Round::kUp), 0.0);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(1.0, TagClock::Round::kUp), 20.0);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(20.0, TagClock::Round::kUp), 20.0);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(20.1, TagClock::Round::kUp), 40.0);
+}
+
+TEST(TagClock, RealizeRoundsDownToTicks) {
+  ClockConfig cfg;
+  cfg.nominal_hz = 50e3;
+  cfg.crystal_ppm = 0.0;
+  TagClock clock(cfg);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(19.9, TagClock::Round::kDown), 0.0);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(20.0, TagClock::Round::kDown), 20.0);
+  EXPECT_DOUBLE_EQ(clock.realize_instant_us(39.0, TagClock::Round::kDown), 20.0);
+}
+
+TEST(TagClock, FrequencyErrorStretchesRealizedInstants) {
+  ClockConfig cfg;
+  cfg.kind = OscillatorKind::kRing;
+  cfg.nominal_hz = 50e3;
+  cfg.temperature_c = 30.0;  // +5 C -> +3% fast
+  TagClock clock(cfg);
+  // A fast clock fires ticks early: realized < ideal.
+  const double t = clock.realize_instant_us(2000.0, TagClock::Round::kUp);
+  EXPECT_LT(t, 2000.0);
+  EXPECT_NEAR(t, 2000.0 / 1.03, 0.5);
+}
+
+TEST(TagClock, RejectsBadConfig) {
+  ClockConfig cfg;
+  cfg.nominal_hz = 0.0;
+  EXPECT_THROW(TagClock{cfg}, std::invalid_argument);
+  ClockConfig ok;
+  TagClock clock(ok);
+  EXPECT_THROW(clock.realize_instant_us(-1.0, TagClock::Round::kUp),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace witag::tag

@@ -1,0 +1,72 @@
+#include "channel/tag_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace witag::channel {
+namespace {
+
+TEST(TagPath, GammaValuesPerMode) {
+  EXPECT_EQ(tag_gamma(TagMode::kOpenShort, false), (std::complex<double>{0, 0}));
+  EXPECT_EQ(tag_gamma(TagMode::kOpenShort, true), (std::complex<double>{1, 0}));
+  EXPECT_EQ(tag_gamma(TagMode::kPhaseFlip, false), (std::complex<double>{1, 0}));
+  EXPECT_EQ(tag_gamma(TagMode::kPhaseFlip, true), (std::complex<double>{-1, 0}));
+}
+
+TEST(TagPath, PhaseFlipDoublesChannelChange) {
+  // The paper's Figure 3 claim: always-reflect with a 180-degree flip
+  // moves the channel twice as far as open/short switching.
+  const FloorPlan empty;
+  TagPathConfig open_short{{4.0, 0.0}, 2.0, TagMode::kOpenShort};
+  TagPathConfig phase_flip{{4.0, 0.0}, 2.0, TagMode::kPhaseFlip};
+  const double d_os = channel_change_magnitude(open_short, {0, 0}, {8, 0},
+                                               empty, util::kWifi24GHz);
+  const double d_pf = channel_change_magnitude(phase_flip, {0, 0}, {8, 0},
+                                               empty, util::kWifi24GHz);
+  EXPECT_NEAR(d_pf / d_os, 2.0, 1e-12);
+}
+
+TEST(TagPath, ChangeFollowsRadarLawOverPosition) {
+  // |delta h| ~ 1/(Ds * Dr): smallest at the midpoint of the link.
+  const FloorPlan empty;
+  auto change_at = [&](double x) {
+    TagPathConfig tag{{x, 0.0}, 2.0, TagMode::kPhaseFlip};
+    return channel_change_magnitude(tag, {0, 0}, {8, 0}, empty,
+                                    util::kWifi24GHz);
+  };
+  const double mid = change_at(4.0);
+  EXPECT_GT(change_at(1.0), mid);
+  EXPECT_GT(change_at(7.0), mid);
+  // Symmetric geometry gives symmetric change.
+  EXPECT_NEAR(change_at(2.0), change_at(6.0), 1e-15);
+}
+
+TEST(TagPath, CouplingIncludesWallLoss) {
+  FloorPlan plan;
+  plan.add_wall({{2.0, -5.0}, {2.0, 5.0}, 6.0});
+  TagPathConfig tag{{1.0, 0.0}, 2.0, TagMode::kPhaseFlip};
+  const auto with_wall =
+      tag_coupling(tag, {0, 0}, {8, 0}, plan, util::kWifi24GHz, 0.0);
+  const auto without =
+      tag_coupling(tag, {0, 0}, {8, 0}, FloorPlan{}, util::kWifi24GHz, 0.0);
+  // Tag -> AP hop crosses the wall once: -6 dB amplitude factor.
+  EXPECT_NEAR(std::abs(with_wall) / std::abs(without),
+              std::pow(10.0, -6.0 / 20.0), 1e-9);
+}
+
+TEST(TagPath, CouplingScalesWithStrength) {
+  const FloorPlan empty;
+  TagPathConfig weak{{3.0, 1.0}, 1.0, TagMode::kPhaseFlip};
+  TagPathConfig strong{{3.0, 1.0}, 7.0, TagMode::kPhaseFlip};
+  const double a1 =
+      std::abs(tag_coupling(weak, {0, 0}, {8, 0}, empty, util::kWifi24GHz, 0.0));
+  const double a2 = std::abs(
+      tag_coupling(strong, {0, 0}, {8, 0}, empty, util::kWifi24GHz, 0.0));
+  EXPECT_NEAR(a2 / a1, 7.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace witag::channel
