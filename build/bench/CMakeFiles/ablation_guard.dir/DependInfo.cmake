@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_guard.cpp" "bench/CMakeFiles/ablation_guard.dir/ablation_guard.cpp.o" "gcc" "bench/CMakeFiles/ablation_guard.dir/ablation_guard.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/witag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/witag/CMakeFiles/witag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

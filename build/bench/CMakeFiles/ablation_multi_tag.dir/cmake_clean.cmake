@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multi_tag.dir/ablation_multi_tag.cpp.o"
+  "CMakeFiles/ablation_multi_tag.dir/ablation_multi_tag.cpp.o.d"
+  "ablation_multi_tag"
+  "ablation_multi_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_channel_change.dir/fig3_channel_change.cpp.o"
+  "CMakeFiles/fig3_channel_change.dir/fig3_channel_change.cpp.o.d"
+  "fig3_channel_change"
+  "fig3_channel_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_channel_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_phy.dir/micro_phy.cpp.o"
+  "CMakeFiles/micro_phy.dir/micro_phy.cpp.o.d"
+  "micro_phy"
+  "micro_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_comparison.dir/tab_comparison.cpp.o"
+  "CMakeFiles/tab_comparison.dir/tab_comparison.cpp.o.d"
+  "tab_comparison"
+  "tab_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

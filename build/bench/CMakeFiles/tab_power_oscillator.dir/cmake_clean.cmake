@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_power_oscillator.dir/tab_power_oscillator.cpp.o"
+  "CMakeFiles/tab_power_oscillator.dir/tab_power_oscillator.cpp.o.d"
+  "tab_power_oscillator"
+  "tab_power_oscillator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_power_oscillator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_throughput_model.dir/tab_throughput_model.cpp.o"
+  "CMakeFiles/tab_throughput_model.dir/tab_throughput_model.cpp.o.d"
+  "tab_throughput_model"
+  "tab_throughput_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_throughput_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_trigger_detection.dir/tab_trigger_detection.cpp.o"
+  "CMakeFiles/tab_trigger_detection.dir/tab_trigger_detection.cpp.o.d"
+  "tab_trigger_detection"
+  "tab_trigger_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_trigger_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encrypted_network.dir/encrypted_network.cpp.o"
+  "CMakeFiles/encrypted_network.dir/encrypted_network.cpp.o.d"
+  "encrypted_network"
+  "encrypted_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encrypted_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlos_office.dir/nlos_office.cpp.o"
+  "CMakeFiles/nlos_office.dir/nlos_office.cpp.o.d"
+  "nlos_office"
+  "nlos_office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlos_office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

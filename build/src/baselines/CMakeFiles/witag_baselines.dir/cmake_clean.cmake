@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_baselines.dir/common.cpp.o"
+  "CMakeFiles/witag_baselines.dir/common.cpp.o.d"
+  "CMakeFiles/witag_baselines.dir/compare.cpp.o"
+  "CMakeFiles/witag_baselines.dir/compare.cpp.o.d"
+  "CMakeFiles/witag_baselines.dir/freerider.cpp.o"
+  "CMakeFiles/witag_baselines.dir/freerider.cpp.o.d"
+  "CMakeFiles/witag_baselines.dir/hitchhike.cpp.o"
+  "CMakeFiles/witag_baselines.dir/hitchhike.cpp.o.d"
+  "CMakeFiles/witag_baselines.dir/moxcatter.cpp.o"
+  "CMakeFiles/witag_baselines.dir/moxcatter.cpp.o.d"
+  "libwitag_baselines.a"
+  "libwitag_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_channel.dir/channel_model.cpp.o"
+  "CMakeFiles/witag_channel.dir/channel_model.cpp.o.d"
+  "CMakeFiles/witag_channel.dir/fading.cpp.o"
+  "CMakeFiles/witag_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/witag_channel.dir/geometry.cpp.o"
+  "CMakeFiles/witag_channel.dir/geometry.cpp.o.d"
+  "CMakeFiles/witag_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/witag_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/witag_channel.dir/reflector.cpp.o"
+  "CMakeFiles/witag_channel.dir/reflector.cpp.o.d"
+  "CMakeFiles/witag_channel.dir/tag_path.cpp.o"
+  "CMakeFiles/witag_channel.dir/tag_path.cpp.o.d"
+  "libwitag_channel.a"
+  "libwitag_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

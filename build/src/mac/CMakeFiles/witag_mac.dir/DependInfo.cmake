@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/aes.cpp" "src/mac/CMakeFiles/witag_mac.dir/aes.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/aes.cpp.o.d"
+  "/root/repo/src/mac/airtime.cpp" "src/mac/CMakeFiles/witag_mac.dir/airtime.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/airtime.cpp.o.d"
+  "/root/repo/src/mac/ampdu.cpp" "src/mac/CMakeFiles/witag_mac.dir/ampdu.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/ampdu.cpp.o.d"
+  "/root/repo/src/mac/block_ack.cpp" "src/mac/CMakeFiles/witag_mac.dir/block_ack.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/block_ack.cpp.o.d"
+  "/root/repo/src/mac/ccmp.cpp" "src/mac/CMakeFiles/witag_mac.dir/ccmp.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/ccmp.cpp.o.d"
+  "/root/repo/src/mac/mac_header.cpp" "src/mac/CMakeFiles/witag_mac.dir/mac_header.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/mac_header.cpp.o.d"
+  "/root/repo/src/mac/mpdu.cpp" "src/mac/CMakeFiles/witag_mac.dir/mpdu.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/mpdu.cpp.o.d"
+  "/root/repo/src/mac/rate_ctrl.cpp" "src/mac/CMakeFiles/witag_mac.dir/rate_ctrl.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/rate_ctrl.cpp.o.d"
+  "/root/repo/src/mac/station.cpp" "src/mac/CMakeFiles/witag_mac.dir/station.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/station.cpp.o.d"
+  "/root/repo/src/mac/wep.cpp" "src/mac/CMakeFiles/witag_mac.dir/wep.cpp.o" "gcc" "src/mac/CMakeFiles/witag_mac.dir/wep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_mac.dir/aes.cpp.o"
+  "CMakeFiles/witag_mac.dir/aes.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/airtime.cpp.o"
+  "CMakeFiles/witag_mac.dir/airtime.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/ampdu.cpp.o"
+  "CMakeFiles/witag_mac.dir/ampdu.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/block_ack.cpp.o"
+  "CMakeFiles/witag_mac.dir/block_ack.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/ccmp.cpp.o"
+  "CMakeFiles/witag_mac.dir/ccmp.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/mac_header.cpp.o"
+  "CMakeFiles/witag_mac.dir/mac_header.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/mpdu.cpp.o"
+  "CMakeFiles/witag_mac.dir/mpdu.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/rate_ctrl.cpp.o"
+  "CMakeFiles/witag_mac.dir/rate_ctrl.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/station.cpp.o"
+  "CMakeFiles/witag_mac.dir/station.cpp.o.d"
+  "CMakeFiles/witag_mac.dir/wep.cpp.o"
+  "CMakeFiles/witag_mac.dir/wep.cpp.o.d"
+  "libwitag_mac.a"
+  "libwitag_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel_est.cpp" "src/phy/CMakeFiles/witag_phy.dir/channel_est.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/channel_est.cpp.o.d"
+  "/root/repo/src/phy/constellation.cpp" "src/phy/CMakeFiles/witag_phy.dir/constellation.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/constellation.cpp.o.d"
+  "/root/repo/src/phy/convolutional.cpp" "src/phy/CMakeFiles/witag_phy.dir/convolutional.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/convolutional.cpp.o.d"
+  "/root/repo/src/phy/dsss.cpp" "src/phy/CMakeFiles/witag_phy.dir/dsss.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/dsss.cpp.o.d"
+  "/root/repo/src/phy/fft.cpp" "src/phy/CMakeFiles/witag_phy.dir/fft.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/fft.cpp.o.d"
+  "/root/repo/src/phy/interleaver.cpp" "src/phy/CMakeFiles/witag_phy.dir/interleaver.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/interleaver.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/witag_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/mimo.cpp" "src/phy/CMakeFiles/witag_phy.dir/mimo.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/mimo.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/witag_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/plcp.cpp" "src/phy/CMakeFiles/witag_phy.dir/plcp.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/plcp.cpp.o.d"
+  "/root/repo/src/phy/ppdu.cpp" "src/phy/CMakeFiles/witag_phy.dir/ppdu.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/ppdu.cpp.o.d"
+  "/root/repo/src/phy/preamble.cpp" "src/phy/CMakeFiles/witag_phy.dir/preamble.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/preamble.cpp.o.d"
+  "/root/repo/src/phy/scrambler.cpp" "src/phy/CMakeFiles/witag_phy.dir/scrambler.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/scrambler.cpp.o.d"
+  "/root/repo/src/phy/sync.cpp" "src/phy/CMakeFiles/witag_phy.dir/sync.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/sync.cpp.o.d"
+  "/root/repo/src/phy/viterbi.cpp" "src/phy/CMakeFiles/witag_phy.dir/viterbi.cpp.o" "gcc" "src/phy/CMakeFiles/witag_phy.dir/viterbi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

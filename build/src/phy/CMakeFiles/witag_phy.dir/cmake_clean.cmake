@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_phy.dir/channel_est.cpp.o"
+  "CMakeFiles/witag_phy.dir/channel_est.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/constellation.cpp.o"
+  "CMakeFiles/witag_phy.dir/constellation.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/witag_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/dsss.cpp.o"
+  "CMakeFiles/witag_phy.dir/dsss.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/fft.cpp.o"
+  "CMakeFiles/witag_phy.dir/fft.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/interleaver.cpp.o"
+  "CMakeFiles/witag_phy.dir/interleaver.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/mcs.cpp.o"
+  "CMakeFiles/witag_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/mimo.cpp.o"
+  "CMakeFiles/witag_phy.dir/mimo.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/witag_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/plcp.cpp.o"
+  "CMakeFiles/witag_phy.dir/plcp.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/ppdu.cpp.o"
+  "CMakeFiles/witag_phy.dir/ppdu.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/preamble.cpp.o"
+  "CMakeFiles/witag_phy.dir/preamble.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/scrambler.cpp.o"
+  "CMakeFiles/witag_phy.dir/scrambler.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/sync.cpp.o"
+  "CMakeFiles/witag_phy.dir/sync.cpp.o.d"
+  "CMakeFiles/witag_phy.dir/viterbi.cpp.o"
+  "CMakeFiles/witag_phy.dir/viterbi.cpp.o.d"
+  "libwitag_phy.a"
+  "libwitag_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

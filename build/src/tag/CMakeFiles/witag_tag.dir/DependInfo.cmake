@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tag/clock.cpp" "src/tag/CMakeFiles/witag_tag.dir/clock.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/clock.cpp.o.d"
+  "/root/repo/src/tag/device.cpp" "src/tag/CMakeFiles/witag_tag.dir/device.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/device.cpp.o.d"
+  "/root/repo/src/tag/envelope.cpp" "src/tag/CMakeFiles/witag_tag.dir/envelope.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/envelope.cpp.o.d"
+  "/root/repo/src/tag/power.cpp" "src/tag/CMakeFiles/witag_tag.dir/power.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/power.cpp.o.d"
+  "/root/repo/src/tag/reflector_ctl.cpp" "src/tag/CMakeFiles/witag_tag.dir/reflector_ctl.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/reflector_ctl.cpp.o.d"
+  "/root/repo/src/tag/trigger.cpp" "src/tag/CMakeFiles/witag_tag.dir/trigger.cpp.o" "gcc" "src/tag/CMakeFiles/witag_tag.dir/trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

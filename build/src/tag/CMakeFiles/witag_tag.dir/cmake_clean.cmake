@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tag.dir/clock.cpp.o"
+  "CMakeFiles/witag_tag.dir/clock.cpp.o.d"
+  "CMakeFiles/witag_tag.dir/device.cpp.o"
+  "CMakeFiles/witag_tag.dir/device.cpp.o.d"
+  "CMakeFiles/witag_tag.dir/envelope.cpp.o"
+  "CMakeFiles/witag_tag.dir/envelope.cpp.o.d"
+  "CMakeFiles/witag_tag.dir/power.cpp.o"
+  "CMakeFiles/witag_tag.dir/power.cpp.o.d"
+  "CMakeFiles/witag_tag.dir/reflector_ctl.cpp.o"
+  "CMakeFiles/witag_tag.dir/reflector_ctl.cpp.o.d"
+  "CMakeFiles/witag_tag.dir/trigger.cpp.o"
+  "CMakeFiles/witag_tag.dir/trigger.cpp.o.d"
+  "libwitag_tag.a"
+  "libwitag_tag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

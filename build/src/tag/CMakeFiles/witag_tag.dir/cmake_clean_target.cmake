@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwitag_tag.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_util.dir/bits.cpp.o"
+  "CMakeFiles/witag_util.dir/bits.cpp.o.d"
+  "CMakeFiles/witag_util.dir/cli.cpp.o"
+  "CMakeFiles/witag_util.dir/cli.cpp.o.d"
+  "CMakeFiles/witag_util.dir/complexvec.cpp.o"
+  "CMakeFiles/witag_util.dir/complexvec.cpp.o.d"
+  "CMakeFiles/witag_util.dir/crc.cpp.o"
+  "CMakeFiles/witag_util.dir/crc.cpp.o.d"
+  "CMakeFiles/witag_util.dir/csv.cpp.o"
+  "CMakeFiles/witag_util.dir/csv.cpp.o.d"
+  "CMakeFiles/witag_util.dir/rng.cpp.o"
+  "CMakeFiles/witag_util.dir/rng.cpp.o.d"
+  "CMakeFiles/witag_util.dir/stats.cpp.o"
+  "CMakeFiles/witag_util.dir/stats.cpp.o.d"
+  "libwitag_util.a"
+  "libwitag_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/witag/config.cpp" "src/witag/CMakeFiles/witag_core.dir/config.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/config.cpp.o.d"
+  "/root/repo/src/witag/link.cpp" "src/witag/CMakeFiles/witag_core.dir/link.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/link.cpp.o.d"
+  "/root/repo/src/witag/metrics.cpp" "src/witag/CMakeFiles/witag_core.dir/metrics.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/witag/query.cpp" "src/witag/CMakeFiles/witag_core.dir/query.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/query.cpp.o.d"
+  "/root/repo/src/witag/reader.cpp" "src/witag/CMakeFiles/witag_core.dir/reader.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/reader.cpp.o.d"
+  "/root/repo/src/witag/session.cpp" "src/witag/CMakeFiles/witag_core.dir/session.cpp.o" "gcc" "src/witag/CMakeFiles/witag_core.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_core.dir/config.cpp.o"
+  "CMakeFiles/witag_core.dir/config.cpp.o.d"
+  "CMakeFiles/witag_core.dir/link.cpp.o"
+  "CMakeFiles/witag_core.dir/link.cpp.o.d"
+  "CMakeFiles/witag_core.dir/metrics.cpp.o"
+  "CMakeFiles/witag_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/witag_core.dir/query.cpp.o"
+  "CMakeFiles/witag_core.dir/query.cpp.o.d"
+  "CMakeFiles/witag_core.dir/reader.cpp.o"
+  "CMakeFiles/witag_core.dir/reader.cpp.o.d"
+  "CMakeFiles/witag_core.dir/session.cpp.o"
+  "CMakeFiles/witag_core.dir/session.cpp.o.d"
+  "libwitag_core.a"
+  "libwitag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

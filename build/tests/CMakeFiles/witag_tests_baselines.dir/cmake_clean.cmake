@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_baselines.dir/test_baselines.cpp.o"
+  "CMakeFiles/witag_tests_baselines.dir/test_baselines.cpp.o.d"
+  "witag_tests_baselines"
+  "witag_tests_baselines.pdb"
+  "witag_tests_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

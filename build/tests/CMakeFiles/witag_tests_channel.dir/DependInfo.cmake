@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel_model.cpp" "tests/CMakeFiles/witag_tests_channel.dir/test_channel_model.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_channel.dir/test_channel_model.cpp.o.d"
+  "/root/repo/tests/test_fading.cpp" "tests/CMakeFiles/witag_tests_channel.dir/test_fading.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_channel.dir/test_fading.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/witag_tests_channel.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_channel.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_pathloss.cpp" "tests/CMakeFiles/witag_tests_channel.dir/test_pathloss.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_channel.dir/test_pathloss.cpp.o.d"
+  "/root/repo/tests/test_tag_path.cpp" "tests/CMakeFiles/witag_tests_channel.dir/test_tag_path.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_channel.dir/test_tag_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/witag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/witag/CMakeFiles/witag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_channel.dir/test_channel_model.cpp.o"
+  "CMakeFiles/witag_tests_channel.dir/test_channel_model.cpp.o.d"
+  "CMakeFiles/witag_tests_channel.dir/test_fading.cpp.o"
+  "CMakeFiles/witag_tests_channel.dir/test_fading.cpp.o.d"
+  "CMakeFiles/witag_tests_channel.dir/test_geometry.cpp.o"
+  "CMakeFiles/witag_tests_channel.dir/test_geometry.cpp.o.d"
+  "CMakeFiles/witag_tests_channel.dir/test_pathloss.cpp.o"
+  "CMakeFiles/witag_tests_channel.dir/test_pathloss.cpp.o.d"
+  "CMakeFiles/witag_tests_channel.dir/test_tag_path.cpp.o"
+  "CMakeFiles/witag_tests_channel.dir/test_tag_path.cpp.o.d"
+  "witag_tests_channel"
+  "witag_tests_channel.pdb"
+  "witag_tests_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

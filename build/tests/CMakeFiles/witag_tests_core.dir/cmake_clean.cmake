@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_core.dir/test_e2e_sweep.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_e2e_sweep.cpp.o.d"
+  "CMakeFiles/witag_tests_core.dir/test_link.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_link.cpp.o.d"
+  "CMakeFiles/witag_tests_core.dir/test_metrics.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_metrics.cpp.o.d"
+  "CMakeFiles/witag_tests_core.dir/test_query.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_query.cpp.o.d"
+  "CMakeFiles/witag_tests_core.dir/test_reader.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_reader.cpp.o.d"
+  "CMakeFiles/witag_tests_core.dir/test_session.cpp.o"
+  "CMakeFiles/witag_tests_core.dir/test_session.cpp.o.d"
+  "witag_tests_core"
+  "witag_tests_core.pdb"
+  "witag_tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

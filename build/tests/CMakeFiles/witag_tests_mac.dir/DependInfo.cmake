@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_ampdu.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_ampdu.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_ampdu.cpp.o.d"
+  "/root/repo/tests/test_block_ack.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_block_ack.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_block_ack.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_mac_header.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_mac_header.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_mac_header.cpp.o.d"
+  "/root/repo/tests/test_mac_misc.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_mac_misc.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_mac_misc.cpp.o.d"
+  "/root/repo/tests/test_mpdu.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_mpdu.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_mpdu.cpp.o.d"
+  "/root/repo/tests/test_station.cpp" "tests/CMakeFiles/witag_tests_mac.dir/test_station.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_mac.dir/test_station.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/witag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/witag/CMakeFiles/witag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

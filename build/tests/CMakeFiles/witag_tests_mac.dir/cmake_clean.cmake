@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_mac.dir/test_ampdu.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_ampdu.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_block_ack.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_block_ack.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_crypto.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_crypto.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_mac_header.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_mac_header.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_mac_misc.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_mac_misc.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_mpdu.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_mpdu.cpp.o.d"
+  "CMakeFiles/witag_tests_mac.dir/test_station.cpp.o"
+  "CMakeFiles/witag_tests_mac.dir/test_station.cpp.o.d"
+  "witag_tests_mac"
+  "witag_tests_mac.pdb"
+  "witag_tests_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel_est.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_channel_est.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_channel_est.cpp.o.d"
+  "/root/repo/tests/test_constellation.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_constellation.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_constellation.cpp.o.d"
+  "/root/repo/tests/test_convolutional.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_convolutional.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_convolutional.cpp.o.d"
+  "/root/repo/tests/test_dsss.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_dsss.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_dsss.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_interleaver.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_interleaver.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_interleaver.cpp.o.d"
+  "/root/repo/tests/test_mimo.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_mimo.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_mimo.cpp.o.d"
+  "/root/repo/tests/test_ofdm.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_ofdm.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_ofdm.cpp.o.d"
+  "/root/repo/tests/test_plcp.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_plcp.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_plcp.cpp.o.d"
+  "/root/repo/tests/test_ppdu.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_ppdu.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_ppdu.cpp.o.d"
+  "/root/repo/tests/test_preamble.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_preamble.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_preamble.cpp.o.d"
+  "/root/repo/tests/test_scrambler.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_scrambler.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_scrambler.cpp.o.d"
+  "/root/repo/tests/test_sync.cpp" "tests/CMakeFiles/witag_tests_phy.dir/test_sync.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_phy.dir/test_sync.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/witag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/witag/CMakeFiles/witag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_phy.dir/test_channel_est.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_channel_est.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_constellation.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_constellation.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_convolutional.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_convolutional.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_dsss.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_dsss.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_fft.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_fft.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_interleaver.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_interleaver.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_mimo.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_mimo.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_ofdm.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_ofdm.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_plcp.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_plcp.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_ppdu.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_ppdu.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_preamble.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_preamble.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_scrambler.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_scrambler.cpp.o.d"
+  "CMakeFiles/witag_tests_phy.dir/test_sync.cpp.o"
+  "CMakeFiles/witag_tests_phy.dir/test_sync.cpp.o.d"
+  "witag_tests_phy"
+  "witag_tests_phy.pdb"
+  "witag_tests_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

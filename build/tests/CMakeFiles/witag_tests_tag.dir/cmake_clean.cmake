@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_tag.dir/test_device.cpp.o"
+  "CMakeFiles/witag_tests_tag.dir/test_device.cpp.o.d"
+  "CMakeFiles/witag_tests_tag.dir/test_envelope_trigger.cpp.o"
+  "CMakeFiles/witag_tests_tag.dir/test_envelope_trigger.cpp.o.d"
+  "CMakeFiles/witag_tests_tag.dir/test_tag_clock.cpp.o"
+  "CMakeFiles/witag_tests_tag.dir/test_tag_clock.cpp.o.d"
+  "witag_tests_tag"
+  "witag_tests_tag.pdb"
+  "witag_tests_tag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_tag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bits.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_bits.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_bits.cpp.o.d"
+  "/root/repo/tests/test_cli_csv.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_cli_csv.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_cli_csv.cpp.o.d"
+  "/root/repo/tests/test_complexvec.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_complexvec.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_complexvec.cpp.o.d"
+  "/root/repo/tests/test_crc.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_crc.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_crc.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/witag_tests_util.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/witag_tests_util.dir/test_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/witag_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/witag/CMakeFiles/witag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tag/CMakeFiles/witag_tag.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/witag_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/witag_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/witag_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/witag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witag_tests_util.dir/test_bits.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_bits.cpp.o.d"
+  "CMakeFiles/witag_tests_util.dir/test_cli_csv.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_cli_csv.cpp.o.d"
+  "CMakeFiles/witag_tests_util.dir/test_complexvec.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_complexvec.cpp.o.d"
+  "CMakeFiles/witag_tests_util.dir/test_crc.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_crc.cpp.o.d"
+  "CMakeFiles/witag_tests_util.dir/test_rng.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_rng.cpp.o.d"
+  "CMakeFiles/witag_tests_util.dir/test_stats.cpp.o"
+  "CMakeFiles/witag_tests_util.dir/test_stats.cpp.o.d"
+  "witag_tests_util"
+  "witag_tests_util.pdb"
+  "witag_tests_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witag_tests_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

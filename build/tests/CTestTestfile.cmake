@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/witag_tests_util[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_phy[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_channel[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_mac[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_tag[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_core[1]_include.cmake")
+include("/root/repo/build/tests/witag_tests_baselines[1]_include.cmake")
