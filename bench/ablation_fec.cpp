@@ -8,6 +8,7 @@
 //          --csv PATH
 #include <iostream>
 
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "witag/reader.hpp"
@@ -20,6 +21,12 @@ int main(int argc, char** argv) {
   const double pos = args.get_double("pos", 4.0);
   const std::uint64_t seed = args.get_u64("seed", 808);
   const std::string csv_path = args.get_string("csv", "");
+  obs::RunScope obs_run("ablation_fec", args);
+  obs_run.config("polls", static_cast<double>(polls));
+  obs_run.config("rounds", static_cast<double>(budget));
+  obs_run.config("pos", pos);
+  obs_run.config("seed", static_cast<double>(seed));
+  args.warn_unused(std::cerr);
 
   std::cout << "=== Ablation: tag-link FEC at a marginal placement ===\n"
             << "Tag " << pos << " m from the client (mid-link = weakest "

@@ -11,6 +11,7 @@
 // Options: --rounds N, --seed S, --csv PATH
 #include <iostream>
 
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "witag/session.hpp"
@@ -21,6 +22,10 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 25));
   const std::uint64_t seed = args.get_u64("seed", 909);
   const std::string csv_path = args.get_string("csv", "");
+  obs::RunScope obs_run("ablation_guard", args);
+  obs_run.config("rounds", static_cast<double>(rounds));
+  obs_run.config("seed", static_cast<double>(seed));
+  args.warn_unused(std::cerr);
 
   std::cout << "=== Ablation: guard bands x tag clock ===\n"
             << "Tag 1 m from the client; 16 us subframes at MCS5; "

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "witag/reader.hpp"
@@ -19,6 +20,11 @@ int main(int argc, char** argv) {
   const auto polls = static_cast<std::size_t>(args.get_int("polls", 12));
   const std::uint64_t seed = args.get_u64("seed", 515);
   const std::string csv_path = args.get_string("csv", "");
+  obs::RunScope obs_run("ablation_multi_tag", args);
+  obs_run.config("tags", static_cast<double>(n_tags));
+  obs_run.config("polls", static_cast<double>(polls));
+  obs_run.config("seed", static_cast<double>(seed));
+  args.warn_unused(std::cerr);
 
   std::cout << "=== Extension: multi-tag polling by trigger code ===\n"
             << static_cast<int>(n_tags) << " tags on the 8 m LOS link, "

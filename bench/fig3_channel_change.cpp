@@ -11,6 +11,8 @@
 
 #include "channel/tag_path.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -18,7 +20,11 @@ constexpr std::size_t kRounds = 15;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("fig3_channel_change", args);
+  obs_run.config("rounds", static_cast<double>(kRounds));
+  args.warn_unused(std::cerr);
   using namespace witag;
 
   std::cout << "=== Figure 3 study: open/short vs 0/180-degree phase flip ==="

@@ -9,6 +9,8 @@
 
 #include "util/stats.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -17,7 +19,12 @@ constexpr std::size_t kRoundsPerRun = 45;  // 59 data bits per round
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("fig5_ber_throughput", args);
+  obs_run.config("runs_per_position", static_cast<double>(kRunsPerPosition));
+  obs_run.config("rounds_per_run", static_cast<double>(kRoundsPerRun));
+  args.warn_unused(std::cerr);
   using namespace witag;
 
   std::cout << "=== Figure 5: BER and throughput vs tag position ===\n"

@@ -9,6 +9,8 @@
 
 #include "util/stats.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -45,7 +47,11 @@ void print_cdf(const char* name, const std::vector<double>& bers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("fig6_nlos_cdf", args);
+  obs_run.config("measurements", static_cast<double>(kMeasurements));
+  args.warn_unused(std::cerr);
   std::cout << "=== Figure 6: BER CDF, non-line-of-sight locations ===\n"
             << kMeasurements << " measurements per location, tag 1 m from "
             << "the client, people moving.\n"

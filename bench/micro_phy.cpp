@@ -3,7 +3,12 @@
 // experiment harness can simulate.
 #include <benchmark/benchmark.h>
 
+#include <string_view>
+#include <vector>
+
 #include "mac/aes.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 #include "phy/convolutional.hpp"
 #include "phy/fft.hpp"
 #include "phy/ppdu.hpp"
@@ -99,4 +104,31 @@ BENCHMARK(BM_SessionRound);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split the standard obs flags (see util/cli.hpp) off argv before
+  // google-benchmark sees it — it rejects flags it does not know.
+  std::vector<char*> bench_argv{argv[0]};
+  std::vector<const char*> obs_argv{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--trace-out" || arg == "--metrics-out" ||
+        arg == "--no-metrics") {
+      obs_argv.push_back(argv[i]);
+      if (arg != "--no-metrics" && i + 1 < argc) obs_argv.push_back(argv[++i]);
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+
+  const witag::util::Args args(static_cast<int>(obs_argv.size()),
+                               obs_argv.data());
+  witag::obs::RunScope obs_run("micro_phy", args);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,8 +8,13 @@
 #include "baselines/common.hpp"
 #include "baselines/compare.hpp"
 #include "witag/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("tab_comparison", args);
+  args.warn_unused(std::cerr);
   using namespace witag;
 
   std::cout << "=== Sections 1-2: backscatter system comparison ===\n\n";

@@ -9,8 +9,13 @@
 
 #include "tag/power.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("tab_power_oscillator", args);
+  args.warn_unused(std::cerr);
   using namespace witag;
 
   std::cout << "=== Section 7: oscillator power and temperature ===\n\n";

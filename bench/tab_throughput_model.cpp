@@ -14,6 +14,8 @@
 #include "mac/airtime.hpp"
 #include "phy/mcs.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -42,7 +44,10 @@ double analytic_rate_kbps(const core::QueryLayout& layout) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("tab_throughput_model", args);
+  args.warn_unused(std::cerr);
   std::cout << "=== Section 4.1: throughput model ===\n"
             << "One tag bit per subframe; 64-subframe queries; subframe "
                "duration bounded below by the tag clock.\n"

@@ -13,6 +13,8 @@
 #include "util/stats.hpp"
 #include "util/units.hpp"
 #include "witag/session.hpp"
+#include "obs/report.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
@@ -20,7 +22,11 @@ constexpr std::size_t kRounds = 20;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const witag::util::Args args(argc, argv);
+  witag::obs::RunScope obs_run("tab_trigger_detection", args);
+  obs_run.config("rounds", static_cast<double>(kRounds));
+  args.warn_unused(std::cerr);
   using namespace witag;
 
   std::cout << "=== Section 7: trigger detection (envelope mode) ===\n"

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "channel/pathloss.hpp"
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/units.hpp"
 
@@ -65,6 +66,8 @@ std::size_t ChannelModel::add_tag(const TagPathConfig& tag) {
 }
 
 void ChannelModel::advance(double dt_s) {
+  WITAG_COUNT("channel.advance.calls", 1);
+  WITAG_EVENT1("channel.advance", "dt_s", dt_s);
   fading_.advance(dt_s);
   cache_valid_ = false;
 }
@@ -86,6 +89,9 @@ void ChannelModel::set_tag(std::optional<TagPathConfig> tag) {
 }
 
 void ChannelModel::rebuild_cache() const {
+  WITAG_SPAN_CAT("channel.cfr_rebuild", "channel");
+  WITAG_COUNT("channel.cfr_rebuild.calls", 1);
+  WITAG_EVENT("channel.estimate_invalidated");
   const double fc = radio_.carrier_hz;
   const Point2 tx = geometry_.tx;
   const Point2 rx = geometry_.rx;
@@ -185,6 +191,9 @@ std::vector<phy::FreqSymbol> ChannelModel::apply(
 std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
     std::span<const phy::FreqSymbol> tx,
     std::span<const std::vector<std::uint8_t>> levels_per_tag) {
+  WITAG_SPAN_CAT("channel.apply", "channel");
+  WITAG_COUNT("channel.apply.calls", 1);
+  WITAG_COUNT("channel.apply.symbols", tx.size());
   util::require(levels_per_tag.size() <= tags_.size() ||
                     (tags_.empty() && levels_per_tag.empty()),
                 "ChannelModel::apply_multi: more level rows than tags");

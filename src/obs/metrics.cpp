@@ -1,0 +1,120 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace witag::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bucket bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  return sum() / static_cast<double>(n);
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> exp_bounds(double first, double factor,
+                               std::size_t count) {
+  if (!(first > 0.0) || !(factor > 1.0) || count == 0) {
+    throw std::invalid_argument("exp_bounds: need first > 0, factor > 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double edge = first;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(edge);
+    edge *= factor;
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else if (slot->bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram \"" + name +
+                                "\" re-registered with different bounds");
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.bounds = h->bounds();
+    out.counts = h->counts();
+    out.count = h->count();
+    out.sum = h->sum();
+    snap.histograms[name] = std::move(out);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace witag::obs

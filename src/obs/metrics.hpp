@@ -1,0 +1,134 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms with a lock-free fast path.
+//
+// Handles are registered once (mutex-guarded) and then updated with
+// relaxed atomics only, so instrumentation sites pay ~one uncontended
+// atomic RMW per update. The intended call-site pattern caches the
+// handle in a function-local static:
+//
+//   static obs::Counter& c = obs::counter("phy.fft.calls");
+//   c.add();
+//
+// (or use the WITAG_COUNT / WITAG_HIST macros from obs/obs.hpp, which
+// compile away entirely when WITAG_OBS_ENABLED is 0).
+//
+// `snapshot()` copies everything into plain structs for export; the
+// metrics JSON schema written by obs::RunScope is built from it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace witag::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-write-wins scalar (e.g. a configuration value or level).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double v) { v_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. `bounds` are ascending inclusive upper edges;
+/// one implicit overflow bucket catches everything above the last edge.
+class Histogram {
+ public:
+  /// Throws std::invalid_argument on empty or non-ascending bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (overflow last).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Mean of observed values; 0 when empty.
+  double mean() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// `count` geometric upper edges starting at `first`, each `factor`
+/// above the previous — the usual latency-histogram layout.
+std::vector<double> exp_bounds(double first, double factor,
+                               std::size_t count);
+
+/// Point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 entries.
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Idempotent registration: the first call for a name creates the
+  /// metric, later calls return the same object. References stay valid
+  /// for the process lifetime (reset() zeroes values, never removes).
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `bounds` are used on first registration only; a later call with
+  /// different bounds for the same name throws std::invalid_argument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (per-run isolation in benches and tests).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthands for the process-wide registry.
+inline Counter& counter(const std::string& name) {
+  return MetricsRegistry::instance().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return MetricsRegistry::instance().gauge(name);
+}
+inline Histogram& histogram(const std::string& name,
+                            std::vector<double> bounds) {
+  return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+
+}  // namespace witag::obs

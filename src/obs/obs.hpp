@@ -1,0 +1,89 @@
+// Umbrella header for the observability subsystem, plus the
+// instrumentation macros used at hot-path call sites.
+//
+// Two gates, coarse to fine:
+//  * Compile time: WITAG_OBS_ENABLED (default 1; the CMake option
+//    WITAG_OBS=OFF defines it to 0). When 0, every macro below expands
+//    to nothing — zero code, zero data.
+//  * Runtime: Tracer::set_enabled() gates span/event recording; when
+//    off a span site costs one relaxed atomic load. Counters, gauges
+//    and histograms always accumulate when compiled in (one relaxed
+//    atomic RMW) — they are the metrics export and are cheap enough to
+//    stay on (<2% on the tightest PHY microbenchmarks).
+//
+// Name arguments to WITAG_SPAN / WITAG_EVENT* must be string literals.
+#pragma once
+
+#ifndef WITAG_OBS_ENABLED
+#define WITAG_OBS_ENABLED 1
+#endif
+
+#if WITAG_OBS_ENABLED
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
+#define WITAG_OBS_CONCAT_INNER(a, b) a##b
+#define WITAG_OBS_CONCAT(a, b) WITAG_OBS_CONCAT_INNER(a, b)
+
+/// RAII span covering the rest of the enclosing scope.
+#define WITAG_SPAN(name) \
+  ::witag::obs::ScopedSpan WITAG_OBS_CONCAT(witag_obs_span_, __LINE__)((name))
+#define WITAG_SPAN_CAT(name, cat)                                       \
+  ::witag::obs::ScopedSpan WITAG_OBS_CONCAT(witag_obs_span_, __LINE__)( \
+      (name), (cat))
+
+/// Instant (zero-duration) trace events. Forward to obs::instant /
+/// instant_arg / instant_arg2: (name [, cat]), (name, k0, v0 [, cat]),
+/// (name, k0, v0, k1, v1 [, cat]). Numeric args must already be double.
+#define WITAG_EVENT(...) ::witag::obs::instant(__VA_ARGS__)
+#define WITAG_EVENT1(...) ::witag::obs::instant_arg(__VA_ARGS__)
+#define WITAG_EVENT2(...) ::witag::obs::instant_arg2(__VA_ARGS__)
+
+/// Bumps a named counter by `n`. The registry lookup happens once per
+/// call site (function-local static); afterwards it is one relaxed add.
+#define WITAG_COUNT(name, n)                                             \
+  do {                                                                   \
+    static ::witag::obs::Counter& WITAG_OBS_CONCAT(witag_obs_counter_,   \
+                                                   __LINE__) =           \
+        ::witag::obs::counter((name));                                   \
+    WITAG_OBS_CONCAT(witag_obs_counter_, __LINE__)                       \
+        .add(static_cast<std::uint64_t>(n));                             \
+  } while (0)
+
+/// Records `x` into a named fixed-bucket histogram; `bounds_expr` is
+/// evaluated once, at first execution of the call site.
+#define WITAG_HIST(name, bounds_expr, x)                                 \
+  do {                                                                   \
+    static ::witag::obs::Histogram& WITAG_OBS_CONCAT(witag_obs_hist_,    \
+                                                     __LINE__) =         \
+        ::witag::obs::histogram((name), (bounds_expr));                  \
+    WITAG_OBS_CONCAT(witag_obs_hist_, __LINE__)                          \
+        .observe(static_cast<double>(x));                                \
+  } while (0)
+
+#else  // WITAG_OBS_ENABLED == 0: every site compiles to nothing.
+
+#define WITAG_SPAN(name) \
+  do {                   \
+  } while (0)
+#define WITAG_SPAN_CAT(name, cat) \
+  do {                            \
+  } while (0)
+#define WITAG_EVENT(...) \
+  do {                    \
+  } while (0)
+#define WITAG_EVENT1(...) \
+  do {                             \
+  } while (0)
+#define WITAG_EVENT2(...) \
+  do {                                     \
+  } while (0)
+#define WITAG_COUNT(name, n) \
+  do {                       \
+  } while (0)
+#define WITAG_HIST(name, bounds_expr, x) \
+  do {                                   \
+  } while (0)
+
+#endif  // WITAG_OBS_ENABLED

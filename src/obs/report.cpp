@@ -1,0 +1,128 @@
+#include "obs/report.hpp"
+
+#include <chrono>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+
+namespace witag::obs {
+namespace {
+
+double wall_clock_us() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1e3;
+}
+
+}  // namespace
+
+json::Value build_report(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, json::Value>>& config,
+    double wall_ms, const MetricsSnapshot& snapshot) {
+  json::Value doc = json::Value::object();
+  doc.set("bench", json::Value::string(bench));
+
+  json::Value cfg = json::Value::object();
+  for (const auto& [key, value] : config) cfg.set(key, value);
+  doc.set("config", std::move(cfg));
+
+  doc.set("wall_ms", json::Value::number(wall_ms));
+
+  json::Value counters = json::Value::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, json::Value::number(static_cast<double>(value)));
+  }
+  doc.set("counters", std::move(counters));
+
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.set(name, json::Value::number(value));
+  }
+  doc.set("gauges", std::move(gauges));
+
+  json::Value hists = json::Value::object();
+  for (const auto& [name, h] : snapshot.histograms) {
+    json::Value entry = json::Value::object();
+    json::Value bounds = json::Value::array();
+    for (const double b : h.bounds) bounds.push_back(json::Value::number(b));
+    entry.set("bounds", std::move(bounds));
+    json::Value counts = json::Value::array();
+    for (const std::uint64_t c : h.counts) {
+      counts.push_back(json::Value::number(static_cast<double>(c)));
+    }
+    entry.set("counts", std::move(counts));
+    entry.set("count", json::Value::number(static_cast<double>(h.count)));
+    entry.set("sum", json::Value::number(h.sum));
+    hists.set(name, std::move(entry));
+  }
+  doc.set("histograms", std::move(hists));
+  return doc;
+}
+
+RunScope::RunScope(std::string bench, const util::Args& args)
+    : bench_(std::move(bench)) {
+  metrics_path_ = args.get_string("metrics-out", bench_ + "_metrics.json");
+  if (args.has("no-metrics")) metrics_path_.clear();
+  trace_path_ = args.get_string("trace-out", "");
+
+  MetricsRegistry::instance().reset();
+  if (!trace_path_.empty()) {
+    Tracer::instance().clear();
+    Tracer::instance().set_enabled(true);
+  }
+  start_us_ = wall_clock_us();
+}
+
+RunScope::RunScope(std::string bench) : bench_(std::move(bench)) {
+  metrics_path_ = bench_ + "_metrics.json";
+  MetricsRegistry::instance().reset();
+  start_us_ = wall_clock_us();
+}
+
+void RunScope::config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, json::Value::string(value));
+}
+
+void RunScope::config(const std::string& key, double value) {
+  config_.emplace_back(key, json::Value::number(value));
+}
+
+void RunScope::finish() {
+  if (finished_) return;
+  finished_ = true;
+  const double wall_ms = (wall_clock_us() - start_us_) / 1e3;
+
+  if (!trace_path_.empty()) {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().write_file(trace_path_);
+    std::cerr << "[obs] trace written to " << trace_path_ << '\n';
+  }
+  if (!metrics_path_.empty()) {
+    const json::Value doc = build_report(
+        bench_, config_, wall_ms, MetricsRegistry::instance().snapshot());
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      throw std::runtime_error("RunScope: cannot open " + metrics_path_);
+    }
+    out << doc.dump() << '\n';
+    std::cerr << "[obs] metrics written to " << metrics_path_ << '\n';
+  }
+}
+
+RunScope::~RunScope() {
+  try {
+    finish();
+  } catch (const std::exception& e) {
+    std::cerr << "[obs] report failed: " << e.what() << '\n';
+  }
+}
+
+}  // namespace witag::obs

@@ -1,0 +1,78 @@
+// Per-run observability scope for bench/example binaries.
+//
+// A RunScope at the top of main():
+//  * resets the process-wide MetricsRegistry so the report covers
+//    exactly this run;
+//  * reads the standard CLI flags (see util/cli.hpp):
+//      --metrics-out <path>  metrics JSON destination
+//                            (default "<bench>_metrics.json")
+//      --no-metrics          suppress the metrics JSON
+//      --trace-out <path>    enable tracing and write a Chrome
+//                            trace-event JSON (or JSONL when the path
+//                            ends in ".jsonl") on exit
+//  * on destruction writes the metrics report:
+//      {"bench": ..., "config": {...}, "wall_ms": ...,
+//       "counters": {...}, "gauges": {...},
+//       "histograms": {name: {bounds, counts, count, sum}}}
+//    and, when tracing, the trace file.
+//
+// The schema is parsed back by tests/test_obs.cpp via obs/json.hpp, so
+// changes here must keep that round-trip green.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace witag::util {
+class Args;
+}  // namespace witag::util
+
+namespace witag::obs {
+
+struct MetricsSnapshot;
+
+/// Builds the metrics-report JSON document (exposed for tests and for
+/// callers that want the document without the RAII file handling).
+json::Value build_report(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, json::Value>>& config,
+    double wall_ms, const MetricsSnapshot& snapshot);
+
+class RunScope {
+ public:
+  /// `bench` names the binary in the report and the default output
+  /// path. Flags are read from `args` (marking them used).
+  RunScope(std::string bench, const util::Args& args);
+  /// Variant without CLI flags: metrics to the default path, no trace.
+  explicit RunScope(std::string bench);
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  /// Records a configuration key/value into the report.
+  void config(const std::string& key, const std::string& value);
+  void config(const std::string& key, double value);
+
+  /// Where the metrics JSON will be written; empty when suppressed.
+  const std::string& metrics_path() const { return metrics_path_; }
+  /// Trace destination; empty when tracing is off.
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Writes the report(s) now instead of at destruction (benches that
+  /// want the path printed before their own epilogue).
+  void finish();
+
+  ~RunScope();
+
+ private:
+  std::string bench_;
+  std::string metrics_path_;
+  std::string trace_path_;
+  std::vector<std::pair<std::string, json::Value>> config_;
+  double start_us_ = 0.0;
+  bool finished_ = false;
+};
+
+}  // namespace witag::obs

@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace witag::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void dump_event(const TraceEvent& ev, std::string& out) {
+  out += "{\"name\":\"";
+  out += json::escape(ev.name);
+  out += "\",\"cat\":\"";
+  out += json::escape(ev.cat);
+  out += "\",\"ph\":\"";
+  out += ev.ph;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(ev.tid);
+  out += ",\"ts\":";
+  out += json::Value::number(ev.ts_us).dump();
+  if (ev.ph == 'X') {
+    out += ",\"dur\":";
+    out += json::Value::number(ev.dur_us).dump();
+  }
+  if (ev.ph == 'i') out += ",\"s\":\"t\"";  // thread-scoped instant
+  if (ev.arg_keys[0] != nullptr) {
+    out += ",\"args\":{";
+    for (int i = 0; i < 2 && ev.arg_keys[i] != nullptr; ++i) {
+      if (i > 0) out += ',';
+      out += '"';
+      out += json::escape(ev.arg_keys[i]);
+      out += "\":";
+      out += json::Value::number(ev.arg_vals[i]).dump();
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(steady_ns()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+Tracer::ThreadBuf& Tracer::local_buf() {
+  thread_local std::shared_ptr<ThreadBuf> buf;
+  if (!buf) {
+    buf = std::make_shared<ThreadBuf>();
+    const std::lock_guard<std::mutex> lock(mu_);
+    buf->tid = next_tid_++;
+    bufs_.push_back(buf);
+  }
+  return *buf;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buf : bufs_) buf->events.clear();
+  epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
+}
+
+double Tracer::now_us() const {
+  const std::uint64_t epoch = epoch_ns_.load(std::memory_order_relaxed);
+  return static_cast<double>(steady_ns() - epoch) / 1e3;
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  ThreadBuf& buf = local_buf();
+  TraceEvent copy = ev;
+  copy.tid = buf.tid;
+  buf.events.push_back(copy);
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : bufs_) {
+      out.insert(out.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::size_t Tracer::event_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& buf : bufs_) n += buf->events.size();
+  return n;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  const auto evs = events();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : evs) {
+    if (!first) out += ',';
+    out += '\n';
+    dump_event(ev, out);
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  os << out;
+}
+
+void Tracer::write_jsonl(std::ostream& os) const {
+  const auto evs = events();
+  std::string out;
+  for (const TraceEvent& ev : evs) {
+    dump_event(ev, out);
+    out += '\n';
+  }
+  os << out;
+}
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Tracer: cannot open " + path);
+  if (path.size() >= 6 && path.rfind(".jsonl") == path.size() - 6) {
+    write_jsonl(out);
+  } else {
+    write_chrome_trace(out);
+  }
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* cat)
+    : name_(name), cat_(cat), active_(trace_enabled()) {
+  if (active_) start_us_ = Tracer::instance().now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.ph = 'X';
+  ev.ts_us = start_us_;
+  ev.dur_us = tracer.now_us() - start_us_;
+  tracer.record(ev);
+}
+
+void instant(const char* name, const char* cat) {
+  if (!trace_enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = tracer.now_us();
+  tracer.record(ev);
+}
+
+void instant_arg(const char* name, const char* k0, double v0,
+                 const char* cat) {
+  if (!trace_enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = tracer.now_us();
+  ev.arg_keys[0] = k0;
+  ev.arg_vals[0] = v0;
+  tracer.record(ev);
+}
+
+void instant_arg2(const char* name, const char* k0, double v0, const char* k1,
+                  double v1, const char* cat) {
+  if (!trace_enabled()) return;
+  Tracer& tracer = Tracer::instance();
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'i';
+  ev.ts_us = tracer.now_us();
+  ev.arg_keys[0] = k0;
+  ev.arg_vals[0] = v0;
+  ev.arg_keys[1] = k1;
+  ev.arg_vals[1] = v1;
+  tracer.record(ev);
+}
+
+}  // namespace witag::obs

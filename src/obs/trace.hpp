@@ -1,0 +1,114 @@
+// Span/event tracer with per-thread buffers and Chrome trace-event
+// export.
+//
+// Recording is gated by a runtime toggle (`Tracer::set_enabled`) that
+// costs one relaxed atomic load per site when off; when compiled out
+// (WITAG_OBS_ENABLED=0, see obs/obs.hpp) the instrumentation macros
+// vanish entirely. Event names and categories are stored as `const
+// char*` and must be string literals (or otherwise outlive the tracer):
+// this keeps the hot path allocation-free.
+//
+// Export formats:
+//  * Chrome trace-event JSON (`{"traceEvents":[...]}`): open in
+//    chrome://tracing or https://ui.perfetto.dev.
+//  * JSONL: one event object per line, for ad-hoc jq/pandas analysis.
+//
+// Timestamps are microseconds since the tracer's epoch (process start
+// or the last `clear()`), taken from std::chrono::steady_clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace witag::obs {
+
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "sim";
+  char ph = 'X';          ///< 'X' complete span, 'i' instant event.
+  double ts_us = 0.0;     ///< Start time (us since tracer epoch).
+  double dur_us = 0.0;    ///< Span duration; 0 for instants.
+  std::uint32_t tid = 0;  ///< Dense per-process thread id.
+  /// Up to two numeric args, exported under "args" in the JSON.
+  const char* arg_keys[2] = {nullptr, nullptr};
+  double arg_vals[2] = {0.0, 0.0};
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Runtime toggle; when off, record sites reduce to a relaxed load.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all buffered events and restarts the timestamp epoch.
+  void clear();
+
+  /// Microseconds since the tracer epoch.
+  double now_us() const;
+
+  /// Appends one event to the calling thread's buffer (caller has
+  /// already checked enabled()).
+  void record(const TraceEvent& ev);
+
+  /// Merged snapshot of all thread buffers, sorted by ts_us.
+  std::vector<TraceEvent> events() const;
+  std::size_t event_count() const;
+
+  /// Chrome trace-event JSON (object form with "traceEvents").
+  void write_chrome_trace(std::ostream& os) const;
+  /// One JSON object per line.
+  void write_jsonl(std::ostream& os) const;
+  /// Writes to `path`; a ".jsonl" suffix selects JSONL, anything else
+  /// gets Chrome trace JSON. Throws std::runtime_error if unwritable.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct ThreadBuf {
+    std::uint32_t tid = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  Tracer();
+  ThreadBuf& local_buf();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  ///< Guards bufs_.
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  std::uint32_t next_tid_ = 0;
+  std::atomic<std::uint64_t> epoch_ns_{0};  ///< steady_clock epoch, ns.
+};
+
+/// True when span/event recording is active (compiled in AND runtime
+/// enabled).
+inline bool trace_enabled() { return Tracer::instance().enabled(); }
+
+/// RAII span: measures construction-to-destruction as a complete event.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "sim");
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan();
+
+ private:
+  const char* name_;
+  const char* cat_;
+  double start_us_ = 0.0;
+  bool active_;
+};
+
+/// Instant events (no duration), with up to two numeric args.
+void instant(const char* name, const char* cat = "sim");
+void instant_arg(const char* name, const char* k0, double v0,
+                 const char* cat = "sim");
+void instant_arg2(const char* name, const char* k0, double v0, const char* k1,
+                  double v1, const char* cat = "sim");
+
+}  // namespace witag::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <complex>
 
+#include "obs/obs.hpp"
 #include "phy/preamble.hpp"
 #include "util/require.hpp"
 
@@ -18,6 +19,8 @@ constexpr double kMinGain = 1e-18;
 }  // namespace
 
 ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx) {
+  WITAG_SPAN_CAT("phy.channel_est", "phy");
+  WITAG_COUNT("phy.channel_est.calls", 1);
   util::require(!ltf_rx.empty(), "estimate_channel: need at least one LTF");
   const FreqSymbol& ref = ltf_symbol();
 
@@ -54,6 +57,8 @@ ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx) {
 
 EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
                          std::size_t symbol_index, bool cpe_correction) {
+  WITAG_SPAN_CAT("phy.equalize", "phy");
+  WITAG_COUNT("phy.equalize.calls", 1);
   Cx cpe{1.0, 0.0};
   if (cpe_correction) {
     // Correlate received pilots against their expected post-channel

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/units.hpp"
 
@@ -47,8 +48,17 @@ void transform(std::span<Cx> data, bool inverse) {
 
 }  // namespace
 
-void fft_inplace(std::span<Cx> data) { transform(data, false); }
-void ifft_inplace(std::span<Cx> data) { transform(data, true); }
+void fft_inplace(std::span<Cx> data) {
+  WITAG_SPAN_CAT("phy.fft", "phy");
+  WITAG_COUNT("phy.fft.calls", 1);
+  transform(data, false);
+}
+
+void ifft_inplace(std::span<Cx> data) {
+  WITAG_SPAN_CAT("phy.ifft", "phy");
+  WITAG_COUNT("phy.ifft.calls", 1);
+  transform(data, true);
+}
 
 util::CxVec fft(std::span<const Cx> data) {
   util::CxVec out(data.begin(), data.end());

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "phy/fft.hpp"
 #include "phy/scrambler.hpp"
 #include "util/require.hpp"
@@ -82,6 +83,8 @@ std::array<Cx, kNumPilots> extract_pilots(const FreqSymbol& symbol) {
 }
 
 util::CxVec to_time(const FreqSymbol& symbol) {
+  WITAG_SPAN_CAT("phy.ofdm.to_time", "phy");
+  WITAG_COUNT("phy.ofdm.to_time.calls", 1);
   util::CxVec freq(symbol.begin(), symbol.end());
   ifft_inplace(freq);
   util::CxVec samples(kSamplesPerSymbol);
@@ -92,6 +95,8 @@ util::CxVec to_time(const FreqSymbol& symbol) {
 }
 
 FreqSymbol from_time(std::span<const Cx> samples) {
+  WITAG_SPAN_CAT("phy.ofdm.from_time", "phy");
+  WITAG_COUNT("phy.ofdm.from_time.calls", 1);
   util::require(samples.size() == kSamplesPerSymbol,
                 "from_time: need exactly 80 samples");
   util::CxVec freq(samples.begin() + kCpLen, samples.end());

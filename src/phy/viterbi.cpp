@@ -5,6 +5,7 @@
 #include <bit>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "phy/convolutional.hpp"
 #include "util/require.hpp"
 
@@ -48,9 +49,12 @@ double bit_metric(double llr, std::uint8_t expected) {
 }  // namespace
 
 util::BitVec viterbi_decode(std::span<const double> llrs) {
+  WITAG_SPAN_CAT("phy.viterbi", "phy");
   util::require(!llrs.empty() && llrs.size() % 2 == 0,
                 "viterbi_decode: LLR count must be even and non-zero");
   const std::size_t n_steps = llrs.size() / 2;
+  WITAG_COUNT("phy.viterbi.calls", 1);
+  WITAG_COUNT("phy.viterbi.bits", n_steps);
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
   std::vector<double> metric(kNumStates, kNegInf);

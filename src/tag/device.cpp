@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace witag::tag {
@@ -23,6 +24,12 @@ std::size_t TagDevice::pending_bits() const {
 
 TagDevice::Plan TagDevice::respond(const QueryTiming& timing,
                                    std::size_t n_data_subframes) {
+  WITAG_SPAN_CAT("tag.respond", "tag");
+  WITAG_COUNT("tag.responses", 1);
+  WITAG_COUNT("tag.bits_planned", n_data_subframes);
+  WITAG_EVENT2("tag.respond", "subframes",
+               static_cast<double>(n_data_subframes), "pending",
+               static_cast<double>(pending_bits()), "tag");
   util::require(!payload_.empty(), "TagDevice::respond: no payload set");
   util::require(n_data_subframes > 0, "TagDevice::respond: no subframes");
   util::require(timing.subframe_duration_us > 0.0,

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace witag::tag {
@@ -35,6 +36,8 @@ bool close(double a, double b, double tol) {
 std::optional<QueryTiming> detect_trigger(
     std::span<const std::uint8_t> comparator_bits, double sample_rate_hz,
     const TriggerConfig& cfg) {
+  WITAG_SPAN_CAT("tag.detect_trigger", "tag");
+  WITAG_COUNT("tag.detect_trigger.calls", 1);
   util::require(sample_rate_hz > 0.0, "detect_trigger: bad sample rate");
   util::require(cfg.n_trigger_subframes >= 5,
                 "detect_trigger: need >= 5 trigger subframes");

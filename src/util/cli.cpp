@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <ostream>
 #include <stdexcept>
 
 #include "util/require.hpp"
@@ -64,6 +65,14 @@ std::set<std::string> Args::unused() const {
     if (!used_.contains(name)) out.insert(name);
   }
   return out;
+}
+
+std::size_t Args::warn_unused(std::ostream& os) const {
+  const auto names = unused();
+  for (const auto& name : names) {
+    os << "warning: unknown option --" << name << '\n';
+  }
+  return names.size();
 }
 
 }  // namespace witag::util

@@ -1,9 +1,17 @@
 // Minimal command-line option parser for the bench and example binaries:
 // `--name value` options and `--flag` switches, with typed getters and
 // defaults. Unknown arguments are an error so typos fail loudly.
+//
+// Every bench binary also understands the standard observability flags
+// (consumed by obs::RunScope, see obs/report.hpp):
+//   --metrics-out <path>   per-run metrics JSON destination
+//   --no-metrics           suppress the metrics JSON
+//   --trace-out <path>     record a Chrome trace-event JSON (or JSONL
+//                          when the path ends in ".jsonl")
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <set>
 #include <string>
@@ -29,6 +37,10 @@ class Args {
   /// Names that were parsed but never queried (typo detection); call
   /// after all getters to warn the user.
   std::set<std::string> unused() const;
+
+  /// Writes one "unknown option --name" warning line per unused option
+  /// to `os`; returns how many there were. Call after all getters.
+  std::size_t warn_unused(std::ostream& os) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -29,6 +29,7 @@ void CsvWriter::header(std::initializer_list<std::string> columns) {
   require(columns_ == 0, "CsvWriter: header already written");
   require(columns.size() > 0, "CsvWriter: empty header");
   columns_ = columns.size();
+  first_column_ = *columns.begin();
   bool first = true;
   for (const auto& c : columns) {
     if (!first) out_ << ',';
@@ -39,8 +40,15 @@ void CsvWriter::header(std::initializer_list<std::string> columns) {
 }
 
 void CsvWriter::row(const std::vector<std::string>& values) {
-  require(columns_ > 0, "CsvWriter: header not written");
-  require(values.size() == columns_, "CsvWriter: arity mismatch");
+  if (columns_ == 0) {
+    throw std::logic_error("CsvWriter: header not written before row()");
+  }
+  if (values.size() != columns_) {
+    throw std::invalid_argument(
+        "CsvWriter::row: got " + std::to_string(values.size()) +
+        " values for a " + std::to_string(columns_) +
+        "-column header (first column \"" + first_column_ + "\")");
+  }
   for (std::size_t i = 0; i < values.size(); ++i) {
     if (i) out_ << ',';
     out_ << escape(values[i]);

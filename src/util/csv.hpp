@@ -19,7 +19,9 @@ class CsvWriter {
   void header(std::initializer_list<std::string> columns);
 
   /// Writes one data row; values are escaped if they contain commas or
-  /// quotes. Requires the same arity as the header.
+  /// quotes. Throws std::invalid_argument (naming the offending counts
+  /// and the first header column) when the arity differs from the
+  /// header, std::logic_error when no header was written.
   void row(const std::vector<std::string>& values);
 
   /// Convenience: formats doubles with 6 significant digits.
@@ -28,6 +30,7 @@ class CsvWriter {
  private:
   std::ofstream out_;
   std::size_t columns_ = 0;
+  std::string first_column_;  ///< For arity error messages.
 };
 
 }  // namespace witag::util

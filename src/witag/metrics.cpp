@@ -4,7 +4,9 @@
 #include <iomanip>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 
 namespace witag::core {
@@ -18,21 +20,36 @@ void LinkMetrics::record_round(std::span<const std::uint8_t> sent,
   ++rounds_;
   elapsed_us_ += airtime_us;
   bits_ += sent.size();
+  std::size_t round_errors = 0;
+  std::size_t round_false = 0;
+  std::size_t round_missed = 0;
   if (round_lost) {
     ++rounds_lost_;
     errors_ += sent.size();
-    return;
-  }
-  for (std::size_t i = 0; i < sent.size(); ++i) {
-    const bool sent_one = (sent[i] & 1u) != 0;
-    if (sent_one == received[i]) continue;
-    ++errors_;
-    if (sent_one) {
-      ++false_;  // quiet subframe failed anyway
-    } else {
-      ++missed_;  // corruption did not stick
+    round_errors = sent.size();
+  } else {
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      const bool sent_one = (sent[i] & 1u) != 0;
+      if (sent_one == received[i]) continue;
+      ++errors_;
+      ++round_errors;
+      if (sent_one) {
+        ++false_;  // quiet subframe failed anyway
+        ++round_false;
+      } else {
+        ++missed_;  // corruption did not stick
+        ++round_missed;
+      }
     }
   }
+  // Always touch every counter (zero adds included) so the exported
+  // metrics carry the full schema even for clean runs.
+  WITAG_COUNT("witag.rounds", 1);
+  WITAG_COUNT("witag.bits", sent.size());
+  WITAG_COUNT("witag.rounds_lost", round_lost ? 1 : 0);
+  WITAG_COUNT("witag.bit_errors", round_errors);
+  WITAG_COUNT("witag.false_corruption", round_false);
+  WITAG_COUNT("witag.missed_corruption", round_missed);
 }
 
 double LinkMetrics::ber() const {
@@ -55,8 +72,13 @@ Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void Table::add_row(std::vector<std::string> cells) {
-  util::require(cells.size() == headers_.size(),
-                "Table::add_row: cell count mismatch");
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument(
+        "Table::add_row: got " + std::to_string(cells.size()) +
+        " cells for a " + std::to_string(headers_.size()) +
+        "-column table (first header \"" +
+        (headers_.empty() ? std::string() : headers_.front()) + "\")");
+  }
   rows_.push_back(std::move(cells));
 }
 

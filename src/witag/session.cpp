@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "channel/pathloss.hpp"
+#include "obs/obs.hpp"
 #include "mac/airtime.hpp"
 #include "mac/rate_ctrl.hpp"
 #include "tag/envelope.hpp"
@@ -149,6 +150,7 @@ std::optional<tag::QueryTiming> Session::tag_timing(const QueryFrame& frame,
 }
 
 Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
+  WITAG_COUNT("session.exchanges", 1);
   QueryFrame frame =
       build_query(layout_for(address), client_, cfg_.query.trigger_low_scale);
 
@@ -173,6 +175,10 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
     if (!addressed_tag_heard) {
       result.trigger_detected = false;
       result.lost = true;
+      WITAG_COUNT("session.triggers_missed", 1);
+      WITAG_EVENT("session.trigger_missed", "session");
+    } else {
+      WITAG_EVENT("session.trigger_detected", "session");
     }
   }
 
@@ -195,6 +201,14 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
     result.subframes_valid = psdu_result.subframes_valid;
     ba = psdu_result.block_ack;
   }
+  if (ba) {
+    WITAG_COUNT("session.blockacks_decoded", 1);
+    WITAG_EVENT1("session.blockack_decoded", "subframes_valid",
+                 static_cast<double>(result.subframes_valid), "session");
+  } else {
+    WITAG_COUNT("session.blockacks_lost", 1);
+    WITAG_EVENT("session.blockack_lost", "session");
+  }
 
   // Client side: read the tag bits out of the block ack.
   const auto outcomes = client_.subframe_outcomes(ba);
@@ -207,19 +221,26 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
       mac::ampdu_exchange(frame.ppdu.duration_us(), draw_backoff_us());
   result.airtime_us = airtime.total_us() + cfg_.inter_query_gap_us;
 
+  WITAG_HIST("session.airtime_us", obs::exp_bounds(500.0, 1.5, 16),
+             result.airtime_us);
   channel_->advance(result.airtime_us * cfg_.time_dilation / 1e6);
   return result;
 }
 
 Session::RoundResult Session::run_round() {
+  WITAG_SPAN_CAT("session.round", "session");
+  WITAG_COUNT("session.rounds", 1);
   return exchange(true, cfg_.query.trigger_code);
 }
 
 Session::RoundResult Session::run_round_addressed(unsigned address) {
+  WITAG_SPAN_CAT("session.round", "session");
+  WITAG_COUNT("session.rounds", 1);
   return exchange(true, address);
 }
 
 double Session::probe_subframe_success() {
+  WITAG_SPAN_CAT("session.probe", "session");
   const RoundResult r = exchange(false, cfg_.query.trigger_code);
   std::size_t ok = 0;
   for (const bool b : r.received) ok += b ? 1 : 0;
@@ -260,6 +281,7 @@ unsigned Session::select_rate() {
 }
 
 Session::RunStats Session::run(std::size_t rounds) {
+  WITAG_SPAN_CAT("session.run", "session");
   RunStats stats;
   for (std::size_t i = 0; i < rounds; ++i) {
     const RoundResult r = run_round();
@@ -269,6 +291,19 @@ Session::RunStats Session::run(std::size_t rounds) {
     } else {
       stats.metrics.record_round(r.sent, r.received, false, r.airtime_us);
     }
+#if WITAG_OBS_ENABLED
+    // One instant per scheduled tag bit so a trace shows exactly which
+    // subframe flipped: ok = 1 delivered, 0 flipped, -1 round lost.
+    if (obs::trace_enabled()) {
+      for (std::size_t b = 0; b < r.sent.size(); ++b) {
+        const bool sent_one = (r.sent[b] & 1u) != 0;
+        const double ok =
+            r.lost ? -1.0 : (r.received[b] == sent_one ? 1.0 : 0.0);
+        obs::instant_arg2("session.subframe", "index",
+                          static_cast<double>(b), "ok", ok, "session");
+      }
+    }
+#endif
   }
   stats.mean_snr_db = channel_->mean_snr_db();
   stats.tag_perturbation_db = channel_->tag_perturbation_db();

@@ -79,6 +79,93 @@ TEST(Csv, EnforcesArity) {
   std::remove(path.c_str());
 }
 
+TEST(Csv, ArityErrorNamesCountsAndHeader) {
+  const std::string path = "/tmp/witag_csv_test3.csv";
+  CsvWriter csv(path);
+  csv.header({"clock_hz", "guard_us", "ber"});
+  try {
+    csv.row({"1e6"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 values"), std::string::npos) << what;
+    EXPECT_NE(what.find("3-column"), std::string::npos) << what;
+    EXPECT_NE(what.find("clock_hz"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+namespace csv_roundtrip {
+
+/// Minimal RFC 4180 reader for the round-trip test: splits one CSV
+/// document into rows of unescaped fields.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < text.size() && text[i + 1] == '"') {
+        field += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      row.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      row.push_back(std::move(field));
+      field.clear();
+      rows.push_back(std::move(row));
+      row.clear();
+    } else {
+      field += c;
+    }
+  }
+  return rows;
+}
+
+}  // namespace csv_roundtrip
+
+TEST(Csv, EscapingRoundTrip) {
+  const std::string path = "/tmp/witag_csv_roundtrip.csv";
+  const std::vector<std::string> tricky{
+      "plain", "comma,inside", "quote\"inside", "both,\"of,them\"",
+      "newline\ninside"};
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b", "c", "d", "e"});
+    csv.row(tricky);
+  }
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto rows = csv_roundtrip::parse_csv(ss.str());
+  ASSERT_EQ(rows.size(), 2u);
+  ASSERT_EQ(rows[1].size(), tricky.size());
+  for (std::size_t i = 0; i < tricky.size(); ++i) {
+    EXPECT_EQ(rows[1][i], tricky[i]) << "column " << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Args, WarnUnusedWritesOneLinePerTypo) {
+  const Args args = parse({"--used", "1", "--typo", "2", "--oops", "3"});
+  args.get_int("used", 0);
+  std::ostringstream os;
+  EXPECT_EQ(args.warn_unused(os), 2u);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("--typo"), std::string::npos);
+  EXPECT_NE(out.find("--oops"), std::string::npos);
+}
+
 TEST(Csv, RejectsUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/file.csv"), std::runtime_error);
 }

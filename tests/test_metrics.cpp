@@ -90,5 +90,18 @@ TEST(Table, RowWidthValidated) {
   EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
 }
 
+TEST(Table, ArityErrorNamesCountsAndHeader) {
+  Table t({"tag-to-client [m]", "BER"});
+  try {
+    t.add_row({"1", "2", "3"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3 cells"), std::string::npos) << what;
+    EXPECT_NE(what.find("2-column"), std::string::npos) << what;
+    EXPECT_NE(what.find("tag-to-client [m]"), std::string::npos) << what;
+  }
+}
+
 }  // namespace
 }  // namespace witag::core

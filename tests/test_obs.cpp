@@ -1,0 +1,282 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/cli.hpp"
+#include "witag/session.hpp"
+
+namespace witag::obs {
+namespace {
+
+/// Every test starts from a clean registry and a quiet tracer.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::instance().reset();
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().clear();
+    MetricsRegistry::instance().reset();
+  }
+};
+
+using ObsJson = ObsTest;
+using ObsMetrics = ObsTest;
+using ObsTrace = ObsTest;
+using ObsReport = ObsTest;
+using ObsSession = ObsTest;
+
+TEST_F(ObsJson, ParsesNestedDocument) {
+  const auto v = json::Value::parse(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\ny", "d": true, "e": null}})");
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a")[0].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(v.at("a")[2].as_number(), -300.0);
+  EXPECT_EQ(v.at("b").at("c").as_string(), "x\ny");
+  EXPECT_TRUE(v.at("b").at("d").as_bool());
+  EXPECT_TRUE(v.at("b").at("e").is_null());
+}
+
+TEST_F(ObsJson, DumpParseRoundTrip) {
+  json::Value doc = json::Value::object();
+  doc.set("name", json::Value::string("quote\" comma, \tend"));
+  doc.set("pi", json::Value::number(3.141592653589793));
+  json::Value arr = json::Value::array();
+  arr.push_back(json::Value::number(1e-9));
+  arr.push_back(json::Value::boolean(false));
+  doc.set("arr", std::move(arr));
+
+  const auto back = json::Value::parse(doc.dump());
+  EXPECT_EQ(back.at("name").as_string(), "quote\" comma, \tend");
+  EXPECT_DOUBLE_EQ(back.at("pi").as_number(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(back.at("arr")[0].as_number(), 1e-9);
+  EXPECT_FALSE(back.at("arr")[1].as_bool());
+}
+
+TEST_F(ObsJson, RejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse("{"), std::invalid_argument);
+  EXPECT_THROW(json::Value::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(json::Value::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(json::Value::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(json::Value::parse("\"unterminated"), std::invalid_argument);
+}
+
+TEST_F(ObsMetrics, CounterAccumulates) {
+  Counter& c = counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&counter("test.counter"), &c);
+  EXPECT_EQ(counter("test.counter").value(), 42u);
+}
+
+TEST_F(ObsMetrics, HistogramBucketsAndMoments) {
+  Histogram& h = histogram("test.hist", {1.0, 2.0, 4.0});
+  h.observe(0.5);   // <= 1      -> bucket 0
+  h.observe(1.0);   // == edge   -> bucket 0 (inclusive upper edges)
+  h.observe(1.5);   //           -> bucket 1
+  h.observe(4.0);   //           -> bucket 2
+  h.observe(100.0); // overflow  -> bucket 3
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 21.4);
+}
+
+TEST_F(ObsMetrics, HistogramValidation) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW((Histogram({2.0, 1.0})), std::invalid_argument);
+  EXPECT_THROW((Histogram({1.0, 1.0})), std::invalid_argument);
+  histogram("test.hist2", {1.0, 2.0});
+  EXPECT_THROW((histogram("test.hist2", {1.0, 3.0})), std::invalid_argument);
+}
+
+TEST_F(ObsMetrics, ExpBounds) {
+  const auto b = exp_bounds(1.0, 2.0, 4);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_DOUBLE_EQ(b[0], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 8.0);
+}
+
+TEST_F(ObsMetrics, SnapshotAndReset) {
+  counter("snap.c").add(3);
+  gauge("snap.g").set(2.5);
+  histogram("snap.h", {1.0}).observe(0.5);
+  auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("snap.c"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("snap.g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("snap.h").count, 1u);
+
+  MetricsRegistry::instance().reset();
+  snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("snap.c"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("snap.g"), 0.0);
+  EXPECT_EQ(snap.histograms.at("snap.h").count, 0u);
+}
+
+TEST_F(ObsTrace, DisabledModeRecordsNothing) {
+  ASSERT_FALSE(trace_enabled());
+  {
+    ScopedSpan span("noop.span");
+    instant("noop.instant");
+    instant_arg("noop.arg", "k", 1.0);
+  }
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(ObsTrace, ChromeTraceIsWellFormed) {
+  Tracer::instance().set_enabled(true);
+  {
+    ScopedSpan outer("outer.span", "test");
+    ScopedSpan inner("inner.span", "test");
+    instant_arg2("marker", "index", 3.0, "ok", 1.0, "test");
+  }
+  Tracer::instance().set_enabled(false);
+
+  std::ostringstream os;
+  Tracer::instance().write_chrome_trace(os);
+  const auto doc = json::Value::parse(os.str());  // must parse back
+  const json::Value& events = doc.at("traceEvents");
+  ASSERT_EQ(events.size(), 3u);
+
+  bool saw_span = false;
+  bool saw_instant = false;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const json::Value& ev = events[i];
+    const std::string& ph = ev.at("ph").as_string();
+    EXPECT_GE(ev.at("ts").as_number(), 0.0);
+    if (ph == "X") {
+      saw_span = true;
+      EXPECT_GE(ev.at("dur").as_number(), 0.0);
+    } else if (ph == "i") {
+      saw_instant = true;
+      EXPECT_EQ(ev.at("name").as_string(), "marker");
+      EXPECT_DOUBLE_EQ(ev.at("args").at("index").as_number(), 3.0);
+      EXPECT_DOUBLE_EQ(ev.at("args").at("ok").as_number(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+}
+
+TEST_F(ObsTrace, JsonlOneParsableObjectPerLine) {
+  Tracer::instance().set_enabled(true);
+  { ScopedSpan span("jsonl.span"); }
+  instant("jsonl.marker");
+  Tracer::instance().set_enabled(false);
+
+  std::ostringstream os;
+  Tracer::instance().write_jsonl(os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    const auto ev = json::Value::parse(line);
+    EXPECT_TRUE(ev.has("name"));
+    EXPECT_TRUE(ev.has("ts"));
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2u);
+}
+
+TEST_F(ObsTrace, ClearDropsEventsAndRestartsEpoch) {
+  Tracer::instance().set_enabled(true);
+  instant("before.clear");
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+  instant("after.clear");
+  EXPECT_EQ(Tracer::instance().event_count(), 1u);
+}
+
+TEST_F(ObsReport, MetricsJsonSchemaRoundTrip) {
+  const std::string path = "/tmp/witag_obs_report_test.json";
+  {
+    const std::vector<const char*> argv{"prog", "--metrics-out",
+                                        path.c_str()};
+    const util::Args args(static_cast<int>(argv.size()), argv.data());
+    RunScope run("unit_bench", args);
+    run.config("alpha", 1.5);
+    run.config("mode", "fast");
+    counter("unit.count").add(7);
+    histogram("unit.hist", {1.0, 2.0}).observe(1.5);
+  }  // destructor writes the report
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = json::Value::parse(ss.str());
+  EXPECT_EQ(doc.at("bench").as_string(), "unit_bench");
+  EXPECT_DOUBLE_EQ(doc.at("config").at("alpha").as_number(), 1.5);
+  EXPECT_EQ(doc.at("config").at("mode").as_string(), "fast");
+  EXPECT_GE(doc.at("wall_ms").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("unit.count").as_number(), 7.0);
+  const json::Value& hist = doc.at("histograms").at("unit.hist");
+  ASSERT_EQ(hist.at("bounds").size(), 2u);
+  ASSERT_EQ(hist.at("counts").size(), 3u);
+  EXPECT_DOUBLE_EQ(hist.at("counts")[1].as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 1.5);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsReport, NoMetricsFlagSuppressesOutput) {
+  const std::vector<const char*> argv{"prog", "--no-metrics"};
+  const util::Args args(static_cast<int>(argv.size()), argv.data());
+  RunScope run("unit_bench", args);
+  EXPECT_TRUE(run.metrics_path().empty());
+}
+
+TEST_F(ObsSession, SpanCountsMatchLinkMetrics) {
+#if !WITAG_OBS_ENABLED
+  GTEST_SKIP() << "instrumentation compiled out (WITAG_OBS=OFF)";
+#else
+  Tracer::instance().set_enabled(true);
+  auto cfg = core::los_testbed_config(4.0, 77);
+  core::Session session(cfg);
+  const auto stats = session.run(3);
+  Tracer::instance().set_enabled(false);
+
+  std::size_t round_spans = 0;
+  std::size_t subframe_events = 0;
+  for (const TraceEvent& ev : Tracer::instance().events()) {
+    const std::string_view name = ev.name;
+    if (name == "session.round" && ev.ph == 'X') ++round_spans;
+    if (name == "session.subframe" && ev.ph == 'i') ++subframe_events;
+  }
+  EXPECT_EQ(round_spans, stats.metrics.rounds());
+  EXPECT_EQ(subframe_events, stats.metrics.bits());
+
+  // The always-on counters agree with LinkMetrics too.
+  const auto snap = MetricsRegistry::instance().snapshot();
+  EXPECT_EQ(snap.counters.at("witag.rounds"), stats.metrics.rounds());
+  EXPECT_EQ(snap.counters.at("witag.bits"), stats.metrics.bits());
+  EXPECT_EQ(snap.counters.at("witag.bit_errors"), stats.metrics.bit_errors());
+  EXPECT_EQ(snap.counters.at("witag.missed_corruption"),
+            stats.metrics.missed_corruptions());
+  EXPECT_EQ(snap.counters.at("witag.false_corruption"),
+            stats.metrics.false_corruptions());
+#endif
+}
+
+}  // namespace
+}  // namespace witag::obs

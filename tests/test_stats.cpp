@@ -84,6 +84,43 @@ TEST(Wilson, RejectsImpossibleCounts) {
   EXPECT_THROW(wilson_interval(5, 4), std::invalid_argument);
 }
 
+TEST(Running, NoSamplesIsZero) {
+  const Running r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.stddev(), 0.0);
+}
+
+TEST(Percentile, EdgeQuantilesAndSingleSample) {
+  // q = 0 and q = 1 hit the extremes exactly, no interpolation residue.
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5.0, 1.0, 3.0}, 1.0), 5.0);
+  // A single sample answers every quantile.
+  EXPECT_DOUBLE_EQ(percentile({2.5}, 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({2.5}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({2.5}, 1.0), 2.5);
+}
+
+TEST(Percentile, DuplicateValues) {
+  EXPECT_DOUBLE_EQ(percentile({2.0, 2.0, 2.0, 2.0}, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 2.0, 3.0}, 0.5), 2.0);
+}
+
+TEST(Ecdf, QuantileEdgeCases) {
+  const Ecdf single({7.0});
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1e-9), 7.0);
+
+  const Ecdf dup({1.0, 2.0, 2.0, 2.0, 9.0});
+  EXPECT_DOUBLE_EQ(dup.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(dup.quantile(1.0), 9.0);
+
+  // q = 0 is outside the (0, 1] contract.
+  EXPECT_THROW(dup.quantile(0.0), std::invalid_argument);
+  EXPECT_THROW(dup.quantile(1.5), std::invalid_argument);
+}
+
 TEST(Wilson, ShrinksWithSamples) {
   const Interval small = wilson_interval(5, 50);
   const Interval big = wilson_interval(500, 5000);
