@@ -4,14 +4,34 @@
 // frame delivery rate, effective payload goodput (FEC overhead costs
 // airtime) and FEC repair counts.
 //
+// Each FEC scheme owns an independent Session + Reader and runs as one
+// task on the parallel sweep engine's generic fan-out; the table is
+// bit-identical for any --jobs.
+//
 // Options: --rounds N (budget/frame), --polls N, --pos METERS, --seed S,
-//          --csv PATH
+//          --csv PATH, --jobs N
+#include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "obs/report.hpp"
+#include "runner/parallel_sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "witag/reader.hpp"
+
+namespace {
+
+struct FecOutcome {
+  std::size_t frames_ok = 0;
+  std::size_t polls_failed = 0;
+  std::size_t repaired = 0;
+  double rounds_per_frame = 0.0;
+  double goodput_kbps = 0.0;
+  double task_ms = 0.0;
+};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace witag;
@@ -21,6 +41,8 @@ int main(int argc, char** argv) {
   const double pos = args.get_double("pos", 4.0);
   const std::uint64_t seed = args.get_u64("seed", 808);
   const std::string csv_path = args.get_string("csv", "");
+  std::size_t jobs = runner::jobs_from_args(args);
+  if (jobs == 0) jobs = runner::default_jobs();
   obs::RunScope obs_run("ablation_fec", args);
   obs_run.config("polls", static_cast<double>(polls));
   obs_run.config("rounds", static_cast<double>(budget));
@@ -51,37 +73,58 @@ int main(int argc, char** argv) {
               {core::TagFec::kRepetition3, "repetition x3"},
               {core::TagFec::kHamming74, "Hamming(7,4)"}};
 
-  for (const auto& fec : fecs) {
-    auto cfg = core::los_testbed_config(pos, seed);
-    core::Session session(cfg);
-    core::ReaderConfig rcfg;
-    rcfg.fec = fec.fec;
-    rcfg.max_rounds_per_frame = budget;
-    core::Reader reader(session, rcfg);
-    reader.load_tag(0, payload);
+  const auto sweep_start = std::chrono::steady_clock::now();
+  const auto outcomes = runner::parallel_map(
+      std::size(fecs), jobs, [&](std::size_t i) -> FecOutcome {
+        const auto start = std::chrono::steady_clock::now();
+        auto cfg = core::los_testbed_config(pos, seed);
+        core::Session session(cfg);
+        core::ReaderConfig rcfg;
+        rcfg.fec = fecs[i].fec;
+        rcfg.max_rounds_per_frame = budget;
+        core::Reader reader(session, rcfg);
+        reader.load_tag(0, payload);
 
-    std::size_t repaired = 0;
-    for (std::size_t p = 0; p < polls; ++p) {
-      const auto result = reader.poll_frame();
-      if (result.ok) repaired += result.fec_corrected;
-    }
-    const auto& stats = reader.stats();
-    const double rpf =
-        stats.frames_ok ? static_cast<double>(stats.rounds) /
-                              static_cast<double>(stats.frames_ok)
-                        : 0.0;
-    const double goodput = stats.frame_goodput_kbps(payload.size());
-    table.add_row({fec.name, std::to_string(stats.frames_ok),
-                   std::to_string(stats.polls_failed),
-                   core::Table::num(rpf, 2), std::to_string(repaired),
-                   core::Table::num(goodput, 2)});
+        FecOutcome out;
+        for (std::size_t p = 0; p < polls; ++p) {
+          const auto result = reader.poll_frame();
+          if (result.ok) out.repaired += result.fec_corrected;
+        }
+        const auto& stats = reader.stats();
+        out.frames_ok = stats.frames_ok;
+        out.polls_failed = stats.polls_failed;
+        out.rounds_per_frame =
+            stats.frames_ok ? static_cast<double>(stats.rounds) /
+                                  static_cast<double>(stats.frames_ok)
+                            : 0.0;
+        out.goodput_kbps = stats.frame_goodput_kbps(payload.size());
+        out.task_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+        return out;
+      });
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - sweep_start)
+                             .count();
+  double serial_estimate_ms = 0.0;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const FecOutcome& out = outcomes[i];
+    serial_estimate_ms += out.task_ms;
+    table.add_row({fecs[i].name, std::to_string(out.frames_ok),
+                   std::to_string(out.polls_failed),
+                   core::Table::num(out.rounds_per_frame, 2),
+                   std::to_string(out.repaired),
+                   core::Table::num(out.goodput_kbps, 2)});
     if (csv) {
-      csv->row({fec.name, std::to_string(stats.frames_ok),
-                std::to_string(stats.polls_failed),
-                util::CsvWriter::num(rpf), std::to_string(repaired),
-                util::CsvWriter::num(goodput)});
+      csv->row({fecs[i].name, std::to_string(out.frames_ok),
+                std::to_string(out.polls_failed),
+                util::CsvWriter::num(out.rounds_per_frame),
+                std::to_string(out.repaired),
+                util::CsvWriter::num(out.goodput_kbps)});
     }
   }
+  obs_run.parallelism(jobs, serial_estimate_ms, wall_ms);
   table.print(std::cout);
   std::cout << "\nReading: without FEC the CRC rejects corrupted frames "
                "and the reader burns rounds on retries; repetition pays "

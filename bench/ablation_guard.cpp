@@ -8,10 +8,15 @@
 // on the clock: a 1 MHz prototype timer tolerates small guards, a
 // 50 kHz crystal needs subframes so long the question disappears.
 //
-// Options: --rounds N, --seed S, --csv PATH
+// Each (clock, guard) cell is an independent task on the parallel sweep
+// engine; the table is bit-identical for any --jobs.
+//
+// Options: --rounds N, --seed S, --csv PATH, --jobs N
 #include <iostream>
+#include <vector>
 
 #include "obs/report.hpp"
+#include "runner/parallel_sweep.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "witag/session.hpp"
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 25));
   const std::uint64_t seed = args.get_u64("seed", 909);
   const std::string csv_path = args.get_string("csv", "");
+  const std::size_t jobs = runner::jobs_from_args(args);
   obs::RunScope obs_run("ablation_guard", args);
   obs_run.config("rounds", static_cast<double>(rounds));
   obs_run.config("seed", static_cast<double>(seed));
@@ -43,16 +49,31 @@ int main(int argc, char** argv) {
     double hz;
     const char* name;
   } clocks[] = {{1e6, "1 MHz"}, {250e3, "250 kHz"}};
+  const double guards[] = {0.0, 2.0, 4.0, 6.0, 7.5};
 
+  // One task per (clock, guard) cell, in row order.
+  std::vector<runner::SweepTask> tasks;
   for (const auto& clock : clocks) {
-    for (const double guard : {0.0, 2.0, 4.0, 6.0, 7.5}) {
+    for (const double guard : guards) {
       auto cfg = core::los_testbed_config(1.0, seed);
       cfg.tag_device.clock.nominal_hz = clock.hz;
       cfg.tag_device.guard_us = guard;
       // Fix the subframe length so every cell compares the same query.
       cfg.query.symbols_per_subframe = 4;
-      core::Session session(cfg);
-      const auto stats = session.run(rounds);
+      tasks.push_back({std::move(cfg), rounds});
+    }
+  }
+
+  runner::SweepOptions opts;
+  opts.jobs = jobs;
+  const runner::SweepResult result = runner::run_sweep(tasks, opts);
+  obs_run.parallelism(result.jobs, result.serial_estimate_ms,
+                      result.wall_ms);
+
+  std::size_t cell = 0;
+  for (const auto& clock : clocks) {
+    for (const double guard : guards) {
+      const auto& stats = result.per_task[cell++];
       table.add_row({clock.name, core::Table::num(guard, 1),
                      core::Table::num(stats.metrics.ber(), 4),
                      std::to_string(stats.metrics.missed_corruptions()),

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mac/aes.hpp"
+#include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "phy/convolutional.hpp"
@@ -21,16 +22,49 @@ namespace {
 
 using namespace witag;
 
-void BM_Fft64(benchmark::State& state) {
+// Planned (cached twiddle/bit-reversal) vs reference FFT across the
+// transform sizes the simulator actually uses: 64 (one OFDM symbol) and
+// the 128/256 oversampled render paths. The planned/reference pairs
+// share identical input so the ratio is the plan cache's win; the obs
+// reporter below exports each ns/op into the metrics JSON, which is how
+// bench/BENCH_phy.json pins the baseline.
+template <std::size_t N>
+void BM_Fft(benchmark::State& state) {
   util::Rng rng(1);
-  util::CxVec data(64);
+  util::CxVec data(N);
   for (auto& x : data) x = rng.complex_normal(1.0);
   for (auto _ : state) {
     phy::fft_inplace(data);
     benchmark::DoNotOptimize(data.data());
   }
 }
+void BM_Fft64(benchmark::State& state) { BM_Fft<64>(state); }
+void BM_Fft128(benchmark::State& state) { BM_Fft<128>(state); }
+void BM_Fft256(benchmark::State& state) { BM_Fft<256>(state); }
 BENCHMARK(BM_Fft64);
+BENCHMARK(BM_Fft128);
+BENCHMARK(BM_Fft256);
+
+template <std::size_t N>
+void BM_FftReference(benchmark::State& state) {
+  util::Rng rng(1);
+  util::CxVec data(N);
+  for (auto& x : data) x = rng.complex_normal(1.0);
+  for (auto _ : state) {
+    phy::detail::fft_reference_inplace(data, /*inverse=*/false);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+void BM_Fft64Reference(benchmark::State& state) { BM_FftReference<64>(state); }
+void BM_Fft128Reference(benchmark::State& state) {
+  BM_FftReference<128>(state);
+}
+void BM_Fft256Reference(benchmark::State& state) {
+  BM_FftReference<256>(state);
+}
+BENCHMARK(BM_Fft64Reference);
+BENCHMARK(BM_Fft128Reference);
+BENCHMARK(BM_Fft256Reference);
 
 void BM_ViterbiPerKilobit(benchmark::State& state) {
   util::Rng rng(2);
@@ -102,6 +136,21 @@ void BM_SessionRound(benchmark::State& state) {
 }
 BENCHMARK(BM_SessionRound);
 
+// Console output as usual, plus one obs gauge per benchmark
+// (`bench.<name>.ns_per_op`) so `--metrics-out FILE` captures the run as
+// a machine-readable baseline (see bench/BENCH_phy.json).
+class ObsReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      obs::gauge("bench." + run.benchmark_name() + ".ns_per_op")
+          .set(run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,7 +177,8 @@ int main(int argc, char** argv) {
   const witag::util::Args args(static_cast<int>(obs_argv.size()),
                                obs_argv.data());
   witag::obs::RunScope obs_run("micro_phy", args);
-  benchmark::RunSpecifiedBenchmarks();
+  ObsReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   return 0;
 }

@@ -201,21 +201,42 @@ std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
     util::require(row.empty() || row.size() == tx.size(),
                   "ChannelModel::apply_multi: level row size mismatch");
   }
+  util::require(levels_per_tag.size() <= 64,
+                "ChannelModel::apply_multi: at most 64 tag level rows");
   if (!cache_valid_) rebuild_cache();
   const double noise_var = noise_variance();
   const std::vector<double> interference = draw_interference(tx.size());
 
+  // Compose the channel once per distinct tag-assert mask instead of
+  // once per symbol: across a query only a handful of masks occur (no
+  // tag asserted, one tag asserted, ...), so the 64-bin delta adds hoist
+  // out of the symbol loop. Mask 0 is pre-seeded with the base CFR.
+  std::vector<std::uint64_t> composed_masks{0};
+  std::vector<phy::FreqSymbol> composed{h_base_};
+
   std::vector<phy::FreqSymbol> rx(tx.size());
   for (std::size_t s = 0; s < tx.size(); ++s) {
-    // Compose the channel for this symbol from the asserted tags.
-    phy::FreqSymbol h = h_base_;
+    std::uint64_t mask = 0;
     for (std::size_t t = 0; t < levels_per_tag.size(); ++t) {
       const auto& row = levels_per_tag[t];
-      if (row.empty() || (row[s] & 1u) == 0) continue;
-      for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
-        h[bin] += tag_delta_[t][bin];
-      }
+      if (!row.empty() && (row[s] & 1u) != 0) mask |= std::uint64_t{1} << t;
     }
+    std::size_t slot = 0;
+    while (slot < composed_masks.size() && composed_masks[slot] != mask) {
+      ++slot;
+    }
+    if (slot == composed_masks.size()) {
+      phy::FreqSymbol h = h_base_;
+      for (std::size_t t = 0; t < levels_per_tag.size(); ++t) {
+        if ((mask >> t & 1u) == 0) continue;
+        for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
+          h[bin] += tag_delta_[t][bin];
+        }
+      }
+      composed_masks.push_back(mask);
+      composed.push_back(h);
+    }
+    const phy::FreqSymbol& h = composed[slot];
     const double var = noise_var + interference[s];
     for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
       if (h[bin] == Cx{} && tx[s][bin] == Cx{}) continue;

@@ -95,6 +95,18 @@ void RunScope::config(const std::string& key, double value) {
   config_.emplace_back(key, json::Value::number(value));
 }
 
+void RunScope::parallelism(std::size_t jobs, double serial_estimate_ms,
+                           double wall_ms) {
+  config("jobs", static_cast<double>(jobs));
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.gauge("runner.jobs").set(static_cast<double>(jobs));
+  reg.gauge("runner.serial_estimate_ms").set(serial_estimate_ms);
+  reg.gauge("runner.wall_ms").set(wall_ms);
+  if (wall_ms > 0.0) {
+    reg.gauge("runner.speedup").set(serial_estimate_ms / wall_ms);
+  }
+}
+
 void RunScope::finish() {
   if (finished_) return;
   finished_ = true;

@@ -55,6 +55,13 @@ class RunScope {
   void config(const std::string& key, const std::string& value);
   void config(const std::string& key, double value);
 
+  /// Records a parallel run's shape: `jobs` goes into the config block;
+  /// the serial estimate (sum of per-task execution times), the
+  /// parallel wall time and the realized speedup are exported as
+  /// runner.* gauges. Benches call this with the SweepResult fields.
+  void parallelism(std::size_t jobs, double serial_estimate_ms,
+                   double wall_ms);
+
   /// Where the metrics JSON will be written; empty when suppressed.
   const std::string& metrics_path() const { return metrics_path_; }
   /// Trace destination; empty when tracing is off.

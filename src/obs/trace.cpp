@@ -159,6 +159,23 @@ ScopedSpan::~ScopedSpan() {
   tracer.record(ev);
 }
 
+void complete_arg2(const char* name, double ts_us, double dur_us,
+                   const char* k0, double v0, const char* k1, double v1,
+                   const char* cat) {
+  if (!trace_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.arg_keys[0] = k0;
+  ev.arg_vals[0] = v0;
+  ev.arg_keys[1] = k1;
+  ev.arg_vals[1] = v1;
+  Tracer::instance().record(ev);
+}
+
 void instant(const char* name, const char* cat) {
   if (!trace_enabled()) return;
   Tracer& tracer = Tracer::instance();

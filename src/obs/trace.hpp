@@ -104,6 +104,13 @@ class ScopedSpan {
   bool active_;
 };
 
+/// Complete ('X') event recorded after the fact with two numeric args —
+/// used by the runner to attribute a finished task to the worker thread
+/// that ran it. `ts_us` comes from Tracer::now_us() taken at task start.
+void complete_arg2(const char* name, double ts_us, double dur_us,
+                   const char* k0, double v0, const char* k1, double v1,
+                   const char* cat = "sim");
+
 /// Instant events (no duration), with up to two numeric args.
 void instant(const char* name, const char* cat = "sim");
 void instant_arg(const char* name, const char* k0, double v0,

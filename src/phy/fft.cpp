@@ -1,7 +1,13 @@
 #include "phy/fft.hpp"
 
+#include <array>
+#include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"
@@ -12,10 +18,122 @@ namespace {
 
 using util::Cx;
 
-void transform(std::span<Cx> data, bool inverse) {
-  const std::size_t n = data.size();
+void check_length(std::size_t n) {
   util::require(n >= 1 && std::has_single_bit(n),
                 "fft: length must be a power of two");
+}
+
+/// Precomputed execution plan for one transform length: the bit-reversal
+/// swap pairs and, per butterfly stage, the twiddle sequence the
+/// reference recurrence would produce (so planned output is bit-identical
+/// to the reference).
+struct FftPlan {
+  std::size_t n = 0;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;
+  /// Stage twiddles concatenated (len = 2, 4, ..., n; len/2 entries per
+  /// stage, n - 1 total), one table per direction.
+  std::vector<Cx> fwd;
+  std::vector<Cx> inv;
+  double scale = 1.0;
+};
+
+std::vector<Cx> build_twiddles(std::size_t n, bool inverse) {
+  std::vector<Cx> tw;
+  tw.reserve(n - 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = sign * 2.0 * util::kPi / static_cast<double>(len);
+    const Cx wlen{std::cos(angle), std::sin(angle)};
+    // Same incremental recurrence as the reference transform so the
+    // cached values match it to the last bit.
+    Cx w{1.0, 0.0};
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      tw.push_back(w);
+      w *= wlen;
+    }
+  }
+  return tw;
+}
+
+const FftPlan* build_plan(std::size_t n) {
+  WITAG_COUNT("phy.fft.plan_builds", 1);
+  auto* plan = new FftPlan;  // process-lifetime; never freed
+  plan->n = n;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      plan->swaps.emplace_back(static_cast<std::uint32_t>(i),
+                               static_cast<std::uint32_t>(j));
+    }
+  }
+  plan->fwd = build_twiddles(n, false);
+  plan->inv = build_twiddles(n, true);
+  plan->scale = 1.0 / std::sqrt(static_cast<double>(n));
+  return plan;
+}
+
+/// Process-wide plan cache, one slot per log2(length). Lookup is a
+/// single acquire load; the build path double-checks under a mutex so
+/// concurrent workers agree on one plan per length.
+struct PlanCache {
+  std::array<std::atomic<const FftPlan*>, 64> slots{};
+  std::mutex build_mu;
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+const FftPlan& plan_for(std::size_t n) {
+  PlanCache& cache = plan_cache();
+  auto& slot = cache.slots[static_cast<std::size_t>(std::countr_zero(n))];
+  const FftPlan* plan = slot.load(std::memory_order_acquire);
+  if (plan) return *plan;
+  std::lock_guard<std::mutex> lock(cache.build_mu);
+  plan = slot.load(std::memory_order_acquire);
+  if (!plan) {
+    plan = build_plan(n);
+    slot.store(plan, std::memory_order_release);
+  }
+  return *plan;
+}
+
+void transform(std::span<Cx> data, bool inverse) {
+  const std::size_t n = data.size();
+  check_length(n);
+  if (n == 1) return;
+  const FftPlan& plan = plan_for(n);
+
+  for (const auto& [i, j] : plan.swaps) std::swap(data[i], data[j]);
+
+  const std::vector<Cx>& twiddles = inverse ? plan.inv : plan.fwd;
+  std::size_t stage = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const Cx* w = twiddles.data() + stage;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cx u = data[i + k];
+        const Cx v = data[i + k + len / 2] * w[k];
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+    stage += len / 2;
+  }
+
+  for (Cx& x : data) x *= plan.scale;
+}
+
+}  // namespace
+
+namespace detail {
+
+void fft_reference_inplace(std::span<Cx> data, bool inverse) {
+  const std::size_t n = data.size();
+  check_length(n);
   if (n == 1) return;
 
   // Bit-reversal permutation.
@@ -46,7 +164,15 @@ void transform(std::span<Cx> data, bool inverse) {
   for (Cx& x : data) x *= scale;
 }
 
-}  // namespace
+std::size_t fft_plan_count() {
+  std::size_t count = 0;
+  for (const auto& slot : plan_cache().slots) {
+    if (slot.load(std::memory_order_acquire)) ++count;
+  }
+  return count;
+}
+
+}  // namespace detail
 
 void fft_inplace(std::span<Cx> data) {
   WITAG_SPAN_CAT("phy.fft", "phy");

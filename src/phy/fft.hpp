@@ -1,8 +1,17 @@
 // Iterative radix-2 FFT/IFFT with unitary (1/sqrt(N)) scaling in both
 // directions so transforms preserve signal power — convenient for SNR
 // bookkeeping across the time/frequency boundary.
+//
+// Hot path: transforms execute against a process-wide plan cache keyed
+// by length (bit-reversal swap list + per-stage twiddle tables), so the
+// cos/sin work is paid once per length per process instead of once per
+// call. The cache is thread-safe (lock-free lookup, mutex-guarded
+// build) and plans live for the process lifetime; the planned path is
+// bit-identical to the reference transform because plans store the
+// twiddles produced by the very same recurrence.
 #pragma once
 
+#include <cstddef>
 #include <span>
 
 #include "util/complexvec.hpp"
@@ -18,5 +27,17 @@ void ifft_inplace(std::span<util::Cx> data);
 /// Out-of-place convenience wrappers.
 util::CxVec fft(std::span<const util::Cx> data);
 util::CxVec ifft(std::span<const util::Cx> data);
+
+namespace detail {
+
+/// Reference transform that re-derives twiddles per call (the pre-cache
+/// implementation). Kept for micro-benchmark baselines and for the test
+/// asserting the planned path is bit-identical.
+void fft_reference_inplace(std::span<util::Cx> data, bool inverse);
+
+/// Number of FFT plans currently cached (one per distinct length seen).
+std::size_t fft_plan_count();
+
+}  // namespace detail
 
 }  // namespace witag::phy

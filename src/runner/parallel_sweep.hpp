@@ -1,0 +1,120 @@
+// Parallel simulation engine: fans independent (config, seed) ->
+// Session::run() tasks across a fixed-size thread pool and merges the
+// per-task results.
+//
+// Determinism contract: every task owns its Session (and therefore its
+// Rng, seeded from the task's config), tasks never share mutable
+// simulation state, and results are collected by task index — so the
+// merged output is bit-identical to running the tasks serially in index
+// order, regardless of worker count or scheduling. Seeds for generated
+// task lists come from util::Rng::derive_seed(base_seed, task_index),
+// which is itself an O(1) pure function of (base_seed, task_index).
+//
+// The standard bench flag is `--jobs N` (0/absent = hardware
+// concurrency, 1 = today's serial behavior on the calling thread); use
+// jobs_from_args() to read it.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "runner/thread_pool.hpp"
+#include "witag/config.hpp"
+#include "witag/metrics.hpp"
+#include "witag/session.hpp"
+
+namespace witag::util {
+class Args;
+}  // namespace witag::util
+
+namespace witag::runner {
+
+struct SweepOptions {
+  /// Worker count; 0 = default_jobs(). With 1 every task runs inline on
+  /// the calling thread (no pool), preserving single-threaded behavior
+  /// exactly, including trace thread attribution.
+  std::size_t jobs = 0;
+};
+
+/// Reads the standard `--jobs` flag (0 when absent = hardware
+/// concurrency; clamps negatives to 1).
+std::size_t jobs_from_args(const util::Args& args);
+
+/// One independent Monte-Carlo unit: a fully-specified session (the
+/// config carries the task's seed) run for `rounds` exchanges.
+struct SweepTask {
+  core::SessionConfig config;
+  std::size_t rounds = 0;
+};
+
+struct SweepResult {
+  /// Per-task stats in task order — identical across worker counts.
+  std::vector<core::Session::RunStats> per_task;
+  /// All per-task LinkMetrics folded with LinkMetrics::merge().
+  core::LinkMetrics merged;
+  std::size_t triggers_missed = 0;
+  /// Workers actually used.
+  std::size_t jobs = 1;
+  /// End-to-end sweep wall time.
+  double wall_ms = 0.0;
+  /// Sum of per-task execution times — what a serial run would have
+  /// cost; wall_ms vs this is the realized speedup.
+  double serial_estimate_ms = 0.0;
+};
+
+/// Runs every task's Session::run() across `opts.jobs` workers, merges
+/// metrics, and records runner.* metrics plus (when tracing) one
+/// "runner.task" span per task on the worker thread that executed it.
+SweepResult run_sweep(const std::vector<SweepTask>& tasks,
+                      const SweepOptions& opts = {});
+
+/// Generic fan-out for benches whose task body is not Session::run()
+/// (Reader polling loops, custom probes): runs fn(task_index) for every
+/// index in [0, count) and returns the results in index order. `fn`
+/// must be callable concurrently for distinct indices; with jobs == 1
+/// everything runs inline on the calling thread. The first exception
+/// thrown by any task is rethrown after the fan-out completes.
+template <typename Fn>
+auto parallel_map(std::size_t count, std::size_t jobs, Fn&& fn)
+    -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+  using Result = std::invoke_result_t<Fn&, std::size_t>;
+  static_assert(std::is_default_constructible_v<Result>,
+                "parallel_map: task results must be default-constructible");
+  std::vector<Result> out(count);
+  if (count == 0) return out;
+  if (jobs == 0) jobs = default_jobs();
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < count; ++i) out[i] = fn(i);
+    return out;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  {
+    ThreadPool pool(std::min(jobs, count));
+    for (std::size_t w = 0; w < pool.jobs(); ++w) {
+      pool.submit([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= count) return;
+          try {
+            out[i] = fn(i);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return out;
+}
+
+}  // namespace witag::runner

@@ -1,0 +1,53 @@
+// Fixed-size worker pool for the parallel simulation engine.
+//
+// Workers are spawned once at construction and drain a FIFO task queue;
+// `wait_idle()` blocks until every submitted task has finished, so one
+// pool can back several sweep phases. Tasks must not throw across the
+// pool boundary — wrap fallible work and stash the exception (see
+// runner::parallel_map, which does exactly that).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace witag::runner {
+
+/// Worker count that `jobs = 0` resolves to: std::thread::hardware_
+/// concurrency(), or 1 when the runtime cannot tell.
+std::size_t default_jobs();
+
+class ThreadPool {
+ public:
+  /// Spawns `jobs` workers (0 = default_jobs()).
+  explicit ThreadPool(std::size_t jobs = 0);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t jobs() const { return workers_.size(); }
+
+  /// Enqueues one task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< Queued + currently executing.
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace witag::runner

@@ -41,6 +41,15 @@ std::uint64_t Rng::next_u64() {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t Rng::derive_seed(std::uint64_t base_seed,
+                               std::uint64_t task_index) {
+  // The splitmix64 state advances by a fixed gamma per draw, so stream
+  // position `task_index` is reachable in O(1): jump the state there and
+  // take one output.
+  std::uint64_t state = base_seed + task_index * 0x9E3779B97F4A7C15ull;
+  return splitmix64(state);
+}
+
 double Rng::uniform() {
   // 53 high bits -> double in [0, 1).
   return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;

@@ -29,6 +29,15 @@ class Rng {
   /// Derives an independent generator; deterministic given this stream.
   Rng split();
 
+  /// Seed for task `task_index` of a sweep rooted at `base_seed`:
+  /// output `task_index` of the splitmix64 stream seeded at `base_seed`
+  /// (the same mixing that expands a seed into Rng state). O(1) in the
+  /// index, so parallel workers can derive any task's seed directly —
+  /// results depend only on (base_seed, task_index), never on worker
+  /// count or completion order.
+  static std::uint64_t derive_seed(std::uint64_t base_seed,
+                                   std::uint64_t task_index);
+
   /// Uniform double in [0, 1).
   double uniform();
 

@@ -52,6 +52,16 @@ void LinkMetrics::record_round(std::span<const std::uint8_t> sent,
   WITAG_COUNT("witag.missed_corruption", round_missed);
 }
 
+void LinkMetrics::merge(const LinkMetrics& other) {
+  bits_ += other.bits_;
+  errors_ += other.errors_;
+  missed_ += other.missed_;
+  false_ += other.false_;
+  rounds_ += other.rounds_;
+  rounds_lost_ += other.rounds_lost_;
+  elapsed_us_ += other.elapsed_us_;
+}
+
 double LinkMetrics::ber() const {
   if (bits_ == 0) return 0.0;
   return static_cast<double>(errors_) / static_cast<double>(bits_);

@@ -22,6 +22,12 @@ class LinkMetrics {
                     const std::vector<bool>& received, bool round_lost,
                     double airtime_us);
 
+  /// Folds another accumulator into this one. Associative and
+  /// commutative with the default-constructed LinkMetrics as identity,
+  /// so per-task metrics from a parallel sweep merge to the same totals
+  /// in any grouping — the property the runner's determinism rests on.
+  void merge(const LinkMetrics& other);
+
   std::size_t bits() const { return bits_; }
   std::size_t bit_errors() const { return errors_; }
   /// Tag sent 0 (corrupt) but the subframe was acked: missed corruption.

@@ -1,5 +1,6 @@
 #include "witag/session.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "channel/pathloss.hpp"
@@ -97,8 +98,9 @@ const QueryLayout& Session::layout_for(unsigned address) {
   return *layout_cache_[address];
 }
 
-std::optional<tag::QueryTiming> Session::tag_timing(const QueryFrame& frame,
-                                                    const TagUnit& unit) {
+std::optional<tag::QueryTiming> Session::tag_timing(
+    const QueryFrame& frame, const TagUnit& unit,
+    std::span<const util::CxVec> td_blocks) {
   if (cfg_.trigger_mode == TriggerMode::kIdeal) {
     // A real tag only reacts to queries carrying its address; the ideal
     // mode applies the same filter without the envelope render.
@@ -106,26 +108,19 @@ std::optional<tag::QueryTiming> Session::tag_timing(const QueryFrame& frame,
     return frame.layout.ideal_timing();
   }
 
-  // Envelope path: render the header + trigger region to time-domain
-  // samples as seen by this tag (flat client->tag gain), run the
-  // envelope detector + comparator + correlator with the tag's address
-  // filter.
-  const std::size_t slots_needed =
-      phy::kHeaderSlots +
-      static_cast<std::size_t>(frame.layout.n_trigger + 1) *
-          frame.layout.symbols_per_subframe;
+  // Envelope path: scale the pre-rendered header + trigger region as
+  // seen by this tag (flat client->tag gain), run the envelope detector
+  // + comparator + correlator with the tag's address filter.
   const std::size_t prefix =
       static_cast<std::size_t>(kIdleNoisePrefixUs * phy::kSampleRateHz / 1e6);
 
   util::CxVec samples;
-  samples.reserve(prefix + slots_needed * phy::kSamplesPerSymbol);
+  samples.reserve(prefix + td_blocks.size() * phy::kSamplesPerSymbol);
   for (std::size_t i = 0; i < prefix; ++i) {
     samples.push_back(rng_.complex_normal(tag_noise_var_));
   }
-  for (std::size_t s = 0; s < slots_needed && s < frame.ppdu.symbols.size();
-       ++s) {
-    const util::CxVec block = phy::to_time(frame.ppdu.symbols[s]);
-    for (const util::Cx& x : block) {
+  for (std::size_t s = 0; s < td_blocks.size(); ++s) {
+    for (const util::Cx& x : td_blocks[s]) {
       samples.push_back(x * frame.slot_scale[s] * unit.link_amp +
                         rng_.complex_normal(tag_noise_var_));
     }
@@ -161,8 +156,24 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
   std::vector<std::vector<std::uint8_t>> levels(tags_.size());
   bool addressed_tag_heard = false;
   if (tag_active) {
+    // One time-domain render of the header + trigger region, shared by
+    // every tag's envelope detector (hoisted out of tag_timing: the
+    // per-tag link gain applies per sample, not per render).
+    std::vector<util::CxVec> td_blocks;
+    if (cfg_.trigger_mode == TriggerMode::kEnvelope) {
+      const std::size_t slots_needed =
+          phy::kHeaderSlots +
+          static_cast<std::size_t>(frame.layout.n_trigger + 1) *
+              frame.layout.symbols_per_subframe;
+      const std::size_t count =
+          std::min(slots_needed, frame.ppdu.symbols.size());
+      td_blocks.reserve(count);
+      for (std::size_t s = 0; s < count; ++s) {
+        td_blocks.push_back(phy::to_time(frame.ppdu.symbols[s]));
+      }
+    }
     for (std::size_t t = 0; t < tags_.size(); ++t) {
-      const auto timing = tag_timing(frame, tags_[t]);
+      const auto timing = tag_timing(frame, tags_[t], td_blocks);
       if (!timing) continue;
       tag::TagDevice::Plan plan =
           tags_[t].device.respond(*timing, frame.layout.n_data_subframes);

@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "channel/channel_model.hpp"
 #include "mac/station.hpp"
+#include "util/complexvec.hpp"
 #include "tag/device.hpp"
 #include "util/rng.hpp"
 #include "witag/config.hpp"
@@ -77,8 +79,13 @@ class Session {
 
   RoundResult exchange(bool tag_active, unsigned address);
   double draw_backoff_us();
-  std::optional<tag::QueryTiming> tag_timing(const QueryFrame& frame,
-                                             const TagUnit& unit);
+  /// `td_blocks` holds the query's header+trigger region rendered to
+  /// time-domain once per exchange (to_time() is tag-independent; each
+  /// tag applies its own flat link gain per sample), so multi-tag
+  /// envelope runs share a single render.
+  std::optional<tag::QueryTiming> tag_timing(
+      const QueryFrame& frame, const TagUnit& unit,
+      std::span<const util::CxVec> td_blocks);
   const QueryLayout& layout_for(unsigned address);
   double link_amp_to(channel::Point2 tag_pos) const;
 

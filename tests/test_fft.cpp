@@ -85,6 +85,46 @@ TEST(Fft, RejectsNonPowerOfTwo) {
   EXPECT_THROW(fft_inplace(empty), std::invalid_argument);
 }
 
+// The cached-plan transform must be *bit-identical* to the reference
+// implementation it replaced: the plan tables are built with the same
+// incremental twiddle recurrence, so every seeded test and bench output
+// in the repo is unchanged by the cache. Exact equality, no tolerance.
+class FftPlanParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanParity, PlannedMatchesReferenceBitwise) {
+  const std::size_t n = GetParam();
+  util::Rng rng(n * 7 + 3);
+  CxVec data(n);
+  for (Cx& x : data) x = rng.complex_normal(1.0);
+  for (const bool inverse : {false, true}) {
+    CxVec planned = data;
+    CxVec reference = data;
+    if (inverse) {
+      ifft_inplace(planned);
+    } else {
+      fft_inplace(planned);
+    }
+    detail::fft_reference_inplace(reference, inverse);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(planned[i].real(), reference[i].real()) << "bin " << i;
+      EXPECT_EQ(planned[i].imag(), reference[i].imag()) << "bin " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SimulatorSizes, FftPlanParity,
+                         ::testing::Values(64, 128, 256));
+
+TEST(Fft, PlanCacheReusesPlans) {
+  CxVec data(32);
+  fft_inplace(data);
+  const std::size_t before = detail::fft_plan_count();
+  // Same length again: served from the cache, no new plan.
+  fft_inplace(data);
+  ifft_inplace(data);
+  EXPECT_EQ(detail::fft_plan_count(), before);
+}
+
 TEST(Fft, LinearityHolds) {
   util::Rng rng(9);
   CxVec a(64), b(64), sum(64);
