@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
   const auto outcomes = runner::parallel_map(
       std::size(fecs), jobs, [&](std::size_t i) -> FecOutcome {
         const auto start = std::chrono::steady_clock::now();
-        auto cfg = core::los_testbed_config(pos, seed);
+        auto cfg = core::los_testbed_config(util::Meters{pos}, seed);
         core::Session session(cfg);
         core::ReaderConfig rcfg;
         rcfg.fec = fecs[i].fec;

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   std::vector<runner::SweepTask> tasks;
   for (const auto& clock : clocks) {
     for (const double guard : guards) {
-      auto cfg = core::los_testbed_config(1.0, seed);
+      auto cfg = core::los_testbed_config(util::Meters{1.0}, seed);
       cfg.tag_device.clock.nominal_hz = clock.hz;
       cfg.tag_device.guard_us = guard;
       // Fix the subframe length so every cell compares the same query.

@@ -28,7 +28,7 @@ struct TagOutcome {
   std::size_t frames_ok = 0;
   std::size_t rounds = 0;
   std::size_t intact = 0;
-  double airtime_us = 0.0;
+  witag::util::Micros airtime_us{};
   double task_ms = 0.0;
 };
 
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
   // concern this bench surfaces (expect some retry-heavy polls as the
   // fading state drifts).
   auto make_config = [&] {
-    auto cfg = core::los_testbed_config(1.0, seed);
+    auto cfg = core::los_testbed_config(util::Meters{1.0}, seed);
     const double xs[3] = {16.8, 16.5, 16.2};
     for (unsigned t = 1; t < n_tags; ++t) {
       cfg.extra_tags.push_back({{xs[t - 1], 3.5}, t, 7.1});
@@ -122,19 +122,19 @@ int main(int argc, char** argv) {
   for (unsigned t = 0; t < n_tags; ++t) {
     const TagOutcome& out = outcomes[t];
     serial_estimate_ms += out.task_ms;
-    total_airtime_us += out.airtime_us;
+    total_airtime_us += out.airtime_us.value();
     total_frames += out.frames_ok;
     table.add_row({"tag " + std::to_string(t),
                    std::to_string(out.frames_ok) + " / " +
                        std::to_string(polls),
                    std::to_string(out.rounds),
-                   core::Table::num(out.airtime_us / 1000.0, 2),
+                   core::Table::num(out.airtime_us.value() / 1000.0, 2),
                    std::to_string(out.intact) + " / " +
                        std::to_string(out.frames_ok)});
     if (csv) {
       csv->row({std::to_string(t), std::to_string(out.frames_ok),
                 std::to_string(out.rounds),
-                util::CsvWriter::num(out.airtime_us / 1000.0),
+                util::CsvWriter::num(out.airtime_us.value() / 1000.0),
                 std::to_string(out.intact)});
     }
   }

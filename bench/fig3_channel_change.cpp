@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "channel/tag_path.hpp"
+#include "util/units.hpp"
 #include "witag/session.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
     const char* name =
         mode == channel::TagMode::kOpenShort ? "open/short" : "phase-flip";
     for (double pos = 1.0; pos <= 7.0; pos += 1.0) {
-      auto cfg = core::los_testbed_config(pos, 4242);
+      auto cfg = core::los_testbed_config(util::Meters{pos}, 4242);
       cfg.tag_mode = mode;
       core::Session session(cfg);
 
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       const auto stats = session.run(kRounds);
       table.add_row({core::Table::num(pos, 0), name,
                      core::Table::num(change * 1e6, 2),
-                     core::Table::num(stats.tag_perturbation_db, 1),
+                     core::Table::num(stats.tag_perturbation_db.value(), 1),
                      core::Table::num(stats.metrics.ber(), 4)});
     }
   }

@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   for (int pos = 1; pos <= 7; ++pos) {
     for (std::size_t run = 0; run < runs; ++run) {
       auto cfg = core::los_testbed_config(
-          static_cast<double>(pos),
+          util::Meters{static_cast<double>(pos)},
           1000 + 17 * run + 97 * static_cast<std::size_t>(pos));
       tasks.push_back({std::move(cfg), rounds});
     }
@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
       merged.merge(stats.metrics);
       goodput.add(stats.metrics.goodput_kbps());
       raw.add(stats.metrics.raw_rate_kbps());
-      perturbation.add(stats.tag_perturbation_db);
+      perturbation.add(stats.tag_perturbation_db.value());
     }
     const std::size_t bits = merged.bits();
     const std::size_t errors = merged.bit_errors();

@@ -128,7 +128,7 @@ void BM_EnvelopeDetector(benchmark::State& state) {
 BENCHMARK(BM_EnvelopeDetector);
 
 void BM_SessionRound(benchmark::State& state) {
-  auto cfg = core::los_testbed_config(4.0, 6);
+  auto cfg = core::los_testbed_config(util::Meters{4.0}, 6);
   core::Session session(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(session.run_round());

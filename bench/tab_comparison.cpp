@@ -25,16 +25,16 @@ int main(int argc, char** argv) {
                      "2nd AP?", "interferes?", "osc", "osc power [uW]",
                      "tag rate [Kbps]", "BER (own best case)"});
   for (const auto& row : rows) {
-    const double mhz = row.oscillator_hz / 1e6;
+    const double mhz = row.oscillator_hz.value() / 1e6;
     table.add_row({row.system, row.standards,
                    row.works_unmodified_ap ? "yes" : "no",
                    row.works_encrypted ? "yes" : "no",
                    row.needs_second_ap ? "yes" : "no",
                    row.interferes_secondary ? "yes" : "no",
                    (mhz >= 1.0 ? core::Table::num(mhz, 0) + " MHz"
-                               : core::Table::num(row.oscillator_hz / 1e3, 0) +
+                               : core::Table::num(row.oscillator_hz.value() / 1e3, 0) +
                                      " kHz"),
-                   core::Table::num(row.oscillator_power_uw, 2),
+                   core::Table::num(row.oscillator_power.microwatts(), 2),
                    core::Table::num(row.throughput_kbps, 1),
                    core::Table::num(row.measured_ber, 4)});
   }

@@ -39,8 +39,10 @@ int main(int argc, char** argv) {
       tag::ClockConfig clock;
       clock.kind = row.kind;
       clock.nominal_hz = row.hz;
-      const double osc = tag::oscillator_power_uw(row.kind, row.hz);
-      const double total = tag::estimate_power(clock, 20e3).total_uw();
+      const double osc =
+          tag::oscillator_power(row.kind, util::Hertz{row.hz}).microwatts();
+      const double total =
+          tag::estimate_power(clock, util::Hertz{20e3}).total().microwatts();
       table.add_row({row.name, row.freq, core::Table::num(osc, 2),
                      core::Table::num(total, 2)});
     }
@@ -59,7 +61,7 @@ int main(int argc, char** argv) {
     for (const double dt : {0.0, 1.0, 2.0, 5.0, 10.0}) {
       double bers[2];
       for (int kind = 0; kind < 2; ++kind) {
-        auto cfg = core::los_testbed_config(1.0, 90210);
+        auto cfg = core::los_testbed_config(util::Meters{1.0}, 90210);
         cfg.tag_device.clock.kind = kind == 0
                                         ? tag::OscillatorKind::kCrystal
                                         : tag::OscillatorKind::kRing;

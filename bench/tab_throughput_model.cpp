@@ -24,7 +24,8 @@ using namespace witag;
 std::optional<core::QueryLayout> try_plan(unsigned mcs, double tick_us) {
   core::QueryConfig qcfg;
   try {
-    return core::plan_query(qcfg, mcs, mac::Security::kOpen, tick_us, 4.0);
+    return core::plan_query(qcfg, mcs, mac::Security::kOpen,
+                            util::Micros{tick_us}, util::Micros{4.0});
   } catch (const std::invalid_argument&) {
     return std::nullopt;
   }
@@ -32,7 +33,7 @@ std::optional<core::QueryLayout> try_plan(unsigned mcs, double tick_us) {
 
 double analytic_rate_kbps(const core::QueryLayout& layout) {
   const double subframes_us =
-      layout.n_subframes * layout.subframe_duration_us();
+      layout.n_subframes * layout.subframe_duration_us().value();
   const double ppdu_us =
       phy::kHeaderSlots * phy::kSymbolDurationUs + subframes_us +
       phy::kSymbolDurationUs;  // trailing pad/tail symbol
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
       // Measure the headline configurations end-to-end.
       if ((mcs == 5 && clock.hz == 1e6) || (mcs == 7 && clock.hz == 1e6) ||
           (mcs == 5 && clock.hz == 50e3)) {
-        auto cfg = core::los_testbed_config(1.0, 31337 + mcs);
+        auto cfg = core::los_testbed_config(util::Meters{1.0}, 31337 + mcs);
         cfg.query.mcs_index = mcs;
         cfg.tag_device.clock.nominal_hz = clock.hz;
         witag::core::Session session(cfg);
@@ -86,7 +87,7 @@ int main(int argc, char** argv) {
       table.add_row({phy::mcs(mcs).name.data() + std::string(), clock.name,
                      std::to_string(layout->symbols_per_subframe),
                      std::to_string(layout->subframe_bytes),
-                     core::Table::num(layout->subframe_duration_us(), 0),
+                     core::Table::num(layout->subframe_duration_us().value(), 0),
                      core::Table::num(analytic_rate_kbps(*layout), 1),
                      measured});
     }

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
     core::Table table({"tag-to-client [m]", "triggers missed / rounds",
                        "BER", "goodput [Kbps]"});
     for (const double d : {0.5, 1.0, 2.0, 4.0, 6.0}) {
-      auto cfg = core::los_testbed_config(d, 777);
+      auto cfg = core::los_testbed_config(util::Meters{d}, 777);
       cfg.trigger_mode = core::TriggerMode::kEnvelope;
       core::Session session(cfg);
       const auto stats = session.run(kRounds);
@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
     core::Table table({"detector NF [dB]", "triggers missed / rounds",
                        "BER of delivered rounds"});
     for (const double nf : {15.0, 30.0, 45.0, 55.0, 65.0}) {
-      auto cfg = core::los_testbed_config(1.0, 888);
+      auto cfg = core::los_testbed_config(util::Meters{1.0}, 888);
       cfg.trigger_mode = core::TriggerMode::kEnvelope;
-      cfg.tag_detector_nf_db = nf;
+      cfg.tag_detector_nf_db = util::Db{nf};
       core::Session session(cfg);
       const auto stats = session.run(kRounds);
       const bool any = stats.triggers_missed < kRounds;

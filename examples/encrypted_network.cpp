@@ -18,7 +18,7 @@ namespace {
 using namespace witag;
 
 double run_witag(mac::Security security, std::uint64_t seed) {
-  core::SessionConfig cfg = core::los_testbed_config(1.0, seed);
+  core::SessionConfig cfg = core::los_testbed_config(util::Meters{1.0}, seed);
   cfg.security.mode = security;
   cfg.security.ccmp_key = {0x57, 0x69, 0x54, 0x41, 0x47, 0x21, 0x00, 0x01,
                            0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};

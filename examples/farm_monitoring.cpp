@@ -58,7 +58,7 @@ int main() {
   // One session carries all three tags: sensor 0 a metre from the
   // client, sensors 1-2 near the AP (small Ds*Dr products keep every
   // tag's corruption margin healthy).
-  core::SessionConfig cfg = core::los_testbed_config(1.0, 9001);
+  core::SessionConfig cfg = core::los_testbed_config(util::Meters{1.0}, 9001);
   cfg.extra_tags.push_back({{16.8, 3.5}, 1, 7.1});
   cfg.extra_tags.push_back({{16.4, 3.5}, 2, 7.1});
   core::Session session(cfg);
@@ -78,7 +78,7 @@ int main() {
       print_reading(result.payload);
       std::cout << "    " << result.rounds << " queries, "
                 << result.fec_corrected << " bits repaired by FEC, "
-                << core::Table::num(result.airtime_us / 1000.0, 2)
+                << core::Table::num(result.airtime_us.value() / 1000.0, 2)
                 << " ms airtime\n";
     } else {
       std::cout << "    poll failed after " << result.rounds << " queries\n";
@@ -87,19 +87,19 @@ int main() {
 
   const auto& stats = reader.stats();
   std::cout << "\nPolling cycle: " << stats.rounds << " queries, "
-            << core::Table::num(stats.airtime_us / 1000.0, 2)
+            << core::Table::num(stats.airtime_us.value() / 1000.0, 2)
             << " ms of airtime, " << stats.frames_ok << "/3 sensors read.\n";
 
   // Why battery-free works: the whole tag draws a few microwatts.
   tag::ClockConfig clock;
   clock.nominal_hz = 50e3;
-  const auto power = tag::estimate_power(clock, 20e3);
+  const auto power = tag::estimate_power(clock, util::Hertz{20e3});
   std::cout << "Per-tag power budget: oscillator "
-            << core::Table::num(power.oscillator_uw, 2) << " uW, comparator "
-            << core::Table::num(power.comparator_uw, 2) << " uW, logic "
-            << core::Table::num(power.logic_uw, 2) << " uW, RF switch "
-            << core::Table::num(power.rf_switch_uw, 2) << " uW -> total "
-            << core::Table::num(power.total_uw(), 2)
+            << core::Table::num(power.oscillator.microwatts(), 2) << " uW, comparator "
+            << core::Table::num(power.comparator.microwatts(), 2) << " uW, logic "
+            << core::Table::num(power.logic.microwatts(), 2) << " uW, RF switch "
+            << core::Table::num(power.rf_switch.microwatts(), 2) << " uW -> total "
+            << core::Table::num(power.total().microwatts(), 2)
             << " uW (harvestable; no battery).\n";
   return 0;
 }

@@ -27,9 +27,9 @@ void report_stop(const char* name, core::SessionConfig cfg,
             << " m (" << (los ? "line of sight" : "obstructed") << ", "
             << core::Table::num(walls, 0) << " dB of walls)\n"
             << "  link SNR           : "
-            << core::Table::num(stats.mean_snr_db, 1) << " dB\n"
+            << core::Table::num(stats.mean_snr_db.value(), 1) << " dB\n"
             << "  tag perturbation   : "
-            << core::Table::num(stats.tag_perturbation_db, 1) << " dB\n"
+            << core::Table::num(stats.tag_perturbation_db.value(), 1) << " dB\n"
             << "  measured BER       : "
             << core::Table::num(stats.metrics.ber(), 4) << "\n"
             << "  tag goodput        : "
@@ -49,7 +49,7 @@ int main() {
             << " wall segments (cabinets, wood, concrete).\n\n";
 
   report_stop("[1] Main lab, LOS, tag 2 m from the client (Figure 5 setup)",
-              core::los_testbed_config(2.0, 11), 30);
+              core::los_testbed_config(util::Meters{2.0}, 11), 30);
   report_stop("[2] Location A: behind the metal cabinets, ~7 m (Figure 6)",
               core::nlos_testbed_config(false, 12), 30);
   report_stop("[3] Location B: far office, ~17 m, every wall (Figure 6)",

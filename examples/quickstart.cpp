@@ -22,7 +22,7 @@ int main() {
 
   // The paper's LOS testbed: AP and client 8 m apart, tag 1 m from the
   // client on the line between them.
-  core::SessionConfig cfg = core::los_testbed_config(/*tag_to_client_m=*/1.0,
+  core::SessionConfig cfg = core::los_testbed_config(util::Meters{1.0},
                                                      /*seed=*/2026);
   core::Session session(cfg);
 
@@ -32,9 +32,9 @@ int main() {
             << "  query MCS              : "
             << phy::mcs(session.layout().mcs_index).name << "\n"
             << "  subframe duration      : "
-            << session.layout().subframe_duration_us() << " us\n"
+            << session.layout().subframe_duration_us().value() << " us\n"
             << "  link SNR               : "
-            << core::Table::num(session.channel().mean_snr_db(), 1)
+            << core::Table::num(session.channel().mean_snr_db().value(), 1)
             << " dB\n\n";
 
   // Load the tag with a framed message.

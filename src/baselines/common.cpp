@@ -8,21 +8,20 @@
 namespace witag::baselines {
 
 BackscatterLink two_ap_link(const TwoApGeometry& geo, double tag_strength,
-                            double carrier_hz) {
+                            util::Hertz carrier) {
   BackscatterLink link;
   link.direct_amp = std::abs(channel::direct_gain(
-      channel::distance(geo.client, geo.ap1), carrier_hz));
+      util::Meters{channel::distance(geo.client, geo.ap1)}, carrier));
   link.backscatter_amp = std::abs(channel::reflected_gain(
-      channel::distance(geo.client, geo.tag),
-      channel::distance(geo.tag, geo.ap2), tag_strength, carrier_hz));
+      util::Meters{channel::distance(geo.client, geo.tag)},
+      util::Meters{channel::distance(geo.tag, geo.ap2)}, tag_strength,
+      carrier));
   return link;
 }
 
 double victim_collision_probability(double tag_tx_per_s, double tag_tx_us,
                                     double victim_packet_us) {
-  util::require(tag_tx_per_s >= 0.0 && tag_tx_us >= 0.0 &&
-                    victim_packet_us >= 0.0,
-                "victim_collision_probability: negative input");
+  WITAG_REQUIRE(tag_tx_per_s >= 0.0 && tag_tx_us >= 0.0 && victim_packet_us >= 0.0);
   const double window_s = (tag_tx_us + victim_packet_us) * 1e-6;
   return 1.0 - std::exp(-tag_tx_per_s * window_s);
 }

@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "channel/geometry.hpp"
+#include "util/units.hpp"
 
 namespace witag::baselines {
 
@@ -30,7 +31,7 @@ struct BackscatterLink {
 /// Computes amplitude gains for the two-AP layout. `tag_strength` is the
 /// same dimensionless coupling used by the WiTAG tag model.
 BackscatterLink two_ap_link(const TwoApGeometry& geo, double tag_strength,
-                            double carrier_hz);
+                            util::Hertz carrier);
 
 /// Secondary-channel interference: backscatter tags shift their signal
 /// onto an adjacent channel without carrier sensing (paper section 2),

@@ -9,9 +9,9 @@
 namespace witag::baselines {
 namespace {
 
-double ring_power_uw() {
-  return tag::oscillator_power_uw(tag::OscillatorKind::kRing,
-                                  kChannelShiftOscillatorHz);
+util::Watts ring_power() {
+  return tag::oscillator_power(tag::OscillatorKind::kRing,
+                               util::Hertz{kChannelShiftOscillatorHz});
 }
 
 }  // namespace
@@ -29,19 +29,19 @@ std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
     row.works_unmodified_ap = true;
     row.needs_second_ap = false;
     row.interferes_secondary = false;
-    row.oscillator_hz = 50e3;
-    row.oscillator_power_uw = tag::oscillator_power_uw(
-        tag::OscillatorKind::kCrystal, row.oscillator_hz);
+    row.oscillator_hz = util::Hertz{50e3};
+    row.oscillator_power =
+        tag::oscillator_power(tag::OscillatorKind::kCrystal, row.oscillator_hz);
 
     // Measured on the LOS testbed, open network.
-    auto cfg = core::los_testbed_config(1.0, seed);
+    auto cfg = core::los_testbed_config(util::Meters{1.0}, seed);
     core::Session session(cfg);
     const auto stats = session.run(witag_rounds);
     row.throughput_kbps = stats.metrics.goodput_kbps();
     row.measured_ber = stats.metrics.ber();
 
     // Encrypted network: same measurement under CCMP.
-    auto enc_cfg = core::los_testbed_config(1.0, seed + 1);
+    auto enc_cfg = core::los_testbed_config(util::Meters{1.0}, seed + 1);
     enc_cfg.security.mode = mac::Security::kCcmp;
     enc_cfg.security.ccmp_key = {0, 1, 2,  3,  4,  5,  6,  7,
                                  8, 9, 10, 11, 12, 13, 14, 15};
@@ -57,8 +57,8 @@ std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
     row.standards = "802.11b only";
     row.needs_second_ap = true;
     row.interferes_secondary = true;
-    row.oscillator_hz = kChannelShiftOscillatorHz;
-    row.oscillator_power_uw = ring_power_uw();
+    row.oscillator_hz = util::Hertz{kChannelShiftOscillatorHz};
+    row.oscillator_power = ring_power();
 
     HitchhikeConfig cfg;
     const auto nominal = run_hitchhike(cfg, baseline_packets, rng);
@@ -81,8 +81,8 @@ std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
     row.standards = "802.11g";
     row.needs_second_ap = true;
     row.interferes_secondary = true;
-    row.oscillator_hz = kChannelShiftOscillatorHz;
-    row.oscillator_power_uw = ring_power_uw();
+    row.oscillator_hz = util::Hertz{kChannelShiftOscillatorHz};
+    row.oscillator_power = ring_power();
 
     FreeriderConfig cfg;
     const auto nominal = run_freerider(cfg, baseline_packets, rng);
@@ -105,8 +105,8 @@ std::vector<SystemRow> build_comparison_matrix(std::uint64_t seed,
     row.standards = "802.11n (MIMO)";
     row.needs_second_ap = true;
     row.interferes_secondary = true;
-    row.oscillator_hz = kChannelShiftOscillatorHz;
-    row.oscillator_power_uw = ring_power_uw();
+    row.oscillator_hz = util::Hertz{kChannelShiftOscillatorHz};
+    row.oscillator_power = ring_power();
 
     MoxcatterConfig cfg;
     const auto nominal = run_moxcatter(cfg, baseline_packets, rng);

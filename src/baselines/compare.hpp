@@ -6,6 +6,7 @@
 
 #include <string>
 #include <vector>
+#include "util/units.hpp"
 
 namespace witag::baselines {
 
@@ -16,8 +17,8 @@ struct SystemRow {
   bool works_encrypted = false;
   bool needs_second_ap = false;
   bool interferes_secondary = false;
-  double oscillator_hz = 0.0;
-  double oscillator_power_uw = 0.0;
+  util::Hertz oscillator_hz{};
+  util::Watts oscillator_power{};
   double throughput_kbps = 0.0;  ///< Measured/representative tag rate.
   double measured_ber = 1.0;     ///< In its own best-case deployment.
 };

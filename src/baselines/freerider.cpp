@@ -33,13 +33,13 @@ FreeriderResult run_freerider(const FreeriderConfig& cfg,
 
   const BackscatterLink link =
       two_ap_link(cfg.geometry, cfg.tag_strength, cfg.carrier_hz);
-  const double p_tx = util::dbm_to_watts(cfg.tx_power_dbm);
+  const double p_tx = util::to_watts(cfg.tx_power_dbm).value();
   // Per-symbol correlation: the host correlates AP2's received symbol
   // against the reference symbol it reconstructs from AP1's reception.
   // With N_used subcarriers the effective amplitude gain is sqrt(N).
   const double sym_amp = link.backscatter_amp * std::sqrt(p_tx / 56.0);
   const double noise_var =
-      util::thermal_noise_watts(312'500.0) *
+      util::thermal_noise(util::Hertz{312'500.0}).value() *
       util::db_to_linear(cfg.noise_figure_db);
 
   for (std::size_t pkt = 0; pkt < n_packets; ++pkt) {
@@ -56,7 +56,7 @@ FreeriderResult run_freerider(const FreeriderConfig& cfg,
       }
       const std::uint8_t detected = corr.real() < 0.0 ? 1 : 0;
       result.tag_bits += 1;
-      result.bit_errors += (detected != (tag_bits[s] & 1u)) ? 1 : 0;
+      result.bit_errors += (detected != (tag_bits[s] & 1u)) ? 1u : 0u;
     }
   }
   result.ber = result.tag_bits == 0

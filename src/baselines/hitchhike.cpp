@@ -35,10 +35,10 @@ HitchhikeResult run_hitchhike(const HitchhikeConfig& cfg,
 
   const BackscatterLink link =
       two_ap_link(cfg.geometry, cfg.tag_strength, cfg.carrier_hz);
-  const double p_tx = util::dbm_to_watts(cfg.tx_power_dbm);
+  const double p_tx = util::to_watts(cfg.tx_power_dbm).value();
   const double chip_amp = link.backscatter_amp * std::sqrt(p_tx);
   const double noise_var =
-      util::thermal_noise_watts(phy::dsss::kChipRateHz) *
+      util::thermal_noise(util::Hertz{phy::dsss::kChipRateHz}).value() *
       util::db_to_linear(cfg.noise_figure_db);
 
   const bool qpsk = cfg.rate == phy::dsss::DsssRate::kDqpsk2Mbps;

@@ -19,15 +19,16 @@
 #include "baselines/common.hpp"
 #include "phy/dsss.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace witag::baselines {
 
 struct HitchhikeConfig {
   TwoApGeometry geometry;
   double tag_strength = 7.0;
-  double carrier_hz = 2.437e9;
-  double tx_power_dbm = 15.0;
-  double noise_figure_db = 7.0;
+  util::Hertz carrier_hz = util::kWifi24GHz;
+  util::Dbm tx_power_dbm{15.0};
+  util::Db noise_figure_db{7.0};
   phy::dsss::DsssRate rate = phy::dsss::DsssRate::kDbpsk1Mbps;
   /// Packet payload the client transmits per query [bytes].
   std::size_t packet_bytes = 128;

@@ -32,10 +32,10 @@ MoxcatterResult run_moxcatter(const MoxcatterConfig& cfg,
 
   const BackscatterLink link =
       two_ap_link(cfg.geometry, cfg.tag_strength, cfg.carrier_hz);
-  const double p_tx = util::dbm_to_watts(cfg.tx_power_dbm);
+  const double p_tx = util::to_watts(cfg.tx_power_dbm).value();
   const double amp = link.backscatter_amp * std::sqrt(p_tx / 112.0);  // 2 streams
   const double noise_var =
-      util::thermal_noise_watts(312'500.0) *
+      util::thermal_noise(util::Hertz{312'500.0}).value() *
       util::db_to_linear(cfg.noise_figure_db);
 
   // Random 2x2 channel per packet (the backscatter hop decorrelates the

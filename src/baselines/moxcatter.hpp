@@ -13,15 +13,16 @@
 
 #include "baselines/common.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace witag::baselines {
 
 struct MoxcatterConfig {
   TwoApGeometry geometry;
   double tag_strength = 7.0;
-  double carrier_hz = 2.437e9;
-  double tx_power_dbm = 15.0;
-  double noise_figure_db = 7.0;
+  util::Hertz carrier_hz = util::kWifi24GHz;
+  util::Dbm tx_power_dbm{15.0};
+  util::Db noise_figure_db{7.0};
   /// OFDM symbols per MIMO packet.
   std::size_t symbols_per_packet = 100;
   /// Packet airtime including preamble/IFS [us] for the rate estimate.

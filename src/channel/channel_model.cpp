@@ -12,14 +12,14 @@ namespace {
 
 using util::Cx;
 
-/// Subcarrier spacing of the 20 MHz OFDM PHY [Hz].
-constexpr double kSubcarrierSpacingHz = 312'500.0;
+/// Subcarrier spacing of the 20 MHz OFDM PHY.
+constexpr util::Hertz kSubcarrierSpacing{312'500.0};
 
 /// Number of used subcarriers (52 data + 4 pilots).
 constexpr unsigned kUsedSubcarriers = 56;
 
-double subcarrier_offset_hz(int subcarrier) {
-  return static_cast<double>(subcarrier) * kSubcarrierSpacingHz;
+util::Hertz subcarrier_offset(int subcarrier) {
+  return static_cast<double>(subcarrier) * kSubcarrierSpacing;
 }
 
 // Logical subcarrier index for an FFT bin, or nullopt for unused bins.
@@ -55,8 +55,8 @@ ChannelModel::ChannelModel(const RadioConfig& radio, LinkGeometry geometry,
       fading_(fading, util::Rng(seed)),
       rng_(util::Rng(seed).split()) {
   if (tag) tags_.push_back(*tag);
-  const double p_tx = util::dbm_to_watts(radio_.tx_power_dbm);
-  amp_scale_ = std::sqrt(p_tx / kUsedSubcarriers);
+  const util::Watts p_tx = util::to_watts(radio_.tx_power_dbm);
+  amp_scale_ = std::sqrt(p_tx.value() / kUsedSubcarriers);
 }
 
 std::size_t ChannelModel::add_tag(const TagPathConfig& tag) {
@@ -65,10 +65,10 @@ std::size_t ChannelModel::add_tag(const TagPathConfig& tag) {
   return tags_.size() - 1;
 }
 
-void ChannelModel::advance(double dt_s) {
+void ChannelModel::advance(util::Seconds dt) {
   WITAG_COUNT("channel.advance.calls", 1);
-  WITAG_EVENT1("channel.advance", "dt_s", dt_s);
-  fading_.advance(dt_s);
+  WITAG_EVENT1("channel.advance", "dt_s", dt.value());
+  fading_.advance(dt);
   cache_valid_ = false;
 }
 
@@ -92,22 +92,22 @@ void ChannelModel::rebuild_cache() const {
   WITAG_SPAN_CAT("channel.cfr_rebuild", "channel");
   WITAG_COUNT("channel.cfr_rebuild.calls", 1);
   WITAG_EVENT("channel.estimate_invalidated");
-  const double fc = radio_.carrier_hz;
+  const util::Hertz fc = radio_.carrier_hz;
   const Point2 tx = geometry_.tx;
   const Point2 rx = geometry_.rx;
-  const double direct_loss_db =
-      geometry_.plan.penetration_loss_db(tx, rx) +
+  const util::Db direct_loss =
+      util::Db{geometry_.plan.penetration_loss_db(tx, rx)} +
       fading_.direct_excess_loss_db();
-  const double d_direct = distance(tx, rx);
+  const util::Meters d_direct{distance(tx, rx)};
 
   h_base_.fill(Cx{});
   tag_delta_.assign(tags_.size(), phy::FreqSymbol{});
   for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
     const auto k = logical_subcarrier(bin);
     if (!k) continue;
-    const double off = subcarrier_offset_hz(*k);
+    const util::Hertz off = subcarrier_offset(*k);
 
-    Cx h = attenuate(direct_gain(d_direct, fc, off), direct_loss_db);
+    Cx h = attenuate(direct_gain(d_direct, fc, off), direct_loss);
     for (const StaticReflector& r : geometry_.reflectors) {
       h += reflector_path_gain(r, tx, rx, geometry_.plan, fc, off);
     }
@@ -139,25 +139,26 @@ phy::FreqSymbol ChannelModel::cfr(bool tag_asserted) const {
   return h;
 }
 
-double ChannelModel::noise_variance() const {
-  return util::thermal_noise_watts(kSubcarrierSpacingHz, radio_.temperature_k) *
+util::Watts ChannelModel::noise_variance() const {
+  return util::thermal_noise(kSubcarrierSpacing, radio_.temperature_k) *
          util::db_to_linear(radio_.noise_figure_db);
 }
 
 std::vector<double> ChannelModel::draw_interference(std::size_t n_symbols) {
   std::vector<double> extra(n_symbols, 0.0);
-  if (fading_cfg_.interference_rate_hz <= 0.0) return extra;
+  if (fading_cfg_.interference_rate_hz <= util::Hertz{0.0}) return extra;
   const double sym_us = 4.0;
   const double ppdu_us = static_cast<double>(n_symbols) * sym_us;
-  const double mean_us = fading_cfg_.interference_mean_us;
+  const double mean_us = fading_cfg_.interference_mean_us.value();
   // Bursts that started up to one mean duration before the PPDU can
   // still overlap it.
-  const double window_s = (ppdu_us + mean_us) * 1e-6;
+  const double window_s =
+      util::to_seconds(util::Micros{ppdu_us + mean_us}).value();
   const unsigned bursts =
-      rng_.poisson(fading_cfg_.interference_rate_hz * window_s);
+      rng_.poisson(fading_cfg_.interference_rate_hz.value() * window_s);
   if (bursts == 0) return extra;
   const double power =
-      util::dbm_to_watts(fading_cfg_.interference_power_dbm);
+      util::to_watts(fading_cfg_.interference_power_dbm).value();
   // The interferer's 20 MHz energy spreads over all 64 bins.
   const double per_subcarrier = power / 64.0;
   for (unsigned b = 0; b < bursts; ++b) {
@@ -179,8 +180,7 @@ std::vector<double> ChannelModel::draw_interference(std::size_t n_symbols) {
 std::vector<phy::FreqSymbol> ChannelModel::apply(
     std::span<const phy::FreqSymbol> tx,
     std::span<const std::uint8_t> tag_level) {
-  util::require(tag_level.empty() || tag_level.size() == tx.size(),
-                "ChannelModel::apply: tag_level size mismatch");
+  WITAG_REQUIRE(tag_level.empty() || tag_level.size() == tx.size());
   std::vector<std::vector<std::uint8_t>> levels;
   if (!tag_level.empty()) {
     levels.emplace_back(tag_level.begin(), tag_level.end());
@@ -194,17 +194,13 @@ std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
   WITAG_SPAN_CAT("channel.apply", "channel");
   WITAG_COUNT("channel.apply.calls", 1);
   WITAG_COUNT("channel.apply.symbols", tx.size());
-  util::require(levels_per_tag.size() <= tags_.size() ||
-                    (tags_.empty() && levels_per_tag.empty()),
-                "ChannelModel::apply_multi: more level rows than tags");
+  WITAG_REQUIRE(levels_per_tag.size() <= tags_.size() || (tags_.empty() && levels_per_tag.empty()));
   for (const auto& row : levels_per_tag) {
-    util::require(row.empty() || row.size() == tx.size(),
-                  "ChannelModel::apply_multi: level row size mismatch");
+    WITAG_REQUIRE(row.empty() || row.size() == tx.size());
   }
-  util::require(levels_per_tag.size() <= 64,
-                "ChannelModel::apply_multi: at most 64 tag level rows");
+  WITAG_REQUIRE(levels_per_tag.size() <= 64);
   if (!cache_valid_) rebuild_cache();
-  const double noise_var = noise_variance();
+  const double noise_var = noise_variance().value();
   const std::vector<double> interference = draw_interference(tx.size());
 
   // Compose the channel once per distinct tag-assert mask instead of
@@ -246,7 +242,7 @@ std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
   return rx;
 }
 
-double ChannelModel::mean_snr_db() const {
+util::Db ChannelModel::mean_snr_db() const {
   if (!cache_valid_) rebuild_cache();
   double acc = 0.0;
   unsigned used = 0;
@@ -255,11 +251,11 @@ double ChannelModel::mean_snr_db() const {
     acc += std::norm(h_base_[bin]);
     ++used;
   }
-  return util::linear_to_db(acc / used / noise_variance());
+  return util::linear_to_db(acc / used / noise_variance().value());
 }
 
-double ChannelModel::tag_perturbation_db() const {
-  util::require(!tags_.empty(), "tag_perturbation_db: no tag configured");
+util::Db ChannelModel::tag_perturbation_db() const {
+  WITAG_REQUIRE(!tags_.empty());
   if (!cache_valid_) rebuild_cache();
   double acc = 0.0;
   unsigned used = 0;

@@ -28,13 +28,14 @@
 #include "channel/tag_path.hpp"
 #include "phy/ofdm.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace witag::channel {
 
 struct RadioConfig {
-  double carrier_hz = 2.437e9;      ///< Channel 6.
-  double tx_power_dbm = 15.0;       ///< Commodity NIC transmit power.
-  double noise_figure_db = 7.0;
+  util::Hertz carrier_hz = util::kWifi24GHz;  ///< Channel 6.
+  util::Dbm tx_power_dbm{15.0};  ///< Commodity NIC transmit power.
+  util::Db noise_figure_db{7.0};
   double temperature_k = 290.0;
 };
 
@@ -65,15 +66,15 @@ class ChannelModel {
 
   /// Advances simulated time (fading evolves; the in-PPDU channel is
   /// frozen apart from the tag level).
-  void advance(double dt_s);
+  void advance(util::Seconds dt);
 
   /// Per-bin channel response (including sqrt(tx power) scaling) for a
   /// tag switch level. Unused bins are zero. `tag_asserted` is ignored
   /// when no tag is configured.
   phy::FreqSymbol cfr(bool tag_asserted) const;
 
-  /// Complex noise variance per subcarrier sample [W].
-  double noise_variance() const;
+  /// Complex noise variance per subcarrier sample.
+  util::Watts noise_variance() const;
 
   /// Applies the channel to a symbol timeline. `tag_level` gives tag 0's
   /// switch level during each symbol (empty = tag never asserted;
@@ -90,13 +91,13 @@ class ChannelModel {
       std::span<const phy::FreqSymbol> tx,
       std::span<const std::vector<std::uint8_t>> levels_per_tag);
 
-  /// Mean received SNR per subcarrier [dB] with the tag deasserted.
-  double mean_snr_db() const;
+  /// Mean received SNR per subcarrier with the tag deasserted.
+  util::Db mean_snr_db() const;
 
   /// Mean over used subcarriers of |h_asserted - h_deasserted|^2 /
-  /// |h_deasserted|^2 [dB] — the tag's relative channel perturbation
+  /// |h_deasserted|^2 — the tag's relative channel perturbation
   /// (Figure 3's vector length, squared and normalized). Requires a tag.
-  double tag_perturbation_db() const;
+  util::Db tag_perturbation_db() const;
 
   const LinkGeometry& geometry() const { return geometry_; }
   /// Primary tag configuration, if any.

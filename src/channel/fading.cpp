@@ -9,9 +9,7 @@ namespace witag::channel {
 
 FadingProcess::FadingProcess(const FadingConfig& cfg, util::Rng rng)
     : cfg_(cfg), rng_(rng) {
-  util::require(cfg.area_max_x > cfg.area_min_x &&
-                    cfg.area_max_y > cfg.area_min_y,
-                "FadingProcess: degenerate area");
+  WITAG_REQUIRE(cfg.area_max_x > cfg.area_min_x && cfg.area_max_y > cfg.area_min_y);
   scatterers_.reserve(cfg_.n_scatterers);
   for (unsigned i = 0; i < cfg_.n_scatterers; ++i) {
     scatterers_.push_back(
@@ -21,13 +19,13 @@ FadingProcess::FadingProcess(const FadingConfig& cfg, util::Rng rng)
   }
 }
 
-void FadingProcess::advance(double dt_s) {
-  util::require(dt_s >= 0.0, "FadingProcess::advance: negative dt");
-  now_s_ += dt_s;
+void FadingProcess::advance(util::Seconds dt) {
+  WITAG_REQUIRE(dt.value() >= 0.0);
+  now_s_ += dt.value();
 
   // Random walk: Gaussian step with standard deviation speed * dt,
   // reflected at the area boundary.
-  const double sigma = cfg_.walk_speed_mps * dt_s;
+  const double sigma = cfg_.walk_speed_mps * dt.value();
   for (StaticReflector& s : scatterers_) {
     s.position.x += rng_.normal(0.0, sigma);
     s.position.y += rng_.normal(0.0, sigma);
@@ -37,19 +35,20 @@ void FadingProcess::advance(double dt_s) {
 
   // Blocking events arrive as a Poisson process; each sets (or extends)
   // the blocked interval by an exponential duration.
-  if (cfg_.blocking_rate_hz > 0.0) {
-    const unsigned arrivals = rng_.poisson(cfg_.blocking_rate_hz * dt_s);
+  if (cfg_.blocking_rate_hz > util::Hertz{0.0}) {
+    const unsigned arrivals =
+        rng_.poisson(cfg_.blocking_rate_hz.value() * dt.value());
     for (unsigned i = 0; i < arrivals; ++i) {
       double u = rng_.uniform();
       while (u <= 0.0) u = rng_.uniform();
-      const double duration = -cfg_.blocking_mean_s * std::log(u);
+      const double duration = -cfg_.blocking_mean_s.value() * std::log(u);
       blocked_until_s_ = std::max(blocked_until_s_, now_s_ + duration);
     }
   }
 }
 
-double FadingProcess::direct_excess_loss_db() const {
-  return now_s_ < blocked_until_s_ ? cfg_.blocking_loss_db : 0.0;
+util::Db FadingProcess::direct_excess_loss_db() const {
+  return now_s_ < blocked_until_s_ ? cfg_.blocking_loss_db : util::Db{0.0};
 }
 
 }  // namespace witag::channel

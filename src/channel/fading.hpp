@@ -16,6 +16,7 @@
 
 #include "channel/reflector.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace witag::channel {
 
@@ -23,21 +24,21 @@ struct FadingConfig {
   unsigned n_scatterers = 3;         ///< Number of moving "people".
   double scatterer_strength = 1.2;   ///< Amplitude reflectivity of a person.
   double walk_speed_mps = 0.8;       ///< RMS walking speed.
-  double area_min_x = 0.0;           ///< Scatterers stay in this box.
+  double area_min_x = 0.0;           ///< Scatterers stay in this box [m].
   double area_max_x = 18.0;
   double area_min_y = 0.0;
   double area_max_y = 7.0;
-  double blocking_rate_hz = 0.05;    ///< Deep-fade arrivals per second.
-  double blocking_mean_s = 0.4;      ///< Mean blocking duration.
-  double blocking_loss_db = 8.0;     ///< Direct-path loss while blocked.
+  util::Hertz blocking_rate_hz{0.05};  ///< Deep-fade arrivals per second.
+  util::Seconds blocking_mean_s{0.4};  ///< Mean blocking duration.
+  util::Db blocking_loss_db{8.0};  ///< Direct-path loss while blocked.
 
   /// Co-channel interference from other WiFi networks (the paper cites
   /// "interference from other devices" as the residual error source):
   /// Poisson bursts that raise the noise floor for the symbols they
   /// overlap. rate 0 disables.
-  double interference_rate_hz = 40.0;   ///< Bursts per second.
-  double interference_mean_us = 300.0;  ///< Mean burst duration.
-  double interference_power_dbm = -50.0;  ///< Received burst power.
+  util::Hertz interference_rate_hz{40.0};   ///< Bursts per second.
+  util::Micros interference_mean_us{300.0};  ///< Mean burst duration.
+  util::Dbm interference_power_dbm{-50.0};  ///< Received burst power.
 };
 
 /// Evolves the moving-scatterer and blocking state over simulated time.
@@ -45,15 +46,15 @@ class FadingProcess {
  public:
   FadingProcess(const FadingConfig& cfg, util::Rng rng);
 
-  /// Advances simulated time by `dt_s` seconds (random-walk steps and
-  /// blocking arrivals/expiries).
-  void advance(double dt_s);
+  /// Advances simulated time by `dt` (random-walk steps and blocking
+  /// arrivals/expiries).
+  void advance(util::Seconds dt);
 
   /// Current moving scatterers (positions change as time advances).
   std::span<const StaticReflector> scatterers() const { return scatterers_; }
 
-  /// Extra direct-path loss [dB] at the current instant (0 when clear).
-  double direct_excess_loss_db() const;
+  /// Extra direct-path loss at the current instant (0 dB when clear).
+  util::Db direct_excess_loss_db() const;
 
  private:
   FadingConfig cfg_;

@@ -10,32 +10,32 @@ namespace witag::channel {
 using util::kPi;
 using util::kSpeedOfLight;
 
-std::complex<double> direct_gain(double dist_m, double freq_hz,
-                                 double offset_hz) {
-  util::require(dist_m > 0.0, "direct_gain: distance must be positive");
-  const double lambda = kSpeedOfLight / freq_hz;
-  const double amp = lambda / (4.0 * kPi * dist_m);
-  const double phase =
-      -2.0 * kPi * dist_m * (freq_hz + offset_hz) / kSpeedOfLight;
+std::complex<double> direct_gain(util::Meters dist, util::Hertz freq,
+                                 util::Hertz offset) {
+  WITAG_REQUIRE(dist.value() > 0.0);
+  const double lambda = util::wavelength(freq).value();
+  const double amp = lambda / (4.0 * kPi * dist.value());
+  const double phase = -2.0 * kPi * dist.value() *
+                       (freq + offset).value() / kSpeedOfLight;
   return std::polar(amp, phase);
 }
 
-std::complex<double> reflected_gain(double ds_m, double dr_m, double strength,
-                                    double freq_hz, double offset_hz) {
-  util::require(ds_m > 0.0 && dr_m > 0.0,
-                "reflected_gain: distances must be positive");
-  const double lambda = kSpeedOfLight / freq_hz;
+std::complex<double> reflected_gain(util::Meters ds, util::Meters dr,
+                                    double strength, util::Hertz freq,
+                                    util::Hertz offset) {
+  WITAG_REQUIRE(ds.value() > 0.0 && dr.value() > 0.0);
+  const double lambda = util::wavelength(freq).value();
   const double amp = strength * lambda * lambda /
-                     (std::pow(4.0 * kPi, 1.5) * ds_m * dr_m);
-  const double total = ds_m + dr_m;
+                     (std::pow(4.0 * kPi, 1.5) * ds.value() * dr.value());
+  const double total = (ds + dr).value();
   const double phase =
-      -2.0 * kPi * total * (freq_hz + offset_hz) / kSpeedOfLight;
+      -2.0 * kPi * total * (freq + offset).value() / kSpeedOfLight;
   return std::polar(amp, phase);
 }
 
-std::complex<double> attenuate(std::complex<double> gain, double loss_db) {
+std::complex<double> attenuate(std::complex<double> gain, util::Db loss) {
   // Amplitude loss is half the power loss in dB.
-  return gain * std::pow(10.0, -loss_db / 20.0);
+  return gain * std::pow(10.0, -loss.value() / 20.0);
 }
 
 }  // namespace witag::channel

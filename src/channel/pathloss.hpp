@@ -5,28 +5,36 @@
 // to explain Figure 5: received reflected power scales as 1/(Ds^2 * Dr^2)
 // where Ds and Dr are the reflector's distances to sender and receiver,
 // so the amplitude scales as 1/(Ds * Dr).
+//
+// Distances, frequencies and losses cross this boundary as strong unit
+// types (util::Meters / util::Hertz / util::Db) so a caller can never
+// hand a dB gain where a dBm power belongs or swap a distance for a
+// frequency without a compile error.
 #pragma once
 
 #include <complex>
 
+#include "util/units.hpp"
+
 namespace witag::channel {
 
-/// Complex free-space gain of a direct path of length `dist_m` at carrier
-/// `freq_hz` for the signal component at baseband offset `offset_hz`
+/// Complex free-space gain of a direct path of length `dist` at carrier
+/// `freq` for the signal component at baseband offset `offset`
 /// (subcarrier frequency): amplitude lambda/(4 pi d), phase -2 pi d f / c.
-/// Requires dist_m > 0.
-std::complex<double> direct_gain(double dist_m, double freq_hz,
-                                 double offset_hz = 0.0);
+/// Requires dist > 0.
+std::complex<double> direct_gain(util::Meters dist, util::Hertz freq,
+                                 util::Hertz offset = util::Hertz{0.0});
 
 /// Complex gain of a two-hop path sender -> reflector -> receiver.
 /// `strength` is the reflector's dimensionless amplitude reflectivity
 /// (aperture/RCS factor); amplitude = strength * lambda^2 /
 /// ((4 pi)^(3/2) * ds * dr), phase from the total path length.
-/// Requires ds_m > 0 and dr_m > 0.
-std::complex<double> reflected_gain(double ds_m, double dr_m, double strength,
-                                    double freq_hz, double offset_hz = 0.0);
+/// Requires ds > 0 and dr > 0.
+std::complex<double> reflected_gain(util::Meters ds, util::Meters dr,
+                                    double strength, util::Hertz freq,
+                                    util::Hertz offset = util::Hertz{0.0});
 
-/// Applies a penetration loss in dB to a complex gain.
-std::complex<double> attenuate(std::complex<double> gain, double loss_db);
+/// Applies a penetration power loss to a complex gain.
+std::complex<double> attenuate(std::complex<double> gain, util::Db loss);
 
 }  // namespace witag::channel

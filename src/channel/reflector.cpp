@@ -4,13 +4,13 @@ namespace witag::channel {
 
 std::complex<double> reflector_path_gain(const StaticReflector& r, Point2 tx,
                                          Point2 rx, const FloorPlan& plan,
-                                         double freq_hz, double offset_hz) {
-  const double ds = distance(tx, r.position);
-  const double dr = distance(r.position, rx);
-  std::complex<double> gain =
-      reflected_gain(ds, dr, r.strength, freq_hz, offset_hz);
-  gain = attenuate(gain, plan.penetration_loss_db(tx, r.position));
-  gain = attenuate(gain, plan.penetration_loss_db(r.position, rx));
+                                         util::Hertz freq,
+                                         util::Hertz offset) {
+  const util::Meters ds{distance(tx, r.position)};
+  const util::Meters dr{distance(r.position, rx)};
+  std::complex<double> gain = reflected_gain(ds, dr, r.strength, freq, offset);
+  gain = attenuate(gain, util::Db{plan.penetration_loss_db(tx, r.position)});
+  gain = attenuate(gain, util::Db{plan.penetration_loss_db(r.position, rx)});
   return gain;
 }
 

@@ -20,6 +20,6 @@ struct StaticReflector {
 /// carrier + subcarrier offset, including wall penetration on both hops.
 std::complex<double> reflector_path_gain(const StaticReflector& r, Point2 tx,
                                          Point2 rx, const FloorPlan& plan,
-                                         double freq_hz, double offset_hz);
+                                         util::Hertz freq, util::Hertz offset);
 
 }  // namespace witag::channel

@@ -14,28 +14,28 @@ std::complex<double> tag_gamma(TagMode mode, bool asserted) {
       return asserted ? std::complex<double>{-1.0, 0.0}
                       : std::complex<double>{1.0, 0.0};
   }
-  util::ensure(false, "tag_gamma: bad mode");
+  WITAG_ENSURE(false);
   return {};
 }
 
 std::complex<double> tag_coupling(const TagPathConfig& tag, Point2 tx,
                                   Point2 rx, const FloorPlan& plan,
-                                  double freq_hz, double offset_hz) {
-  const double ds = distance(tx, tag.position);
-  const double dr = distance(tag.position, rx);
+                                  util::Hertz freq, util::Hertz offset) {
+  const util::Meters ds{distance(tx, tag.position)};
+  const util::Meters dr{distance(tag.position, rx)};
   std::complex<double> gain =
-      reflected_gain(ds, dr, tag.strength, freq_hz, offset_hz);
-  gain = attenuate(gain, plan.penetration_loss_db(tx, tag.position));
-  gain = attenuate(gain, plan.penetration_loss_db(tag.position, rx));
+      reflected_gain(ds, dr, tag.strength, freq, offset);
+  gain = attenuate(gain, util::Db{plan.penetration_loss_db(tx, tag.position)});
+  gain = attenuate(gain, util::Db{plan.penetration_loss_db(tag.position, rx)});
   return gain;
 }
 
 double channel_change_magnitude(const TagPathConfig& tag, Point2 tx, Point2 rx,
-                                const FloorPlan& plan, double freq_hz) {
+                                const FloorPlan& plan, util::Hertz freq) {
   const std::complex<double> delta =
       tag_gamma(tag.mode, true) - tag_gamma(tag.mode, false);
   return std::abs(delta) *
-         std::abs(tag_coupling(tag, tx, rx, plan, freq_hz, 0.0));
+         std::abs(tag_coupling(tag, tx, rx, plan, freq, util::Hertz{0.0}));
 }
 
 }  // namespace witag::channel

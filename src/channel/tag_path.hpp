@@ -16,6 +16,7 @@
 #include <complex>
 
 #include "channel/geometry.hpp"
+#include "util/units.hpp"
 
 namespace witag::channel {
 
@@ -38,12 +39,12 @@ std::complex<double> tag_gamma(TagMode mode, bool asserted);
 /// including wall losses on both hops.
 std::complex<double> tag_coupling(const TagPathConfig& tag, Point2 tx,
                                   Point2 rx, const FloorPlan& plan,
-                                  double freq_hz, double offset_hz);
+                                  util::Hertz freq, util::Hertz offset);
 
 /// Magnitude of the channel change |h(asserted) - h(deasserted)| for the
 /// tag's two states: |gamma_a - gamma_d| * |coupling|. This is the vector
 /// the paper's Figure 3 wants maximized.
 double channel_change_magnitude(const TagPathConfig& tag, Point2 tx, Point2 rx,
-                                const FloorPlan& plan, double freq_hz);
+                                const FloorPlan& plan, util::Hertz freq);
 
 }  // namespace witag::channel

@@ -8,7 +8,7 @@
 namespace witag::mac {
 
 std::array<std::uint8_t, kDelimiterBytes> make_delimiter(std::size_t length) {
-  util::require(length <= kMaxMpduLength, "make_delimiter: MPDU too long");
+  WITAG_REQUIRE(length <= kMaxMpduLength);
   std::array<std::uint8_t, kDelimiterBytes> d{};
   d[0] = static_cast<std::uint8_t>(length & 0xFF);
   d[1] = static_cast<std::uint8_t>((length >> 8) & 0x0F);
@@ -24,8 +24,7 @@ int check_delimiter(std::span<const std::uint8_t, kDelimiterBytes> d) {
 }
 
 util::ByteVec aggregate(std::span<const util::ByteVec> mpdus) {
-  util::require(!mpdus.empty() && mpdus.size() <= kMaxSubframes,
-                "aggregate: need 1..64 subframes");
+  WITAG_REQUIRE(!mpdus.empty() && mpdus.size() <= kMaxSubframes);
   util::ByteVec psdu;
   for (const util::ByteVec& mpdu : mpdus) {
     const auto delim = make_delimiter(mpdu.size());

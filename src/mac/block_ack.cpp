@@ -11,7 +11,7 @@ int seq_offset(std::uint16_t start, std::uint16_t seq) {
 
 void BlockAck::set_received(std::uint16_t seq) {
   const int off = seq_offset(start_seq, seq);
-  util::require(off >= 0, "BlockAck::set_received: seq outside window");
+  WITAG_REQUIRE(off >= 0);
   bitmap |= std::uint64_t{1} << off;
 }
 
@@ -47,7 +47,7 @@ std::optional<BlockAck> parse_block_ack(std::span<const std::uint8_t> bytes) {
 }
 
 std::vector<bool> subframe_flags(const BlockAck& ba, std::size_t n) {
-  util::require(n <= 64, "subframe_flags: at most 64 subframes");
+  WITAG_REQUIRE(n <= 64);
   std::vector<bool> flags(n);
   for (std::size_t i = 0; i < n; ++i) {
     flags[i] = ((ba.bitmap >> i) & 1u) != 0;

@@ -95,7 +95,7 @@ void ctr_crypt(const Aes128& aes, const CcmNonce& nonce,
 util::ByteVec ccm_encrypt(const Aes128& aes, const CcmNonce& nonce,
                           std::span<const std::uint8_t> aad,
                           std::span<const std::uint8_t> plaintext) {
-  util::require(plaintext.size() < 65536, "ccm_encrypt: message too long");
+  WITAG_REQUIRE(plaintext.size() < 65536);
   const auto mic = cbc_mac(aes, nonce, aad, plaintext);
 
   util::ByteVec out(plaintext.begin(), plaintext.end());
@@ -131,7 +131,7 @@ CcmpSession::CcmpSession(const AesKey& temporal_key) : aes_(temporal_key) {}
 
 util::ByteVec CcmpSession::encrypt(const MacHeader& header,
                                    std::span<const std::uint8_t> plaintext) {
-  util::require(plaintext.size() < 2048, "CcmpSession::encrypt: body too big");
+  WITAG_REQUIRE(plaintext.size() < 2048);
   const std::uint64_t pn = pn_++;
   const CcmNonce nonce = make_nonce(header, pn);
   const util::ByteVec aad = make_aad(header);

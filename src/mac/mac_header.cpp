@@ -26,10 +26,9 @@ MacAddress make_address(std::uint8_t tail) {
 }
 
 util::ByteVec serialize_header(const MacHeader& h) {
-  util::require(h.type == FrameType::kQosData,
-                "serialize_header: only QoS data headers have this layout");
-  util::require(h.sequence < 4096, "serialize_header: sequence out of range");
-  util::require(h.tid < 16, "serialize_header: tid out of range");
+  WITAG_REQUIRE(h.type == FrameType::kQosData);
+  WITAG_REQUIRE(h.sequence < 4096);
+  WITAG_REQUIRE(h.tid < 16);
 
   util::ByteVec out;
   out.reserve(kQosHeaderBytes);
@@ -48,7 +47,7 @@ util::ByteVec serialize_header(const MacHeader& h) {
   out.push_back(static_cast<std::uint8_t>(seq_ctrl >> 8));
   out.push_back(h.tid);  // QoS control low byte
   out.push_back(0);      // QoS control high byte
-  util::ensure(out.size() == kQosHeaderBytes, "serialize_header: size");
+  WITAG_ENSURE(out.size() == kQosHeaderBytes);
   return out;
 }
 

@@ -57,8 +57,7 @@ Client::Client(MacAddress address, MacAddress ap_address,
 }
 
 util::ByteVec Client::build_ampdu(std::span<const util::ByteVec> payloads) {
-  util::require(!payloads.empty() && payloads.size() <= kMaxSubframes,
-                "Client::build_ampdu: need 1..64 payloads");
+  WITAG_REQUIRE(!payloads.empty() && payloads.size() <= kMaxSubframes);
   last_seqs_.clear();
   std::vector<util::ByteVec> mpdus;
   mpdus.reserve(payloads.size());
@@ -94,7 +93,7 @@ util::ByteVec Client::build_ampdu(std::span<const util::ByteVec> payloads) {
 }
 
 std::uint16_t Client::last_seq(std::size_t i) const {
-  util::require(i < last_seqs_.size(), "Client::last_seq: index out of range");
+  WITAG_REQUIRE(i < last_seqs_.size());
   return last_seqs_[i];
 }
 

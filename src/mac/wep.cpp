@@ -6,7 +6,7 @@
 namespace witag::mac {
 
 Rc4::Rc4(std::span<const std::uint8_t> key) {
-  util::require(!key.empty(), "Rc4: empty key");
+  WITAG_REQUIRE(!key.empty());
   for (unsigned i = 0; i < 256; ++i) s_[i] = static_cast<std::uint8_t>(i);
   std::uint8_t j = 0;
   for (unsigned i = 0; i < 256; ++i) {
@@ -28,7 +28,7 @@ void Rc4::crypt(std::span<std::uint8_t> data) {
 
 util::ByteVec wep_encrypt(const WepKey& key, std::uint32_t iv,
                           std::span<const std::uint8_t> plaintext) {
-  util::require(iv < (1u << 24), "wep_encrypt: IV must be 24-bit");
+  WITAG_REQUIRE(iv < (1u << 24));
 
   // Seed = IV (3 bytes, little-endian on air) || key.
   util::ByteVec seed;

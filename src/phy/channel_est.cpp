@@ -21,7 +21,7 @@ constexpr double kMinGain = 1e-18;
 ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx) {
   WITAG_SPAN_CAT("phy.channel_est", "phy");
   WITAG_COUNT("phy.channel_est.calls", 1);
-  util::require(!ltf_rx.empty(), "estimate_channel: need at least one LTF");
+  WITAG_REQUIRE(!ltf_rx.empty());
   const FreqSymbol& ref = ltf_symbol();
 
   ChannelEstimate est;

@@ -89,7 +89,7 @@ const CxVec& table_for(Modulation mod) {
     case Modulation::kQam16: return kQam16Table;
     case Modulation::kQam64: return kQam64Table;
   }
-  util::ensure(false, "table_for: bad modulation");
+  WITAG_ENSURE(false);
   return kBpskTable;
 }
 
@@ -101,8 +101,7 @@ std::span<const Cx> constellation_points(Modulation mod) {
 
 CxVec map_bits(std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned n = bits_per_symbol(mod);
-  util::require(bits.size() % n == 0,
-                "map_bits: bit count not a multiple of bits/symbol");
+  WITAG_REQUIRE(bits.size() % n == 0);
   const CxVec& table = table_for(mod);
   CxVec points(bits.size() / n);
   for (std::size_t p = 0; p < points.size(); ++p) {
@@ -139,15 +138,14 @@ util::BitVec demap_hard(std::span<const Cx> points, Modulation mod) {
 
 std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
                                double noise_var) {
-  util::require(noise_var > 0.0, "demap_soft: noise_var must be positive");
+  WITAG_REQUIRE(noise_var > 0.0);
   const std::vector<double> vars(points.size(), noise_var);
   return demap_soft(points, mod, vars);
 }
 
 std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
                                std::span<const double> noise_vars) {
-  util::require(points.size() == noise_vars.size(),
-                "demap_soft: noise_vars size mismatch");
+  WITAG_REQUIRE(points.size() == noise_vars.size());
   const unsigned n = bits_per_symbol(mod);
   const CxVec& table = table_for(mod);
   std::vector<double> llrs;
@@ -155,7 +153,7 @@ std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
   for (std::size_t p = 0; p < points.size(); ++p) {
     const Cx& y = points[p];
     const double noise_var = noise_vars[p];
-    util::require(noise_var > 0.0, "demap_soft: noise_var must be positive");
+    WITAG_REQUIRE(noise_var > 0.0);
     for (unsigned b = 0; b < n; ++b) {
       double min0 = std::numeric_limits<double>::infinity();
       double min1 = std::numeric_limits<double>::infinity();

@@ -27,7 +27,7 @@ std::span<const std::uint8_t> puncture_pattern(CodeRate rate) {
     case CodeRate::kThreeQuarters: return kPattern34;
     case CodeRate::kFiveSixths: return kPattern56;
   }
-  util::ensure(false, "puncture_pattern: bad rate");
+  WITAG_ENSURE(false);
   return kPattern12;
 }
 
@@ -69,17 +69,17 @@ std::size_t punctured_length(std::size_t mother_bits, CodeRate rate) {
 
 std::vector<double> depuncture(std::span<const double> llrs, CodeRate rate,
                                std::size_t n_coded_bits) {
-  util::require(n_coded_bits % 2 == 0, "depuncture: odd mother length");
+  WITAG_REQUIRE(n_coded_bits % 2 == 0);
   const auto pattern = puncture_pattern(rate);
   std::vector<double> out(n_coded_bits, 0.0);
   std::size_t src = 0;
   for (std::size_t i = 0; i < n_coded_bits; ++i) {
     if (pattern[i % pattern.size()]) {
-      util::require(src < llrs.size(), "depuncture: too few LLRs");
+      WITAG_REQUIRE(src < llrs.size());
       out[i] = llrs[src++];
     }
   }
-  util::require(src == llrs.size(), "depuncture: too many LLRs");
+  WITAG_REQUIRE(src == llrs.size());
   return out;
 }
 

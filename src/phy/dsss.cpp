@@ -20,8 +20,7 @@ std::span<const int> barker11() { return kBarker; }
 
 util::CxVec modulate(std::span<const std::uint8_t> bits, DsssRate rate) {
   const bool qpsk = rate == DsssRate::kDqpsk2Mbps;
-  util::require(!qpsk || bits.size() % 2 == 0,
-                "dsss::modulate: DQPSK needs an even bit count");
+  WITAG_REQUIRE(!qpsk || bits.size() % 2 == 0);
   const std::size_t n_codewords = qpsk ? bits.size() / 2 : bits.size();
 
   util::CxVec chips;
@@ -55,8 +54,7 @@ std::size_t codeword_count(std::span<const Cx> chips) {
 }
 
 Cx correlate_codeword(std::span<const Cx> chips, std::size_t codeword_index) {
-  util::require((codeword_index + 1) * kChipsPerBit <= chips.size(),
-                "correlate_codeword: index out of range");
+  WITAG_REQUIRE((codeword_index + 1) * kChipsPerBit <= chips.size());
   Cx acc{};
   for (unsigned c = 0; c < kChipsPerBit; ++c) {
     acc += chips[codeword_index * kChipsPerBit + c] *
@@ -66,11 +64,10 @@ Cx correlate_codeword(std::span<const Cx> chips, std::size_t codeword_index) {
 }
 
 util::BitVec demodulate(std::span<const Cx> chips, DsssRate rate) {
-  util::require(chips.size() % kChipsPerBit == 0,
-                "dsss::demodulate: not a whole number of codewords");
+  WITAG_REQUIRE(chips.size() % kChipsPerBit == 0);
   const bool qpsk = rate == DsssRate::kDqpsk2Mbps;
   const std::size_t n = codeword_count(chips);
-  util::require(n >= 1, "dsss::demodulate: missing reference codeword");
+  WITAG_REQUIRE(n >= 1);
 
   util::BitVec bits;
   bits.reserve(qpsk ? (n - 1) * 2 : n - 1);

@@ -19,8 +19,7 @@ namespace {
 using util::Cx;
 
 void check_length(std::size_t n) {
-  util::require(n >= 1 && std::has_single_bit(n),
-                "fft: length must be a power of two");
+  WITAG_REQUIRE(n >= 1 && std::has_single_bit(n));
 }
 
 /// Precomputed execution plan for one transform length: the bit-reversal

@@ -16,8 +16,7 @@ unsigned n_cbps_for(Modulation mod) {
 }  // namespace
 
 std::vector<std::size_t> interleave_map(unsigned n_cbps, unsigned n_bpsc) {
-  util::require(n_cbps == kDataSubcarriers * n_bpsc,
-                "interleave_map: n_cbps / n_bpsc mismatch");
+  WITAG_REQUIRE(n_cbps == kDataSubcarriers * n_bpsc);
   const unsigned n_row = n_cbps / kNcol;
   const unsigned s = std::max(n_bpsc / 2, 1u);
   std::vector<std::size_t> map(n_cbps);
@@ -35,7 +34,7 @@ std::vector<std::size_t> interleave_map(unsigned n_cbps, unsigned n_bpsc) {
 
 util::BitVec interleave(std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned n_cbps = n_cbps_for(mod);
-  util::require(bits.size() == n_cbps, "interleave: wrong symbol size");
+  WITAG_REQUIRE(bits.size() == n_cbps);
   const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
   util::BitVec out(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[map[k]] = bits[k];
@@ -44,7 +43,7 @@ util::BitVec interleave(std::span<const std::uint8_t> bits, Modulation mod) {
 
 util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned n_cbps = n_cbps_for(mod);
-  util::require(bits.size() == n_cbps, "deinterleave: wrong symbol size");
+  WITAG_REQUIRE(bits.size() == n_cbps);
   const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
   util::BitVec out(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[k] = bits[map[k]];
@@ -54,7 +53,7 @@ util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod) {
 std::vector<double> deinterleave_llrs(std::span<const double> llrs,
                                       Modulation mod) {
   const unsigned n_cbps = n_cbps_for(mod);
-  util::require(llrs.size() == n_cbps, "deinterleave_llrs: wrong symbol size");
+  WITAG_REQUIRE(llrs.size() == n_cbps);
   const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
   std::vector<double> out(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[k] = llrs[map[k]];

@@ -33,7 +33,7 @@ unsigned bits_per_symbol(Modulation mod) {
     case Modulation::kQam16: return 4;
     case Modulation::kQam64: return 6;
   }
-  util::ensure(false, "bits_per_symbol: bad modulation");
+  WITAG_ENSURE(false);
   return 0;
 }
 
@@ -44,12 +44,12 @@ RateFraction rate_fraction(CodeRate rate) {
     case CodeRate::kThreeQuarters: return {3, 4};
     case CodeRate::kFiveSixths: return {5, 6};
   }
-  util::ensure(false, "rate_fraction: bad rate");
+  WITAG_ENSURE(false);
   return {1, 2};
 }
 
 const McsParams& mcs(unsigned index) {
-  util::require(index < kNumMcs, "mcs: index out of range");
+  WITAG_REQUIRE(index < kNumMcs);
   return kTable[index];
 }
 

@@ -17,8 +17,7 @@ constexpr double kSingularEps = 1e-12;
 std::array<util::BitVec, kStreams> stream_parse(
     std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned s = std::max(bits_per_symbol(mod) / 2, 1u);
-  util::require(bits.size() % (s * kStreams) == 0,
-                "stream_parse: bits do not divide across streams");
+  WITAG_REQUIRE(bits.size() % (s * kStreams) == 0);
   std::array<util::BitVec, kStreams> out;
   for (auto& v : out) v.reserve(bits.size() / kStreams);
   std::size_t i = 0;
@@ -33,10 +32,9 @@ std::array<util::BitVec, kStreams> stream_parse(
 std::vector<double> stream_deparse_llrs(std::span<const double> s0,
                                         std::span<const double> s1,
                                         Modulation mod) {
-  util::require(s0.size() == s1.size(),
-                "stream_deparse_llrs: stream length mismatch");
+  WITAG_REQUIRE(s0.size() == s1.size());
   const unsigned s = std::max(bits_per_symbol(mod) / 2, 1u);
-  util::require(s0.size() % s == 0, "stream_deparse_llrs: ragged stream");
+  WITAG_REQUIRE(s0.size() % s == 0);
   std::vector<double> out;
   out.reserve(s0.size() * 2);
   for (std::size_t group = 0; group < s0.size() / s; ++group) {
@@ -49,9 +47,7 @@ std::vector<double> stream_deparse_llrs(std::span<const double> s0,
 MimoSymbol map_symbol(std::span<const std::uint8_t> stream0,
                       std::span<const std::uint8_t> stream1, Modulation mod) {
   const unsigned n_bpsc = bits_per_symbol(mod);
-  util::require(stream0.size() == kDataSubcarriers * n_bpsc &&
-                    stream1.size() == stream0.size(),
-                "map_symbol: wrong per-stream bit count");
+  WITAG_REQUIRE(stream0.size() == kDataSubcarriers * n_bpsc && stream1.size() == stream0.size());
   MimoSymbol sym;
   sym.points[0] = map_bits(stream0, mod);
   sym.points[1] = map_bits(stream1, mod);
@@ -60,9 +56,7 @@ MimoSymbol map_symbol(std::span<const std::uint8_t> stream0,
 
 MimoSymbol apply_channel(const MimoSymbol& tx,
                          std::span<const Matrix2> h_per_subcarrier) {
-  util::require(h_per_subcarrier.size() == tx.points[0].size() &&
-                    tx.points[0].size() == tx.points[1].size(),
-                "apply_channel: size mismatch");
+  WITAG_REQUIRE(h_per_subcarrier.size() == tx.points[0].size() && tx.points[0].size() == tx.points[1].size());
   MimoSymbol rx;
   const std::size_t n = tx.points[0].size();
   rx.points[0].resize(n);
@@ -77,9 +71,7 @@ MimoSymbol apply_channel(const MimoSymbol& tx,
 
 ZfResult zero_forcing(const MimoSymbol& rx,
                       std::span<const Matrix2> h_per_subcarrier) {
-  util::require(h_per_subcarrier.size() == rx.points[0].size() &&
-                    rx.points[0].size() == rx.points[1].size(),
-                "zero_forcing: size mismatch");
+  WITAG_REQUIRE(h_per_subcarrier.size() == rx.points[0].size() && rx.points[0].size() == rx.points[1].size());
   const std::size_t n = rx.points[0].size();
   ZfResult out;
   for (unsigned s = 0; s < kStreams; ++s) {

@@ -31,8 +31,7 @@ const std::array<int, 52> kDataSc = make_data_subcarriers();
 }  // namespace
 
 unsigned bin_index(int subcarrier) {
-  util::require(subcarrier >= -32 && subcarrier <= 31,
-                "bin_index: subcarrier out of range");
+  WITAG_REQUIRE(subcarrier >= -32 && subcarrier <= 31);
   return subcarrier >= 0 ? static_cast<unsigned>(subcarrier)
                          : static_cast<unsigned>(subcarrier + 64);
 }
@@ -53,8 +52,7 @@ std::array<Cx, kNumPilots> pilot_values(std::size_t symbol_index) {
 
 FreqSymbol assemble_data_symbol(std::span<const Cx> points,
                                 std::size_t symbol_index) {
-  util::require(points.size() == kDataSc.size(),
-                "assemble_data_symbol: need exactly 52 points");
+  WITAG_REQUIRE(points.size() == kDataSc.size());
   FreqSymbol symbol{};
   for (std::size_t i = 0; i < kDataSc.size(); ++i) {
     symbol[bin_index(kDataSc[i])] = points[i];
@@ -97,8 +95,7 @@ util::CxVec to_time(const FreqSymbol& symbol) {
 FreqSymbol from_time(std::span<const Cx> samples) {
   WITAG_SPAN_CAT("phy.ofdm.from_time", "phy");
   WITAG_COUNT("phy.ofdm.from_time.calls", 1);
-  util::require(samples.size() == kSamplesPerSymbol,
-                "from_time: need exactly 80 samples");
+  WITAG_REQUIRE(samples.size() == kSamplesPerSymbol);
   util::CxVec freq(samples.begin() + kCpLen, samples.end());
   fft_inplace(freq);
   FreqSymbol symbol{};

@@ -11,8 +11,8 @@ constexpr std::size_t kFieldBits = 24;  // mcs(7) + length(16) + reserved(1)
 }  // namespace
 
 util::BitVec encode_sig(const HtSig& sig) {
-  util::require(sig.mcs_index < 128, "encode_sig: mcs_index out of range");
-  util::require(sig.length < 65536, "encode_sig: length out of range");
+  WITAG_REQUIRE(sig.mcs_index < 128);
+  WITAG_REQUIRE(sig.length < 65536);
 
   util::BitWriter w;
   w.write(sig.mcs_index, 7);
@@ -29,7 +29,7 @@ util::BitVec encode_sig(const HtSig& sig) {
 }
 
 std::optional<HtSig> decode_sig(std::span<const std::uint8_t> bits) {
-  util::require(bits.size() == kSigBits, "decode_sig: need 52 bits");
+  WITAG_REQUIRE(bits.size() == kSigBits);
   util::BitReader r(bits);
   HtSig sig;
   sig.mcs_index = static_cast<unsigned>(r.read(7));

@@ -25,8 +25,7 @@ std::vector<FreqSymbol> encode_field(std::span<const std::uint8_t> bits,
   const util::BitVec mother = convolutional_encode(bits);
   const util::BitVec coded = puncture(mother, rate);
   const unsigned n_cbps = kDataSubcarriers * bits_per_symbol(mod);
-  util::require(coded.size() % n_cbps == 0,
-                "encode_field: bits do not fill whole symbols");
+  WITAG_REQUIRE(coded.size() % n_cbps == 0);
 
   std::vector<FreqSymbol> symbols;
   symbols.reserve(coded.size() / n_cbps);
@@ -68,8 +67,7 @@ util::BitVec decode_field(std::span<const FreqSymbol> symbols,
   const std::size_t n_info = llrs.size() * frac.num / frac.den;
   std::vector<double> mother = depuncture(llrs, rate, 2 * n_info);
   if (n_info_bits != 0) {
-    util::require(n_info_bits <= n_info,
-                  "decode_field: field longer than the symbols carry");
+    WITAG_REQUIRE(n_info_bits <= n_info);
     mother.resize(2 * n_info_bits);
   }
   return viterbi_decode(mother);
@@ -82,7 +80,7 @@ double TxPpdu::duration_us() const {
 }
 
 SlotKind TxPpdu::kind(std::size_t slot) const {
-  util::require(slot < symbols.size(), "TxPpdu::kind: slot out of range");
+  WITAG_REQUIRE(slot < symbols.size());
   if (slot < kStfSlots) return SlotKind::kStf;
   if (slot < kPreambleSlots) return SlotKind::kLtf;
   if (slot < kHeaderSlots) return SlotKind::kSig;
@@ -90,8 +88,8 @@ SlotKind TxPpdu::kind(std::size_t slot) const {
 }
 
 TxPpdu transmit(std::span<const std::uint8_t> psdu, const TxConfig& cfg) {
-  util::require(!psdu.empty(), "transmit: empty PSDU");
-  util::require(psdu.size() < 65536, "transmit: PSDU too large");
+  WITAG_REQUIRE(!psdu.empty());
+  WITAG_REQUIRE(psdu.size() < 65536);
   const McsParams& m = mcs(cfg.mcs_index);
 
   TxPpdu ppdu;
@@ -105,7 +103,7 @@ TxPpdu transmit(std::span<const std::uint8_t> psdu, const TxConfig& cfg) {
   const util::BitVec sig_bits = encode_sig(ppdu.sig);
   const auto sig_syms =
       encode_field(sig_bits, Modulation::kBpsk, CodeRate::kHalf, 0);
-  util::ensure(sig_syms.size() == kSigSymbols, "transmit: SIG symbol count");
+  WITAG_ENSURE(sig_syms.size() == kSigSymbols);
   ppdu.symbols.insert(ppdu.symbols.end(), sig_syms.begin(), sig_syms.end());
 
   // DATA field: service + PSDU + tail, padded to whole symbols, scrambled
@@ -132,8 +130,7 @@ TxPpdu transmit(std::span<const std::uint8_t> psdu, const TxConfig& cfg) {
 }
 
 RxResult receive(std::span<const FreqSymbol> symbols, const RxConfig& cfg) {
-  util::require(symbols.size() >= kHeaderSlots,
-                "receive: too few symbols for a PPDU header");
+  WITAG_REQUIRE(symbols.size() >= kHeaderSlots);
   RxResult out;
 
   // One channel estimate for the whole PPDU, taken from the LTF slots.
@@ -170,8 +167,7 @@ RxResult receive(std::span<const FreqSymbol> symbols, const RxConfig& cfg) {
   const util::BitVec plain = descramble_recover(scrambled);
 
   const std::size_t payload_bits = 8 * out.sig.length;
-  util::ensure(plain.size() >= kServiceBits + payload_bits,
-               "receive: decoded stream shorter than SIG length");
+  WITAG_ENSURE(plain.size() >= kServiceBits + payload_bits);
   const std::span<const std::uint8_t> payload(plain.data() + kServiceBits,
                                               payload_bits);
   out.psdu = util::bits_to_bytes(payload);
@@ -190,8 +186,7 @@ util::CxVec to_samples(const TxPpdu& ppdu) {
 
 RxResult receive_samples(std::span<const util::Cx> samples,
                          const RxConfig& cfg) {
-  util::require(samples.size() % kSamplesPerSymbol == 0,
-                "receive_samples: not a whole number of symbol slots");
+  WITAG_REQUIRE(samples.size() % kSamplesPerSymbol == 0);
   std::vector<FreqSymbol> symbols;
   symbols.reserve(samples.size() / kSamplesPerSymbol);
   for (std::size_t off = 0; off < samples.size(); off += kSamplesPerSymbol) {

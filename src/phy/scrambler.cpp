@@ -16,7 +16,7 @@ std::uint8_t lfsr_step(std::uint8_t& state) {
 }  // namespace
 
 util::BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
-  util::require(seed >= 1 && seed <= 127, "scramble: seed must be in [1,127]");
+  WITAG_REQUIRE(seed >= 1 && seed <= 127);
   std::uint8_t state = seed;
   util::BitVec out;
   out.reserve(bits.size());
@@ -27,7 +27,7 @@ util::BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
 }
 
 util::BitVec descramble_recover(std::span<const std::uint8_t> bits) {
-  util::require(bits.size() >= 7, "descramble_recover: need >= 7 bits");
+  WITAG_REQUIRE(bits.size() >= 7);
   // With zero inputs, scrambled bit i equals LFSR output i, and the LFSR
   // state shifts its own output in — so after 7 steps the state is just
   // the first 7 scrambled bits.

@@ -31,8 +31,7 @@ const util::CxVec& ltf_body() {
 
 std::optional<SyncResult> detect_ppdu(std::span<const Cx> samples,
                                       const SyncConfig& cfg) {
-  util::require(cfg.detection_threshold > 0.0 && cfg.detection_threshold < 1.0,
-                "detect_ppdu: threshold must be in (0, 1)");
+  WITAG_REQUIRE(cfg.detection_threshold > 0.0 && cfg.detection_threshold < 1.0);
   const std::size_t need =
       kDetectWindow + kStfPeriod + 3 * kSamplesPerSymbol;
   if (samples.size() < need) return std::nullopt;
@@ -127,7 +126,7 @@ std::optional<SyncResult> detect_ppdu(std::span<const Cx> samples,
 
 util::CxVec correct_cfo(std::span<const Cx> samples, double cfo_hz,
                         double sample_rate_hz) {
-  util::require(sample_rate_hz > 0.0, "correct_cfo: bad sample rate");
+  WITAG_REQUIRE(sample_rate_hz > 0.0);
   util::CxVec out(samples.size());
   const double step = -2.0 * util::kPi * cfo_hz / sample_rate_hz;
   for (std::size_t n = 0; n < samples.size(); ++n) {

@@ -50,8 +50,7 @@ double bit_metric(double llr, std::uint8_t expected) {
 
 util::BitVec viterbi_decode(std::span<const double> llrs) {
   WITAG_SPAN_CAT("phy.viterbi", "phy");
-  util::require(!llrs.empty() && llrs.size() % 2 == 0,
-                "viterbi_decode: LLR count must be even and non-zero");
+  WITAG_REQUIRE(!llrs.empty() && llrs.size() % 2 == 0);
   const std::size_t n_steps = llrs.size() / 2;
   WITAG_COUNT("phy.viterbi.calls", 1);
   WITAG_COUNT("phy.viterbi.bits", n_steps);

@@ -7,7 +7,7 @@
 namespace witag::tag {
 
 TagClock::TagClock(const ClockConfig& cfg) : cfg_(cfg) {
-  util::require(cfg.nominal_hz > 0.0, "TagClock: nominal_hz must be positive");
+  WITAG_REQUIRE(cfg.nominal_hz > 0.0);
   const double dt = cfg_.temperature_c - cfg_.reference_temp_c;
   double frac = 0.0;
   switch (cfg_.kind) {
@@ -20,7 +20,7 @@ TagClock::TagClock(const ClockConfig& cfg) : cfg_(cfg) {
       break;
   }
   actual_hz_ = cfg_.nominal_hz * (1.0 + frac);
-  util::require(actual_hz_ > 0.0, "TagClock: frequency error drove f <= 0");
+  WITAG_REQUIRE(actual_hz_ > 0.0);
 }
 
 double TagClock::fractional_error() const {
@@ -28,7 +28,7 @@ double TagClock::fractional_error() const {
 }
 
 double TagClock::realize_instant_us(double t_rel_us, Round round) const {
-  util::require(t_rel_us >= 0.0, "realize_instant_us: negative time");
+  WITAG_REQUIRE(t_rel_us >= 0.0);
   const double tick = tick_period_us();
   const double ticks = round == Round::kUp ? std::ceil(t_rel_us / tick - 1e-9)
                                            : std::floor(t_rel_us / tick + 1e-9);

@@ -9,11 +9,11 @@ namespace witag::tag {
 
 TagDevice::TagDevice(const TagDeviceConfig& cfg)
     : cfg_(cfg), clock_(cfg.clock) {
-  util::require(cfg.guard_us >= 0.0, "TagDevice: negative guard");
+  WITAG_REQUIRE(cfg.guard_us >= 0.0);
 }
 
 void TagDevice::set_payload(util::BitVec bits) {
-  util::require(!bits.empty(), "TagDevice::set_payload: empty payload");
+  WITAG_REQUIRE(!bits.empty());
   payload_ = std::move(bits);
   cursor_ = 0;
 }
@@ -30,10 +30,9 @@ TagDevice::Plan TagDevice::respond(const QueryTiming& timing,
   WITAG_EVENT2("tag.respond", "subframes",
                static_cast<double>(n_data_subframes), "pending",
                static_cast<double>(pending_bits()), "tag");
-  util::require(!payload_.empty(), "TagDevice::respond: no payload set");
-  util::require(n_data_subframes > 0, "TagDevice::respond: no subframes");
-  util::require(timing.subframe_duration_us > 0.0,
-                "TagDevice::respond: bad subframe duration");
+  WITAG_REQUIRE(!payload_.empty());
+  WITAG_REQUIRE(n_data_subframes > 0);
+  WITAG_REQUIRE(timing.subframe_duration_us > 0.0);
 
   // Consume the next bits, cycling through the payload.
   util::BitVec bits(n_data_subframes);

@@ -8,11 +8,10 @@
 namespace witag::tag {
 
 EnvelopeDetector::EnvelopeDetector(const EnvelopeConfig& cfg) {
-  util::require(cfg.sample_rate_hz > 0.0 && cfg.rc_cutoff_hz > 0.0,
-                "EnvelopeDetector: rates must be positive");
+  WITAG_REQUIRE(cfg.sample_rate_hz > util::Hertz{0.0} && cfg.rc_cutoff_hz > util::Hertz{0.0});
   // One-pole IIR: alpha = dt / (RC + dt).
-  const double dt = 1.0 / cfg.sample_rate_hz;
-  const double rc = 1.0 / (2.0 * util::kPi * cfg.rc_cutoff_hz);
+  const double dt = 1.0 / cfg.sample_rate_hz.value();
+  const double rc = 1.0 / (2.0 * util::kPi * cfg.rc_cutoff_hz.value());
   alpha_ = dt / (rc + dt);
 }
 
@@ -31,14 +30,14 @@ void EnvelopeDetector::reset() { state_ = 0.0; }
 Comparator::Comparator(const EnvelopeConfig& cfg)
     : threshold_fraction_(cfg.threshold_fraction),
       release_fraction_(cfg.release_fraction) {
-  util::require(cfg.threshold_fraction > 0.0 && cfg.threshold_fraction < 1.0,
-                "Comparator: threshold_fraction must be in (0, 1)");
+  WITAG_REQUIRE(cfg.threshold_fraction > 0.0 && cfg.threshold_fraction < 1.0);
   util::require(cfg.release_fraction > 0.0 &&
                     cfg.release_fraction <= cfg.threshold_fraction,
                 "Comparator: release_fraction must be in (0, threshold]");
-  util::require(cfg.peak_decay_s > 0.0, "Comparator: bad peak decay");
-  const double dt = 1.0 / cfg.sample_rate_hz;
-  peak_decay_ = std::exp(-dt / cfg.peak_decay_s);
+  util::require(cfg.peak_decay_s > util::Seconds{0.0},
+                "Comparator: bad peak decay");
+  const double dt = 1.0 / cfg.sample_rate_hz.value();
+  peak_decay_ = std::exp(-dt / cfg.peak_decay_s.value());
 }
 
 std::vector<std::uint8_t> Comparator::process(

@@ -13,20 +13,21 @@
 #include <vector>
 
 #include "util/complexvec.hpp"
+#include "util/units.hpp"
 
 namespace witag::tag {
 
 struct EnvelopeConfig {
-  double sample_rate_hz = 20e6;  ///< Rate of the incoming samples.
-  double rc_cutoff_hz = 150e3;   ///< Detector RC low-pass cutoff.
+  util::Hertz sample_rate_hz{20e6};  ///< Rate of the incoming samples.
+  util::Hertz rc_cutoff_hz{150e3};   ///< Detector RC low-pass cutoff.
   /// Comparator rise threshold as a fraction of the tracked peak. OFDM
   /// envelopes ripple hard (high PAPR), so the comparator is a Schmitt
   /// trigger: it rises above `threshold_fraction * peak` and only falls
   /// back below `release_fraction * peak`.
   double threshold_fraction = 0.5;
   double release_fraction = 0.4;
-  /// Peak tracker decay time constant [s].
-  double peak_decay_s = 1e-3;
+  /// Peak tracker decay time constant.
+  util::Seconds peak_decay_s{1e-3};
 };
 
 /// Streaming envelope detector: feeds |x| through the RC filter.

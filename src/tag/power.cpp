@@ -18,26 +18,28 @@ constexpr double kSwitchEnergyPj = 30.0;  // per toggle
 
 }  // namespace
 
-double oscillator_power_uw(OscillatorKind kind, double freq_hz) {
-  util::require(freq_hz > 0.0, "oscillator_power_uw: bad frequency");
+util::Watts oscillator_power(OscillatorKind kind, util::Hertz freq) {
+  WITAG_REQUIRE(freq.value() > 0.0);
+  const double f = freq.value();
   switch (kind) {
     case OscillatorKind::kCrystal:
-      return kCrystalFloorUw + kCrystalK * freq_hz * freq_hz;
+      return util::Watts::from_microwatts(kCrystalFloorUw + kCrystalK * f * f);
     case OscillatorKind::kRing:
-      return kRingFloorUw + kRingK * freq_hz * freq_hz;
+      return util::Watts::from_microwatts(kRingFloorUw + kRingK * f * f);
   }
-  util::ensure(false, "oscillator_power_uw: bad kind");
-  return 0.0;
+  WITAG_ENSURE(false);
+  return util::Watts{};
 }
 
 PowerBreakdown estimate_power(const ClockConfig& clock,
-                              double toggle_rate_hz) {
-  util::require(toggle_rate_hz >= 0.0, "estimate_power: negative rate");
+                              util::Hertz toggle_rate) {
+  WITAG_REQUIRE(toggle_rate.value() >= 0.0);
   PowerBreakdown p;
-  p.oscillator_uw = oscillator_power_uw(clock.kind, clock.nominal_hz);
-  p.comparator_uw = kComparatorUw;
-  p.logic_uw = kLogicUw;
-  p.rf_switch_uw = kSwitchEnergyPj * 1e-12 * toggle_rate_hz * 1e6;  // pJ*Hz->uW
+  p.oscillator = oscillator_power(clock.kind, util::Hertz{clock.nominal_hz});
+  p.comparator = util::Watts::from_microwatts(kComparatorUw);
+  p.logic = util::Watts::from_microwatts(kLogicUw);
+  // Switch energy per toggle [pJ] times toggle rate [Hz] gives watts.
+  p.rf_switch = util::Watts{kSwitchEnergyPj * 1e-12 * toggle_rate.value()};
   return p;
 }
 

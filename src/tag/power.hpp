@@ -11,28 +11,29 @@
 #pragma once
 
 #include "tag/clock.hpp"
+#include "util/units.hpp"
 
 namespace witag::tag {
 
 struct PowerBreakdown {
-  double oscillator_uw = 0.0;
-  double comparator_uw = 0.0;
-  double logic_uw = 0.0;
-  double rf_switch_uw = 0.0;
+  util::Watts oscillator;
+  util::Watts comparator;
+  util::Watts logic;
+  util::Watts rf_switch;
 
-  double total_uw() const {
-    return oscillator_uw + comparator_uw + logic_uw + rf_switch_uw;
+  util::Watts total() const {
+    return oscillator + comparator + logic + rf_switch;
   }
 };
 
-/// Oscillator power [uW] for a class and frequency. `precision` selects
-/// a crystal-derived precision oscillator (vs a free-running ring
-/// oscillator, which is cheaper but drifts with temperature).
-double oscillator_power_uw(OscillatorKind kind, double freq_hz);
+/// Oscillator power for a class and frequency. `kind` selects a
+/// crystal-derived precision oscillator vs a free-running ring
+/// oscillator, which is cheaper but drifts with temperature.
+util::Watts oscillator_power(OscillatorKind kind, util::Hertz freq);
 
 /// Whole-tag power estimate at a clock configuration and average switch
-/// toggle rate. Requires toggle_rate_hz >= 0.
+/// toggle rate. Requires toggle_rate >= 0.
 PowerBreakdown estimate_power(const ClockConfig& clock,
-                              double toggle_rate_hz);
+                              util::Hertz toggle_rate);
 
 }  // namespace witag::tag

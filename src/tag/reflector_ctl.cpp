@@ -9,13 +9,12 @@ namespace witag::tag {
 ReflectorControl::ReflectorControl(SwitchConfig cfg,
                                    std::vector<AssertWindow> windows)
     : cfg_(cfg), windows_(std::move(windows)) {
-  util::require(cfg_.transition_us >= 0.0,
-                "ReflectorControl: negative transition time");
+  WITAG_REQUIRE(cfg_.transition_us >= 0.0);
   std::sort(windows_.begin(), windows_.end());
   // Merge overlapping/adjacent windows (consecutive zero bits).
   std::vector<AssertWindow> merged;
   for (const AssertWindow& w : windows_) {
-    util::require(w.second >= w.first, "ReflectorControl: inverted window");
+    WITAG_REQUIRE(w.second >= w.first);
     if (!merged.empty() && w.first <= merged.back().second) {
       merged.back().second = std::max(merged.back().second, w.second);
     } else {

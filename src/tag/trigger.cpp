@@ -38,9 +38,8 @@ std::optional<QueryTiming> detect_trigger(
     const TriggerConfig& cfg) {
   WITAG_SPAN_CAT("tag.detect_trigger", "tag");
   WITAG_COUNT("tag.detect_trigger.calls", 1);
-  util::require(sample_rate_hz > 0.0, "detect_trigger: bad sample rate");
-  util::require(cfg.n_trigger_subframes >= 5,
-                "detect_trigger: need >= 5 trigger subframes");
+  WITAG_REQUIRE(sample_rate_hz > 0.0);
+  WITAG_REQUIRE(cfg.n_trigger_subframes >= 5);
   const double us_per_sample = 1e6 / sample_rate_hz;
   const auto runs = run_lengths(comparator_bits);
 

@@ -3,6 +3,12 @@
 // `require` guards preconditions on public APIs: violations are programmer
 // errors and throw std::invalid_argument so tests can assert on them.
 // `ensure` guards internal invariants and throws std::logic_error.
+//
+// Prefer the WITAG_REQUIRE / WITAG_ENSURE macros: they capture the
+// stringified condition and the file:line of the check, so a contract
+// failure names its own location ("WITAG_REQUIRE(dist.value() > 0.0)
+// failed at src/channel/pathloss.cpp:16"). The plain functions remain
+// for call sites that want a hand-written message.
 #pragma once
 
 #include <stdexcept>
@@ -20,4 +26,30 @@ inline void ensure(bool cond, const char* what) {
   if (!cond) throw std::logic_error(what);
 }
 
+/// std::string overloads so the macros can build located messages.
+inline void require(bool cond, const std::string& what) {
+  if (!cond) throw std::invalid_argument(what);
+}
+
+inline void ensure(bool cond, const std::string& what) {
+  if (!cond) throw std::logic_error(what);
+}
+
 }  // namespace witag::util
+
+#define WITAG_DETAIL_STRINGIZE2(x) #x
+#define WITAG_DETAIL_STRINGIZE(x) WITAG_DETAIL_STRINGIZE2(x)
+
+/// Precondition check: throws std::invalid_argument naming the failed
+/// expression and its location.
+#define WITAG_REQUIRE(cond)                                          \
+  ::witag::util::require((cond), "WITAG_REQUIRE(" #cond ") failed at " \
+                                 __FILE__                              \
+                                 ":" WITAG_DETAIL_STRINGIZE(__LINE__))
+
+/// Invariant check: throws std::logic_error naming the failed
+/// expression and its location.
+#define WITAG_ENSURE(cond)                                          \
+  ::witag::util::ensure((cond), "WITAG_ENSURE(" #cond ") failed at " \
+                                __FILE__                              \
+                                ":" WITAG_DETAIL_STRINGIZE(__LINE__))

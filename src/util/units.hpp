@@ -1,49 +1,207 @@
-// Physical constants and unit helpers shared across the testbed.
+// Physical constants and strong-typed quantities shared across the testbed.
 //
 // The simulator works in SI base units (seconds, meters, hertz, linear
-// power ratios); these helpers keep dB<->linear and wavelength conversions
-// in one audited place.
+// power ratios). Quantities that cross public API boundaries are wrapped
+// in strong types (Db, Dbm, Watts, Hertz, Meters, Micros, Seconds) so a
+// dB gain can never be passed where an absolute dBm power is expected and
+// a microsecond duration can never silently mix with seconds: only the
+// physically meaningful operators exist, and every conversion goes
+// through one audited function below.
 #pragma once
 
 #include <cmath>
+#include <compare>
+#include <numbers>
 
 namespace witag::util {
 
 /// Speed of light in vacuum [m/s].
 inline constexpr double kSpeedOfLight = 299'792'458.0;
 
-/// Center frequency of 2.4 GHz WiFi channel 6 [Hz].
-inline constexpr double kWifi24GHz = 2.437e9;
-
-/// Center frequency of a 5 GHz WiFi channel (ch 36) [Hz].
-inline constexpr double kWifi5GHz = 5.18e9;
-
-/// 802.11n 20 MHz channel bandwidth [Hz].
-inline constexpr double kBandwidth20MHz = 20e6;
-
 /// Boltzmann constant [J/K].
 inline constexpr double kBoltzmann = 1.380649e-23;
 
-inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kPi = std::numbers::pi;
+
+namespace detail {
+
+/// CRTP mixin giving a strong unit wrapper value-based comparisons.
+template <class Derived>
+struct UnitCompare {
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value() == b.value();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value() <=> b.value();
+  }
+};
+
+/// CRTP mixin for quantities living on a linear scale: same-type sum and
+/// difference, scaling by a dimensionless factor, and the dimensionless
+/// ratio of two like quantities. Nothing here ever mixes two different
+/// units — those operators are defined per-type below, only where the
+/// physics allows.
+template <class Derived>
+struct LinearOps : UnitCompare<Derived> {
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value()}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{s * a.value()};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr Derived& operator+=(Derived& a, Derived b) {
+    a = a + b;
+    return a;
+  }
+  friend constexpr Derived& operator-=(Derived& a, Derived b) {
+    a = a - b;
+    return a;
+  }
+};
+
+}  // namespace detail
+
+/// Power *ratio* in decibels (a gain or loss). Ratios compose by
+/// addition, so Db has the full linear operator set.
+class Db : public detail::LinearOps<Db> {
+ public:
+  Db() = default;
+  constexpr explicit Db(double db) : db_(db) {}
+  constexpr double value() const { return db_; }
+
+ private:
+  double db_ = 0.0;
+};
+
+/// Absolute power referenced to 1 mW, log scale. Two absolute powers do
+/// not add on a log scale, so there is no Dbm + Dbm: only shifting by a
+/// ratio (Dbm +- Db) and the ratio of two powers (Dbm - Dbm -> Db).
+class Dbm : public detail::UnitCompare<Dbm> {
+ public:
+  Dbm() = default;
+  constexpr explicit Dbm(double dbm) : dbm_(dbm) {}
+  constexpr double value() const { return dbm_; }
+
+ private:
+  double dbm_ = 0.0;
+};
+
+constexpr Dbm operator+(Dbm power, Db gain) {
+  return Dbm{power.value() + gain.value()};
+}
+constexpr Dbm operator+(Db gain, Dbm power) { return power + gain; }
+constexpr Dbm operator-(Dbm power, Db gain) {
+  return Dbm{power.value() - gain.value()};
+}
+constexpr Db operator-(Dbm a, Dbm b) { return Db{a.value() - b.value()}; }
+
+/// Absolute power on a linear scale [W].
+class Watts : public detail::LinearOps<Watts> {
+ public:
+  Watts() = default;
+  constexpr explicit Watts(double w) : w_(w) {}
+  constexpr double value() const { return w_; }
+  /// The same power expressed in microwatts (display convenience for
+  /// the tag power budget, which lives at uW scale).
+  constexpr double microwatts() const { return w_ * 1e6; }
+  static constexpr Watts from_microwatts(double uw) { return Watts{uw * 1e-6}; }
+
+ private:
+  double w_ = 0.0;
+};
+
+/// Frequency [Hz].
+class Hertz : public detail::LinearOps<Hertz> {
+ public:
+  Hertz() = default;
+  constexpr explicit Hertz(double hz) : hz_(hz) {}
+  constexpr double value() const { return hz_; }
+
+ private:
+  double hz_ = 0.0;
+};
+
+/// Distance [m].
+class Meters : public detail::LinearOps<Meters> {
+ public:
+  Meters() = default;
+  constexpr explicit Meters(double m) : m_(m) {}
+  constexpr double value() const { return m_; }
+
+ private:
+  double m_ = 0.0;
+};
+
+/// Duration [us]. MAC-layer timing (airtimes, guard bands, tag ticks)
+/// lives in microseconds throughout the paper.
+class Micros : public detail::LinearOps<Micros> {
+ public:
+  Micros() = default;
+  constexpr explicit Micros(double us) : us_(us) {}
+  constexpr double value() const { return us_; }
+
+ private:
+  double us_ = 0.0;
+};
+
+/// Duration [s]. Channel-time scales (coherence, blocking, walking)
+/// live in seconds.
+class Seconds : public detail::LinearOps<Seconds> {
+ public:
+  Seconds() = default;
+  constexpr explicit Seconds(double s) : s_(s) {}
+  constexpr double value() const { return s_; }
+
+ private:
+  double s_ = 0.0;
+};
+
+/// Center frequency of 2.4 GHz WiFi channel 6.
+inline constexpr Hertz kWifi24GHz{2.437e9};
+
+/// Center frequency of a 5 GHz WiFi channel (ch 36).
+inline constexpr Hertz kWifi5GHz{5.18e9};
+
+/// 802.11n 20 MHz channel bandwidth.
+inline constexpr Hertz kBandwidth20MHz{20e6};
 
 /// Converts a power ratio in dB to linear scale.
-inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double db_to_linear(Db db) { return std::pow(10.0, db.value() / 10.0); }
 
 /// Converts a linear power ratio to dB.
-inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+inline Db linear_to_db(double lin) { return Db{10.0 * std::log10(lin)}; }
 
-/// Converts dBm to watts.
-inline double dbm_to_watts(double dbm) { return 1e-3 * db_to_linear(dbm); }
+/// Converts absolute dBm power to watts.
+inline Watts to_watts(Dbm dbm) {
+  return Watts{1e-3 * std::pow(10.0, dbm.value() / 10.0)};
+}
 
-/// Converts watts to dBm.
-inline double watts_to_dbm(double w) { return linear_to_db(w / 1e-3); }
+/// Converts watts to absolute dBm power.
+inline Dbm to_dbm(Watts w) { return Dbm{10.0 * std::log10(w.value() / 1e-3)}; }
 
-/// Wavelength [m] at carrier frequency `hz`.
-inline double wavelength(double hz) { return kSpeedOfLight / hz; }
+/// Duration conversions: exactly one scale factor, in one place.
+constexpr Seconds to_seconds(Micros us) { return Seconds{us.value() * 1e-6}; }
+constexpr Micros to_micros(Seconds s) { return Micros{s.value() * 1e6}; }
 
-/// Thermal noise power [W] in bandwidth `bw_hz` at temperature `kelvin`.
-inline double thermal_noise_watts(double bw_hz, double kelvin = 290.0) {
-  return kBoltzmann * kelvin * bw_hz;
+/// Wavelength at carrier frequency `f`.
+inline Meters wavelength(Hertz f) { return Meters{kSpeedOfLight / f.value()}; }
+
+/// Thermal noise power in bandwidth `bw` at temperature `kelvin`.
+inline Watts thermal_noise(Hertz bw, double kelvin = 290.0) {
+  return Watts{kBoltzmann * kelvin * bw.value()};
 }
 
 }  // namespace witag::util

@@ -21,21 +21,21 @@ tag::TagDeviceConfig prototype_tag_device() {
 
 }  // namespace
 
-SessionConfig los_testbed_config(double tag_to_client_m, std::uint64_t seed) {
-  util::require(tag_to_client_m > 0.0 && tag_to_client_m < 8.0,
-                "los_testbed_config: tag must sit between client and AP");
+SessionConfig los_testbed_config(util::Meters tag_to_client,
+                                 std::uint64_t seed) {
+  WITAG_REQUIRE(tag_to_client > util::Meters{0.0} && tag_to_client < util::Meters{8.0});
   const auto layout = channel::figure4_testbed();
   SessionConfig cfg;
   cfg.ap_pos = layout.ap;
   cfg.client_pos = layout.client_los;
   // Tag on the client->AP line (both at y = 3.5, AP east of client).
-  cfg.tag_pos = {cfg.client_pos.x + tag_to_client_m, cfg.client_pos.y};
+  cfg.tag_pos = {cfg.client_pos.x + tag_to_client.value(), cfg.client_pos.y};
   cfg.plan = layout.plan;
   cfg.tag_device = prototype_tag_device();
   // LOS lab with a few students around.
   cfg.fading.n_scatterers = 3;
   cfg.fading.scatterer_strength = 1.5;
-  cfg.fading.blocking_rate_hz = 0.02;
+  cfg.fading.blocking_rate_hz = util::Hertz{0.02};
   cfg.time_dilation = 200.0;  // one-minute measurements, sampled sparsely
   cfg.seed = seed;
   return cfg;
@@ -55,11 +55,11 @@ SessionConfig nlos_testbed_config(bool location_b, std::uint64_t seed) {
   cfg.tag_device = prototype_tag_device();
   // Students working and moving near the AP and the client.
   cfg.fading.n_scatterers = 4;
-  cfg.fading.blocking_rate_hz = 0.015;
-  cfg.fading.blocking_mean_s = 0.2;
-  cfg.fading.blocking_loss_db = location_b ? 10.0 : 8.0;
+  cfg.fading.blocking_rate_hz = util::Hertz{0.015};
+  cfg.fading.blocking_mean_s = util::Seconds{0.2};
+  cfg.fading.blocking_loss_db = util::Db{location_b ? 10.0 : 8.0};
   // The far rooms see less co-channel traffic than the main lab.
-  cfg.fading.interference_rate_hz = 8.0;
+  cfg.fading.interference_rate_hz = util::Hertz{8.0};
   cfg.time_dilation = 200.0;  // one-minute measurements, sampled sparsely
   cfg.seed = seed;
   return cfg;

@@ -11,6 +11,7 @@
 #include "channel/geometry.hpp"
 #include "mac/station.hpp"
 #include "tag/device.hpp"
+#include "util/units.hpp"
 
 namespace witag::core {
 
@@ -77,16 +78,16 @@ struct SessionConfig {
   };
   std::vector<ExtraTag> extra_tags;
   TriggerMode trigger_mode = TriggerMode::kIdeal;
-  /// Receiver noise figure of the tag's envelope detector [dB].
-  double tag_detector_nf_db = 15.0;
+  /// Receiver noise figure of the tag's envelope detector.
+  util::Db tag_detector_nf_db{15.0};
 
   mac::SecurityConfig security;
   QueryConfig query;
   bool cpe_correction = true;
 
-  /// Idle gap the client leaves between exchanges [us] (application
-  /// loop turnaround).
-  double inter_query_gap_us = 20.0;
+  /// Idle gap the client leaves between exchanges (application loop
+  /// turnaround).
+  util::Micros inter_query_gap_us{20.0};
 
   /// Measurement compression: the paper's one-minute measurements cover
   /// ~40k exchanges; the simulator samples far fewer rounds, so channel
@@ -99,10 +100,11 @@ struct SessionConfig {
 };
 
 /// Session defaults for the paper's LOS testbed (Figure 4/5): AP and
-/// client 8 m apart, tag `tag_to_client_m` meters from the client on the
-/// line between them. The prototype's MCU timer (1 MHz tick) is used for
+/// client 8 m apart, tag `tag_to_client` from the client on the line
+/// between them. The prototype's MCU timer (1 MHz tick) is used for
 /// tag switching, as in the paper's AT91SAM3X8E-based tag.
-SessionConfig los_testbed_config(double tag_to_client_m, std::uint64_t seed);
+SessionConfig los_testbed_config(util::Meters tag_to_client,
+                                 std::uint64_t seed);
 
 /// Session defaults for the NLOS experiment (Figure 4/6): client at
 /// location A or B with the tag 1 m away, AP fixed, people walking.

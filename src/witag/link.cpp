@@ -15,7 +15,7 @@ std::size_t encoded_bits(std::size_t raw_bits, TagFec fec) {
     case TagFec::kRepetition3: return raw_bits * 3;
     case TagFec::kHamming74: return (raw_bits / 4) * 7;
   }
-  util::ensure(false, "encoded_bits: bad fec");
+  WITAG_ENSURE(false);
   return 0;
 }
 
@@ -45,8 +45,7 @@ util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
       return out;
     }
     case TagFec::kHamming74: {
-      util::require(bits.size() % 4 == 0,
-                    "fec_encode: Hamming(7,4) needs a multiple of 4 bits");
+      WITAG_REQUIRE(bits.size() % 4 == 0);
       util::BitVec out;
       out.reserve((bits.size() / 4) * 7);
       for (std::size_t i = 0; i < bits.size(); i += 4) {
@@ -57,7 +56,7 @@ util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
       return out;
     }
   }
-  util::ensure(false, "fec_encode: bad fec");
+  WITAG_ENSURE(false);
   return {};
 }
 
@@ -68,8 +67,7 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
       result.bits.assign(bits.begin(), bits.end());
       return result;
     case TagFec::kRepetition3: {
-      util::require(bits.size() % 3 == 0,
-                    "fec_decode: repetition needs a multiple of 3 bits");
+      WITAG_REQUIRE(bits.size() % 3 == 0);
       result.bits.reserve(bits.size() / 3);
       for (std::size_t i = 0; i < bits.size(); i += 3) {
         const unsigned sum = (bits[i] & 1u) + (bits[i + 1] & 1u) +
@@ -81,8 +79,7 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
       return result;
     }
     case TagFec::kHamming74: {
-      util::require(bits.size() % 7 == 0,
-                    "fec_decode: Hamming(7,4) needs a multiple of 7 bits");
+      WITAG_REQUIRE(bits.size() % 7 == 0);
       result.bits.reserve((bits.size() / 7) * 4);
       for (std::size_t i = 0; i < bits.size(); i += 7) {
         std::array<std::uint8_t, 7> cw{};
@@ -105,14 +102,13 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
       return result;
     }
   }
-  util::ensure(false, "fec_decode: bad fec");
+  WITAG_ENSURE(false);
   return result;
 }
 
 util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
                               TagFec fec) {
-  util::require(payload.size() <= kMaxTagPayload,
-                "encode_tag_frame: payload too large");
+  WITAG_REQUIRE(payload.size() <= kMaxTagPayload);
   util::ByteVec check;
   check.push_back(static_cast<std::uint8_t>(payload.size()));
   check.insert(check.end(), payload.begin(), payload.end());

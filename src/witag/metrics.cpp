@@ -13,12 +13,11 @@ namespace witag::core {
 
 void LinkMetrics::record_round(std::span<const std::uint8_t> sent,
                                const std::vector<bool>& received,
-                               bool round_lost, double airtime_us) {
-  util::require(round_lost || sent.size() == received.size(),
-                "LinkMetrics::record_round: size mismatch");
-  util::require(airtime_us >= 0.0, "LinkMetrics::record_round: bad airtime");
+                               bool round_lost, util::Micros airtime) {
+  WITAG_REQUIRE(round_lost || sent.size() == received.size());
+  WITAG_REQUIRE(airtime.value() >= 0.0);
   ++rounds_;
-  elapsed_us_ += airtime_us;
+  elapsed_us_ += airtime.value();
   bits_ += sent.size();
   std::size_t round_errors = 0;
   std::size_t round_false = 0;

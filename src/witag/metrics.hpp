@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/units.hpp"
+
 namespace witag::core {
 
 /// Accumulates per-round outcomes into link-level metrics.
@@ -20,7 +22,7 @@ class LinkMetrics {
   /// the round is then wrong-or-missing; they count as errors).
   void record_round(std::span<const std::uint8_t> sent,
                     const std::vector<bool>& received, bool round_lost,
-                    double airtime_us);
+                    util::Micros airtime);
 
   /// Folds another accumulator into this one. Associative and
   /// commutative with the default-constructed LinkMetrics as identity,
@@ -36,7 +38,7 @@ class LinkMetrics {
   std::size_t false_corruptions() const { return false_; }
   std::size_t rounds() const { return rounds_; }
   std::size_t rounds_lost() const { return rounds_lost_; }
-  double elapsed_us() const { return elapsed_us_; }
+  util::Micros elapsed_us() const { return util::Micros{elapsed_us_}; }
 
   /// Bit error rate over everything recorded.
   double ber() const;

@@ -17,7 +17,7 @@ std::size_t security_overhead(mac::Security mode) {
     case mac::Security::kCcmp:
       return mac::kCcmpHeaderBytes + mac::kCcmpMicBytes;
   }
-  util::ensure(false, "security_overhead: bad mode");
+  WITAG_ENSURE(false);
   return 0;
 }
 
@@ -44,36 +44,37 @@ bool try_symbols(unsigned s, const phy::McsParams& m, mac::Security security,
 
 }  // namespace
 
-double QueryLayout::subframe_duration_us() const {
-  return static_cast<double>(symbols_per_subframe) * phy::kSymbolDurationUs;
+util::Micros QueryLayout::subframe_duration_us() const {
+  return util::Micros{static_cast<double>(symbols_per_subframe) *
+                      phy::kSymbolDurationUs};
 }
 
-double QueryLayout::subframes_start_us() const {
-  return static_cast<double>(phy::kHeaderSlots) * phy::kSymbolDurationUs;
+util::Micros QueryLayout::subframes_start_us() const {
+  return util::Micros{static_cast<double>(phy::kHeaderSlots) *
+                      phy::kSymbolDurationUs};
 }
 
 tag::QueryTiming QueryLayout::ideal_timing() const {
   tag::QueryTiming t;
-  t.subframe_duration_us = subframe_duration_us();
+  t.subframe_duration_us = subframe_duration_us().value();
   t.code = trigger_code;
   // The last comparator edge the tag observes precisely is the end of
   // the second LOW region (subframes 3 .. 3 + code in the
   // H L H L..L H pattern).
-  t.align_edge_us = subframes_start_us() +
-                    (4.0 + trigger_code) * subframe_duration_us();
-  t.data_start_us = subframes_start_us() +
-                    static_cast<double>(n_trigger) * subframe_duration_us();
+  t.align_edge_us =
+      (subframes_start_us() + (4.0 + trigger_code) * subframe_duration_us())
+          .value();
+  t.data_start_us = (subframes_start_us() +
+                     static_cast<double>(n_trigger) * subframe_duration_us())
+                        .value();
   return t;
 }
 
 QueryLayout plan_query(const QueryConfig& cfg, unsigned mcs_index,
-                       mac::Security security, double tag_tick_us,
-                       double tag_guard_us) {
-  util::require(cfg.n_subframes >= cfg.n_trigger + 1 && cfg.n_subframes <= 64,
-                "plan_query: need trigger + data subframes within 64");
-  util::require(cfg.n_trigger >= 5 + cfg.trigger_code,
-                "plan_query: need n_trigger >= 5 + trigger_code so the "
-                "pattern starts and ends HIGH");
+                       mac::Security security, util::Micros tag_tick,
+                       util::Micros tag_guard) {
+  WITAG_REQUIRE(cfg.n_subframes >= cfg.n_trigger + 1 && cfg.n_subframes <= 64);
+  WITAG_REQUIRE(cfg.n_trigger >= 5 + cfg.trigger_code);
   const phy::McsParams& m = phy::mcs(mcs_index);
 
   QueryLayout layout;
@@ -84,9 +85,7 @@ QueryLayout plan_query(const QueryConfig& cfg, unsigned mcs_index,
   layout.n_data_subframes = cfg.n_subframes - cfg.n_trigger;
 
   if (cfg.symbols_per_subframe != 0) {
-    util::require(try_symbols(cfg.symbols_per_subframe, m, security, layout),
-                  "plan_query: requested symbols_per_subframe does not give "
-                  "whole aligned subframes at this MCS/security");
+    WITAG_REQUIRE(try_symbols(cfg.symbols_per_subframe, m, security, layout));
     return layout;
   }
 
@@ -94,21 +93,18 @@ QueryLayout plan_query(const QueryConfig& cfg, unsigned mcs_index,
     if (!try_symbols(s, m, security, layout)) continue;
     // The corruption window must keep at least one whole OFDM symbol
     // after guards and one tick of quantization loss at each end.
-    const double window = layout.subframe_duration_us() -
-                          2.0 * tag_guard_us - 2.0 * tag_tick_us;
-    if (window < phy::kSymbolDurationUs) continue;
+    const util::Micros window =
+        layout.subframe_duration_us() - 2.0 * tag_guard - 2.0 * tag_tick;
+    if (window < util::Micros{phy::kSymbolDurationUs}) continue;
     return layout;
   }
-  util::require(false,
-                "plan_query: no subframe duration up to 64 symbols satisfies "
-                "the tag's timing constraints at this MCS");
+  WITAG_REQUIRE(false);
   return layout;
 }
 
 QueryFrame build_query(const QueryLayout& layout, mac::Client& client,
                        double trigger_low_scale) {
-  util::require(trigger_low_scale > 0.0 && trigger_low_scale < 1.0,
-                "build_query: trigger_low_scale must be in (0, 1)");
+  WITAG_REQUIRE(trigger_low_scale > 0.0 && trigger_low_scale < 1.0);
 
   // Subframe payloads: deterministic filler (content is irrelevant to
   // the protocol; it only has to survive encryption size accounting).
@@ -121,8 +117,7 @@ QueryFrame build_query(const QueryLayout& layout, mac::Client& client,
   QueryFrame frame;
   frame.layout = layout;
   const util::ByteVec psdu = client.build_ampdu(payloads);
-  util::ensure(psdu.size() == layout.subframe_bytes * layout.n_subframes,
-               "build_query: PSDU size does not match layout");
+  WITAG_ENSURE(psdu.size() == layout.subframe_bytes * layout.n_subframes);
 
   phy::TxConfig tx_cfg;
   tx_cfg.mcs_index = layout.mcs_index;

@@ -17,6 +17,7 @@
 #include "mac/station.hpp"
 #include "phy/ppdu.hpp"
 #include "tag/trigger.hpp"
+#include "util/units.hpp"
 #include "witag/config.hpp"
 
 namespace witag::core {
@@ -32,9 +33,9 @@ struct QueryLayout {
   unsigned trigger_code = 0;          ///< Tag address in the pattern.
   unsigned n_data_subframes = 0;
 
-  double subframe_duration_us() const;
-  /// Start of the first (trigger) subframe relative to PPDU start [us].
-  double subframes_start_us() const;
+  util::Micros subframe_duration_us() const;
+  /// Start of the first (trigger) subframe relative to PPDU start.
+  util::Micros subframes_start_us() const;
   /// Ideal timing as the tag would measure it with a perfect trigger.
   tag::QueryTiming ideal_timing() const;
 };
@@ -48,8 +49,8 @@ struct QueryLayout {
 ///    bands and tick quantization.
 /// Throws when no duration up to 64 symbols satisfies the constraints.
 QueryLayout plan_query(const QueryConfig& cfg, unsigned mcs_index,
-                       mac::Security security, double tag_tick_us,
-                       double tag_guard_us);
+                       mac::Security security, util::Micros tag_tick,
+                       util::Micros tag_guard);
 
 /// A fully built query: the PSDU, the PPDU and the per-symbol-slot
 /// envelope scale implementing the trigger pattern.

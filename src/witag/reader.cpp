@@ -6,9 +6,8 @@ namespace witag::core {
 
 Reader::Reader(Session& session, ReaderConfig cfg)
     : session_(session), cfg_(cfg) {
-  util::require(cfg.max_rounds_per_frame > 0,
-                "Reader: need a positive round budget");
-  util::require(cfg.stream_cap_bits >= 1024, "Reader: stream cap too small");
+  WITAG_REQUIRE(cfg.max_rounds_per_frame > 0);
+  WITAG_REQUIRE(cfg.stream_cap_bits >= 1024);
 }
 
 void Reader::load_tag(std::size_t tag_index,
@@ -18,9 +17,9 @@ void Reader::load_tag(std::size_t tag_index,
 }
 
 double Reader::Stats::frame_goodput_kbps(std::size_t payload_bytes) const {
-  if (airtime_us <= 0.0) return 0.0;
+  if (airtime_us <= util::Micros{0.0}) return 0.0;
   const double bits = static_cast<double>(frames_ok * payload_bytes * 8);
-  return bits / (airtime_us / 1e6) / 1e3;
+  return bits / (airtime_us.value() / 1e6) / 1e3;
 }
 
 Reader::PollResult Reader::poll_frame(unsigned address) {

@@ -36,7 +36,7 @@ class Reader {
     util::ByteVec payload;
     std::size_t rounds = 0;           ///< Queries spent in this poll.
     std::size_t fec_corrected = 0;    ///< Channel bits FEC repaired.
-    double airtime_us = 0.0;
+    util::Micros airtime_us{};
   };
 
   /// Queries tag `address` until one whole frame decodes or the round
@@ -49,7 +49,7 @@ class Reader {
     std::size_t polls_failed = 0;
     std::size_t rounds = 0;
     std::size_t rounds_lost = 0;
-    double airtime_us = 0.0;
+    util::Micros airtime_us{};
 
     /// Delivered frame payload bits per second of airtime [Kbps].
     double frame_goodput_kbps(std::size_t payload_bytes) const;

@@ -55,12 +55,13 @@ Session::Session(SessionConfig cfg)
   }
 
   tag_noise_var_ =
-      util::thermal_noise_watts(20e6, cfg_.radio.temperature_k) *
+      util::thermal_noise(util::kBandwidth20MHz, cfg_.radio.temperature_k)
+          .value() *
       util::db_to_linear(cfg_.tag_detector_nf_db);
 
   layout_ = plan_query(cfg_.query, cfg_.query.mcs_index, cfg_.security.mode,
-                       tags_[0].device.clock().tick_period_us(),
-                       cfg_.tag_device.guard_us);
+                       util::Micros{tags_[0].device.clock().tick_period_us()},
+                       util::Micros{cfg_.tag_device.guard_us});
 
   // Default payloads: deterministic pseudo-random bits per tag.
   for (std::size_t t = 0; t < tags_.size(); ++t) {
@@ -70,12 +71,13 @@ Session::Session(SessionConfig cfg)
 }
 
 double Session::link_amp_to(channel::Point2 tag_pos) const {
-  const double d = channel::distance(cfg_.client_pos, tag_pos);
-  const double wall_db =
-      cfg_.plan.penetration_loss_db(cfg_.client_pos, tag_pos);
+  const util::Meters d{channel::distance(cfg_.client_pos, tag_pos)};
+  const util::Db wall_loss{
+      cfg_.plan.penetration_loss_db(cfg_.client_pos, tag_pos)};
   const double gain = std::abs(channel::attenuate(
-      channel::direct_gain(d, cfg_.radio.carrier_hz), wall_db));
-  return gain * std::sqrt(util::dbm_to_watts(cfg_.radio.tx_power_dbm) / 56.0);
+      channel::direct_gain(d, cfg_.radio.carrier_hz), wall_loss));
+  return gain *
+         std::sqrt(util::to_watts(cfg_.radio.tx_power_dbm).value() / 56.0);
 }
 
 double Session::draw_backoff_us() {
@@ -92,8 +94,8 @@ const QueryLayout& Session::layout_for(unsigned address) {
     // layout_.mcs_index tracks select_rate()'s choice.
     layout_cache_[address] =
         plan_query(qcfg, layout_.mcs_index, cfg_.security.mode,
-                   tags_[0].device.clock().tick_period_us(),
-                   cfg_.tag_device.guard_us);
+                   util::Micros{tags_[0].device.clock().tick_period_us()},
+                   util::Micros{cfg_.tag_device.guard_us});
   }
   return *layout_cache_[address];
 }
@@ -127,7 +129,7 @@ std::optional<tag::QueryTiming> Session::tag_timing(
   }
 
   tag::EnvelopeConfig env_cfg;
-  env_cfg.sample_rate_hz = phy::kSampleRateHz;
+  env_cfg.sample_rate_hz = util::Hertz{phy::kSampleRateHz};
   tag::EnvelopeDetector detector(env_cfg);
   tag::Comparator comparator(env_cfg);
   const auto envelope = detector.process(samples);
@@ -230,11 +232,13 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
   // Airtime accounting for the exchange.
   const auto airtime =
       mac::ampdu_exchange(frame.ppdu.duration_us(), draw_backoff_us());
-  result.airtime_us = airtime.total_us() + cfg_.inter_query_gap_us;
+  result.airtime_us =
+      util::Micros{airtime.total_us()} + cfg_.inter_query_gap_us;
 
   WITAG_HIST("session.airtime_us", obs::exp_bounds(500.0, 1.5, 16),
-             result.airtime_us);
-  channel_->advance(result.airtime_us * cfg_.time_dilation / 1e6);
+             result.airtime_us.value());
+  channel_->advance(
+      util::to_seconds(result.airtime_us * cfg_.time_dilation));
   return result;
 }
 
@@ -266,8 +270,8 @@ unsigned Session::select_rate() {
     bool planned = false;
     try {
       layout_ = plan_query(cfg_.query, *probe, cfg_.security.mode,
-                           tags_[0].device.clock().tick_period_us(),
-                           cfg_.tag_device.guard_us);
+                           util::Micros{tags_[0].device.clock().tick_period_us()},
+                           util::Micros{cfg_.tag_device.guard_us});
       planned = true;
     } catch (const std::invalid_argument&) {
       layout_ = saved;
@@ -285,8 +289,8 @@ unsigned Session::select_rate() {
   }
   const unsigned mcs = selector.selected();
   layout_ = plan_query(cfg_.query, mcs, cfg_.security.mode,
-                       tags_[0].device.clock().tick_period_us(),
-                       cfg_.tag_device.guard_us);
+                       util::Micros{tags_[0].device.clock().tick_period_us()},
+                       util::Micros{cfg_.tag_device.guard_us});
   layout_cache_.clear();  // cached layouts used the old MCS
   return mcs;
 }

@@ -31,7 +31,7 @@ class Session {
     std::vector<bool> received;  ///< Client's reading per data subframe.
     bool lost = false;           ///< No usable block ack / missed trigger.
     bool trigger_detected = true;
-    double airtime_us = 0.0;
+    util::Micros airtime_us{};
     std::size_t subframes_valid = 0;  ///< FCS-valid subframes at the AP.
   };
 
@@ -48,8 +48,8 @@ class Session {
   struct RunStats {
     LinkMetrics metrics;
     std::size_t triggers_missed = 0;
-    double mean_snr_db = 0.0;
-    double tag_perturbation_db = 0.0;
+    util::Db mean_snr_db{};
+    util::Db tag_perturbation_db{};
   };
   RunStats run(std::size_t rounds);
 

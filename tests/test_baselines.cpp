@@ -19,7 +19,7 @@ TEST(Common, VictimCollisionProbability) {
 
 TEST(Common, LinkBudgetOrders) {
   TwoApGeometry geo;
-  const BackscatterLink link = two_ap_link(geo, 7.0, 2.437e9);
+  const BackscatterLink link = two_ap_link(geo, 7.0, util::kWifi24GHz);
   EXPECT_GT(link.direct_amp, 0.0);
   EXPECT_GT(link.backscatter_amp, 0.0);
   // The two-hop backscatter path is far weaker than the direct path.
@@ -118,7 +118,7 @@ TEST(Comparison, MatrixMatchesPaperClaims) {
   EXPECT_TRUE(witag_row.works_encrypted);
   EXPECT_FALSE(witag_row.needs_second_ap);
   EXPECT_FALSE(witag_row.interferes_secondary);
-  EXPECT_LT(witag_row.oscillator_power_uw, 1.0);
+  EXPECT_LT(witag_row.oscillator_power.microwatts(), 1.0);
   EXPECT_GT(witag_row.throughput_kbps, 20.0);
 
   for (std::size_t i = 1; i < rows.size(); ++i) {
@@ -127,9 +127,10 @@ TEST(Comparison, MatrixMatchesPaperClaims) {
     EXPECT_FALSE(r.works_encrypted) << r.system;
     EXPECT_TRUE(r.needs_second_ap) << r.system;
     EXPECT_TRUE(r.interferes_secondary) << r.system;
-    EXPECT_DOUBLE_EQ(r.oscillator_hz, kChannelShiftOscillatorHz);
+    EXPECT_DOUBLE_EQ(r.oscillator_hz.value(), kChannelShiftOscillatorHz);
     // Ring oscillator at 20 MHz: tens of microwatts, far above WiTAG's.
-    EXPECT_GT(r.oscillator_power_uw, 10.0 * witag_row.oscillator_power_uw);
+    EXPECT_GT(r.oscillator_power.microwatts(),
+              10.0 * witag_row.oscillator_power.microwatts());
   }
 
   // Throughput ordering: HitchHike/FreeRider per-codeword rates beat

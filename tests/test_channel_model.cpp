@@ -24,8 +24,8 @@ LinkGeometry los_link() {
 FadingConfig no_fading() {
   FadingConfig f;
   f.n_scatterers = 0;
-  f.blocking_rate_hz = 0.0;
-  f.interference_rate_hz = 0.0;
+  f.blocking_rate_hz = util::Hertz{0.0};
+  f.interference_rate_hz = util::Hertz{0.0};
   return f;
 }
 
@@ -35,7 +35,7 @@ TagPathConfig mid_tag() {
 
 TEST(ChannelModel, SnrIsPlausibleForEightMeterLosLink) {
   ChannelModel ch(radio(), los_link(), std::nullopt, no_fading(), 1);
-  const double snr = ch.mean_snr_db();
+  const double snr = ch.mean_snr_db().value();
   // Commodity WiFi at 8 m LOS: tens of dB.
   EXPECT_GT(snr, 35.0);
   EXPECT_LT(snr, 70.0);
@@ -88,7 +88,7 @@ TEST(ChannelModel, PerturbationFollowsTagPosition) {
   auto perturb_at = [&](double x) {
     TagPathConfig tag{{x, 0.0}, 7.0, TagMode::kPhaseFlip};
     ChannelModel ch(radio(), los_link(), tag, no_fading(), 6);
-    return ch.tag_perturbation_db();
+    return ch.tag_perturbation_db().value();
   };
   const double mid = perturb_at(4.0);
   EXPECT_GT(perturb_at(1.0), mid);
@@ -104,7 +104,7 @@ TEST(ChannelModel, PhaseFlipBeatsOpenShort) {
   // differs slightly between modes (the phase-flip tag's resting
   // reflection is part of its baseline channel), so allow some slack.
   const double gain_db =
-      ch_pf.tag_perturbation_db() - ch_os.tag_perturbation_db();
+      ch_pf.tag_perturbation_db().value() - ch_os.tag_perturbation_db().value();
   EXPECT_GT(gain_db, 4.0);
   EXPECT_LT(gain_db, 8.0);
 }
@@ -114,7 +114,7 @@ TEST(ChannelModel, AdvanceEvolvesChannelOnlyWithFading) {
   moving.n_scatterers = 3;
   ChannelModel ch(radio(), los_link(), std::nullopt, moving, 8);
   const phy::FreqSymbol before = ch.cfr(false);
-  ch.advance(0.5);
+  ch.advance(util::Seconds{0.5});
   const phy::FreqSymbol after = ch.cfr(false);
   double delta = 0.0;
   for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
@@ -124,7 +124,7 @@ TEST(ChannelModel, AdvanceEvolvesChannelOnlyWithFading) {
 
   ChannelModel still(radio(), los_link(), std::nullopt, no_fading(), 9);
   const phy::FreqSymbol b2 = still.cfr(false);
-  still.advance(0.5);
+  still.advance(util::Seconds{0.5});
   const phy::FreqSymbol a2 = still.cfr(false);
   for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
     EXPECT_EQ(a2[bin], b2[bin]);
@@ -147,8 +147,8 @@ TEST(ChannelModel, ApplyAddsCalibratedNoise) {
       ++n;
     }
   }
-  EXPECT_NEAR(acc / static_cast<double>(n), ch.noise_variance(),
-              ch.noise_variance() * 0.1);
+  EXPECT_NEAR(acc / static_cast<double>(n), ch.noise_variance().value(),
+              ch.noise_variance().value() * 0.1);
 }
 
 TEST(ChannelModel, ApplyRespectsTagLevels) {
@@ -173,9 +173,9 @@ TEST(ChannelModel, ApplyRespectsTagLevels) {
 
 TEST(ChannelModel, InterferenceRaisesSymbolNoise) {
   FadingConfig noisy = no_fading();
-  noisy.interference_rate_hz = 1e6;  // essentially always on
-  noisy.interference_mean_us = 1000.0;
-  noisy.interference_power_dbm = -50.0;
+  noisy.interference_rate_hz = util::Hertz{1e6};  // essentially always on
+  noisy.interference_mean_us = util::Micros{1000.0};
+  noisy.interference_power_dbm = util::Dbm{-50.0};
   ChannelModel ch(radio(), los_link(), std::nullopt, noisy, 12);
   std::vector<phy::FreqSymbol> tx(50);
   const auto rx = ch.apply(tx, {});
@@ -187,12 +187,12 @@ TEST(ChannelModel, InterferenceRaisesSymbolNoise) {
       ++n;
     }
   }
-  EXPECT_GT(acc / static_cast<double>(n), ch.noise_variance() * 100.0);
+  EXPECT_GT(acc / static_cast<double>(n), ch.noise_variance().value() * 100.0);
 }
 
 TEST(ChannelModel, SetTagInvalidatesCache) {
   ChannelModel ch(radio(), los_link(), mid_tag(), no_fading(), 13);
-  const double before = ch.tag_perturbation_db();
+  const util::Db before = ch.tag_perturbation_db();
   TagPathConfig close{{1.0, 0.0}, 7.0, TagMode::kPhaseFlip};
   ch.set_tag(close);
   EXPECT_GT(ch.tag_perturbation_db(), before);

@@ -50,23 +50,6 @@ TEST(ComplexVec, HadamardProduct) {
   EXPECT_EQ(p[1], (Cx{-1.0, 0.0}));
 }
 
-TEST(Units, DbConversions) {
-  EXPECT_NEAR(db_to_linear(3.0), 1.995, 0.01);
-  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-9);
-  EXPECT_NEAR(linear_to_db(db_to_linear(-7.3)), -7.3, 1e-9);
-  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-12);
-  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
-}
-
-TEST(Units, WavelengthAt24GHz) {
-  EXPECT_NEAR(wavelength(kWifi24GHz), 0.123, 0.001);
-}
-
-TEST(Units, ThermalNoiseFloor) {
-  // kTB for 20 MHz at 290 K is about -101 dBm.
-  const double dbm = watts_to_dbm(thermal_noise_watts(20e6));
-  EXPECT_NEAR(dbm, -101.0, 0.5);
-}
 
 }  // namespace
 }  // namespace witag::util

@@ -167,22 +167,27 @@ TEST(TagDevice, ContractChecks) {
 
 TEST(Power, OscillatorAnchorsMatchPaper) {
   // >= 1 mW for a 20 MHz precision oscillator.
-  EXPECT_GT(oscillator_power_uw(OscillatorKind::kCrystal, 20e6), 1000.0);
+  EXPECT_GT(oscillator_power(OscillatorKind::kCrystal, util::Hertz{20e6})
+                .microwatts(),
+            1000.0);
   // Tens of microwatts for a 20 MHz ring oscillator.
-  const double ring = oscillator_power_uw(OscillatorKind::kRing, 20e6);
+  const double ring =
+      oscillator_power(OscillatorKind::kRing, util::Hertz{20e6}).microwatts();
   EXPECT_GT(ring, 10.0);
   EXPECT_LT(ring, 100.0);
   // Well under a microwatt for the 50 kHz crystal.
-  EXPECT_LT(oscillator_power_uw(OscillatorKind::kCrystal, 50e3), 1.0);
+  EXPECT_LT(oscillator_power(OscillatorKind::kCrystal, util::Hertz{50e3})
+                .microwatts(),
+            1.0);
 }
 
 TEST(Power, WholeTagIsAFewMicrowatts) {
   ClockConfig clock;
   clock.nominal_hz = 50e3;
   // A 40 Kbps tag toggles at most ~40 k/2 times per second on average.
-  const PowerBreakdown p = estimate_power(clock, 20e3);
-  EXPECT_GT(p.total_uw(), 1.0);
-  EXPECT_LT(p.total_uw(), 10.0);
+  const PowerBreakdown p = estimate_power(clock, util::Hertz{20e3});
+  EXPECT_GT(p.total().microwatts(), 1.0);
+  EXPECT_LT(p.total().microwatts(), 10.0);
 }
 
 TEST(Power, ChannelShiftingTagsPayTheOscillator) {
@@ -191,21 +196,24 @@ TEST(Power, ChannelShiftingTagsPayTheOscillator) {
   shift.nominal_hz = 20e6;
   ClockConfig witag;
   witag.nominal_hz = 50e3;
-  EXPECT_GT(estimate_power(shift, 20e3).total_uw(),
-            5.0 * estimate_power(witag, 20e3).total_uw());
+  EXPECT_GT(estimate_power(shift, util::Hertz{20e3}).total().microwatts(),
+            5.0 * estimate_power(witag, util::Hertz{20e3}).total().microwatts());
 }
 
 TEST(Power, SwitchTogglingCost) {
   ClockConfig clock;
-  const double idle = estimate_power(clock, 0.0).rf_switch_uw;
+  const double idle =
+      estimate_power(clock, util::Hertz{0.0}).rf_switch.microwatts();
   EXPECT_DOUBLE_EQ(idle, 0.0);
-  EXPECT_GT(estimate_power(clock, 1e6).rf_switch_uw, 1.0);
+  EXPECT_GT(estimate_power(clock, util::Hertz{1e6}).rf_switch.microwatts(),
+            1.0);
 }
 
 TEST(Power, ContractChecks) {
   ClockConfig clock;
-  EXPECT_THROW(estimate_power(clock, -1.0), std::invalid_argument);
-  EXPECT_THROW(oscillator_power_uw(OscillatorKind::kRing, 0.0),
+  EXPECT_THROW(estimate_power(clock, util::Hertz{-1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(oscillator_power(OscillatorKind::kRing, util::Hertz{0.0}),
                std::invalid_argument);
 }
 

@@ -23,10 +23,10 @@ class EndToEndSweep : public ::testing::TestWithParam<SweepCase> {};
 
 TEST_P(EndToEndSweep, BlockAckBitsEqualTagBits) {
   const SweepCase& c = GetParam();
-  SessionConfig cfg = los_testbed_config(1.0, 1000 + c.mcs);
+  SessionConfig cfg = los_testbed_config(util::Meters{1.0}, 1000 + c.mcs);
   cfg.fading.n_scatterers = 0;
-  cfg.fading.blocking_rate_hz = 0.0;
-  cfg.fading.interference_rate_hz = 0.0;
+  cfg.fading.blocking_rate_hz = util::Hertz{0.0};
+  cfg.fading.interference_rate_hz = util::Hertz{0.0};
   cfg.query.mcs_index = c.mcs;
   cfg.security.mode = c.security;
   cfg.security.ccmp_key = {1, 2, 3, 4, 5, 6, 7, 8,

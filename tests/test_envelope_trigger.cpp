@@ -5,6 +5,7 @@
 #include "tag/envelope.hpp"
 #include "tag/trigger.hpp"
 #include "util/rng.hpp"
+#include "util/units.hpp"
 
 namespace witag::tag {
 namespace {
@@ -20,7 +21,7 @@ util::CxVec amplitude_profile(std::initializer_list<std::pair<double, double>>
     const auto n = static_cast<std::size_t>(dur_us * 20.0);
     for (std::size_t i = 0; i < n; ++i) {
       // Random phase carrier with the requested envelope.
-      const double phase = rng.uniform(0.0, 6.28318);
+      const double phase = rng.uniform(0.0, 2.0 * util::kPi);
       samples.push_back(std::polar(amp, phase) +
                         noise_amp * rng.complex_normal(1.0));
     }
@@ -68,7 +69,7 @@ TEST(Envelope, ResetClearsState) {
 
 TEST(Envelope, RejectsBadConfig) {
   EnvelopeConfig bad;
-  bad.rc_cutoff_hz = 0.0;
+  bad.rc_cutoff_hz = util::Hertz{0.0};
   EXPECT_THROW(EnvelopeDetector{bad}, std::invalid_argument);
   EnvelopeConfig bad2;
   bad2.threshold_fraction = 1.5;

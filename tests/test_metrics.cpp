@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/bits.hpp"
+#include "util/units.hpp"
 
 namespace witag::core {
 namespace {
@@ -13,7 +14,7 @@ TEST(LinkMetrics, CountsErrorsByDirection) {
   LinkMetrics m;
   const util::BitVec sent{1, 0, 1, 0};
   const std::vector<bool> received{true, true, false, false};
-  m.record_round(sent, received, false, 1000.0);
+  m.record_round(sent, received, false, util::Micros{1000.0});
   EXPECT_EQ(m.bits(), 4u);
   EXPECT_EQ(m.bit_errors(), 2u);
   EXPECT_EQ(m.missed_corruptions(), 1u);  // sent 0, read 1
@@ -24,7 +25,7 @@ TEST(LinkMetrics, CountsErrorsByDirection) {
 TEST(LinkMetrics, LostRoundCountsAllBitsAsErrors) {
   LinkMetrics m;
   const util::BitVec sent{1, 1, 0};
-  m.record_round(sent, {}, true, 500.0);
+  m.record_round(sent, {}, true, util::Micros{500.0});
   EXPECT_EQ(m.bits(), 3u);
   EXPECT_EQ(m.bit_errors(), 3u);
   EXPECT_EQ(m.rounds_lost(), 1u);
@@ -35,7 +36,7 @@ TEST(LinkMetrics, ThroughputFromAirtime) {
   const util::BitVec sent(64, 1);
   const std::vector<bool> received(64, true);
   // 64 bits in 1600 us -> 40 Kbps.
-  m.record_round(sent, received, false, 1600.0);
+  m.record_round(sent, received, false, util::Micros{1600.0});
   EXPECT_DOUBLE_EQ(m.raw_rate_kbps(), 40.0);
   EXPECT_DOUBLE_EQ(m.goodput_kbps(), 40.0);
 }
@@ -45,7 +46,7 @@ TEST(LinkMetrics, GoodputExcludesErrors) {
   util::BitVec sent(10, 1);
   std::vector<bool> received(10, true);
   received[0] = false;
-  m.record_round(sent, received, false, 1000.0);
+  m.record_round(sent, received, false, util::Micros{1000.0});
   EXPECT_DOUBLE_EQ(m.goodput_kbps(), 9.0 / 1e-3 / 1e3);
 }
 
@@ -60,9 +61,9 @@ TEST(LinkMetrics, ContractChecks) {
   LinkMetrics m;
   const util::BitVec sent{1};
   const std::vector<bool> wrong_size{true, false};
-  EXPECT_THROW(m.record_round(sent, wrong_size, false, 1.0),
+  EXPECT_THROW(m.record_round(sent, wrong_size, false, util::Micros{1.0}),
                std::invalid_argument);
-  EXPECT_THROW(m.record_round(sent, {true}, false, -1.0),
+  EXPECT_THROW(m.record_round(sent, {true}, false, util::Micros{-1.0}),
                std::invalid_argument);
 }
 

@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/report.hpp"
+#include "util/units.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "witag/session.hpp"
@@ -52,7 +53,7 @@ TEST_F(ObsJson, ParsesNestedDocument) {
 TEST_F(ObsJson, DumpParseRoundTrip) {
   json::Value doc = json::Value::object();
   doc.set("name", json::Value::string("quote\" comma, \tend"));
-  doc.set("pi", json::Value::number(3.141592653589793));
+  doc.set("pi", json::Value::number(util::kPi));
   json::Value arr = json::Value::array();
   arr.push_back(json::Value::number(1e-9));
   arr.push_back(json::Value::boolean(false));
@@ -60,7 +61,7 @@ TEST_F(ObsJson, DumpParseRoundTrip) {
 
   const auto back = json::Value::parse(doc.dump());
   EXPECT_EQ(back.at("name").as_string(), "quote\" comma, \tend");
-  EXPECT_DOUBLE_EQ(back.at("pi").as_number(), 3.141592653589793);
+  EXPECT_DOUBLE_EQ(back.at("pi").as_number(), util::kPi);
   EXPECT_DOUBLE_EQ(back.at("arr")[0].as_number(), 1e-9);
   EXPECT_FALSE(back.at("arr")[1].as_bool());
 }
@@ -251,7 +252,7 @@ TEST_F(ObsSession, SpanCountsMatchLinkMetrics) {
   GTEST_SKIP() << "instrumentation compiled out (WITAG_OBS=OFF)";
 #else
   Tracer::instance().set_enabled(true);
-  auto cfg = core::los_testbed_config(4.0, 77);
+  auto cfg = core::los_testbed_config(util::Meters{4.0}, 77);
   core::Session session(cfg);
   const auto stats = session.run(3);
   Tracer::instance().set_enabled(false);

@@ -9,24 +9,29 @@
 namespace witag::channel {
 namespace {
 
+using util::Db;
+using util::Hertz;
+using util::Meters;
+
 TEST(Pathloss, FriisMagnitude) {
   // |h| = lambda / (4 pi d).
   const double d = 8.0;
-  const double lambda = util::wavelength(util::kWifi24GHz);
+  const double lambda = util::wavelength(util::kWifi24GHz).value();
   const double expected = lambda / (4.0 * util::kPi * d);
-  EXPECT_NEAR(std::abs(direct_gain(d, util::kWifi24GHz)), expected, 1e-12);
+  EXPECT_NEAR(std::abs(direct_gain(Meters{d}, util::kWifi24GHz)), expected,
+              1e-12);
 }
 
 TEST(Pathloss, InverseSquarePowerLaw) {
-  const double p1 = std::norm(direct_gain(2.0, util::kWifi24GHz));
-  const double p2 = std::norm(direct_gain(4.0, util::kWifi24GHz));
+  const double p1 = std::norm(direct_gain(Meters{2.0}, util::kWifi24GHz));
+  const double p2 = std::norm(direct_gain(Meters{4.0}, util::kWifi24GHz));
   EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
 }
 
 TEST(Pathloss, PhaseAdvancesWithDistance) {
-  const double lambda = util::wavelength(util::kWifi24GHz);
-  const auto h1 = direct_gain(5.0, util::kWifi24GHz);
-  const auto h2 = direct_gain(5.0 + lambda / 2.0, util::kWifi24GHz);
+  const double lambda = util::wavelength(util::kWifi24GHz).value();
+  const auto h1 = direct_gain(Meters{5.0}, util::kWifi24GHz);
+  const auto h2 = direct_gain(Meters{5.0 + lambda / 2.0}, util::kWifi24GHz);
   // Half a wavelength flips the phase.
   const double phase_diff =
       std::arg(h2 * std::conj(h1));
@@ -35,10 +40,13 @@ TEST(Pathloss, PhaseAdvancesWithDistance) {
 
 TEST(Pathloss, ReflectedFollowsRadarLaw) {
   // Power ~ 1/(Ds^2 Dr^2): doubling one hop distance quarters power.
-  const double p1 = std::norm(reflected_gain(2.0, 3.0, 1.0, util::kWifi24GHz));
-  const double p2 = std::norm(reflected_gain(4.0, 3.0, 1.0, util::kWifi24GHz));
+  const double p1 = std::norm(
+      reflected_gain(Meters{2.0}, Meters{3.0}, 1.0, util::kWifi24GHz));
+  const double p2 = std::norm(
+      reflected_gain(Meters{4.0}, Meters{3.0}, 1.0, util::kWifi24GHz));
   EXPECT_NEAR(p1 / p2, 4.0, 1e-9);
-  const double p3 = std::norm(reflected_gain(2.0, 6.0, 1.0, util::kWifi24GHz));
+  const double p3 = std::norm(
+      reflected_gain(Meters{2.0}, Meters{6.0}, 1.0, util::kWifi24GHz));
   EXPECT_NEAR(p1 / p3, 4.0, 1e-9);
 }
 
@@ -47,39 +55,43 @@ TEST(Pathloss, ReflectedMidpointIsWeakest) {
   // reflected amplitude is minimized there — the paper's Figure 5
   // explanation.
   const double total = 8.0;
-  const double mid =
-      std::abs(reflected_gain(4.0, 4.0, 1.0, util::kWifi24GHz));
+  const double mid = std::abs(
+      reflected_gain(Meters{4.0}, Meters{4.0}, 1.0, util::kWifi24GHz));
   for (const double ds : {1.0, 2.0, 3.0}) {
-    const double off =
-        std::abs(reflected_gain(ds, total - ds, 1.0, util::kWifi24GHz));
+    const double off = std::abs(reflected_gain(
+        Meters{ds}, Meters{total - ds}, 1.0, util::kWifi24GHz));
     EXPECT_GT(off, mid) << "ds " << ds;
   }
 }
 
 TEST(Pathloss, StrengthScalesLinearly) {
-  const double a1 = std::abs(reflected_gain(2.0, 2.0, 1.0, util::kWifi24GHz));
-  const double a2 = std::abs(reflected_gain(2.0, 2.0, 3.5, util::kWifi24GHz));
+  const double a1 = std::abs(
+      reflected_gain(Meters{2.0}, Meters{2.0}, 1.0, util::kWifi24GHz));
+  const double a2 = std::abs(
+      reflected_gain(Meters{2.0}, Meters{2.0}, 3.5, util::kWifi24GHz));
   EXPECT_NEAR(a2 / a1, 3.5, 1e-9);
 }
 
 TEST(Pathloss, SubcarrierOffsetRotatesPhaseOnly) {
-  const auto h0 = direct_gain(10.0, util::kWifi24GHz, 0.0);
-  const auto h1 = direct_gain(10.0, util::kWifi24GHz, 312'500.0);
+  const auto h0 = direct_gain(Meters{10.0}, util::kWifi24GHz, Hertz{0.0});
+  const auto h1 = direct_gain(Meters{10.0}, util::kWifi24GHz, Hertz{312'500.0});
   EXPECT_NEAR(std::abs(h0), std::abs(h1), 1e-15);
   EXPECT_GT(std::abs(std::arg(h1 * std::conj(h0))), 1e-6);
 }
 
 TEST(Pathloss, AttenuateHalvesPowerPer3Db) {
   const std::complex<double> g{1.0, 0.0};
-  EXPECT_NEAR(std::norm(attenuate(g, 3.0)), 0.501, 0.001);
-  EXPECT_NEAR(std::norm(attenuate(g, 10.0)), 0.1, 1e-9);
+  EXPECT_NEAR(std::norm(attenuate(g, Db{3.0})), 0.501, 0.001);
+  EXPECT_NEAR(std::norm(attenuate(g, Db{10.0})), 0.1, 1e-9);
 }
 
 TEST(Pathloss, RejectsNonPositiveDistance) {
-  EXPECT_THROW(direct_gain(0.0, util::kWifi24GHz), std::invalid_argument);
-  EXPECT_THROW(reflected_gain(0.0, 1.0, 1.0, util::kWifi24GHz),
+  EXPECT_THROW(direct_gain(Meters{0.0}, util::kWifi24GHz),
                std::invalid_argument);
-  EXPECT_THROW(reflected_gain(1.0, -1.0, 1.0, util::kWifi24GHz),
+  EXPECT_THROW(reflected_gain(Meters{0.0}, Meters{1.0}, 1.0, util::kWifi24GHz),
+               std::invalid_argument);
+  EXPECT_THROW(reflected_gain(Meters{1.0}, Meters{-1.0}, 1.0,
+                              util::kWifi24GHz),
                std::invalid_argument);
 }
 

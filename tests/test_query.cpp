@@ -4,6 +4,7 @@
 
 #include "mac/ampdu.hpp"
 #include "phy/mcs.hpp"
+#include "util/units.hpp"
 
 namespace witag::core {
 namespace {
@@ -18,7 +19,7 @@ class QueryPlanParam : public ::testing::TestWithParam<PlanCase> {};
 TEST_P(QueryPlanParam, LayoutSatisfiesAllConstraints) {
   QueryConfig cfg;
   const QueryLayout layout =
-      plan_query(cfg, GetParam().mcs, GetParam().security, 1.0, 4.0);
+      plan_query(cfg, GetParam().mcs, GetParam().security, util::Micros{1.0}, util::Micros{4.0});
 
   const phy::McsParams& m = phy::mcs(GetParam().mcs);
   // Whole symbols: bytes * 8 == symbols * n_dbps.
@@ -30,7 +31,8 @@ TEST_P(QueryPlanParam, LayoutSatisfiesAllConstraints) {
   EXPECT_GE(layout.subframe_bytes,
             mac::kDelimiterBytes + mac::kQosHeaderBytes + mac::kFcsBytes);
   // Tag timing: at least one whole OFDM symbol of corruption window.
-  const double window = layout.subframe_duration_us() - 2.0 * 4.0 - 2.0 * 1.0;
+  const double window =
+      layout.subframe_duration_us().value() - 2.0 * 4.0 - 2.0 * 1.0;
   EXPECT_GE(window, phy::kSymbolDurationUs);
   EXPECT_EQ(layout.n_data_subframes, layout.n_subframes - layout.n_trigger);
 }
@@ -49,9 +51,9 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(QueryPlan, CoarserClockForcesLongerSubframes) {
   QueryConfig cfg;
   const QueryLayout fine =
-      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   const QueryLayout coarse =
-      plan_query(cfg, 5, mac::Security::kOpen, 20.0, 4.0);
+      plan_query(cfg, 5, mac::Security::kOpen, util::Micros{20.0}, util::Micros{4.0});
   EXPECT_GT(coarse.symbols_per_subframe, fine.symbols_per_subframe);
 }
 
@@ -59,7 +61,7 @@ TEST(QueryPlan, ExplicitSymbolsRespected) {
   QueryConfig cfg;
   cfg.symbols_per_subframe = 8;
   const QueryLayout layout =
-      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   EXPECT_EQ(layout.symbols_per_subframe, 8u);
   EXPECT_EQ(layout.subframe_bytes, 208u);
 }
@@ -67,40 +69,41 @@ TEST(QueryPlan, ExplicitSymbolsRespected) {
 TEST(QueryPlan, ExplicitSymbolsValidated) {
   QueryConfig cfg;
   cfg.symbols_per_subframe = 3;  // 3 * 208 / 8 = 78, not 4-aligned
-  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0}),
                std::invalid_argument);
 }
 
 TEST(QueryPlan, TriggerCountValidated) {
   QueryConfig cfg;
   cfg.n_trigger = 4;  // must be odd >= 5
-  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0}),
                std::invalid_argument);
   cfg.n_trigger = 63;
   cfg.n_subframes = 63;  // no data subframes left
-  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0),
+  EXPECT_THROW(plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0}),
                std::invalid_argument);
 }
 
 TEST(QueryPlan, IdealTimingGeometry) {
   QueryConfig cfg;
   const QueryLayout layout =
-      plan_query(cfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(cfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   const tag::QueryTiming t = layout.ideal_timing();
-  EXPECT_DOUBLE_EQ(t.subframe_duration_us, layout.subframe_duration_us());
+  EXPECT_DOUBLE_EQ(t.subframe_duration_us,
+                   layout.subframe_duration_us().value());
   EXPECT_DOUBLE_EQ(t.data_start_us,
-                   layout.subframes_start_us() +
-                       layout.n_trigger * layout.subframe_duration_us());
+                   layout.subframes_start_us().value() +
+                       layout.n_trigger * layout.subframe_duration_us().value());
   // Align edge = end of trigger subframe 3.
   EXPECT_DOUBLE_EQ(t.align_edge_us,
-                   layout.subframes_start_us() +
-                       4.0 * layout.subframe_duration_us());
+                   layout.subframes_start_us().value() +
+                       4.0 * layout.subframe_duration_us().value());
 }
 
 TEST(QueryBuild, PsduShapeAndPpduLayout) {
   QueryConfig qcfg;
   const QueryLayout layout =
-      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(qcfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   mac::Client client(mac::make_address(1), mac::make_address(2), {});
   const QueryFrame frame = build_query(layout, client, 0.35);
   EXPECT_EQ(frame.ppdu.sig.length,
@@ -111,7 +114,7 @@ TEST(QueryBuild, PsduShapeAndPpduLayout) {
 TEST(QueryBuild, TriggerScalePatternHighLowAlternates) {
   QueryConfig qcfg;
   const QueryLayout layout =
-      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(qcfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   mac::Client client(mac::make_address(1), mac::make_address(2), {});
   const QueryFrame frame = build_query(layout, client, 0.35);
   const std::size_t s_per = layout.symbols_per_subframe;
@@ -137,7 +140,7 @@ TEST(QueryBuild, TriggerScalePatternHighLowAlternates) {
 TEST(QueryBuild, DeaggregatesToUniformSubframes) {
   QueryConfig qcfg;
   const QueryLayout layout =
-      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(qcfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   mac::Client client(mac::make_address(1), mac::make_address(2), {});
   const QueryFrame frame = build_query(layout, client, 0.35);
   // Rebuild the PSDU through the client to inspect subframe boundaries.
@@ -151,7 +154,7 @@ TEST(QueryBuild, DeaggregatesToUniformSubframes) {
 TEST(QueryBuild, ScaleValidated) {
   QueryConfig qcfg;
   const QueryLayout layout =
-      plan_query(qcfg, 5, mac::Security::kOpen, 1.0, 4.0);
+      plan_query(qcfg, 5, mac::Security::kOpen, util::Micros{1.0}, util::Micros{4.0});
   mac::Client client(mac::make_address(1), mac::make_address(2), {});
   EXPECT_THROW(build_query(layout, client, 0.0), std::invalid_argument);
   EXPECT_THROW(build_query(layout, client, 1.0), std::invalid_argument);

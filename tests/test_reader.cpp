@@ -6,10 +6,10 @@ namespace witag::core {
 namespace {
 
 SessionConfig quiet_los(double tag_at, std::uint64_t seed) {
-  SessionConfig cfg = los_testbed_config(tag_at, seed);
+  SessionConfig cfg = los_testbed_config(util::Meters{tag_at}, seed);
   cfg.fading.n_scatterers = 0;
-  cfg.fading.blocking_rate_hz = 0.0;
-  cfg.fading.interference_rate_hz = 0.0;
+  cfg.fading.blocking_rate_hz = util::Hertz{0.0};
+  cfg.fading.interference_rate_hz = util::Hertz{0.0};
   return cfg;
 }
 
@@ -42,7 +42,7 @@ TEST(Reader, RepeatedPollsReuseLeftoverBits) {
 TEST(Reader, FecRepairsNoisyLink) {
   // Mid-link at calibrated coupling: a few percent raw BER; repetition
   // FEC + CRC must still deliver intact frames.
-  SessionConfig cfg = los_testbed_config(4.0, 23);
+  SessionConfig cfg = los_testbed_config(util::Meters{4.0}, 23);
   Session session(cfg);
   ReaderConfig rcfg;
   rcfg.fec = TagFec::kRepetition3;
@@ -110,7 +110,7 @@ TEST(Reader, StatsAccumulate) {
   reader.poll_frame();
   const auto& stats = reader.stats();
   EXPECT_EQ(stats.frames_ok, 2u);
-  EXPECT_GT(stats.airtime_us, 0.0);
+  EXPECT_GT(stats.airtime_us.value(), 0.0);
   EXPECT_GT(stats.frame_goodput_kbps(1), 0.0);
 }
 

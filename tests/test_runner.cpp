@@ -103,7 +103,8 @@ core::LinkMetrics sample_metrics(std::uint64_t seed, std::size_t rounds) {
     for (std::size_t i = 0; i < sent.size(); ++i) {
       received[i] = rng.uniform() < 0.9 ? (sent[i] != 0) : (sent[i] == 0);
     }
-    m.record_round(sent, received, rng.uniform() < 0.1, 1000.0 + 10.0 * r);
+    m.record_round(sent, received, rng.uniform() < 0.1,
+                   util::Micros{1000.0 + 10.0 * r});
   }
   return m;
 }
@@ -115,7 +116,7 @@ void expect_metrics_eq(const core::LinkMetrics& x, const core::LinkMetrics& y) {
   EXPECT_EQ(x.false_corruptions(), y.false_corruptions());
   EXPECT_EQ(x.rounds(), y.rounds());
   EXPECT_EQ(x.rounds_lost(), y.rounds_lost());
-  EXPECT_DOUBLE_EQ(x.elapsed_us(), y.elapsed_us());
+  EXPECT_DOUBLE_EQ(x.elapsed_us().value(), y.elapsed_us().value());
 }
 
 TEST(LinkMetricsMerge, EmptyIsIdentity) {
@@ -158,8 +159,9 @@ TEST(LinkMetricsMerge, MatchesRecordingEverythingInOneAccumulator) {
     for (std::size_t i = 0; i < sent.size(); ++i) {
       received[i] = sent[i] != 0;
     }
-    whole.record_round(sent, received, false, 500.0);
-    (r < 6 ? first : second).record_round(sent, received, false, 500.0);
+    whole.record_round(sent, received, false, util::Micros{500.0});
+    (r < 6 ? first : second)
+        .record_round(sent, received, false, util::Micros{500.0});
   }
   first.merge(second);
   expect_metrics_eq(first, whole);
@@ -168,8 +170,9 @@ TEST(LinkMetricsMerge, MatchesRecordingEverythingInOneAccumulator) {
 std::vector<SweepTask> sweep_fixture(std::size_t n_tasks) {
   std::vector<SweepTask> tasks;
   for (std::size_t i = 0; i < n_tasks; ++i) {
-    auto cfg = core::los_testbed_config(1.0 + static_cast<double>(i % 7),
-                                        util::Rng::derive_seed(1234, i));
+    auto cfg = core::los_testbed_config(
+        util::Meters{1.0 + static_cast<double>(i % 7)},
+        util::Rng::derive_seed(1234, i));
     tasks.push_back({std::move(cfg), 3});
   }
   return tasks;
@@ -179,8 +182,9 @@ void expect_run_stats_eq(const core::Session::RunStats& x,
                          const core::Session::RunStats& y) {
   expect_metrics_eq(x.metrics, y.metrics);
   EXPECT_EQ(x.triggers_missed, y.triggers_missed);
-  EXPECT_DOUBLE_EQ(x.mean_snr_db, y.mean_snr_db);
-  EXPECT_DOUBLE_EQ(x.tag_perturbation_db, y.tag_perturbation_db);
+  EXPECT_DOUBLE_EQ(x.mean_snr_db.value(), y.mean_snr_db.value());
+  EXPECT_DOUBLE_EQ(x.tag_perturbation_db.value(),
+                   y.tag_perturbation_db.value());
 }
 
 // The tentpole contract: the merged result and every per-task result are
@@ -233,7 +237,7 @@ TEST(RunnerDeterminism, RoundBitStreamsInvariantAcrossWorkerCounts) {
   };
   const auto run_all = [](std::size_t jobs) {
     return parallel_map(5, jobs, [](std::size_t i) -> TaskTrace {
-      auto cfg = core::los_testbed_config(2.0 + static_cast<double>(i),
+      auto cfg = core::los_testbed_config(util::Meters{2.0 + static_cast<double>(i)},
                                           util::Rng::derive_seed(777, i));
       core::Session session(cfg);
       TaskTrace trace;

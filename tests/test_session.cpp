@@ -9,11 +9,11 @@ namespace witag::core {
 namespace {
 
 SessionConfig quiet_los(double tag_at, std::uint64_t seed) {
-  SessionConfig cfg = los_testbed_config(tag_at, seed);
+  SessionConfig cfg = los_testbed_config(util::Meters{tag_at}, seed);
   // Deterministic clean channel for invariants: no fading/interference.
   cfg.fading.n_scatterers = 0;
-  cfg.fading.blocking_rate_hz = 0.0;
-  cfg.fading.interference_rate_hz = 0.0;
+  cfg.fading.blocking_rate_hz = util::Hertz{0.0};
+  cfg.fading.interference_rate_hz = util::Hertz{0.0};
   return cfg;
 }
 
@@ -45,7 +45,7 @@ TEST(Session, RunAggregatesMetrics) {
   EXPECT_DOUBLE_EQ(stats.metrics.ber(), 0.0);
   EXPECT_GT(stats.metrics.goodput_kbps(), 20.0);
   EXPECT_LT(stats.metrics.goodput_kbps(), 80.0);
-  EXPECT_GT(stats.mean_snr_db, 35.0);
+  EXPECT_GT(stats.mean_snr_db.value(), 35.0);
 }
 
 TEST(Session, DeterministicGivenSeed) {
@@ -56,7 +56,7 @@ TEST(Session, DeterministicGivenSeed) {
     const auto rb = b.run_round();
     EXPECT_EQ(ra.sent, rb.sent);
     EXPECT_EQ(ra.received, rb.received);
-    EXPECT_DOUBLE_EQ(ra.airtime_us, rb.airtime_us);
+    EXPECT_DOUBLE_EQ(ra.airtime_us.value(), rb.airtime_us.value());
   }
 }
 
@@ -144,14 +144,17 @@ TEST(Session, AirtimeIsAccountedPerRound) {
   Session s(quiet_los(2.0, 12));
   const auto r = s.run_round();
   // At least DIFS + PPDU + SIFS + BA.
-  const double floor_us =
-      mac::kDifsUs + s.layout().subframe_duration_us() * 64 + mac::kSifsUs;
-  EXPECT_GT(r.airtime_us, floor_us * 0.9);
+  const double floor_us = mac::kDifsUs +
+                          s.layout().subframe_duration_us().value() * 64 +
+                          mac::kSifsUs;
+  EXPECT_GT(r.airtime_us.value(), floor_us * 0.9);
 }
 
 TEST(Session, LosConfigValidation) {
-  EXPECT_THROW(los_testbed_config(0.0, 1), std::invalid_argument);
-  EXPECT_THROW(los_testbed_config(8.0, 1), std::invalid_argument);
+  EXPECT_THROW(los_testbed_config(util::Meters{0.0}, 1),
+               std::invalid_argument);
+  EXPECT_THROW(los_testbed_config(util::Meters{8.0}, 1),
+               std::invalid_argument);
 }
 
 TEST(Session, UnaddressedTagStaysSilent) {

@@ -49,9 +49,9 @@ TEST(TagPath, CouplingIncludesWallLoss) {
   plan.add_wall({{2.0, -5.0}, {2.0, 5.0}, 6.0});
   TagPathConfig tag{{1.0, 0.0}, 2.0, TagMode::kPhaseFlip};
   const auto with_wall =
-      tag_coupling(tag, {0, 0}, {8, 0}, plan, util::kWifi24GHz, 0.0);
+      tag_coupling(tag, {0, 0}, {8, 0}, plan, util::kWifi24GHz, util::Hertz{0.0});
   const auto without =
-      tag_coupling(tag, {0, 0}, {8, 0}, FloorPlan{}, util::kWifi24GHz, 0.0);
+      tag_coupling(tag, {0, 0}, {8, 0}, FloorPlan{}, util::kWifi24GHz, util::Hertz{0.0});
   // Tag -> AP hop crosses the wall once: -6 dB amplitude factor.
   EXPECT_NEAR(std::abs(with_wall) / std::abs(without),
               std::pow(10.0, -6.0 / 20.0), 1e-9);
@@ -62,9 +62,9 @@ TEST(TagPath, CouplingScalesWithStrength) {
   TagPathConfig weak{{3.0, 1.0}, 1.0, TagMode::kPhaseFlip};
   TagPathConfig strong{{3.0, 1.0}, 7.0, TagMode::kPhaseFlip};
   const double a1 =
-      std::abs(tag_coupling(weak, {0, 0}, {8, 0}, empty, util::kWifi24GHz, 0.0));
+      std::abs(tag_coupling(weak, {0, 0}, {8, 0}, empty, util::kWifi24GHz, util::Hertz{0.0}));
   const double a2 = std::abs(
-      tag_coupling(strong, {0, 0}, {8, 0}, empty, util::kWifi24GHz, 0.0));
+      tag_coupling(strong, {0, 0}, {8, 0}, empty, util::kWifi24GHz, util::Hertz{0.0}));
   EXPECT_NEAR(a2 / a1, 7.0, 1e-9);
 }
 

@@ -1,0 +1,155 @@
+// Tests for the strong-typed quantity layer: conversion round trips,
+// dimensional identities, and compile-time assertions that the operator
+// set admits exactly the physically meaningful expressions.
+#include "util/units.hpp"
+
+#include <functional>
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+namespace witag::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// Compile-time operator-set checks. A unit-safety regression (allowing
+// Dbm + Dbm, or passing a raw double where a quantity belongs) makes
+// these static_asserts fail, so the build itself is the test.
+// ---------------------------------------------------------------------
+
+// No implicit construction from double and no implicit decay back.
+static_assert(!std::is_convertible_v<double, Db>);
+static_assert(!std::is_convertible_v<double, Dbm>);
+static_assert(!std::is_convertible_v<double, Watts>);
+static_assert(!std::is_convertible_v<double, Hertz>);
+static_assert(!std::is_convertible_v<double, Meters>);
+static_assert(!std::is_convertible_v<double, Micros>);
+static_assert(!std::is_convertible_v<double, Seconds>);
+static_assert(!std::is_convertible_v<Db, double>);
+static_assert(!std::is_convertible_v<Dbm, double>);
+static_assert(!std::is_convertible_v<Watts, double>);
+
+// No cross-unit construction: a Db is not a Dbm, a Micros is not a
+// Seconds, a Meters is not a Hertz.
+static_assert(!std::is_constructible_v<Dbm, Db>);
+static_assert(!std::is_constructible_v<Db, Dbm>);
+static_assert(!std::is_constructible_v<Seconds, Micros>);
+static_assert(!std::is_constructible_v<Micros, Seconds>);
+static_assert(!std::is_constructible_v<Hertz, Meters>);
+static_assert(!std::is_constructible_v<Watts, Dbm>);
+
+// Absolute powers do not add on a log scale: Dbm + Dbm must not compile.
+static_assert(!std::is_invocable_v<std::plus<>, Dbm, Dbm>);
+// Shifting an absolute power by a ratio is fine, both ways.
+static_assert(std::is_invocable_v<std::plus<>, Dbm, Db>);
+static_assert(std::is_invocable_v<std::plus<>, Db, Dbm>);
+static_assert(std::is_invocable_v<std::minus<>, Dbm, Db>);
+// Dbm - Dbm is the ratio of two powers: a Db.
+static_assert(std::is_same_v<decltype(Dbm{10.0} - Dbm{4.0}), Db>);
+// ... but Db - Dbm is meaningless.
+static_assert(!std::is_invocable_v<std::minus<>, Db, Dbm>);
+
+// Linear quantities: same-type sums, dimensionless scaling, and
+// same-type ratios only.
+static_assert(std::is_same_v<decltype(Watts{1.0} + Watts{2.0}), Watts>);
+static_assert(std::is_same_v<decltype(Watts{1.0} * 2.0), Watts>);
+static_assert(std::is_same_v<decltype(2.0 * Watts{1.0}), Watts>);
+static_assert(std::is_same_v<decltype(Watts{1.0} / Watts{2.0}), double>);
+static_assert(std::is_same_v<decltype(Micros{8.0} - Micros{4.0}), Micros>);
+static_assert(std::is_same_v<decltype(Hertz{1.0} + Hertz{2.0}), Hertz>);
+// No mixing across linear units.
+static_assert(!std::is_invocable_v<std::plus<>, Watts, Hertz>);
+static_assert(!std::is_invocable_v<std::plus<>, Meters, Micros>);
+static_assert(!std::is_invocable_v<std::plus<>, Micros, Seconds>);
+static_assert(!std::is_invocable_v<std::minus<>, Hertz, Meters>);
+static_assert(!std::is_invocable_v<std::plus<>, Watts, Db>);
+// Watts * Watts has no representation here (no W^2 type): must not compile.
+static_assert(!std::is_invocable_v<std::multiplies<>, Watts, Watts>);
+// Adding a raw double to a quantity must not compile either way.
+static_assert(!std::is_invocable_v<std::plus<>, Watts, double>);
+static_assert(!std::is_invocable_v<std::plus<>, double, Micros>);
+
+// Comparisons exist within a unit, not across units.
+static_assert(std::is_invocable_v<std::less<>, Meters, Meters>);
+static_assert(!std::is_invocable_v<std::less<>, Meters, Hertz>);
+static_assert(!std::is_invocable_v<std::equal_to<>, Db, Dbm>);
+
+// Conversion helpers return the dimensionally correct type.
+static_assert(std::is_same_v<decltype(to_seconds(Micros{1.0})), Seconds>);
+static_assert(std::is_same_v<decltype(to_micros(Seconds{1.0})), Micros>);
+
+// ---------------------------------------------------------------------
+// Runtime conversions.
+// ---------------------------------------------------------------------
+
+TEST(Units, DbLinearRoundTrip) {
+  EXPECT_NEAR(db_to_linear(Db{3.0}), 1.995, 0.01);
+  EXPECT_NEAR(linear_to_db(100.0).value(), 20.0, 1e-9);
+  EXPECT_NEAR(linear_to_db(db_to_linear(Db{-7.3})).value(), -7.3, 1e-9);
+  EXPECT_NEAR(db_to_linear(linear_to_db(0.042)), 0.042, 1e-12);
+}
+
+TEST(Units, DbmWattsRoundTrip) {
+  EXPECT_NEAR(to_watts(Dbm{0.0}).value(), 1e-3, 1e-12);
+  EXPECT_NEAR(to_dbm(Watts{1.0}).value(), 30.0, 1e-9);
+  EXPECT_NEAR(to_dbm(to_watts(Dbm{15.0})).value(), 15.0, 1e-9);
+  EXPECT_NEAR(to_watts(to_dbm(Watts{2.5e-6})).value(), 2.5e-6, 1e-15);
+}
+
+TEST(Units, LogArithmeticMatchesLinear) {
+  // Shifting -40 dBm up by 13 dB must equal multiplying the watts by
+  // the linear gain.
+  const Dbm shifted = Dbm{-40.0} + Db{13.0};
+  EXPECT_NEAR(to_watts(shifted).value(),
+              to_watts(Dbm{-40.0}).value() * db_to_linear(Db{13.0}), 1e-12);
+  // The ratio of two absolute powers is their dB difference.
+  EXPECT_NEAR((Dbm{-20.0} - Dbm{-26.0}).value(), 6.0, 1e-12);
+}
+
+TEST(Units, DurationRoundTrip) {
+  EXPECT_NEAR(to_seconds(Micros{250.0}).value(), 250e-6, 1e-15);
+  EXPECT_NEAR(to_micros(Seconds{0.004}).value(), 4000.0, 1e-9);
+  EXPECT_NEAR(to_micros(to_seconds(Micros{123.4})).value(), 123.4, 1e-9);
+}
+
+TEST(Units, WavelengthAt24GHz) {
+  EXPECT_NEAR(wavelength(kWifi24GHz).value(), 0.123, 0.001);
+  // lambda * f = c, dimensional identity of the conversion.
+  EXPECT_NEAR(wavelength(kWifi5GHz).value() * kWifi5GHz.value(),
+              kSpeedOfLight, 1.0);
+}
+
+TEST(Units, ThermalNoiseFloor) {
+  // kTB for 20 MHz at 290 K is about -101 dBm.
+  const Dbm noise = to_dbm(thermal_noise(kBandwidth20MHz));
+  EXPECT_NEAR(noise.value(), -101.0, 0.5);
+  // Thermal noise is linear in bandwidth: double the band, +3 dB.
+  const Db delta =
+      to_dbm(thermal_noise(2.0 * kBandwidth20MHz)) -
+      to_dbm(thermal_noise(kBandwidth20MHz));
+  EXPECT_NEAR(delta.value(), 3.0103, 1e-3);
+  // ... and in temperature.
+  EXPECT_NEAR(thermal_noise(kBandwidth20MHz, 580.0).value(),
+              2.0 * thermal_noise(kBandwidth20MHz, 290.0).value(), 1e-18);
+}
+
+TEST(Units, WattsMicrowattsAccessors) {
+  EXPECT_NEAR(Watts::from_microwatts(2.5).value(), 2.5e-6, 1e-18);
+  EXPECT_NEAR(Watts{3e-6}.microwatts(), 3.0, 1e-9);
+}
+
+TEST(Units, LinearOpsBehave) {
+  EXPECT_EQ((Micros{3.0} + Micros{4.0}).value(), 7.0);
+  EXPECT_EQ((Meters{10.0} - Meters{4.0}).value(), 6.0);
+  EXPECT_EQ((-Micros{2.0}).value(), -2.0);
+  EXPECT_EQ(Hertz{6.0} / Hertz{3.0}, 2.0);
+  Micros acc{1.0};
+  acc += Micros{2.0};
+  acc -= Micros{0.5};
+  EXPECT_NEAR(acc.value(), 2.5, 1e-12);
+  EXPECT_LT(Micros{1.0}, Micros{2.0});
+  EXPECT_GT(Db{3.0}, Db{-3.0});
+}
+
+}  // namespace
+}  // namespace witag::util

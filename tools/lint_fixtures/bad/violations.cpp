@@ -1,0 +1,38 @@
+// Known-bad fixture source: plants one violation per linter rule so the
+// self-test can verify each fires. This file is scanned, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace witag::fixture {
+
+// determinism: every forbidden randomness/clock source.
+int entropy() {
+  std::random_device rd;
+  const auto wall = std::chrono::steady_clock::now();
+  (void)wall;
+  const auto stamp = time(nullptr);
+  (void)stamp;
+  return std::rand() + static_cast<int>(rd());
+}
+
+// raw-literal: duplicates constants named in util/units.hpp.
+double circle_area(double r) { return 3.14159265358979 * r * r; }
+double light_ns(double m) { return m / 299792458.0 * 1e9; }
+double noise(double bw) { return 1.380649e-23 * 290.0 * bw; }
+double carrier() { return 2.437e9; }
+
+// unordered-iter: range-for over an unordered container feeding stdout.
+void dump_counts() {
+  std::unordered_map<std::string, int> counts;
+  counts["a"] = 1;
+  for (const auto& entry : counts) {
+    std::cout << entry.first << "," << entry.second << "\n";
+  }
+}
+
+}  // namespace witag::fixture

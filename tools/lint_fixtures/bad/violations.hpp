@@ -1,0 +1,14 @@
+// Known-bad fixture header: missing #pragma once (pragma-once rule) and
+// an unclosed-without-comment namespace (namespace-comment rule). The
+// linter self-test requires every rule to fire somewhere in this
+// directory.
+
+#include <string>
+
+namespace witag::fixture {
+
+inline constexpr double kTwoPi = 6.28318530717958647692;
+
+std::string describe();
+
+}

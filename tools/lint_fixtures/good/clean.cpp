@@ -1,0 +1,27 @@
+// Known-good fixture source: deterministic code, ordered iteration,
+// commented namespace closes, and no duplicated physical literals.
+// Mentions of forbidden names inside comments and strings — std::rand,
+// random_device, 3.14159 — must NOT be flagged.
+#include <map>
+#include <string>
+#include <vector>
+
+namespace witag::fixture {
+namespace {
+
+const char* kDoc = "this string talks about std::rand and 3.14159";
+
+}  // namespace
+
+/// Sorted emission: iterate a std::map (ordered), never the unordered
+/// index directly.
+std::vector<std::string> sorted_keys(const std::map<std::string, int>& m) {
+  std::vector<std::string> keys;
+  for (const auto& [key, value] : m) {
+    (void)value;
+    keys.push_back(key + kDoc[0]);
+  }
+  return keys;
+}
+
+}  // namespace witag::fixture

@@ -1,0 +1,25 @@
+// Known-good fixture: exercises every construct the linter inspects in
+// its compliant form. witag_lint --all-rules over this directory must
+// report zero violations.
+#pragma once
+
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace witag::fixture {
+
+inline constexpr double kAnswer = 42.0;
+
+/// An unordered map is fine to *own* — only iterating it into output
+/// is flagged.
+struct Index {
+  std::unordered_map<std::string, int> by_name;
+
+  int lookup(const std::string& key) const {
+    const auto it = by_name.find(key);
+    return it == by_name.end() ? -1 : it->second;
+  }
+};
+
+}  // namespace witag::fixture

@@ -1,0 +1,388 @@
+// witag_lint: repo-invariant linter for the WiTAG testbed.
+//
+// Enforces project rules that no off-the-shelf tool checks:
+//
+//   determinism        no std::rand / std::random_device / time( /
+//                      *_clock::now in simulation code (src/ outside
+//                      obs/ and runner/). All randomness must flow
+//                      through util::Rng so sweeps stay byte-identical
+//                      at any --jobs count.
+//   unordered-iter     no range-for over a std::unordered_map/set
+//                      variable: iteration order is unspecified, which
+//                      silently reorders CSV/stdout output.
+//   pragma-once        every header starts its include guard with
+//                      #pragma once.
+//   namespace-comment  every namespace opened on its own line is
+//                      closed with a "}  // namespace" comment.
+//   raw-literal        no numeric literal duplicating a constant that
+//                      units.hpp already names (pi, c, k_B, WiFi
+//                      carrier frequencies).
+//
+// Usage: witag_lint [--all-rules] [--expect-all-rules] <path>...
+//   --all-rules         apply the determinism rule to every scanned
+//                       file regardless of location (fixture testing).
+//   --expect-all-rules  invert the contract: exit 0 only when every
+//                       rule fired at least once (bad-fixture self
+//                       test), 1 otherwise.
+//
+// A line may opt out of one rule with a trailing marker comment:
+//   foo();  // witag-lint: allow(determinism)
+//
+// Exit status: 0 clean, 1 violations found (or, with
+// --expect-all-rules, a rule that failed to fire), 2 usage error.
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const std::vector<std::string> kAllRules = {
+    "determinism", "unordered-iter", "pragma-once", "namespace-comment",
+    "raw-literal"};
+
+struct Violation {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Replaces comments and string/character literals with spaces so rule
+/// patterns never match inside them. Newlines survive, keeping line
+/// numbers aligned with the original file.
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+/// True when `raw_line` carries a "// witag-lint: allow(<rule>)" marker.
+bool line_allows(const std::string& raw_line, const std::string& rule) {
+  const std::string marker = "witag-lint: allow(" + rule + ")";
+  return raw_line.find(marker) != std::string::npos;
+}
+
+bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
+
+/// Determinism applies to simulation sources: src/ outside obs/ and
+/// runner/, which legitimately read wall clocks (tracing, worker pools).
+bool determinism_applies(const std::string& path) {
+  if (path.find("src/") == std::string::npos) return false;
+  if (path.find("src/obs/") != std::string::npos) return false;
+  if (path.find("src/runner/") != std::string::npos) return false;
+  return true;
+}
+
+struct FileReport {
+  std::vector<Violation> violations;
+};
+
+void check_determinism(const std::string& path,
+                       const std::vector<std::string>& code,
+                       const std::vector<std::string>& raw,
+                       std::vector<Violation>& out) {
+  static const std::vector<std::pair<std::regex, std::string>> kPatterns = {
+      {std::regex(R"(std\s*::\s*rand\b)"),
+       "std::rand breaks sweep determinism; use util::Rng"},
+      {std::regex(R"(\brandom_device\b)"),
+       "std::random_device is nondeterministic; seed util::Rng explicitly"},
+      {std::regex(R"(\btime\s*\()"),
+       "time() reads the wall clock; thread simulated time through "
+       "configs instead"},
+      {std::regex(R"(_clock\s*::\s*now\b)"),
+       "chrono clock reads are only allowed in obs/ and runner/"},
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line_allows(raw[i], "determinism")) continue;
+    for (const auto& [re, why] : kPatterns) {
+      if (std::regex_search(code[i], re)) {
+        out.push_back({path, i + 1, "determinism", why});
+      }
+    }
+  }
+}
+
+void check_unordered_iteration(const std::string& path,
+                               const std::vector<std::string>& code,
+                               const std::vector<std::string>& raw,
+                               std::vector<Violation>& out) {
+  // Pass 1: names of variables declared with an unordered container
+  // type on a single line (covers this codebase's style).
+  static const std::regex kDecl(
+      R"(\bunordered_(?:map|set)\s*<.*>\s+([A-Za-z_]\w*)\s*[;={(])");
+  std::set<std::string> tracked;
+  for (const auto& line : code) {
+    std::smatch m;
+    if (std::regex_search(line, m, kDecl)) tracked.insert(m[1].str());
+  }
+  if (tracked.empty()) return;
+  // Pass 2: range-for over a tracked name (directly or via member).
+  static const std::regex kRangeFor(
+      R"(\bfor\s*\(.*:\s*(?:\w+\s*\.\s*)?([A-Za-z_]\w*)\s*\))");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line_allows(raw[i], "unordered-iter")) continue;
+    std::smatch m;
+    if (std::regex_search(code[i], m, kRangeFor) &&
+        tracked.count(m[1].str()) != 0) {
+      out.push_back({path, i + 1, "unordered-iter",
+                     "range-for over unordered container '" + m[1].str() +
+                         "' has unspecified order; copy into a sorted "
+                         "vector before emitting output"});
+    }
+  }
+}
+
+void check_pragma_once(const std::string& path, const fs::path& file,
+                       const std::string& code_text,
+                       std::vector<Violation>& out) {
+  if (!is_header(file)) return;
+  // Searched in the comment-stripped view so a comment *mentioning* the
+  // directive does not satisfy the rule.
+  if (code_text.find("#pragma once") == std::string::npos) {
+    out.push_back({path, 1, "pragma-once", "header is missing #pragma once"});
+  }
+}
+
+void check_namespace_comments(const std::string& path,
+                              const std::vector<std::string>& code,
+                              const std::vector<std::string>& raw,
+                              std::vector<Violation>& out) {
+  static const std::regex kOpen(
+      R"(^\s*(?:inline\s+)?namespace(?:\s+[A-Za-z_][\w:]*)?\s*\{\s*$)");
+  static const std::regex kClose(R"(\}\s*//\s*namespace)");
+  std::size_t opens = 0;
+  std::size_t closes = 0;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (std::regex_search(code[i], kOpen)) ++opens;
+    if (std::regex_search(raw[i], kClose)) ++closes;
+  }
+  if (opens > closes) {
+    out.push_back(
+        {path, code.size(), "namespace-comment",
+         std::to_string(opens) + " namespace scope(s) opened but only " +
+             std::to_string(closes) +
+             " closed with a '}  // namespace' comment"});
+  }
+}
+
+void check_raw_literals(const std::string& path,
+                        const std::vector<std::string>& code,
+                        const std::vector<std::string>& raw,
+                        std::vector<Violation>& out) {
+  // units.hpp is where these constants are *defined*.
+  if (path.size() >= 14 &&
+      path.compare(path.size() - 14, 14, "util/units.hpp") == 0) {
+    return;
+  }
+  static const std::vector<std::pair<std::string, std::string>> kLiterals = {
+      {"3.14159", "util::kPi"},
+      {"6.28318", "2.0 * util::kPi"},
+      {"299792458", "util::kSpeedOfLight"},
+      {"299'792'458", "util::kSpeedOfLight"},
+      {"2.99792458e8", "util::kSpeedOfLight"},
+      {"1.380649e-23", "util::kBoltzmann"},
+      {"2.437e9", "util::kWifi24GHz"},
+      {"5.18e9", "util::kWifi5GHz"},
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line_allows(raw[i], "raw-literal")) continue;
+    for (const auto& [lit, named] : kLiterals) {
+      if (code[i].find(lit) != std::string::npos) {
+        out.push_back({path, i + 1, "raw-literal",
+                       "literal " + lit + " duplicates " + named +
+                           " from util/units.hpp"});
+      }
+    }
+  }
+}
+
+void lint_file(const fs::path& file, bool all_rules,
+               std::vector<Violation>& out) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    out.push_back({file.generic_string(), 0, "io", "cannot open file"});
+    return;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string raw_text = buf.str();
+  const std::string code_text = strip_comments_and_strings(raw_text);
+  const std::vector<std::string> raw = split_lines(raw_text);
+  const std::vector<std::string> code = split_lines(code_text);
+  const std::string path = file.generic_string();
+
+  if (all_rules || determinism_applies(path)) {
+    check_determinism(path, code, raw, out);
+  }
+  check_unordered_iteration(path, code, raw, out);
+  check_pragma_once(path, file, code_text, out);
+  check_namespace_comments(path, code, raw, out);
+  check_raw_literals(path, code, raw, out);
+}
+
+bool is_source(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".cpp";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool all_rules = false;
+  bool expect_all_rules = false;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all-rules") {
+      all_rules = true;
+    } else if (arg == "--expect-all-rules") {
+      expect_all_rules = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "witag_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "usage: witag_lint [--all-rules] [--expect-all-rules] "
+                 "<path>...\n";
+    return 2;
+  }
+
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "witag_lint: no such path: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Violation> violations;
+  for (const auto& file : files) {
+    lint_file(file, all_rules, violations);
+  }
+
+  for (const auto& v : violations) {
+    std::cout << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+  }
+
+  if (expect_all_rules) {
+    std::set<std::string> fired;
+    for (const auto& v : violations) fired.insert(v.rule);
+    bool ok = true;
+    for (const auto& rule : kAllRules) {
+      if (fired.count(rule) == 0) {
+        std::cerr << "witag_lint: self-test FAILED: rule '" << rule
+                  << "' did not fire on the bad fixtures\n";
+        ok = false;
+      }
+    }
+    if (ok) {
+      std::cout << "witag_lint: self-test ok: all " << kAllRules.size()
+                << " rules fired\n";
+    }
+    return ok ? 0 : 1;
+  }
+
+  if (violations.empty()) {
+    std::cout << "witag_lint: " << files.size() << " files clean\n";
+    return 0;
+  }
+  std::cout << "witag_lint: " << violations.size() << " violation(s) in "
+            << files.size() << " files\n";
+  return 1;
+}
