@@ -37,10 +37,11 @@ double analytic_rate_kbps(const core::QueryLayout& layout) {
   const double ppdu_us =
       phy::kHeaderSlots * phy::kSymbolDurationUs + subframes_us +
       phy::kSymbolDurationUs;  // trailing pad/tail symbol
-  const double exchange_us =
-      mac::kDifsUs + mac::expected_backoff_us() + ppdu_us + mac::kSifsUs +
-      mac::block_ack_airtime_us() + 20.0;  // client turnaround
-  return layout.n_data_subframes / exchange_us * 1e3;
+  const util::Micros exchange_us =
+      mac::kDifsUs + mac::expected_backoff_us() + util::Micros{ppdu_us} +
+      mac::kSifsUs + mac::block_ack_airtime_us() +
+      util::Micros{20.0};  // client turnaround
+  return layout.n_data_subframes / exchange_us.value() * 1e3;
 }
 
 }  // namespace

@@ -191,6 +191,13 @@ std::vector<phy::FreqSymbol> ChannelModel::apply(
 std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
     std::span<const phy::FreqSymbol> tx,
     std::span<const std::vector<std::uint8_t>> levels_per_tag) {
+  return apply_multi(tx, levels_per_tag, {});
+}
+
+std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
+    std::span<const phy::FreqSymbol> tx,
+    std::span<const std::vector<std::uint8_t>> levels_per_tag,
+    std::span<const double> extra_noise) {
   WITAG_SPAN_CAT("channel.apply", "channel");
   WITAG_COUNT("channel.apply.calls", 1);
   WITAG_COUNT("channel.apply.symbols", tx.size());
@@ -199,6 +206,7 @@ std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
     WITAG_REQUIRE(row.empty() || row.size() == tx.size());
   }
   WITAG_REQUIRE(levels_per_tag.size() <= 64);
+  WITAG_REQUIRE(extra_noise.empty() || extra_noise.size() == tx.size());
   if (!cache_valid_) rebuild_cache();
   const double noise_var = noise_variance().value();
   const std::vector<double> interference = draw_interference(tx.size());
@@ -233,7 +241,8 @@ std::vector<phy::FreqSymbol> ChannelModel::apply_multi(
       composed.push_back(h);
     }
     const phy::FreqSymbol& h = composed[slot];
-    const double var = noise_var + interference[s];
+    const double var = noise_var + interference[s] +
+                       (extra_noise.empty() ? 0.0 : extra_noise[s]);
     for (unsigned bin = 0; bin < phy::kFftSize; ++bin) {
       if (h[bin] == Cx{} && tx[s][bin] == Cx{}) continue;
       rx[s][bin] = h[bin] * tx[s][bin] + rng_.complex_normal(var);

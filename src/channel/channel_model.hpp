@@ -91,6 +91,17 @@ class ChannelModel {
       std::span<const phy::FreqSymbol> tx,
       std::span<const std::vector<std::uint8_t>> levels_per_tag);
 
+  /// Like apply_multi, with an additional per-symbol noise-variance term
+  /// [W per subcarrier] added on top of thermal noise and drawn
+  /// interference — the hook external fault injectors (Gilbert-Elliott
+  /// co-channel bursts) use to raise the floor for the symbols they
+  /// cover. `extra_noise` may be empty (no extra noise, byte-identical
+  /// to the plain overload) or sized to `tx`.
+  std::vector<phy::FreqSymbol> apply_multi(
+      std::span<const phy::FreqSymbol> tx,
+      std::span<const std::vector<std::uint8_t>> levels_per_tag,
+      std::span<const double> extra_noise);
+
   /// Mean received SNR per subcarrier with the tag deasserted.
   util::Db mean_snr_db() const;
 

@@ -1,0 +1,174 @@
+#include "faults/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace witag::faults {
+namespace {
+
+/// OFDM symbol duration of the 20 MHz PHY [us].
+constexpr double kSymbolUs = 4.0;
+
+/// Sub-stream indices; fixed forever so a seed reproduces the same
+/// schedule across versions.
+enum SubStream : std::uint64_t {
+  kInterferenceStream = 0,
+  kTriggerStream = 1,
+  kClockStream = 2,
+  kMacStream = 3,
+  kBrownoutStream = 4,
+};
+
+}  // namespace
+
+OnOffProcess::OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng)
+    : rng_(rng) {
+  WITAG_REQUIRE(duty > 0.0 && duty < 1.0);
+  WITAG_REQUIRE(mean_on_s > util::Seconds{0.0});
+  mean_s_[1] = mean_on_s.value();
+  mean_s_[0] = mean_on_s.value() * (1.0 - duty) / duty;
+  // Start in the stationary distribution so short runs see the
+  // configured duty immediately instead of an Off-biased transient.
+  on_ = rng_.bernoulli(duty);
+  remaining_s_ = draw_sojourn_s();
+}
+
+double OnOffProcess::draw_sojourn_s() {
+  double u = rng_.uniform();
+  while (u <= 0.0) u = rng_.uniform();
+  return -mean_s_[on_ ? 1 : 0] * std::log(u);
+}
+
+void OnOffProcess::advance(util::Seconds dt) {
+  WITAG_REQUIRE(dt >= util::Seconds{0.0});
+  double left = dt.value();
+  while (left >= remaining_s_) {
+    left -= remaining_s_;
+    on_ = !on_;
+    remaining_s_ = draw_sojourn_s();
+  }
+  remaining_s_ -= left;
+}
+
+FaultSet::FaultSet(const FaultPlan& plan, std::uint64_t seed)
+    : plan_(plan),
+      trigger_rng_(util::Rng::derive_seed(seed, kTriggerStream)),
+      clock_rng_(util::Rng::derive_seed(seed, kClockStream)),
+      mac_rng_(util::Rng::derive_seed(seed, kMacStream)) {
+  if (plan_.interference.enabled()) {
+    WITAG_REQUIRE(plan_.interference.bad_duty < 1.0);
+    interference_.emplace(plan_.interference.bad_duty,
+                          plan_.interference.mean_bad_s,
+                          util::Rng(util::Rng::derive_seed(
+                              seed, kInterferenceStream)));
+  }
+  if (plan_.brownout.enabled()) {
+    WITAG_REQUIRE(plan_.brownout.duty < 1.0);
+    brownout_.emplace(plan_.brownout.duty, plan_.brownout.mean_off_s,
+                      util::Rng(util::Rng::derive_seed(seed,
+                                                       kBrownoutStream)));
+  }
+}
+
+void FaultSet::advance(util::Seconds dt) {
+  if (interference_) interference_->advance(dt);
+  if (brownout_) brownout_->advance(dt);
+}
+
+std::vector<double> FaultSet::interference_noise(std::size_t n_symbols) {
+  if (!interference_) return {};
+  std::vector<double> extra(n_symbols, 0.0);
+  // The interferer's 20 MHz energy spreads over all 64 FFT bins (same
+  // convention as ChannelModel::draw_interference).
+  const double per_subcarrier =
+      util::to_watts(plan_.interference.bad_power_dbm).value() / 64.0;
+  const util::Seconds step = util::to_seconds(util::Micros{kSymbolUs});
+  for (std::size_t s = 0; s < n_symbols; ++s) {
+    if (interference_->on()) {
+      extra[s] = per_subcarrier;
+      ++counts_.interference_symbols;
+    }
+    interference_->advance(step);
+  }
+  return extra;
+}
+
+bool FaultSet::draw_trigger_miss() {
+  return trigger_rng_.bernoulli(plan_.trigger.miss_rate);
+}
+
+bool FaultSet::draw_false_wakeup() {
+  return trigger_rng_.bernoulli(plan_.trigger.false_rate);
+}
+
+ClockFault FaultSet::draw_clock_fault() {
+  ClockFault fault;
+  if (!plan_.clock.enabled()) {
+    // Burn the same two draws so enabling an unrelated injector later in
+    // the plan never shifts this stream.
+    clock_rng_.normal();
+    clock_rng_.normal();
+    return fault;
+  }
+  drift_ += clock_rng_.normal(0.0, plan_.clock.drift_sigma);
+  drift_ = std::clamp(drift_, -plan_.clock.drift_max, plan_.clock.drift_max);
+  fault.drift_frac = drift_;
+  fault.jitter_us =
+      clock_rng_.normal(0.0, plan_.clock.jitter_sigma_us.value());
+  return fault;
+}
+
+MacFault FaultSet::draw_mac_fault() {
+  MacFault fault;
+  // Unconditional draws in a fixed order keep the stream stable across
+  // plans that enable only a subset of the MAC faults.
+  const bool abort = mac_rng_.bernoulli(plan_.mac.ampdu_abort_rate);
+  const double abort_u = mac_rng_.uniform();
+  const bool lose = mac_rng_.bernoulli(plan_.mac.ba_loss_rate);
+  const bool truncate = mac_rng_.bernoulli(plan_.mac.ba_truncate_rate);
+  const double truncate_u = mac_rng_.uniform();
+  fault.abort_ampdu = abort;
+  fault.abort_frac = abort ? abort_u : 1.0;
+  fault.lose_ba = lose;
+  fault.truncate_ba = truncate;
+  fault.truncate_frac = truncate ? truncate_u : 1.0;
+  return fault;
+}
+
+bool FaultSet::brownout_now() const {
+  return brownout_ && brownout_->on();
+}
+
+FaultPlan hostile_plan(double intensity, unsigned enabled) {
+  WITAG_REQUIRE(intensity >= 0.0 && intensity <= 1.0);
+  FaultPlan plan;
+  if (intensity <= 0.0) return plan;
+  if ((enabled & 0x01u) != 0) {
+    plan.interference.bad_duty = 0.45 * intensity;
+    plan.interference.mean_bad_s = util::Seconds{0.002};
+    plan.interference.bad_power_dbm = util::Dbm{-52.0};
+  }
+  if ((enabled & 0x02u) != 0) {
+    plan.trigger.miss_rate = 0.25 * intensity;
+    plan.trigger.false_rate = 0.05 * intensity;
+  }
+  if ((enabled & 0x04u) != 0) {
+    plan.clock.drift_sigma = 0.0015 * intensity;
+    plan.clock.drift_max = 0.008;
+    plan.clock.jitter_sigma_us = util::Micros{1.5 * intensity};
+  }
+  if ((enabled & 0x08u) != 0) {
+    plan.mac.ba_loss_rate = 0.15 * intensity;
+    plan.mac.ba_truncate_rate = 0.10 * intensity;
+    plan.mac.ampdu_abort_rate = 0.10 * intensity;
+  }
+  if ((enabled & 0x10u) != 0) {
+    plan.brownout.duty = 0.15 * intensity;
+    plan.brownout.mean_off_s = util::Seconds{0.25};
+  }
+  return plan;
+}
+
+}  // namespace witag::faults

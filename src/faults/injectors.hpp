@@ -1,0 +1,136 @@
+// Runtime state machines that realize a FaultPlan, round by round.
+//
+// Determinism contract: a FaultSet owns one util::Rng sub-stream per
+// injector, each seeded via Rng::derive_seed(seed, injector_index).
+// The session draws every injector exactly once per hook point per
+// round, *unconditionally* — whether or not the drawn fault ends up
+// mattering — so the fault schedule is a pure function of (plan, seed,
+// round index) and never shifts when an unrelated knob (extra tags,
+// supervisor decisions, --jobs) changes the surrounding control flow.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/fault_plan.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace witag::faults {
+
+/// Two-state continuous-time renewal process with exponential sojourns —
+/// the Gilbert-Elliott interference chain and the brownout windows are
+/// both instances (on = Bad / browned-out). Advancing by dt flips
+/// through as many sojourns as dt covers, drawing each duration from the
+/// process's own Rng, so state at time T is independent of how the
+/// elapsed time was sliced into advance() calls' *count* (slicing only
+/// changes nothing because sojourn draws happen on expiry, not per
+/// call).
+class OnOffProcess {
+ public:
+  /// `duty` = long-run fraction of time spent On; `mean_on_s` = mean On
+  /// sojourn (the Off mean follows from the duty). Requires duty in
+  /// (0, 1) and a positive mean.
+  OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng);
+
+  /// Consumes `dt` of simulated time, flipping state on sojourn expiry.
+  void advance(util::Seconds dt);
+
+  bool on() const { return on_; }
+
+ private:
+  double draw_sojourn_s();
+
+  util::Rng rng_;
+  double mean_s_[2];  ///< Mean sojourn [s], indexed by target state.
+  bool on_ = false;
+  double remaining_s_ = 0.0;
+};
+
+/// Realized-fault tallies, kept by the session as it applies each drawn
+/// fault (a draw that could not matter — e.g. a trigger miss on a round
+/// where the tag was off anyway — is not counted).
+struct FaultCounts {
+  std::uint64_t interference_symbols = 0;  ///< OFDM symbols hit by a burst.
+  std::uint64_t triggers_suppressed = 0;   ///< Addressed-tag misses injected.
+  std::uint64_t false_wakeups = 0;         ///< Non-addressed tags woken.
+  std::uint64_t ba_lost = 0;
+  std::uint64_t ba_truncated = 0;
+  std::uint64_t ampdu_aborted = 0;
+  std::uint64_t brownout_rounds = 0;  ///< Rounds starting inside a window.
+
+  std::uint64_t total() const {
+    return interference_symbols + triggers_suppressed + false_wakeups +
+           ba_lost + ba_truncated + ampdu_aborted + brownout_rounds;
+  }
+  bool operator==(const FaultCounts&) const = default;
+};
+
+/// Per-round clock fault drawn from the clock sub-stream.
+struct ClockFault {
+  double drift_frac = 0.0;  ///< Accumulated random-walk drift (clamped).
+  double jitter_us = 0.0;   ///< This round's trigger-edge offset.
+};
+
+/// Per-round MAC fate drawn from the MAC sub-stream.
+struct MacFault {
+  bool abort_ampdu = false;
+  double abort_frac = 1.0;  ///< Fraction of the PPDU that made it out.
+  bool lose_ba = false;
+  bool truncate_ba = false;
+  double truncate_frac = 1.0;  ///< Fraction of the bitmap that survives.
+};
+
+/// All injector state for one session. Copyable only via reconstruction;
+/// the session owns exactly one and threads simulated time through it in
+/// lock-step with the channel (ChannelModel::advance).
+class FaultSet {
+ public:
+  FaultSet(const FaultPlan& plan, std::uint64_t seed);
+
+  const FaultPlan& plan() const { return plan_; }
+  bool active() const { return plan_.any(); }
+
+  /// Advances the time-driven processes (interference chain, brownout
+  /// windows) by `dt` of simulated channel time.
+  void advance(util::Seconds dt);
+
+  /// Per-symbol extra noise variance [W per subcarrier] across a PPDU of
+  /// `n_symbols` OFDM symbols (4 us each), stepping the Gilbert-Elliott
+  /// chain through the PPDU in real (undilated) time. Empty when the
+  /// interference injector is disabled. Counts hit symbols.
+  std::vector<double> interference_noise(std::size_t n_symbols);
+
+  /// Draws whether the addressed tag misses this round's trigger.
+  bool draw_trigger_miss();
+
+  /// Draws whether one non-addressed tag falsely wakes this round.
+  bool draw_false_wakeup();
+
+  /// Advances the drift random walk one round and draws the edge jitter.
+  ClockFault draw_clock_fault();
+
+  /// Draws this round's MAC fate.
+  MacFault draw_mac_fault();
+
+  /// True while the tag harvester is inside a brownout window.
+  bool brownout_now() const;
+
+  const FaultCounts& counts() const { return counts_; }
+  /// Mutable tallies — the session increments these as it *applies*
+  /// drawn faults, so the counts report realized events only.
+  FaultCounts& counts() { return counts_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng trigger_rng_;
+  util::Rng clock_rng_;
+  util::Rng mac_rng_;
+  std::optional<OnOffProcess> interference_;
+  std::optional<OnOffProcess> brownout_;
+  double drift_ = 0.0;
+  FaultCounts counts_;
+};
+
+}  // namespace witag::faults

@@ -4,27 +4,27 @@
 
 namespace witag::mac {
 
-double legacy_frame_airtime_us(std::size_t bytes, double rate_mbps) {
+util::Micros legacy_frame_airtime_us(std::size_t bytes, double rate_mbps) {
   const double bits = 16.0 + 6.0 + 8.0 * static_cast<double>(bytes);
   const double bits_per_symbol = 4.0 * rate_mbps;  // 4 us symbols
   const double symbols = std::ceil(bits / bits_per_symbol);
-  return kLegacyPreambleUs + 4.0 * symbols;
+  return kLegacyPreambleUs + util::Micros{4.0 * symbols};
 }
 
-double block_ack_airtime_us() {
+util::Micros block_ack_airtime_us() {
   // BA frame: FC(2) + dur(2) + RA(6) + TA(6) + BA control(2) + SSC(2) +
   // bitmap(8) + FCS(4) = 32 bytes.
   return legacy_frame_airtime_us(32);
 }
 
-double expected_backoff_us() {
-  return kSlotUs * static_cast<double>(kCwMin) / 2.0;
+util::Micros expected_backoff_us() {
+  return kSlotUs * (static_cast<double>(kCwMin) / 2.0);
 }
 
-ExchangeAirtime ampdu_exchange(double ppdu_us, double backoff_us) {
+ExchangeAirtime ampdu_exchange(util::Micros ppdu, util::Micros backoff) {
   ExchangeAirtime t;
-  t.backoff_us = backoff_us;
-  t.ppdu_us = ppdu_us;
+  t.backoff_us = backoff;
+  t.ppdu_us = ppdu;
   t.block_ack_us = block_ack_airtime_us();
   return t;
 }

@@ -1,47 +1,51 @@
 // Standards airtime accounting (802.11 OFDM in 2.4 GHz): inter-frame
 // spacings, contention backoff and frame durations. WiTAG's throughput
 // is bits-per-exchange over exchange airtime, so these constants — not
-// wall-clock time — define the reported Kbps.
+// wall-clock time — define the reported Kbps. All public durations are
+// typed util::Micros quantities.
 #pragma once
 
 #include <cstddef>
 
+#include "util/units.hpp"
+
 namespace witag::mac {
 
-inline constexpr double kSifsUs = 10.0;
-inline constexpr double kSlotUs = 9.0;
-inline constexpr double kDifsUs = kSifsUs + 2.0 * kSlotUs;  // 28 us
+inline constexpr util::Micros kSifsUs{10.0};
+inline constexpr util::Micros kSlotUs{9.0};
+inline constexpr util::Micros kDifsUs = kSifsUs + 2.0 * kSlotUs;  // 28 us
 inline constexpr unsigned kCwMin = 15;
 
-/// PHY preamble + header duration for legacy (non-HT) frames [us].
-inline constexpr double kLegacyPreambleUs = 20.0;
+/// PHY preamble + header duration for legacy (non-HT) frames.
+inline constexpr util::Micros kLegacyPreambleUs{20.0};
 
-/// Airtime of a legacy OFDM frame of `bytes` at `rate_mbps` [us]:
+/// Airtime of a legacy OFDM frame of `bytes` at `rate_mbps`:
 /// preamble + ceil((16 + 6 + 8 * bytes) / (4 * rate_mbps)) symbols.
-double legacy_frame_airtime_us(std::size_t bytes, double rate_mbps = 24.0);
+util::Micros legacy_frame_airtime_us(std::size_t bytes,
+                                     double rate_mbps = 24.0);
 
 /// Airtime of the compressed block-ack response (32-byte frame at the
-/// 24 Mbps legacy rate) [us].
-double block_ack_airtime_us();
+/// 24 Mbps legacy rate).
+util::Micros block_ack_airtime_us();
 
-/// Mean contention backoff with CWmin [us] (used by the analytic
-/// throughput model; the simulator draws the backoff randomly).
-double expected_backoff_us();
+/// Mean contention backoff with CWmin (used by the analytic throughput
+/// model; the simulator draws the backoff randomly).
+util::Micros expected_backoff_us();
 
 /// Full query/block-ack exchange timing.
 struct ExchangeAirtime {
-  double difs_us = kDifsUs;
-  double backoff_us = 0.0;
-  double ppdu_us = 0.0;
-  double sifs_us = kSifsUs;
-  double block_ack_us = 0.0;
+  util::Micros difs_us = kDifsUs;
+  util::Micros backoff_us{};
+  util::Micros ppdu_us{};
+  util::Micros sifs_us = kSifsUs;
+  util::Micros block_ack_us{};
 
-  double total_us() const {
+  util::Micros total_us() const {
     return difs_us + backoff_us + ppdu_us + sifs_us + block_ack_us;
   }
 };
 
 /// Assembles exchange timing for a query PPDU duration and backoff draw.
-ExchangeAirtime ampdu_exchange(double ppdu_us, double backoff_us);
+ExchangeAirtime ampdu_exchange(util::Micros ppdu, util::Micros backoff);
 
 }  // namespace witag::mac

@@ -19,7 +19,14 @@ TagClock::TagClock(const ClockConfig& cfg) : cfg_(cfg) {
       frac = cfg_.ring_frac_per_c * dt;
       break;
   }
+  spec_frac_ = frac;
   actual_hz_ = cfg_.nominal_hz * (1.0 + frac);
+  WITAG_REQUIRE(actual_hz_ > 0.0);
+}
+
+void TagClock::set_drift(double extra_frac) {
+  extra_frac_ = extra_frac;
+  actual_hz_ = cfg_.nominal_hz * (1.0 + spec_frac_ + extra_frac_);
   WITAG_REQUIRE(actual_hz_ > 0.0);
 }
 

@@ -41,6 +41,14 @@ class TagClock {
   /// Actual oscillator frequency including error terms [Hz].
   double actual_hz() const { return actual_hz_; }
 
+  /// Overrides the runtime drift beyond the configured spec (fractional
+  /// frequency offset added to the config-derived error) — the hook the
+  /// fault injectors use to model crystals wandering outside their
+  /// datasheet ppm under temperature swings or aging. Requires the
+  /// resulting frequency to stay positive.
+  void set_drift(double extra_frac);
+  double drift() const { return extra_frac_; }
+
   /// Nominal tick period [us].
   double tick_period_us() const { return 1e6 / cfg_.nominal_hz; }
 
@@ -62,6 +70,8 @@ class TagClock {
 
  private:
   ClockConfig cfg_;
+  double spec_frac_ = 0.0;   ///< Config-derived fractional error.
+  double extra_frac_ = 0.0;  ///< Injected drift beyond the spec.
   double actual_hz_ = 0.0;
 };
 

@@ -55,6 +55,10 @@ class TagDevice {
   const TagDeviceConfig& config() const { return cfg_; }
   const TagClock& clock() const { return clock_; }
 
+  /// Applies runtime clock drift beyond the configured oscillator spec
+  /// (fault-injection hook; see TagClock::set_drift).
+  void set_clock_drift(double extra_frac) { clock_.set_drift(extra_frac); }
+
  private:
   TagDeviceConfig cfg_;
   TagClock clock_;

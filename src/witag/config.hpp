@@ -9,6 +9,7 @@
 
 #include "channel/channel_model.hpp"
 #include "channel/geometry.hpp"
+#include "faults/fault_plan.hpp"
 #include "mac/station.hpp"
 #include "tag/device.hpp"
 #include "util/units.hpp"
@@ -88,6 +89,12 @@ struct SessionConfig {
   /// Idle gap the client leaves between exchanges (application loop
   /// turnaround).
   util::Micros inter_query_gap_us{20.0};
+
+  /// Fault-injection plan (src/faults/). The default (all injectors
+  /// off) leaves every exchange bit-identical to a build without the
+  /// fault framework; see DESIGN.md section 11 for the determinism
+  /// contract.
+  faults::FaultPlan faults;
 
   /// Measurement compression: the paper's one-minute measurements cover
   /// ~40k exchanges; the simulator samples far fewer rounds, so channel

@@ -13,6 +13,7 @@ std::size_t encoded_bits(std::size_t raw_bits, TagFec fec) {
   switch (fec) {
     case TagFec::kNone: return raw_bits;
     case TagFec::kRepetition3: return raw_bits * 3;
+    case TagFec::kRepetition5: return raw_bits * 5;
     case TagFec::kHamming74: return (raw_bits / 4) * 7;
   }
   WITAG_ENSURE(false);
@@ -34,13 +35,13 @@ util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
   switch (fec) {
     case TagFec::kNone:
       return util::BitVec(bits.begin(), bits.end());
-    case TagFec::kRepetition3: {
+    case TagFec::kRepetition3:
+    case TagFec::kRepetition5: {
+      const std::size_t reps = fec == TagFec::kRepetition3 ? 3 : 5;
       util::BitVec out;
-      out.reserve(bits.size() * 3);
+      out.reserve(bits.size() * reps);
       for (const std::uint8_t b : bits) {
-        out.push_back(b & 1u);
-        out.push_back(b & 1u);
-        out.push_back(b & 1u);
+        for (std::size_t r = 0; r < reps; ++r) out.push_back(b & 1u);
       }
       return out;
     }
@@ -66,14 +67,16 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
     case TagFec::kNone:
       result.bits.assign(bits.begin(), bits.end());
       return result;
-    case TagFec::kRepetition3: {
-      WITAG_REQUIRE(bits.size() % 3 == 0);
-      result.bits.reserve(bits.size() / 3);
-      for (std::size_t i = 0; i < bits.size(); i += 3) {
-        const unsigned sum = (bits[i] & 1u) + (bits[i + 1] & 1u) +
-                             (bits[i + 2] & 1u);
-        const std::uint8_t majority = sum >= 2 ? 1 : 0;
-        if (sum == 1 || sum == 2) ++result.corrected;
+    case TagFec::kRepetition3:
+    case TagFec::kRepetition5: {
+      const std::size_t reps = fec == TagFec::kRepetition3 ? 3 : 5;
+      WITAG_REQUIRE(bits.size() % reps == 0);
+      result.bits.reserve(bits.size() / reps);
+      for (std::size_t i = 0; i < bits.size(); i += reps) {
+        unsigned sum = 0;
+        for (std::size_t r = 0; r < reps; ++r) sum += bits[i + r] & 1u;
+        const std::uint8_t majority = sum * 2 >= reps + 1 ? 1 : 0;
+        if (sum != 0 && sum != reps) ++result.corrected;
         result.bits.push_back(majority);
       }
       return result;

@@ -5,8 +5,8 @@
 //
 //   preamble (8 bits, 0xB5) | length (8 bits) | payload | CRC-8
 //
-// optionally protected by FEC (3x repetition or Hamming(7,4)) applied to
-// the whole frame. The decoder scans a raw bit stream (the concatenated
+// optionally protected by FEC (3x/5x repetition or Hamming(7,4)) applied
+// to the whole frame. The decoder scans a raw bit stream (the concatenated
 // block-ack bits across queries, possibly with gaps from lost rounds),
 // resynchronizes on the preamble and validates the CRC.
 #pragma once
@@ -20,7 +20,7 @@
 
 namespace witag::core {
 
-enum class TagFec { kNone, kRepetition3, kHamming74 };
+enum class TagFec { kNone, kRepetition3, kRepetition5, kHamming74 };
 
 inline constexpr std::uint8_t kTagPreamble = 0xB5;
 inline constexpr std::size_t kMaxTagPayload = 255;

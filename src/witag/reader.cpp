@@ -10,6 +10,17 @@ Reader::Reader(Session& session, ReaderConfig cfg)
   WITAG_REQUIRE(cfg.stream_cap_bits >= 1024);
 }
 
+void Reader::set_fec(TagFec fec) {
+  if (fec == cfg_.fec) return;
+  cfg_.fec = fec;
+  for (auto& stream : streams_) stream.clear();
+}
+
+void Reader::set_max_rounds(std::size_t rounds) {
+  WITAG_REQUIRE(rounds > 0);
+  cfg_.max_rounds_per_frame = rounds;
+}
+
 void Reader::load_tag(std::size_t tag_index,
                       std::span<const std::uint8_t> payload) {
   session_.tag_device(tag_index).set_payload(

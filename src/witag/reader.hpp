@@ -60,6 +60,22 @@ class Reader {
   /// example convenience; a real sensor frames its own readings).
   void load_tag(std::size_t tag_index, std::span<const std::uint8_t> payload);
 
+  /// The wrapped session (the supervisor drives its MCS and idle time).
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
+
+  /// Switches the frame FEC (the LinkSupervisor's escalation hook).
+  /// Every stream buffer is discarded: bits received under the old code
+  /// cannot align with frames encoded under the new one. Tags must be
+  /// re-loaded to match.
+  void set_fec(TagFec fec);
+  TagFec fec() const { return cfg_.fec; }
+  /// Adjusts the per-poll round budget (the LinkSupervisor tightens it
+  /// to the current frame length so failed polls stop burning a budget
+  /// sized for frames no longer in flight). Stream buffers are kept.
+  void set_max_rounds(std::size_t rounds);
+  const ReaderConfig& config() const { return cfg_; }
+
  private:
   Session& session_;
   ReaderConfig cfg_;

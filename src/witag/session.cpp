@@ -21,6 +21,10 @@ constexpr double kIdleNoisePrefixUs = 20.0;  // quiet air before the PPDU
 Session::Session(SessionConfig cfg)
     : cfg_(std::move(cfg)),
       rng_(cfg_.seed),
+      // The fault sub-streams hang off a dedicated derived seed so the
+      // schedule is a pure function of (plan, session seed) and never
+      // perturbs — or is perturbed by — the session's own draws.
+      faults_(cfg_.faults, util::Rng::derive_seed(cfg_.seed, 0xFA017ull)),
       client_(mac::make_address(0x01), mac::make_address(0x02),
               cfg_.security),
       ap_(mac::make_address(0x02), cfg_.security) {
@@ -80,8 +84,16 @@ double Session::link_amp_to(channel::Point2 tag_pos) const {
          std::sqrt(util::to_watts(cfg_.radio.tx_power_dbm).value() / 56.0);
 }
 
-double Session::draw_backoff_us() {
-  return static_cast<double>(rng_.uniform_int(mac::kCwMin + 1)) * mac::kSlotUs;
+util::Micros Session::draw_backoff_us() {
+  return mac::kSlotUs * static_cast<double>(rng_.uniform_int(mac::kCwMin + 1));
+}
+
+std::size_t Session::tag_index(unsigned address) const {
+  for (std::size_t t = 0; t < tags_.size(); ++t) {
+    if (tags_[t].address == address) return t;
+  }
+  util::require(false, "Session::tag_index: no tag carries this address");
+  return 0;
 }
 
 const QueryLayout& Session::layout_for(unsigned address) {
@@ -153,6 +165,28 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
 
   RoundResult result;
 
+  // Fault hook 1 (per-round draws, fixed order): MAC fate, brownout
+  // state and the clock walk are drawn before anything depends on them,
+  // so the schedule never shifts with round outcomes.
+  faults::MacFault mac_fault;
+  faults::ClockFault clock_fault;
+  bool browned_out = false;
+  if (faults_.active()) {
+    mac_fault = faults_.draw_mac_fault();
+    browned_out = tag_active && faults_.brownout_now();
+    if (browned_out) {
+      ++faults_.counts().brownout_rounds;
+      WITAG_COUNT("faults.brownout_rounds", 1);
+      WITAG_EVENT("faults.brownout", "faults");
+    }
+    if (tag_active) {
+      clock_fault = faults_.draw_clock_fault();
+      for (auto& unit : tags_) {
+        unit.device.set_clock_drift(clock_fault.drift_frac);
+      }
+    }
+  }
+
   // Tag side: every tag hears the query; each plans its own schedule
   // (only the addressed one should detect/respond).
   std::vector<std::vector<std::uint8_t>> levels(tags_.size());
@@ -175,7 +209,35 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
       }
     }
     for (std::size_t t = 0; t < tags_.size(); ++t) {
-      const auto timing = tag_timing(frame, tags_[t], td_blocks);
+      auto timing = tag_timing(frame, tags_[t], td_blocks);
+      // Fault hook 2 (trigger + clock): exactly one trigger-stream draw
+      // per tag per round, then brownout vetoes any response.
+      if (faults_.active()) {
+        if (tags_[t].address == address) {
+          const bool miss = faults_.draw_trigger_miss();
+          if (miss && timing) {
+            timing.reset();
+            ++faults_.counts().triggers_suppressed;
+            WITAG_COUNT("faults.triggers_suppressed", 1);
+            WITAG_EVENT("faults.trigger_suppressed", "faults");
+          }
+        } else {
+          const bool wake = faults_.draw_false_wakeup();
+          if (wake && !timing && !browned_out) {
+            // The foreign tag convinces itself the query was its own:
+            // it answers with its payload over the same data region.
+            timing = frame.layout.ideal_timing();
+            ++faults_.counts().false_wakeups;
+            WITAG_COUNT("faults.false_wakeups", 1);
+            WITAG_EVENT("faults.false_wakeup", "faults");
+          }
+        }
+        if (browned_out) timing.reset();
+        if (timing) {
+          timing->align_edge_us += clock_fault.jitter_us;
+          timing->data_start_us += clock_fault.jitter_us;
+        }
+      }
       if (!timing) continue;
       tag::TagDevice::Plan plan =
           tags_[t].device.respond(*timing, frame.layout.n_data_subframes);
@@ -201,7 +263,39 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
     if (frame.slot_scale[s] == 1.0) continue;
     for (auto& bin : tx[s]) bin *= frame.slot_scale[s];
   }
-  const auto rx_syms = channel_->apply_multi(tx, levels);
+
+  // Fault hook 3 (MAC abort): the client's transmitter cuts out
+  // mid-A-MPDU — the PHY header still goes out, but symbols past the cut
+  // never hit the air, so their subframes FCS-fail at the AP.
+  if (faults_.active() && mac_fault.abort_ampdu) {
+    const auto keep = std::max<std::size_t>(
+        phy::kHeaderSlots,
+        static_cast<std::size_t>(mac_fault.abort_frac *
+                                 static_cast<double>(tx.size())));
+    if (keep < tx.size()) {
+      for (std::size_t s = keep; s < tx.size(); ++s) tx[s] = phy::FreqSymbol{};
+      ++faults_.counts().ampdu_aborted;
+      WITAG_COUNT("faults.ampdu_aborted", 1);
+      WITAG_EVENT1("faults.ampdu_abort", "kept_symbols",
+                   static_cast<double>(keep), "faults");
+    }
+  }
+
+  // Fault hook 4 (interference): the Gilbert-Elliott chain walks the
+  // PPDU symbol by symbol; Bad-state symbols get the burst power added
+  // to their noise floor inside the channel.
+  std::vector<double> extra_noise;
+  if (faults_.active()) {
+    const std::uint64_t before = faults_.counts().interference_symbols;
+    extra_noise = faults_.interference_noise(tx.size());
+    const std::uint64_t hit = faults_.counts().interference_symbols - before;
+    if (hit > 0) {
+      WITAG_COUNT("faults.interference_symbols", hit);
+      WITAG_EVENT1("faults.interference", "symbols",
+                   static_cast<double>(hit), "faults");
+    }
+  }
+  const auto rx_syms = channel_->apply_multi(tx, levels, extra_noise);
 
   // AP side: PHY receive, deaggregate, FCS-check, block ack.
   phy::RxConfig rx_cfg;
@@ -213,6 +307,25 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
     const auto psdu_result = ap_.receive_psdu(rx.psdu);
     result.subframes_valid = psdu_result.subframes_valid;
     ba = psdu_result.block_ack;
+  }
+
+  // Fault hook 5 (block ack): the BA dies on the return path, or its
+  // bitmap tail is lost — trailing subframes then read as unacked, i.e.
+  // as tag zeros, regardless of what the tag did.
+  if (faults_.active() && ba) {
+    if (mac_fault.lose_ba) {
+      ba.reset();
+      ++faults_.counts().ba_lost;
+      WITAG_COUNT("faults.ba_lost", 1);
+      WITAG_EVENT("faults.ba_lost", "faults");
+    } else if (mac_fault.truncate_ba) {
+      const auto keep = static_cast<unsigned>(mac_fault.truncate_frac * 64.0);
+      ba->bitmap &= keep >= 64 ? ~0ull : (std::uint64_t{1} << keep) - 1;
+      ++faults_.counts().ba_truncated;
+      WITAG_COUNT("faults.ba_truncated", 1);
+      WITAG_EVENT1("faults.ba_truncated", "kept_bits",
+                   static_cast<double>(keep), "faults");
+    }
   }
   if (ba) {
     WITAG_COUNT("session.blockacks_decoded", 1);
@@ -230,15 +343,19 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
   if (!ba) result.lost = true;
 
   // Airtime accounting for the exchange.
-  const auto airtime =
-      mac::ampdu_exchange(frame.ppdu.duration_us(), draw_backoff_us());
-  result.airtime_us =
-      util::Micros{airtime.total_us()} + cfg_.inter_query_gap_us;
+  const auto airtime = mac::ampdu_exchange(
+      util::Micros{frame.ppdu.duration_us()}, draw_backoff_us());
+  result.airtime_us = airtime.total_us() + cfg_.inter_query_gap_us;
 
   WITAG_HIST("session.airtime_us", obs::exp_bounds(500.0, 1.5, 16),
              result.airtime_us.value());
-  channel_->advance(
-      util::to_seconds(result.airtime_us * cfg_.time_dilation));
+  // Channel and fault processes share one simulated clock: brownout
+  // windows and interference sojourns elapse with the same dilated
+  // airtime the fading does.
+  const util::Seconds dt =
+      util::to_seconds(result.airtime_us * cfg_.time_dilation);
+  channel_->advance(dt);
+  faults_.advance(dt);
   return result;
 }
 
@@ -261,6 +378,26 @@ double Session::probe_subframe_success() {
   for (const bool b : r.received) ok += b ? 1 : 0;
   if (r.received.empty()) return 0.0;
   return static_cast<double>(ok) / static_cast<double>(r.received.size());
+}
+
+void Session::set_mcs(unsigned mcs) {
+  // plan_query throws (and nothing is assigned) when the MCS cannot
+  // carry a valid query, so the current layout survives a bad request.
+  layout_ = plan_query(cfg_.query, mcs, cfg_.security.mode,
+                       util::Micros{tags_[0].device.clock().tick_period_us()},
+                       util::Micros{cfg_.tag_device.guard_us});
+  layout_cache_.clear();  // cached layouts used the old MCS
+  WITAG_COUNT("session.set_mcs", 1);
+  WITAG_EVENT1("session.set_mcs", "mcs", static_cast<double>(mcs), "session");
+}
+
+void Session::idle_wait(util::Micros us) {
+  WITAG_REQUIRE(us >= util::Micros{0.0});
+  WITAG_COUNT("session.idle_wait.calls", 1);
+  WITAG_EVENT1("session.idle_wait", "us", us.value(), "session");
+  const util::Seconds dt = util::to_seconds(us * cfg_.time_dilation);
+  channel_->advance(dt);
+  faults_.advance(dt);
 }
 
 unsigned Session::select_rate() {

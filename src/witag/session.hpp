@@ -11,6 +11,7 @@
 #include <span>
 
 #include "channel/channel_model.hpp"
+#include "faults/injectors.hpp"
 #include "mac/station.hpp"
 #include "util/complexvec.hpp"
 #include "tag/device.hpp"
@@ -62,10 +63,29 @@ class Session {
   /// subframes the AP acked (used by select_rate and diagnostics).
   double probe_subframe_success();
 
+  /// Re-plans the query layout for `mcs` without probing (the
+  /// LinkSupervisor's closed-loop fallback; select_rate is the paper's
+  /// open-loop probe). Throws std::invalid_argument when the MCS cannot
+  /// form a valid query layout, leaving the current layout in place.
+  void set_mcs(unsigned mcs);
+  unsigned current_mcs() const { return layout_.mcs_index; }
+
+  /// Lets simulated time pass with no exchange on the air: the channel
+  /// and the fault processes (interference chain, brownout windows)
+  /// advance by the dilated duration. The supervisor's retry backoff
+  /// rides on this, which is why waiting out a burst genuinely helps.
+  void idle_wait(util::Micros us);
+
+  /// Realized fault events so far (all zero when no plan is active).
+  const faults::FaultCounts& fault_counts() const { return faults_.counts(); }
+
   tag::TagDevice& tag_device() { return tags_[0].device; }
   /// Device of tag `i` (0 = primary, then extra tags in config order).
   tag::TagDevice& tag_device(std::size_t i) { return tags_.at(i).device; }
   std::size_t tag_count() const { return tags_.size(); }
+  /// Index of the tag answering trigger code `address`. Throws when no
+  /// configured tag carries that address.
+  std::size_t tag_index(unsigned address) const;
   channel::ChannelModel& channel() { return *channel_; }
   const QueryLayout& layout() const { return layout_; }
   const SessionConfig& config() const { return cfg_; }
@@ -78,7 +98,7 @@ class Session {
   };
 
   RoundResult exchange(bool tag_active, unsigned address);
-  double draw_backoff_us();
+  util::Micros draw_backoff_us();
   /// `td_blocks` holds the query's header+trigger region rendered to
   /// time-domain once per exchange (to_time() is tag-independent; each
   /// tag applies its own flat link gain per sample), so multi-tag
@@ -91,6 +111,7 @@ class Session {
 
   SessionConfig cfg_;
   util::Rng rng_;
+  faults::FaultSet faults_;
   std::unique_ptr<channel::ChannelModel> channel_;
   mac::Client client_;
   mac::AccessPoint ap_;

@@ -1,0 +1,156 @@
+// Adaptive link supervision: graceful degradation under hostile channels.
+//
+// The paper's reader picks a rate once (section 4.1) and then trusts the
+// channel. The LinkSupervisor closes the loop: it watches the decoded-
+// frame error rate over a sliding window and walks a degradation ladder
+// when the link sours — MCS fallback first (longer subframes tolerate
+// clock drift and raise per-subcarrier energy against interference),
+// then FEC escalation (kRepetition3 -> kRepetition5), then frame
+// shrinking (shorter frames need fewer consecutive good rounds). Failed
+// polls are retried with capped exponential backoff, which spends
+// simulated idle time — exactly what outlasts an interference burst or a
+// harvester brownout. A periodic probe poll at the next-better rung
+// recovers the ladder when the channel heals.
+//
+// Determinism: the supervisor adds no randomness of its own; every
+// decision is a pure function of poll outcomes, so a (config, seed) pair
+// reproduces the identical escalation history.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "witag/reader.hpp"
+
+namespace witag::core {
+
+struct SupervisorConfig {
+  /// Application payload carried per frame at the top of the ladder
+  /// [bytes]; frame shrinking halves this (never below
+  /// min_payload_bytes).
+  std::size_t payload_bytes = 8;
+  std::size_t min_payload_bytes = 2;
+
+  /// Sliding window of recent poll outcomes the health estimate uses.
+  std::size_t window = 8;
+  /// Escalate when more than this fraction of the window failed.
+  double escalate_fail_rate = 0.5;
+  /// Probe recovery only when the window is at least this healthy.
+  double recover_fail_rate = 0.125;
+
+  /// Lowest MCS the fallback may reach (MCS 0 = BPSK 1/2).
+  unsigned min_mcs = 0;
+  /// An MCS rung is accepted only when probe rounds show clean
+  /// subframes passing AND the tag's corruption still failing FCS at at
+  /// least this rate. WiTAG's link breaks in both directions: too fast
+  /// and noise corrupts idle subframes, too slow and the decoder rides
+  /// through the tag's perturbation (bit 0 reads as 1) — the paper's
+  /// select_rate() checks only the clean side. The threshold separates
+  /// the corruption cliff (corrupt-read rates collapse to ~0 outside
+  /// the band) from transient channel noise during the probe round, so
+  /// it sits well below 1 but far above the cliff.
+  double mcs_probe_threshold = 0.6;
+
+  /// Retries per delivery attempt after the first failed poll.
+  std::size_t max_retries = 2;
+  /// Backoff before retry r: min(base * factor^r, cap). Backoff burns
+  /// simulated idle time (dilated like airtime), so a few ms outlasts
+  /// an interference burst or brownout window without dominating the
+  /// goodput denominator.
+  util::Micros backoff_base_us{4'000.0};
+  double backoff_factor = 3.0;
+  util::Micros backoff_cap_us{64'000.0};
+
+  /// Successful polls between recovery probes of the next-better rung.
+  std::size_t probe_period = 8;
+};
+
+/// Wraps a Reader (which wraps a Session) and delivers application
+/// payloads across a faulty link. One supervisor per polled tag address.
+class LinkSupervisor {
+ public:
+  /// The reader must outlive the supervisor. The supervisor drives the
+  /// reader's FEC and the session's MCS; callers should not mutate
+  /// either behind its back.
+  LinkSupervisor(Reader& reader, SupervisorConfig cfg);
+
+  struct DeliveryResult {
+    bool ok = false;
+    util::ByteVec payload;
+    std::size_t rounds = 0;    ///< Query rounds across all attempts.
+    std::size_t retries = 0;   ///< Extra attempts beyond the first.
+    util::Micros airtime_us{};  ///< On-air time (excludes backoff).
+  };
+
+  /// Delivers the next application payload from tag `address`: loads the
+  /// tag, polls, and on failure retries with backoff before adapting the
+  /// ladder. Payload content is deterministic per (address, sequence
+  /// number) so runs are comparable across supervisor policies.
+  DeliveryResult deliver(unsigned address = 0);
+
+  struct Stats {
+    std::size_t deliveries_ok = 0;
+    std::size_t deliveries_failed = 0;
+    std::size_t payload_bytes_ok = 0;  ///< Application bytes delivered.
+    /// CRC-valid frames whose content was not the loaded payload: with
+    /// an 8-bit preamble and CRC-8, hostile channels produce occasional
+    /// false accepts (~2^-16 per stream offset). Counted as failures.
+    std::size_t false_frames = 0;
+    std::size_t retries = 0;
+    std::size_t mcs_fallbacks = 0;
+    std::size_t fec_escalations = 0;
+    std::size_t frame_shrinks = 0;
+    std::size_t recoveries = 0;        ///< Ladder steps back up.
+    std::size_t probes = 0;            ///< Recovery probes attempted.
+    util::Micros airtime_us{};         ///< On-air time across deliveries.
+    util::Micros backoff_us{};         ///< Simulated idle time burned.
+
+    /// Delivered application bits per second of airtime [Kbps]. Backoff
+    /// idle time counts against the link: waiting is not free.
+    double goodput_kbps() const;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Current rung, exposed for tests and the robustness bench.
+  unsigned mcs() const;
+  TagFec fec() const { return reader_.fec(); }
+  std::size_t payload_bytes() const { return payload_bytes_; }
+
+ private:
+  bool escalate(unsigned address);
+  bool recover(unsigned address);
+  void record_outcome(bool ok);
+  double window_fail_rate() const;
+  util::ByteVec next_payload(unsigned address);
+  /// Two-sided rate probe at the session's current MCS: one idle round
+  /// (clean subframes must ack) and one all-corrupt round (the tag's
+  /// perturbation must fail FCS). Returns min(clean, corrupt) success;
+  /// probe airtime is charged to the supervisor's stats.
+  double probe_rate_health(unsigned address);
+  /// True when a frame of `payload_bytes` under `fec` still decodes
+  /// comfortably inside the caller's per-poll round budget at the
+  /// session's current layout — the guard that keeps the ladder from
+  /// walking onto rungs where no poll can ever finish.
+  bool frame_fits(TagFec fec, std::size_t payload_bytes) const;
+  /// Resizes the reader's per-poll budget to the frame currently in
+  /// flight (capped at the caller's original budget), so failed polls
+  /// stop paying for frames the ladder no longer sends.
+  void retune_budget();
+
+  Reader& reader_;
+  SupervisorConfig cfg_;
+  std::size_t payload_bytes_;
+  unsigned top_mcs_;  ///< The rate rung the ladder recovers toward.
+  TagFec base_fec_;   ///< The FEC rung the ladder recovers toward.
+  std::size_t entry_budget_;  ///< The caller's per-poll round budget.
+  std::deque<bool> window_;
+  std::size_t ok_streak_ = 0;
+  std::uint64_t sequence_ = 0;
+  /// MCS at which a downward probe was rejected: corruption physics, not
+  /// channel state, blocks the rung, so don't re-probe from here.
+  std::optional<unsigned> mcs_blocked_at_;
+  Stats stats_;
+};
+
+}  // namespace witag::core

@@ -68,6 +68,7 @@ TEST_P(LinkFec, CrcRejectsCorruptPayloadBits) {
 INSTANTIATE_TEST_SUITE_P(AllFecs, LinkFec,
                          ::testing::Values(TagFec::kNone,
                                            TagFec::kRepetition3,
+                                           TagFec::kRepetition5,
                                            TagFec::kHamming74));
 
 TEST(LinkFecCoding, Repetition3CorrectsSingleErrorsPerTriple) {
@@ -81,6 +82,31 @@ TEST(LinkFecCoding, Repetition3CorrectsSingleErrorsPerTriple) {
   const FecDecodeResult out = fec_decode(coded, TagFec::kRepetition3);
   EXPECT_EQ(out.bits, raw);
   EXPECT_EQ(out.corrected, raw.size());
+}
+
+TEST(LinkFecCoding, Repetition5CorrectsDoubleErrorsPerQuintuple) {
+  util::Rng rng(7);
+  const util::BitVec raw = rng.bits(64);
+  util::BitVec coded = fec_encode(raw, TagFec::kRepetition5);
+  // Two flips per quintuple: majority over 5 copies still wins.
+  for (std::size_t q = 0; q < coded.size() / 5; ++q) {
+    coded[5 * q + (q % 5)] ^= 1;
+    coded[5 * q + ((q + 2) % 5)] ^= 1;
+  }
+  const FecDecodeResult out = fec_decode(coded, TagFec::kRepetition5);
+  EXPECT_EQ(out.bits, raw);
+  // `corrected` counts repaired codeword blocks, not flipped copies.
+  EXPECT_EQ(out.corrected, raw.size());
+}
+
+TEST(LinkFecCoding, Repetition5TripleErrorFlipsBit) {
+  const util::BitVec raw{1, 0};
+  util::BitVec coded = fec_encode(raw, TagFec::kRepetition5);
+  coded[0] ^= 1;
+  coded[1] ^= 1;
+  coded[2] ^= 1;
+  const FecDecodeResult out = fec_decode(coded, TagFec::kRepetition5);
+  EXPECT_NE(out.bits, raw);  // majority of 5 lost to three flips
 }
 
 TEST(LinkFecCoding, Hamming74CorrectsSingleErrorPerBlock) {
@@ -107,6 +133,7 @@ TEST(LinkFecCoding, Hamming74DoubleErrorIsNotCorrected) {
 TEST(LinkFecCoding, RatesAreAsExpected) {
   EXPECT_EQ(tag_frame_bits(10, TagFec::kNone), 16u + 80u + 8u);
   EXPECT_EQ(tag_frame_bits(10, TagFec::kRepetition3), 3u * 104u);
+  EXPECT_EQ(tag_frame_bits(10, TagFec::kRepetition5), 5u * 104u);
   EXPECT_EQ(tag_frame_bits(10, TagFec::kHamming74), 104u / 4u * 7u);
 }
 

@@ -114,6 +114,67 @@ TEST(Reader, StatsAccumulate) {
   EXPECT_GT(stats.frame_goodput_kbps(1), 0.0);
 }
 
+TEST(Reader, LostRoundsCountTowardBudgetAndStats) {
+  // Regression: a lost round must burn budget AND be tallied. An
+  // always-missing trigger loses every round, so the poll runs exactly
+  // max_rounds_per_frame rounds, every one of them lost.
+  auto cfg = quiet_los(1.0, 41);
+  cfg.faults.trigger.miss_rate = 1.0;
+  Session session(cfg);
+  ReaderConfig rcfg;
+  rcfg.max_rounds_per_frame = 5;
+  Reader reader(session, rcfg);
+  reader.load_tag(0, util::ByteVec{0x5A});
+  const auto result = reader.poll_frame(0);
+  EXPECT_FALSE(result.ok);
+  EXPECT_EQ(result.rounds, 5u);
+  const auto& stats = reader.stats();
+  EXPECT_EQ(stats.rounds, 5u);
+  EXPECT_EQ(stats.rounds_lost, 5u);
+  EXPECT_EQ(stats.polls_failed, 1u);
+  EXPECT_EQ(stats.frames_ok, 0u);
+}
+
+TEST(Reader, ResyncsAcrossLostRoundMidFrame) {
+  // An 8-byte repetition-3 frame spans several query rounds, so it
+  // straddles A-MPDU boundaries; with a lossy trigger some rounds drop
+  // out mid-frame and the preamble resync must still deliver it.
+  auto cfg = quiet_los(1.0, 42);
+  cfg.faults.trigger.miss_rate = 0.35;
+  Session session(cfg);
+  ReaderConfig rcfg;
+  rcfg.max_rounds_per_frame = 64;
+  Reader reader(session, rcfg);
+  const util::ByteVec payload{1, 2, 3, 4, 5, 6, 7, 8};
+  reader.load_tag(0, payload);
+  const auto result = reader.poll_frame(0);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.payload, payload);
+  EXPECT_GE(result.rounds, 2u);  // frame really straddled A-MPDUs
+  EXPECT_GE(reader.stats().rounds_lost, 1u);  // and a round really dropped
+}
+
+TEST(Reader, MultiTagResyncWithLostRounds) {
+  auto cfg = quiet_los(1.0, 43);
+  cfg.extra_tags.push_back({{16.4, 3.5}, 1, 7.1});
+  cfg.faults.trigger.miss_rate = 0.3;
+  Session session(cfg);
+  ReaderConfig rcfg;
+  rcfg.max_rounds_per_frame = 64;
+  Reader reader(session, rcfg);
+  const util::ByteVec pa{0xC0, 0xFF, 0xEE, 0x01, 0x02, 0x03};
+  const util::ByteVec pb{0xBA, 0x5E, 0x11, 0x04, 0x05, 0x06};
+  reader.load_tag(0, pa);
+  reader.load_tag(1, pb);
+  const auto a = reader.poll_frame(0);
+  const auto b = reader.poll_frame(1);
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.payload, pa);
+  EXPECT_EQ(b.payload, pb);
+  EXPECT_GE(reader.stats().rounds_lost, 1u);
+}
+
 TEST(Reader, ConfigValidated) {
   Session session(quiet_los(1.0, 27));
   ReaderConfig bad;

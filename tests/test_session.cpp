@@ -144,9 +144,9 @@ TEST(Session, AirtimeIsAccountedPerRound) {
   Session s(quiet_los(2.0, 12));
   const auto r = s.run_round();
   // At least DIFS + PPDU + SIFS + BA.
-  const double floor_us = mac::kDifsUs +
+  const double floor_us = mac::kDifsUs.value() +
                           s.layout().subframe_duration_us().value() * 64 +
-                          mac::kSifsUs;
+                          mac::kSifsUs.value();
   EXPECT_GT(r.airtime_us.value(), floor_us * 0.9);
 }
 

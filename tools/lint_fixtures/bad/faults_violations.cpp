@@ -1,0 +1,37 @@
+// Known-bad fixture source: a fault injector written the wrong way.
+// Every sin here breaks the determinism contract src/faults/ depends on
+// (bit-identical schedules for a fixed seed across --jobs): wall-clock
+// fault timing, ambient randomness for fault draws, unordered counter
+// dumps, and a re-derived carrier literal. Scanned, never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+namespace witag::fixture {
+
+// determinism: drawing fault fates from ambient entropy or the wall
+// clock makes the schedule unreproducible.
+bool draw_trigger_miss(double rate) {
+  std::random_device rd;
+  const auto now = std::chrono::steady_clock::now();
+  (void)now;
+  return (std::rand() % 1000) / 1000.0 < rate + rd() * 0.0;
+}
+
+// raw-literal: the interference band should come from util/units.hpp.
+double interference_center_hz() { return 2.437e9; }
+
+// unordered-iter: fault counters dumped in hash order diverge between
+// runs even when the counts match.
+void dump_fault_counters() {
+  std::unordered_map<std::string, int> counters;
+  counters["trigger.miss"] = 3;
+  for (const auto& entry : counters) {
+    std::cout << entry.first << "=" << entry.second << "\n";
+  }
+}
+
+}  // namespace witag::fixture

@@ -1,0 +1,29 @@
+// Known-good fixture: a fault-injector-shaped header in its compliant
+// form — pragma once, commented namespace closes, and fault rates as
+// plain config fields instead of duplicated physical literals. Mirrors
+// the idiom src/faults/ must follow.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace witag::fixture {
+
+/// Deterministic two-state burst process config: everything that shapes
+/// a fault trajectory arrives through fields, never a wall clock.
+struct BurstConfig {
+  double bad_duty = 0.35;
+  double mean_burst_ms = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// Owning an unordered counter map is fine; only iterating it straight
+/// into output would be flagged.
+struct FaultCounters {
+  std::unordered_map<const char*, std::size_t> by_injector;
+
+  void bump(const char* name) { ++by_injector[name]; }
+};
+
+}  // namespace witag::fixture
