@@ -13,8 +13,10 @@
 #include "phy/convolutional.hpp"
 #include "phy/fft.hpp"
 #include "phy/ppdu.hpp"
+#include "phy/scrambler.hpp"
 #include "phy/viterbi.hpp"
 #include "tag/envelope.hpp"
+#include "util/crc.hpp"
 #include "util/rng.hpp"
 #include "witag/session.hpp"
 
@@ -81,6 +83,103 @@ void BM_ViterbiPerKilobit(benchmark::State& state) {
 }
 BENCHMARK(BM_ViterbiPerKilobit);
 
+// Optimized (butterfly trellis + reusable workspace, zero steady-state
+// allocations) vs reference Viterbi across the decode sizes the
+// simulator sees: 48 info bits (one SIG field), 192 (one short MPDU)
+// and 1536 (a dense A-MPDU data field). Shared inputs per size so the
+// ratio isolates the kernel rewrite; the regression gate pins the
+// optimized gauges (see tools/bench_compare).
+std::vector<double> viterbi_bench_llrs(std::size_t n_info) {
+  util::Rng rng(2);
+  util::BitVec info = rng.bits(n_info - 6);
+  info.insert(info.end(), 6, 0);
+  const util::BitVec coded = phy::convolutional_encode(info);
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    llrs[i] = coded[i] ? -4.0 : 4.0;
+  }
+  return llrs;
+}
+
+template <std::size_t N>
+void BM_ViterbiOptimized(benchmark::State& state) {
+  const std::vector<double> llrs = viterbi_bench_llrs(N);
+  phy::ViterbiWorkspace ws;
+  util::BitVec bits;
+  for (auto _ : state) {
+    phy::viterbi_decode(llrs, ws, bits);
+    benchmark::DoNotOptimize(bits.data());
+  }
+}
+void BM_Viterbi48(benchmark::State& state) { BM_ViterbiOptimized<48>(state); }
+void BM_Viterbi192(benchmark::State& state) { BM_ViterbiOptimized<192>(state); }
+void BM_Viterbi1536(benchmark::State& state) {
+  BM_ViterbiOptimized<1536>(state);
+}
+BENCHMARK(BM_Viterbi48);
+BENCHMARK(BM_Viterbi192);
+BENCHMARK(BM_Viterbi1536);
+
+template <std::size_t N>
+void BM_ViterbiRef(benchmark::State& state) {
+  const std::vector<double> llrs = viterbi_bench_llrs(N);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::detail::viterbi_reference(llrs));
+  }
+}
+void BM_Viterbi48Reference(benchmark::State& state) {
+  BM_ViterbiRef<48>(state);
+}
+void BM_Viterbi192Reference(benchmark::State& state) {
+  BM_ViterbiRef<192>(state);
+}
+void BM_Viterbi1536Reference(benchmark::State& state) {
+  BM_ViterbiRef<1536>(state);
+}
+BENCHMARK(BM_Viterbi48Reference);
+BENCHMARK(BM_Viterbi192Reference);
+BENCHMARK(BM_Viterbi1536Reference);
+
+// Table-driven (byte-at-a-time keystream) vs bit-serial scrambler over
+// one max-rate data field's worth of bits.
+void BM_Scramble(benchmark::State& state) {
+  util::Rng rng(6);
+  const util::BitVec bits = rng.bits(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::scramble(bits, 0x5D));
+  }
+}
+BENCHMARK(BM_Scramble);
+
+void BM_ScrambleReference(benchmark::State& state) {
+  util::Rng rng(6);
+  const util::BitVec bits = rng.bits(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::detail::scramble_reference(bits, 0x5D));
+  }
+}
+BENCHMARK(BM_ScrambleReference);
+
+// Slicing-by-8 vs byte-at-a-time CRC-32 over one 3328-byte A-MPDU.
+void BM_Crc32(benchmark::State& state) {
+  util::Rng rng(7);
+  const util::ByteVec data = rng.bytes(3328);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32(data));
+  }
+}
+BENCHMARK(BM_Crc32);
+
+void BM_Crc32Reference(benchmark::State& state) {
+  util::Rng rng(7);
+  const util::ByteVec data = rng.bytes(3328);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::crc32_final(
+        util::detail::crc32_update_bytewise(util::crc32_init(), data)));
+  }
+}
+BENCHMARK(BM_Crc32Reference);
+
 void BM_PpduTransmit(benchmark::State& state) {
   util::Rng rng(3);
   const util::ByteVec psdu = rng.bytes(3328);  // 64 x 52-byte subframes
@@ -103,6 +202,22 @@ void BM_PpduReceive(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PpduReceive);
+
+// Full PPDU decode through a persistent DecodeScratch — the Session's
+// steady state. BM_PpduReceive above pays per-call scratch construction
+// and is the comparison point.
+void BM_PpduDecode(benchmark::State& state) {
+  util::Rng rng(4);
+  const util::ByteVec psdu = rng.bytes(3328);
+  phy::TxConfig cfg;
+  cfg.mcs_index = 5;
+  const phy::TxPpdu ppdu = phy::transmit(psdu, cfg);
+  phy::DecodeScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(phy::receive(ppdu.symbols, {}, scratch));
+  }
+}
+BENCHMARK(BM_PpduDecode);
 
 void BM_AesBlock(benchmark::State& state) {
   const mac::AesKey key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};

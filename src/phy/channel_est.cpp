@@ -57,6 +57,14 @@ ChannelEstimate estimate_channel(std::span<const FreqSymbol> ltf_rx) {
 
 EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
                          std::size_t symbol_index, bool cpe_correction) {
+  EqualizedSymbol out;
+  equalize_into(rx, est, symbol_index, cpe_correction, out);
+  return out;
+}
+
+void equalize_into(const FreqSymbol& rx, const ChannelEstimate& est,
+                   std::size_t symbol_index, bool cpe_correction,
+                   EqualizedSymbol& out) {
   WITAG_SPAN_CAT("phy.equalize", "phy");
   WITAG_COUNT("phy.equalize.calls", 1);
   Cx cpe{1.0, 0.0};
@@ -75,7 +83,6 @@ EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
   }
 
   const auto data_sc = data_subcarriers();
-  EqualizedSymbol out;
   out.points.resize(data_sc.size());
   out.noise_vars.resize(data_sc.size());
   for (std::size_t i = 0; i < data_sc.size(); ++i) {
@@ -90,7 +97,6 @@ EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
     out.points[i] = rx[bin] * std::conj(cpe) / est.h[bin];
     out.noise_vars[i] = std::max(est.noise_var, 1e-12) / gain;
   }
-  return out;
 }
 
 }  // namespace witag::phy

@@ -42,4 +42,11 @@ struct EqualizedSymbol {
 EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
                          std::size_t symbol_index, bool cpe_correction = true);
 
+/// Allocation-reusing variant: writes into `out` (vectors resized;
+/// capacity reused). The hot decode path threads one EqualizedSymbol
+/// through phy::DecodeScratch so per-symbol buffers persist.
+void equalize_into(const FreqSymbol& rx, const ChannelEstimate& est,
+                   std::size_t symbol_index, bool cpe_correction,
+                   EqualizedSymbol& out);
+
 }  // namespace witag::phy

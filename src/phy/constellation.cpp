@@ -145,11 +145,19 @@ std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
 
 std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
                                std::span<const double> noise_vars) {
+  std::vector<double> llrs;
+  demap_soft_into(points, mod, noise_vars, llrs);
+  return llrs;
+}
+
+void demap_soft_into(std::span<const Cx> points, Modulation mod,
+                     std::span<const double> noise_vars,
+                     std::vector<double>& out) {
   WITAG_REQUIRE(points.size() == noise_vars.size());
   const unsigned n = bits_per_symbol(mod);
   const CxVec& table = table_for(mod);
-  std::vector<double> llrs;
-  llrs.reserve(points.size() * n);
+  out.resize(points.size() * n);
+  std::size_t w = 0;
   for (std::size_t p = 0; p < points.size(); ++p) {
     const Cx& y = points[p];
     const double noise_var = noise_vars[p];
@@ -166,10 +174,9 @@ std::vector<double> demap_soft(std::span<const Cx> points, Modulation mod,
         }
       }
       // Max-log LLR; positive favors bit value 0.
-      llrs.push_back((min1 - min0) / noise_var);
+      out[w++] = (min1 - min0) / noise_var;
     }
   }
-  return llrs;
 }
 
 }  // namespace witag::phy

@@ -34,6 +34,12 @@ std::vector<double> demap_soft(std::span<const util::Cx> points,
                                Modulation mod,
                                std::span<const double> noise_vars);
 
+/// Allocation-reusing variant of the per-point soft demap: writes the
+/// LLRs into `out` (resized; capacity reused) for the hot decode path.
+void demap_soft_into(std::span<const util::Cx> points, Modulation mod,
+                     std::span<const double> noise_vars,
+                     std::vector<double>& out);
+
 /// The (normalized) points of a constellation in bit-pattern order:
 /// entry i is the point whose bits, LSB-first, encode i.
 std::span<const util::Cx> constellation_points(Modulation mod);

@@ -14,9 +14,22 @@ constexpr std::array<std::uint8_t, 4> kPattern23{1, 1, 1, 0};
 constexpr std::array<std::uint8_t, 6> kPattern34{1, 1, 1, 0, 0, 1};
 constexpr std::array<std::uint8_t, 10> kPattern56{1, 1, 1, 0, 0, 1, 1, 0, 0, 1};
 
-std::uint8_t parity(std::uint32_t v) {
+constexpr std::uint8_t parity(std::uint32_t v) {
   return static_cast<std::uint8_t>(static_cast<unsigned>(std::popcount(v)) & 1u);
 }
+
+// Bit-parity LUT over the 7-bit register: entry f holds output bit A in
+// bit 0 and B in bit 1, replacing two popcounts per input bit.
+constexpr std::array<std::uint8_t, 128> make_encoder_lut() {
+  std::array<std::uint8_t, 128> lut{};
+  for (std::uint32_t f = 0; f < 128; ++f) {
+    lut[f] = static_cast<std::uint8_t>(parity(f & kGenPolyA) |
+                                       (parity(f & kGenPolyB) << 1));
+  }
+  return lut;
+}
+
+constexpr std::array<std::uint8_t, 128> kEncoderLut = make_encoder_lut();
 
 }  // namespace
 
@@ -32,15 +45,15 @@ std::span<const std::uint8_t> puncture_pattern(CodeRate rate) {
 }
 
 util::BitVec convolutional_encode(std::span<const std::uint8_t> bits) {
-  util::BitVec out;
-  out.reserve(bits.size() * 2);
+  util::BitVec out(bits.size() * 2);
   // 7-bit register with the newest input at bit 6 and the oldest at bit 0,
   // matching the MSB-first octal tap constants (133, 171).
   std::uint32_t shift = 0;
-  for (const std::uint8_t b : bits) {
-    shift = (shift >> 1) | (static_cast<std::uint32_t>(b & 1u) << 6);
-    out.push_back(parity(shift & kGenPolyA));
-    out.push_back(parity(shift & kGenPolyB));
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    shift = (shift >> 1) | (static_cast<std::uint32_t>(bits[i] & 1u) << 6);
+    const std::uint8_t ab = kEncoderLut[shift];
+    out[2 * i] = static_cast<std::uint8_t>(ab & 1u);
+    out[2 * i + 1] = static_cast<std::uint8_t>(ab >> 1);
   }
   return out;
 }
@@ -69,9 +82,16 @@ std::size_t punctured_length(std::size_t mother_bits, CodeRate rate) {
 
 std::vector<double> depuncture(std::span<const double> llrs, CodeRate rate,
                                std::size_t n_coded_bits) {
+  std::vector<double> out;
+  depuncture_into(llrs, rate, n_coded_bits, out);
+  return out;
+}
+
+void depuncture_into(std::span<const double> llrs, CodeRate rate,
+                     std::size_t n_coded_bits, std::vector<double>& out) {
   WITAG_REQUIRE(n_coded_bits % 2 == 0);
   const auto pattern = puncture_pattern(rate);
-  std::vector<double> out(n_coded_bits, 0.0);
+  out.assign(n_coded_bits, 0.0);
   std::size_t src = 0;
   for (std::size_t i = 0; i < n_coded_bits; ++i) {
     if (pattern[i % pattern.size()]) {
@@ -80,7 +100,22 @@ std::vector<double> depuncture(std::span<const double> llrs, CodeRate rate,
     }
   }
   WITAG_REQUIRE(src == llrs.size());
+}
+
+namespace detail {
+
+util::BitVec convolutional_encode_reference(std::span<const std::uint8_t> bits) {
+  util::BitVec out;
+  out.reserve(bits.size() * 2);
+  std::uint32_t shift = 0;
+  for (const std::uint8_t b : bits) {
+    shift = (shift >> 1) | (static_cast<std::uint32_t>(b & 1u) << 6);
+    out.push_back(parity(shift & kGenPolyA));
+    out.push_back(parity(shift & kGenPolyB));
+  }
   return out;
 }
+
+}  // namespace detail
 
 }  // namespace witag::phy

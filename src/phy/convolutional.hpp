@@ -32,11 +32,24 @@ util::BitVec puncture(std::span<const std::uint8_t> coded, CodeRate rate);
 std::vector<double> depuncture(std::span<const double> llrs, CodeRate rate,
                                std::size_t n_coded_bits);
 
+/// Allocation-reusing variant: writes into `out` (resized; capacity
+/// reused) for the hot decode path.
+void depuncture_into(std::span<const double> llrs, CodeRate rate,
+                     std::size_t n_coded_bits, std::vector<double>& out);
+
 /// Mother-rate coded length -> punctured length for a code rate.
 std::size_t punctured_length(std::size_t mother_bits, CodeRate rate);
 
 /// The puncturing keep-mask over one period of (A, B) pairs.
 /// Element 2k is pair k's A bit, element 2k+1 its B bit.
 std::span<const std::uint8_t> puncture_pattern(CodeRate rate);
+
+namespace detail {
+
+/// The original popcount-per-bit encoder, kept as the specification the
+/// LUT-driven convolutional_encode is parity-tested against.
+util::BitVec convolutional_encode_reference(std::span<const std::uint8_t> bits);
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -13,6 +13,22 @@ unsigned n_cbps_for(Modulation mod) {
   return kDataSubcarriers * bits_per_symbol(mod);
 }
 
+// The permutation depends only on the modulation, and the decode path
+// applies it once per OFDM symbol — cache the four maps instead of
+// rebuilding (and re-allocating) them every call.
+const std::vector<std::size_t>& cached_map(Modulation mod) {
+  static const std::array<std::vector<std::size_t>, 4> kMaps = [] {
+    std::array<std::vector<std::size_t>, 4> maps;
+    for (const Modulation m : {Modulation::kBpsk, Modulation::kQpsk,
+                               Modulation::kQam16, Modulation::kQam64}) {
+      maps[static_cast<std::size_t>(m)] =
+          interleave_map(n_cbps_for(m), bits_per_symbol(m));
+    }
+    return maps;
+  }();
+  return kMaps[static_cast<std::size_t>(mod)];
+}
+
 }  // namespace
 
 std::vector<std::size_t> interleave_map(unsigned n_cbps, unsigned n_bpsc) {
@@ -35,7 +51,7 @@ std::vector<std::size_t> interleave_map(unsigned n_cbps, unsigned n_bpsc) {
 util::BitVec interleave(std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned n_cbps = n_cbps_for(mod);
   WITAG_REQUIRE(bits.size() == n_cbps);
-  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
+  const auto& map = cached_map(mod);
   util::BitVec out(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[map[k]] = bits[k];
   return out;
@@ -44,7 +60,7 @@ util::BitVec interleave(std::span<const std::uint8_t> bits, Modulation mod) {
 util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod) {
   const unsigned n_cbps = n_cbps_for(mod);
   WITAG_REQUIRE(bits.size() == n_cbps);
-  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
+  const auto& map = cached_map(mod);
   util::BitVec out(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[k] = bits[map[k]];
   return out;
@@ -52,12 +68,18 @@ util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod) {
 
 std::vector<double> deinterleave_llrs(std::span<const double> llrs,
                                       Modulation mod) {
+  std::vector<double> out;
+  deinterleave_llrs_into(llrs, mod, out);
+  return out;
+}
+
+void deinterleave_llrs_into(std::span<const double> llrs, Modulation mod,
+                            std::vector<double>& out) {
   const unsigned n_cbps = n_cbps_for(mod);
   WITAG_REQUIRE(llrs.size() == n_cbps);
-  const auto map = interleave_map(n_cbps, bits_per_symbol(mod));
-  std::vector<double> out(n_cbps);
+  const auto& map = cached_map(mod);
+  out.resize(n_cbps);
   for (unsigned k = 0; k < n_cbps; ++k) out[k] = llrs[map[k]];
-  return out;
 }
 
 }  // namespace witag::phy

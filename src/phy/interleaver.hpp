@@ -28,4 +28,9 @@ util::BitVec deinterleave(std::span<const std::uint8_t> bits, Modulation mod);
 std::vector<double> deinterleave_llrs(std::span<const double> llrs,
                                       Modulation mod);
 
+/// Allocation-reusing variant for the hot decode path: writes into `out`
+/// (resized; capacity reused) using a cached permutation map.
+void deinterleave_llrs_into(std::span<const double> llrs, Modulation mod,
+                            std::vector<double>& out);
+
 }  // namespace witag::phy

@@ -18,9 +18,34 @@
 #include "phy/mcs.hpp"
 #include "phy/ofdm.hpp"
 #include "phy/plcp.hpp"
+#include "phy/viterbi.hpp"
 #include "util/bits.hpp"
 
 namespace witag::phy {
+
+/// Reusable buffers for the receive pipeline. One scratch serves any
+/// number of sequential decodes; each buffer grows to the largest PPDU
+/// seen and is then reused, so steady-state decode of an A-MPDU stream
+/// (and of successive Reader rounds — the Session owns one scratch)
+/// performs no per-subframe heap allocation. Not thread-safe: use one
+/// scratch per thread (the sweep runner's per-worker Sessions each own
+/// theirs).
+struct DecodeScratch {
+  ViterbiWorkspace viterbi;
+  EqualizedSymbol eq;              ///< Per-symbol equalizer output.
+  std::vector<double> sym_llrs;    ///< Per-symbol soft demap output.
+  std::vector<double> deint;       ///< Per-symbol deinterleaved LLRs.
+  std::vector<double> llrs;        ///< Concatenated field LLRs.
+  std::vector<double> mother;      ///< Depunctured mother-rate LLRs.
+  util::BitVec bits;               ///< Viterbi output bits.
+  util::BitVec plain;              ///< Descrambled field bits.
+  std::vector<FreqSymbol> symbols; ///< receive_samples staging.
+  util::CxVec fft_work;            ///< OFDM transform buffer.
+
+  /// Heap bytes currently reserved across all buffers (exported as the
+  /// `phy.decode.scratch_bytes` gauge).
+  std::size_t capacity_bytes() const;
+};
 
 /// Role of each symbol slot in the PPDU timeline. The layout is fixed:
 /// slot 0 = STF, slots 1..2 = LTF, slots 3..4 = SIG, remainder = data.
@@ -74,6 +99,11 @@ struct RxResult {
 /// Requires at least the header slots.
 RxResult receive(std::span<const FreqSymbol> symbols, const RxConfig& cfg);
 
+/// Scratch-threaded variant: reuses `scratch` buffers across calls so
+/// steady-state decode allocates only the returned RxResult contents.
+RxResult receive(std::span<const FreqSymbol> symbols, const RxConfig& cfg,
+                 DecodeScratch& scratch);
+
 /// Flattens a PPDU to 20 Msps time-domain samples (80 per slot).
 util::CxVec to_samples(const TxPpdu& ppdu);
 
@@ -81,5 +111,9 @@ util::CxVec to_samples(const TxPpdu& ppdu);
 /// decodes them. Requires a whole number of 80-sample slots.
 RxResult receive_samples(std::span<const util::Cx> samples,
                          const RxConfig& cfg);
+
+/// Scratch-threaded variant of receive_samples.
+RxResult receive_samples(std::span<const util::Cx> samples,
+                         const RxConfig& cfg, DecodeScratch& scratch);
 
 }  // namespace witag::phy

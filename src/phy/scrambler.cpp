@@ -6,11 +6,58 @@ namespace witag::phy {
 namespace {
 
 // One LFSR step: returns the output bit and advances the 7-bit state.
-std::uint8_t lfsr_step(std::uint8_t& state) {
+constexpr std::uint8_t lfsr_step(std::uint8_t& state) {
   const std::uint8_t out =
       static_cast<std::uint8_t>(((state >> 6) ^ (state >> 3)) & 1u);
   state = static_cast<std::uint8_t>(((state << 1) | out) & 0x7Fu);
   return out;
+}
+
+// Byte-at-a-time tables: the keystream is a function of the LFSR state
+// alone (the data never feeds back), so eight steps collapse into one
+// lookup. kKeystream[s] bit i is the output of step i from state s;
+// kNextState[s] is the state after those eight steps.
+struct ScramblerTables {
+  std::array<std::uint8_t, 128> keystream{};
+  std::array<std::uint8_t, 128> next_state{};
+};
+
+constexpr ScramblerTables make_scrambler_tables() {
+  ScramblerTables t;
+  for (std::uint32_t s = 0; s < 128; ++s) {
+    std::uint8_t state = static_cast<std::uint8_t>(s);
+    std::uint8_t ks = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+      ks = static_cast<std::uint8_t>(ks | (lfsr_step(state) << i));
+    }
+    t.keystream[s] = ks;
+    t.next_state[s] = state;
+  }
+  return t;
+}
+
+constexpr ScramblerTables kScrTables = make_scrambler_tables();
+
+// XORs the keystream from `state` onto bits[0..n), eight bits per table
+// lookup, leaving `state` advanced past the tail.
+void apply_keystream(const std::uint8_t* in, std::uint8_t* out,
+                     std::size_t n, std::uint8_t& state) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const std::uint8_t ks = kScrTables.keystream[state];
+    out[i + 0] = static_cast<std::uint8_t>((in[i + 0] ^ ks) & 1u);
+    out[i + 1] = static_cast<std::uint8_t>((in[i + 1] ^ (ks >> 1)) & 1u);
+    out[i + 2] = static_cast<std::uint8_t>((in[i + 2] ^ (ks >> 2)) & 1u);
+    out[i + 3] = static_cast<std::uint8_t>((in[i + 3] ^ (ks >> 3)) & 1u);
+    out[i + 4] = static_cast<std::uint8_t>((in[i + 4] ^ (ks >> 4)) & 1u);
+    out[i + 5] = static_cast<std::uint8_t>((in[i + 5] ^ (ks >> 5)) & 1u);
+    out[i + 6] = static_cast<std::uint8_t>((in[i + 6] ^ (ks >> 6)) & 1u);
+    out[i + 7] = static_cast<std::uint8_t>((in[i + 7] ^ (ks >> 7)) & 1u);
+    state = kScrTables.next_state[state];
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>((in[i] ^ lfsr_step(state)) & 1u);
+  }
 }
 
 }  // namespace
@@ -18,15 +65,19 @@ std::uint8_t lfsr_step(std::uint8_t& state) {
 util::BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed) {
   WITAG_REQUIRE(seed >= 1 && seed <= 127);
   std::uint8_t state = seed;
-  util::BitVec out;
-  out.reserve(bits.size());
-  for (const std::uint8_t b : bits) {
-    out.push_back(static_cast<std::uint8_t>((b ^ lfsr_step(state)) & 1u));
-  }
+  util::BitVec out(bits.size());
+  apply_keystream(bits.data(), out.data(), bits.size(), state);
   return out;
 }
 
 util::BitVec descramble_recover(std::span<const std::uint8_t> bits) {
+  util::BitVec out;
+  descramble_recover_into(bits, out);
+  return out;
+}
+
+void descramble_recover_into(std::span<const std::uint8_t> bits,
+                             util::BitVec& out) {
   WITAG_REQUIRE(bits.size() >= 7);
   // With zero inputs, scrambled bit i equals LFSR output i, and the LFSR
   // state shifts its own output in — so after 7 steps the state is just
@@ -35,11 +86,8 @@ util::BitVec descramble_recover(std::span<const std::uint8_t> bits) {
   for (unsigned i = 0; i < 7; ++i) {
     state = static_cast<std::uint8_t>(((state << 1) | (bits[i] & 1u)) & 0x7Fu);
   }
-  util::BitVec out(bits.size(), 0);
-  for (std::size_t i = 7; i < bits.size(); ++i) {
-    out[i] = static_cast<std::uint8_t>((bits[i] ^ lfsr_step(state)) & 1u);
-  }
-  return out;
+  out.assign(bits.size(), 0);
+  apply_keystream(bits.data() + 7, out.data() + 7, bits.size() - 7, state);
 }
 
 const std::array<int, 127>& pilot_polarity_sequence() {
@@ -54,5 +102,34 @@ const std::array<int, 127>& pilot_polarity_sequence() {
   }();
   return kSequence;
 }
+
+namespace detail {
+
+util::BitVec scramble_reference(std::span<const std::uint8_t> bits,
+                                std::uint8_t seed) {
+  WITAG_REQUIRE(seed >= 1 && seed <= 127);
+  std::uint8_t state = seed;
+  util::BitVec out;
+  out.reserve(bits.size());
+  for (const std::uint8_t b : bits) {
+    out.push_back(static_cast<std::uint8_t>((b ^ lfsr_step(state)) & 1u));
+  }
+  return out;
+}
+
+util::BitVec descramble_recover_reference(std::span<const std::uint8_t> bits) {
+  WITAG_REQUIRE(bits.size() >= 7);
+  std::uint8_t state = 0;
+  for (unsigned i = 0; i < 7; ++i) {
+    state = static_cast<std::uint8_t>(((state << 1) | (bits[i] & 1u)) & 0x7Fu);
+  }
+  util::BitVec out(bits.size(), 0);
+  for (std::size_t i = 7; i < bits.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>((bits[i] ^ lfsr_step(state)) & 1u);
+  }
+  return out;
+}
+
+}  // namespace detail
 
 }  // namespace witag::phy

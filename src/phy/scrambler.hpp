@@ -22,8 +22,24 @@ util::BitVec scramble(std::span<const std::uint8_t> bits, std::uint8_t seed);
 /// the receiver knowing the transmitter's seed. Requires >= 7 bits.
 util::BitVec descramble_recover(std::span<const std::uint8_t> bits);
 
+/// Allocation-reusing variant: writes the descrambled stream into `out`
+/// (resized; capacity reused). The hot decode path threads one buffer
+/// through phy::DecodeScratch.
+void descramble_recover_into(std::span<const std::uint8_t> bits,
+                             util::BitVec& out);
+
 /// The 127-element +1/-1 pilot polarity sequence p_0..p_126 produced by
 /// the scrambler LFSR seeded with all ones (802.11 17.3.5.10).
 const std::array<int, 127>& pilot_polarity_sequence();
+
+namespace detail {
+
+/// Bit-serial originals, kept as the specification the byte-at-a-time
+/// table implementations are parity-tested against.
+util::BitVec scramble_reference(std::span<const std::uint8_t> bits,
+                                std::uint8_t seed);
+util::BitVec descramble_recover_reference(std::span<const std::uint8_t> bits);
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -23,7 +23,7 @@ struct Transitions {
   std::array<std::array<std::uint8_t, 2>, kNumStates> out_b{};
 };
 
-Transitions make_transitions() {
+constexpr Transitions make_transitions() {
   Transitions t;
   for (std::uint32_t s = 0; s < kNumStates; ++s) {
     for (std::uint32_t u = 0; u < 2; ++u) {
@@ -38,7 +38,51 @@ Transitions make_transitions() {
   return t;
 }
 
-const Transitions kTrellis = make_transitions();
+constexpr Transitions kTrellis = make_transitions();
+
+// Predecessor-oriented view of the same trellis: next-state ns is fed by
+// exactly the two 7-bit registers f0 = 2*ns and f1 = 2*ns + 1, i.e. by
+// predecessor states s0 = f0 & 63 and s1 = s0 + 1, both under the same
+// input u = ns >> 5. s0 < s1 always, which is exactly the order the
+// transition-oriented reference visits them in — so "prefer the s0
+// branch on metric ties" reproduces its strict-> update rule bit for
+// bit.
+struct Butterfly {
+  std::uint8_t s0, s1;          // the two predecessor states
+  std::uint8_t sv0, sv1;        // survivor bytes (pred << 1) | input
+  std::uint8_t a0, b0, a1, b1;  // expected coded bits per branch
+};
+
+constexpr std::array<Butterfly, kNumStates> make_butterflies() {
+  std::array<Butterfly, kNumStates> bs{};
+  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+    const std::uint32_t f0 = ns << 1;
+    const std::uint32_t f1 = f0 | 1u;
+    const std::uint32_t u = ns >> 5;
+    Butterfly& bf = bs[ns];
+    bf.s0 = static_cast<std::uint8_t>(f0 & (kNumStates - 1));
+    bf.s1 = static_cast<std::uint8_t>(f1 & (kNumStates - 1));
+    bf.sv0 = static_cast<std::uint8_t>((bf.s0 << 1) | u);
+    bf.sv1 = static_cast<std::uint8_t>((bf.s1 << 1) | u);
+    bf.a0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyA) & 1);
+    bf.b0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyB) & 1);
+    bf.a1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyA) & 1);
+    bf.b1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyB) & 1);
+  }
+  return bs;
+}
+
+constexpr std::array<Butterfly, kNumStates> kButterflies = make_butterflies();
+
+// Large-finite stand-in for -inf: unreachable states carry this value
+// instead of being skipped, which removes the per-state branch from the
+// ACS loop. Physical LLR sums are tens per step, so adding a branch
+// metric to the sentinel does not move it at double granularity (ulp at
+// 1e300 is ~1e284), and a sentinel path can never beat a real one. Any
+// end metric below kSentinelThreshold therefore means "state 0 was
+// pruned", exactly like the reference's -inf test.
+constexpr double kSentinel = -1e300;
+constexpr double kSentinelThreshold = -1e290;
 
 // Branch metric contribution of one coded bit: LLR > 0 favors bit 0, so a
 // branch expecting bit 0 gains +llr and one expecting bit 1 gains -llr.
@@ -48,12 +92,75 @@ double bit_metric(double llr, std::uint8_t expected) {
 
 }  // namespace
 
-util::BitVec viterbi_decode(std::span<const double> llrs) {
+void viterbi_decode(std::span<const double> llrs, ViterbiWorkspace& ws,
+                    util::BitVec& out) {
   WITAG_SPAN_CAT("phy.viterbi", "phy");
   WITAG_REQUIRE(!llrs.empty() && llrs.size() % 2 == 0);
   const std::size_t n_steps = llrs.size() / 2;
   WITAG_COUNT("phy.viterbi.calls", 1);
   WITAG_COUNT("phy.viterbi.bits", n_steps);
+
+  if (ws.survivor_.capacity() >= n_steps * kNumStates) {
+    WITAG_COUNT("phy.viterbi.workspace_reuses", 1);
+  }
+  ws.survivor_.resize(n_steps * kNumStates);
+  std::uint8_t* survivor = ws.survivor_.data();
+
+  // Path metrics ping-pong between two fixed-size arrays — no heap.
+  std::array<double, kNumStates> metric_a;
+  std::array<double, kNumStates> metric_b;
+  metric_a.fill(kSentinel);
+  metric_a[0] = 0.0;  // encoder starts zeroed
+  double* cur = metric_a.data();
+  double* nxt = metric_b.data();
+
+  for (std::size_t step = 0; step < n_steps; ++step) {
+    const double la = llrs[2 * step];
+    const double lb = llrs[2 * step + 1];
+    // pa[e] / pb[e] = metric contribution of a branch expecting bit e.
+    const double pa[2] = {la, -la};
+    const double pb[2] = {lb, -lb};
+    std::uint8_t* srow = survivor + step * kNumStates;
+    for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+      const Butterfly& bf = kButterflies[ns];
+      // Same association as the reference: (metric + a) + b.
+      const double m0 = (cur[bf.s0] + pa[bf.a0]) + pb[bf.b0];
+      const double m1 = (cur[bf.s1] + pa[bf.a1]) + pb[bf.b1];
+      const bool take1 = m1 > m0;  // strict: ties keep the s0 branch
+      nxt[ns] = take1 ? m1 : m0;
+      srow[ns] = take1 ? bf.sv1 : bf.sv0;
+    }
+    std::swap(cur, nxt);
+  }
+
+  // The tail drives the encoder back to state 0; fall back to the best
+  // surviving state if 0 was pruned (can happen under extreme noise).
+  std::uint32_t state = 0;
+  if (cur[0] <= kSentinelThreshold) {
+    state = static_cast<std::uint32_t>(
+        std::max_element(cur, cur + kNumStates) - cur);
+  }
+
+  out.resize(n_steps);
+  for (std::size_t step = n_steps; step-- > 0;) {
+    const std::uint8_t sv = survivor[step * kNumStates + state];
+    out[step] = sv & 1u;
+    state = sv >> 1;
+  }
+}
+
+util::BitVec viterbi_decode(std::span<const double> llrs) {
+  thread_local ViterbiWorkspace ws;
+  util::BitVec bits;
+  viterbi_decode(llrs, ws, bits);
+  return bits;
+}
+
+namespace detail {
+
+util::BitVec viterbi_reference(std::span<const double> llrs) {
+  WITAG_REQUIRE(!llrs.empty() && llrs.size() % 2 == 0);
+  const std::size_t n_steps = llrs.size() / 2;
   constexpr double kNegInf = -std::numeric_limits<double>::infinity();
 
   std::vector<double> metric(kNumStates, kNegInf);
@@ -82,8 +189,6 @@ util::BitVec viterbi_decode(std::span<const double> llrs) {
     metric.swap(next_metric);
   }
 
-  // The tail drives the encoder back to state 0; fall back to the best
-  // surviving state if 0 was pruned (can happen under extreme noise).
   std::uint32_t state = 0;
   if (metric[0] == kNegInf) {
     state = static_cast<std::uint32_t>(
@@ -98,5 +203,7 @@ util::BitVec viterbi_decode(std::span<const double> llrs) {
   }
   return bits;
 }
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -3,8 +3,19 @@
 // convention (positive = bit 0 more likely) including the zero-LLR
 // erasures inserted by depuncturing, and assumes the encoder both starts
 // and ends in the all-zero state (6 zero tail bits).
+//
+// Two implementations, bit-identical by construction (and fuzz-tested in
+// tests/test_viterbi_equiv.cpp):
+//  * detail::viterbi_reference — the transition-oriented original, kept
+//    as the readable specification and benchmark baseline.
+//  * viterbi_decode — predecessor-oriented butterflies over a flattened
+//    constexpr trellis with a large-finite sentinel metric (branchless
+//    add-compare-select) and flat survivor storage in a reusable
+//    ViterbiWorkspace, so steady-state decode performs zero heap
+//    allocations. See DESIGN.md §12 for the correctness argument.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -12,9 +23,43 @@
 
 namespace witag::phy {
 
-/// Decodes `llrs` (two per information bit at the mother rate) back to
-/// information bits (including the tail). Requires an even, non-zero
-/// LLR count.
+/// Reusable buffers for viterbi_decode. One workspace serves any number
+/// of sequential decodes; capacity grows to the largest decode seen and
+/// is then reused (counted by the `phy.viterbi.workspace_reuses`
+/// metric, which is how tests assert zero steady-state allocations).
+/// Not thread-safe: use one workspace per thread.
+class ViterbiWorkspace {
+ public:
+  /// Heap bytes currently reserved by the workspace.
+  std::size_t capacity_bytes() const { return survivor_.capacity(); }
+
+ private:
+  friend void viterbi_decode(std::span<const double> llrs,
+                             ViterbiWorkspace& ws, util::BitVec& out);
+  // survivor_[step * kNumStates + state] = (previous state << 1) | input.
+  std::vector<std::uint8_t> survivor_;
+};
+
+/// Decodes `llrs` (two per information bit at the mother rate) into
+/// `out` (resized to the information bit count, including the tail),
+/// reusing `ws` and `out` capacity. Requires an even, non-zero LLR
+/// count. Steady state (same or smaller size as a previous call on the
+/// same buffers) performs no heap allocation.
+void viterbi_decode(std::span<const double> llrs, ViterbiWorkspace& ws,
+                    util::BitVec& out);
+
+/// Convenience wrapper returning the decoded bits. Uses a thread-local
+/// workspace, so repeated calls still avoid steady-state allocations of
+/// the survivor storage (the returned vector is the only allocation).
 util::BitVec viterbi_decode(std::span<const double> llrs);
+
+namespace detail {
+
+/// The original transition-oriented decoder (-inf pruning, per-call
+/// allocations). Retained as the specification the optimized path is
+/// verified against, mirroring fft_reference_inplace.
+util::BitVec viterbi_reference(std::span<const double> llrs);
+
+}  // namespace detail
 
 }  // namespace witag::phy

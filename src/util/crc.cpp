@@ -29,16 +29,53 @@ constexpr std::array<std::uint8_t, 256> make_crc8_table() {
   return table;
 }
 
-const std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
-const std::array<std::uint8_t, 256> kCrc8Table = make_crc8_table();
+constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+constexpr std::array<std::uint8_t, 256> kCrc8Table = make_crc8_table();
+
+// Slicing-by-8 (Intel's technique): table k advances a byte's
+// contribution k extra bytes through the polynomial, so eight input
+// bytes fold into eight independent lookups XORed together — one pass
+// over the table hierarchy instead of eight dependent byte steps.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc32_slices() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  t[0] = make_crc32_table();
+  for (std::size_t k = 1; k < 8; ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      t[k][i] = t[0][t[k - 1][i] & 0xFFu] ^ (t[k - 1][i] >> 8);
+    }
+  }
+  return t;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kCrc32Slices =
+    make_crc32_slices();
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
 
 }  // namespace
 
 std::uint32_t crc32_init() { return 0xFFFFFFFFu; }
 
 std::uint32_t crc32_update(std::uint32_t state, std::span<const std::uint8_t> data) {
-  for (const std::uint8_t byte : data) {
-    state = kCrc32Table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  while (n >= 8) {
+    const std::uint32_t lo = load_le32(p) ^ state;
+    const std::uint32_t hi = load_le32(p + 4);
+    state = kCrc32Slices[7][lo & 0xFFu] ^ kCrc32Slices[6][(lo >> 8) & 0xFFu] ^
+            kCrc32Slices[5][(lo >> 16) & 0xFFu] ^ kCrc32Slices[4][lo >> 24] ^
+            kCrc32Slices[3][hi & 0xFFu] ^ kCrc32Slices[2][(hi >> 8) & 0xFFu] ^
+            kCrc32Slices[1][(hi >> 16) & 0xFFu] ^ kCrc32Slices[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    state = kCrc32Table[(state ^ *p) & 0xFFu] ^ (state >> 8);
   }
   return state;
 }
@@ -56,5 +93,17 @@ std::uint8_t crc8(std::span<const std::uint8_t> data) {
   }
   return static_cast<std::uint8_t>(state ^ 0xFFu);
 }
+
+namespace detail {
+
+std::uint32_t crc32_update_bytewise(std::uint32_t state,
+                                    std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state = kCrc32Table[(state ^ byte) & 0xFFu] ^ (state >> 8);
+  }
+  return state;
+}
+
+}  // namespace detail
 
 }  // namespace witag::util

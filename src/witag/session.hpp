@@ -13,6 +13,7 @@
 #include "channel/channel_model.hpp"
 #include "faults/injectors.hpp"
 #include "mac/station.hpp"
+#include "phy/ppdu.hpp"
 #include "util/complexvec.hpp"
 #include "tag/device.hpp"
 #include "util/rng.hpp"
@@ -120,6 +121,10 @@ class Session {
   /// Layout cache for addressed queries (index = trigger code).
   std::vector<std::optional<QueryLayout>> layout_cache_;
   double tag_noise_var_ = 0.0;      ///< Noise at the tag detector [W].
+  /// Decode buffers reused across every exchange this session runs (the
+  /// Reader drives many rounds through one Session, so A-MPDU decode is
+  /// allocation-free in steady state).
+  phy::DecodeScratch decode_scratch_;
 };
 
 }  // namespace witag::core

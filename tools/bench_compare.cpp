@@ -1,0 +1,255 @@
+// bench_compare: the perf-regression gate for the micro_phy baseline.
+//
+// Reads two obs metrics JSON files (the single-line export written by
+// `--metrics-out`, see EXPERIMENTS.md "BENCH_phy.json schema") and
+// compares every pinned gauge — a gauge is pinned when its name starts
+// with "bench." and ends with ".ns_per_op", i.e. the per-benchmark
+// timings micro_phy's ObsReporter exports. A current value more than
+// `--max-regress` (fraction, default 0.25) above the baseline fails the
+// gate, as does a pinned gauge missing from the current run (a renamed
+// or deleted benchmark must come with a refreshed baseline).
+//
+// Usage:
+//   bench_compare --baseline bench/BENCH_phy.json --current out.json
+//                 [--max-regress 0.25]
+//
+// Exit status: 0 gate green, 1 regression (or missing gauge), 2 usage
+// or parse error.
+//
+// Faster-than-baseline results pass and are reported as candidates for
+// a baseline refresh; the baseline is only rewritten by hand (commit
+// the new file), never by this tool.
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Minimal scanner for the metrics export: walks the JSON text tracking
+// object depth, finds the top-level "gauges" object, and reads its flat
+// "name": number members. Full JSON parsing is deliberately out of
+// scope — the export format is fixed (flat string->number map) and
+// produced by our own obs::report code.
+struct GaugeScan {
+  std::map<std::string, double> gauges;
+  bool ok = false;
+  std::string error;
+};
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  out.clear();
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      if (i + 1 < s.size()) out += s[++i];
+    } else if (s[i] == '"') {
+      ++i;
+      return true;
+    } else {
+      out += s[i];
+    }
+  }
+  return false;
+}
+
+GaugeScan scan_gauges(const std::string& text) {
+  GaugeScan result;
+  // Locate the "gauges" key at object depth 1 (the top-level record).
+  std::size_t i = 0;
+  int depth = 0;
+  bool found = false;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '"') {
+      std::string key;
+      if (!parse_string(text, i, key)) {
+        result.error = "unterminated string";
+        return result;
+      }
+      skip_ws(text, i);
+      if (depth == 1 && i < text.size() && text[i] == ':' &&
+          key == "gauges") {
+        ++i;
+        found = true;
+        break;
+      }
+      continue;
+    }
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ++i;
+  }
+  if (!found) {
+    result.error = "no top-level \"gauges\" object";
+    return result;
+  }
+  skip_ws(text, i);
+  if (i >= text.size() || text[i] != '{') {
+    result.error = "\"gauges\" is not an object";
+    return result;
+  }
+  ++i;
+  skip_ws(text, i);
+  if (i < text.size() && text[i] == '}') {
+    result.ok = true;  // empty gauges map
+    return result;
+  }
+  while (i < text.size()) {
+    std::string name;
+    if (!parse_string(text, i, name)) {
+      result.error = "expected gauge name string";
+      return result;
+    }
+    skip_ws(text, i);
+    if (i >= text.size() || text[i] != ':') {
+      result.error = "expected ':' after gauge name";
+      return result;
+    }
+    ++i;
+    skip_ws(text, i);
+    const char* begin = text.c_str() + i;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      result.error = "expected numeric gauge value for " + name;
+      return result;
+    }
+    i += static_cast<std::size_t>(end - begin);
+    result.gauges[name] = value;
+    skip_ws(text, i);
+    if (i < text.size() && text[i] == ',') {
+      ++i;
+      skip_ws(text, i);
+      continue;
+    }
+    if (i < text.size() && text[i] == '}') {
+      result.ok = true;
+      return result;
+    }
+    result.error = "expected ',' or '}' in gauges object";
+    return result;
+  }
+  result.error = "unterminated gauges object";
+  return result;
+}
+
+GaugeScan load_gauges(const std::string& path) {
+  GaugeScan result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  result = scan_gauges(buf.str());
+  if (!result.ok) result.error = path + ": " + result.error;
+  return result;
+}
+
+bool is_pinned(const std::string& name) {
+  constexpr const char* kPrefix = "bench.";
+  constexpr const char* kSuffix = ".ns_per_op";
+  const std::string prefix = kPrefix;
+  const std::string suffix = kSuffix;
+  return name.size() > prefix.size() + suffix.size() &&
+         name.compare(0, prefix.size(), prefix) == 0 &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_path;
+  std::string current_path;
+  double max_regress = 0.25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--max-regress" && i + 1 < argc) {
+      max_regress = std::strtod(argv[++i], nullptr);
+    } else {
+      std::cerr << "bench_compare: unknown or incomplete option " << arg
+                << "\n";
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty() ||
+      !(max_regress > 0.0) || !std::isfinite(max_regress)) {
+    std::cerr << "usage: bench_compare --baseline FILE --current FILE "
+                 "[--max-regress FRACTION]\n";
+    return 2;
+  }
+
+  const GaugeScan baseline = load_gauges(baseline_path);
+  if (!baseline.ok) {
+    std::cerr << "bench_compare: " << baseline.error << "\n";
+    return 2;
+  }
+  const GaugeScan current = load_gauges(current_path);
+  if (!current.ok) {
+    std::cerr << "bench_compare: " << current.error << "\n";
+    return 2;
+  }
+
+  std::size_t pinned = 0;
+  std::vector<std::string> failures;
+  std::vector<std::string> improvements;
+  for (const auto& [name, base] : baseline.gauges) {
+    if (!is_pinned(name)) continue;
+    ++pinned;
+    const auto it = current.gauges.find(name);
+    if (it == current.gauges.end()) {
+      failures.push_back(name + ": missing from current run");
+      continue;
+    }
+    const double cur = it->second;
+    const double ratio = base > 0.0 ? cur / base : 0.0;
+    std::ostringstream line;
+    line << name << ": baseline " << base << " ns, current " << cur
+         << " ns (x" << ratio << ")";
+    if (cur > base * (1.0 + max_regress)) {
+      failures.push_back(line.str() + " exceeds +" +
+                         std::to_string(max_regress * 100.0) + "%");
+    } else {
+      std::cout << "  ok  " << line.str() << "\n";
+      if (cur < base * (1.0 - max_regress)) {
+        improvements.push_back(line.str());
+      }
+    }
+  }
+
+  if (pinned == 0) {
+    std::cerr << "bench_compare: baseline " << baseline_path
+              << " pins no bench.*.ns_per_op gauges\n";
+    return 2;
+  }
+  for (const auto& f : failures) std::cout << "  FAIL " << f << "\n";
+  for (const auto& imp : improvements) {
+    std::cout << "  note faster than baseline, consider refreshing: " << imp
+              << "\n";
+  }
+  if (!failures.empty()) {
+    std::cout << "bench_compare: " << failures.size() << " of " << pinned
+              << " pinned gauges regressed beyond "
+              << max_regress * 100.0 << "%\n";
+    return 1;
+  }
+  std::cout << "bench_compare: " << pinned << " pinned gauges within "
+            << max_regress * 100.0 << "% of baseline\n";
+  return 0;
+}

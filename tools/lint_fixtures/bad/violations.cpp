@@ -7,6 +7,7 @@
 #include <random>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace witag::fixture {
 
@@ -33,6 +34,17 @@ void dump_counts() {
   for (const auto& entry : counts) {
     std::cout << entry.first << "," << entry.second << "\n";
   }
+}
+
+// hot-alloc: fresh container every trellis step instead of a hoisted
+// workspace buffer.
+double step_metrics(int n_steps) {
+  double acc = 0.0;
+  for (int step = 0; step < n_steps; ++step) {
+    std::vector<double> metrics(64, 0.0);
+    acc += metrics[static_cast<std::size_t>(step) % 64];
+  }
+  return acc;
 }
 
 }  // namespace witag::fixture

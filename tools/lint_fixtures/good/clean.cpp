@@ -24,4 +24,17 @@ std::vector<std::string> sorted_keys(const std::map<std::string, int>& m) {
   return keys;
 }
 
+/// Hot-loop hygiene: the buffer is hoisted out of the loop and reused;
+/// the one intentional in-loop construction carries an allow marker.
+double accumulate_rows(int n_rows) {
+  std::vector<double> row(8, 0.0);
+  double acc = 0.0;
+  for (int i = 0; i < n_rows; ++i) {
+    row.assign(8, static_cast<double>(i));
+    std::vector<double> once(1, row[0]);  // witag-lint: allow(hot-alloc)
+    acc += once[0];
+  }
+  return acc;
+}
+
 }  // namespace witag::fixture

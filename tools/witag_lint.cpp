@@ -17,10 +17,17 @@
 //   raw-literal        no numeric literal duplicating a constant that
 //                      units.hpp already names (pi, c, k_B, WiFi
 //                      carrier frequencies).
+//   hot-alloc          no std::vector / util::BitVec / util::ByteVec /
+//                      util::CxVec constructed inside a for/while body
+//                      in the hot decode files (src/phy/viterbi.cpp,
+//                      src/phy/ofdm.cpp): per-step allocations defeat
+//                      the zero-alloc workspace design — hoist the
+//                      buffer into ViterbiWorkspace / DecodeScratch.
 //
 // Usage: witag_lint [--all-rules] [--expect-all-rules] <path>...
-//   --all-rules         apply the determinism rule to every scanned
-//                       file regardless of location (fixture testing).
+//   --all-rules         apply the path-scoped rules (determinism,
+//                       hot-alloc) to every scanned file regardless of
+//                       location (fixture testing).
 //   --expect-all-rules  invert the contract: exit 0 only when every
 //                       rule fired at least once (bad-fixture self
 //                       test), 1 otherwise.
@@ -49,7 +56,7 @@ namespace fs = std::filesystem;
 
 const std::vector<std::string> kAllRules = {
     "determinism", "unordered-iter", "pragma-once", "namespace-comment",
-    "raw-literal"};
+    "raw-literal", "hot-alloc"};
 
 struct Violation {
   std::string file;
@@ -280,6 +287,61 @@ void check_raw_literals(const std::string& path,
   }
 }
 
+/// Hot-alloc applies to the files holding the per-step decode loops,
+/// where the zero-alloc contract is load-bearing for throughput.
+bool hot_alloc_applies(const std::string& path) {
+  return path.find("phy/viterbi.cpp") != std::string::npos ||
+         path.find("phy/ofdm.cpp") != std::string::npos;
+}
+
+void check_hot_alloc(const std::string& path,
+                     const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw,
+                     std::vector<Violation>& out) {
+  static const std::regex kLoopHead(R"(\b(?:for|while)\s*\()");
+  static const std::regex kContainerDecl(
+      R"((?:^|[;{(\s])(?:std\s*::\s*vector\s*<|(?:util\s*::\s*)?(?:BitVec|ByteVec|CxVec)\s+[A-Za-z_]))");
+  // Line-granular brace tracking: remember the depth at which each
+  // for/while body opened; a container declared while any such body is
+  // open is a per-iteration allocation.
+  int depth = 0;
+  int paren_depth = 0;
+  bool pending_loop = false;  // saw a loop head, body brace not yet open
+  std::vector<int> loop_body_depths;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (std::regex_search(line, kLoopHead)) pending_loop = true;
+    if (!loop_body_depths.empty() &&
+        std::regex_search(line, kContainerDecl) &&
+        !line_allows(raw[i], "hot-alloc")) {
+      out.push_back({path, i + 1, "hot-alloc",
+                     "container constructed inside a hot decode loop; "
+                     "hoist the buffer into the workspace/scratch struct "
+                     "so steady-state decode stays allocation-free"});
+    }
+    for (const char c : line) {
+      if (c == '(') {
+        ++paren_depth;
+      } else if (c == ')') {
+        if (paren_depth > 0) --paren_depth;
+      } else if (c == '{') {
+        if (pending_loop && paren_depth == 0) {
+          loop_body_depths.push_back(depth);
+          pending_loop = false;
+        }
+        ++depth;
+      } else if (c == '}') {
+        if (depth > 0) --depth;
+        if (!loop_body_depths.empty() && loop_body_depths.back() == depth) {
+          loop_body_depths.pop_back();
+        }
+      } else if (c == ';' && paren_depth == 0) {
+        pending_loop = false;  // braceless single-statement loop body
+      }
+    }
+  }
+}
+
 void lint_file(const fs::path& file, bool all_rules,
                std::vector<Violation>& out) {
   std::ifstream in(file, std::ios::binary);
@@ -302,6 +364,9 @@ void lint_file(const fs::path& file, bool all_rules,
   check_pragma_once(path, file, code_text, out);
   check_namespace_comments(path, code, raw, out);
   check_raw_literals(path, code, raw, out);
+  if (all_rules || hot_alloc_applies(path)) {
+    check_hot_alloc(path, code, raw, out);
+  }
 }
 
 bool is_source(const fs::path& p) {
