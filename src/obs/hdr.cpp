@@ -1,0 +1,136 @@
+#include "obs/hdr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace witag::obs {
+namespace {
+
+/// Relaxed atomic max on a double cell.
+void atomic_max(std::atomic<double>& cell, double x) {
+  double cur = cell.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !cell.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+HdrHistogram::HdrHistogram(HdrConfig cfg) : cfg_(cfg) {
+  if (!(cfg_.lowest > 0.0) || !std::isfinite(cfg_.lowest)) {
+    throw std::invalid_argument("HdrHistogram: lowest must be finite and > 0");
+  }
+  if (cfg_.sub_bucket_bits < 1 || cfg_.sub_bucket_bits > 12) {
+    throw std::invalid_argument("HdrHistogram: sub_bucket_bits out of [1,12]");
+  }
+  if (cfg_.octaves < 1 || cfg_.octaves > 64) {
+    throw std::invalid_argument("HdrHistogram: octaves out of [1,64]");
+  }
+  sub_count_ = std::size_t{1} << cfg_.sub_bucket_bits;
+  n_buckets_ = static_cast<std::size_t>(cfg_.octaves) * sub_count_ + 1;
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(n_buckets_);
+}
+
+std::size_t HdrHistogram::bucket_index(double x) const {
+  if (!(x > cfg_.lowest)) return 0;  // also catches NaN and negatives
+  const double u = x / cfg_.lowest;
+  int exp2 = 0;
+  const double mant = std::frexp(u, &exp2);  // u = mant * 2^exp2, mant in [0.5,1)
+  const int octave = exp2 - 1;               // u = (2*mant) * 2^octave
+  if (octave >= cfg_.octaves) return n_buckets_ - 1;  // overflow bucket
+  // 2*mant in [1,2): linear position within the octave.
+  auto sub = static_cast<std::size_t>((2.0 * mant - 1.0) *
+                                      static_cast<double>(sub_count_));
+  if (sub >= sub_count_) sub = sub_count_ - 1;
+  return static_cast<std::size_t>(octave) * sub_count_ + sub;
+}
+
+double HdrHistogram::bucket_upper(std::size_t i) const {
+  if (i + 1 >= n_buckets_) return max();
+  const std::size_t octave = i / sub_count_;
+  const std::size_t sub = i % sub_count_;
+  return cfg_.lowest * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub + 1) / static_cast<double>(sub_count_));
+}
+
+double HdrHistogram::bucket_lower(std::size_t i) const {
+  if (i == 0) return 0.0;
+  if (i + 1 >= n_buckets_) {
+    return cfg_.lowest * std::ldexp(1.0, cfg_.octaves);
+  }
+  const std::size_t octave = i / sub_count_;
+  const std::size_t sub = i % sub_count_;
+  return cfg_.lowest * std::ldexp(1.0, static_cast<int>(octave)) *
+         (1.0 + static_cast<double>(sub) / static_cast<double>(sub_count_));
+}
+
+void HdrHistogram::record(double x) {
+  buckets_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(x, std::memory_order_relaxed);
+  atomic_max(max_, x);
+}
+
+std::uint64_t HdrHistogram::overflow() const {
+  return buckets_[n_buckets_ - 1].load(std::memory_order_relaxed);
+}
+
+double HdrHistogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return max();  // only reachable under concurrent mutation
+}
+
+void HdrHistogram::merge(const HdrHistogram& other) {
+  if (!(cfg_ == other.cfg_)) {
+    throw std::invalid_argument("HdrHistogram::merge: config mismatch");
+  }
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  atomic_max(max_, other.max());
+}
+
+std::vector<std::pair<double, std::uint64_t>> HdrHistogram::nonzero_buckets()
+    const {
+  std::vector<std::pair<double, std::uint64_t>> out;
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    const std::uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) out.emplace_back(bucket_upper(i), n);
+  }
+  return out;
+}
+
+void HdrHistogram::reset() {
+  for (std::size_t i = 0; i < n_buckets_; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+HdrQuantiles hdr_quantiles(const HdrHistogram& h) {
+  HdrQuantiles q;
+  q.p50 = h.quantile(0.50);
+  q.p90 = h.quantile(0.90);
+  q.p99 = h.quantile(0.99);
+  q.p999 = h.quantile(0.999);
+  q.max = h.max();
+  return q;
+}
+
+}  // namespace witag::obs

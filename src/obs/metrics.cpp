@@ -1,7 +1,9 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <stdexcept>
+#include <utility>
 
 namespace witag::obs {
 
@@ -62,42 +64,139 @@ std::vector<double> exp_bounds(double first, double factor,
   return out;
 }
 
+// Fixed-capacity open-addressing table from name to metric pointer.
+// Readers probe lock-free (acquire loads); inserts happen under the
+// registry mutex, publish the slot's payload with a release store on
+// the key, and keep the load factor below 1/2. Keys point at the
+// registry map's node keys, which are stable for the process lifetime
+// (metrics are never removed). When the table fills up, later names
+// simply fall back to the mutex-guarded map path — correctness never
+// depends on a cache hit.
+struct MetricsRegistry::HandleCache {
+  static constexpr std::size_t kCapacity = 2048;  // power of two
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  struct Slot {
+    std::atomic<const std::string*> key{nullptr};
+    void* ptr = nullptr;  ///< Written before `key`'s release store.
+  };
+  std::array<Slot, kCapacity> slots;
+  std::size_t used = 0;  ///< Guarded by the registry mutex.
+
+  static std::size_t hash(std::string_view s) {
+    // FNV-1a, 64-bit.
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+
+  void* find(std::string_view name) const {
+    std::size_t i = hash(name) & kMask;
+    for (std::size_t probes = 0; probes < kCapacity; ++probes) {
+      const std::string* key = slots[i].key.load(std::memory_order_acquire);
+      if (key == nullptr) return nullptr;
+      if (*key == name) return slots[i].ptr;
+      i = (i + 1) & kMask;
+    }
+    return nullptr;
+  }
+
+  /// Caller holds the registry mutex. Idempotent per key.
+  void insert(const std::string* key, void* ptr) {
+    if (used * 2 >= kCapacity) return;  // full: fall back to the map path
+    std::size_t i = hash(*key) & kMask;
+    for (;;) {
+      const std::string* existing =
+          slots[i].key.load(std::memory_order_relaxed);
+      if (existing == nullptr) break;
+      if (existing == key || *existing == *key) return;  // already cached
+      i = (i + 1) & kMask;
+    }
+    slots[i].ptr = ptr;
+    slots[i].key.store(key, std::memory_order_release);
+    ++used;
+  }
+};
+
+MetricsRegistry::MetricsRegistry()
+    : counter_cache_(std::make_unique<HandleCache>()),
+      gauge_cache_(std::make_unique<HandleCache>()),
+      sharded_cache_(std::make_unique<HandleCache>()),
+      histogram_cache_(std::make_unique<HandleCache>()),
+      hdr_cache_(std::make_unique<HandleCache>()) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
 MetricsRegistry& MetricsRegistry::instance() {
   static MetricsRegistry registry;
   return registry;
 }
 
-Counter& MetricsRegistry::counter(const std::string& name) {
+template <typename T, typename Make>
+T& MetricsRegistry::lookup(
+    std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+    HandleCache& cache, std::string_view name, Make&& make) {
+  if (void* hit = cache.find(name)) return *static_cast<T*>(hit);
   const std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
+  auto it = table.find(name);
+  if (it == table.end()) {
+    it = table.emplace(std::string(name), make()).first;
+  }
+  cache.insert(&it->first, it->second.get());
+  return *it->second;
 }
 
-Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return lookup(counters_, *counter_cache_, name,
+                [] { return std::make_unique<Counter>(); });
 }
 
-Histogram& MetricsRegistry::histogram(const std::string& name,
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return lookup(gauges_, *gauge_cache_, name,
+                [] { return std::make_unique<Gauge>(); });
+}
+
+ShardedCounter& MetricsRegistry::sharded_counter(std::string_view name) {
+  return lookup(sharded_counters_, *sharded_cache_, name,
+                [] { return std::make_unique<ShardedCounter>(); });
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::vector<double> bounds) {
-  const std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<Histogram>(std::move(bounds));
-  } else if (slot->bounds() != bounds) {
-    throw std::invalid_argument("MetricsRegistry: histogram \"" + name +
+  Histogram& h =
+      lookup(histograms_, *histogram_cache_, name,
+             [&] { return std::make_unique<Histogram>(bounds); });
+  if (h.bounds() != bounds) {
+    throw std::invalid_argument("MetricsRegistry: histogram \"" +
+                                std::string(name) +
                                 "\" re-registered with different bounds");
   }
-  return *slot;
+  return h;
+}
+
+HdrHistogram& MetricsRegistry::hdr(std::string_view name, HdrConfig cfg) {
+  HdrHistogram& h = lookup(hdrs_, *hdr_cache_, name,
+                           [&] { return std::make_unique<HdrHistogram>(cfg); });
+  if (!(h.config() == cfg)) {
+    throw std::invalid_argument("MetricsRegistry: hdr histogram \"" +
+                                std::string(name) +
+                                "\" re-registered with different config");
+  }
+  return h;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   const std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  // Sharded counters share the counter namespace: a plain and a sharded
+  // counter under one name report their (exact, integer) sum.
+  for (const auto& [name, c] : sharded_counters_) {
+    snap.counters[name] += c->value();
+  }
   for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
     MetricsSnapshot::Hist out;
@@ -107,14 +206,31 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     out.sum = h->sum();
     snap.histograms[name] = std::move(out);
   }
+  for (const auto& [name, h] : hdrs_) {
+    MetricsSnapshot::Hdr out;
+    out.count = h->count();
+    out.sum = h->sum();
+    out.max = h->max();
+    out.overflow = h->overflow();
+    out.buckets = h->nonzero_buckets();
+    out.quantiles = hdr_quantiles(*h);
+    snap.gauges[name + ".p50"] = out.quantiles.p50;
+    snap.gauges[name + ".p90"] = out.quantiles.p90;
+    snap.gauges[name + ".p99"] = out.quantiles.p99;
+    snap.gauges[name + ".p999"] = out.quantiles.p999;
+    snap.gauges[name + ".max"] = out.quantiles.max;
+    snap.hdrs[name] = std::move(out);
+  }
   return snap;
 }
 
 void MetricsRegistry::reset() {
   const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, c] : sharded_counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : hdrs_) h->reset();
 }
 
 }  // namespace witag::obs

@@ -1,19 +1,24 @@
-// Process-wide metrics: named counters, gauges, and fixed-bucket
-// histograms with a lock-free fast path.
+// Process-wide metrics: named counters, gauges, fixed-bucket and
+// HDR histograms, and sharded counters, with a lock-free fast path.
 //
-// Handles are registered once (mutex-guarded) and then updated with
-// relaxed atomics only, so instrumentation sites pay ~one uncontended
-// atomic RMW per update. The intended call-site pattern caches the
-// handle in a function-local static:
+// Two tiers of fast path:
+//  * Updates are relaxed atomics — one uncontended RMW per touch
+//    (Counter/Gauge/Histogram), or one RMW on a per-thread-padded cell
+//    (ShardedCounter, see obs/sharded.hpp) when multiple workers hit
+//    the same name.
+//  * Registration lookups (`obs::counter(name)` etc.) go through a
+//    pre-hashed open-addressing handle cache: after the first (mutex-
+//    guarded) registration of a name, later lookups are a lock-free
+//    probe — no mutex, no std::map walk, no std::string construction.
+//    Caching the handle in a function-local static (the WITAG_* macro
+//    pattern, see obs/obs.hpp) is still fastest, but a lookup inside a
+//    loop no longer serializes the process.
 //
-//   static obs::Counter& c = obs::counter("phy.fft.calls");
-//   c.add();
-//
-// (or use the WITAG_COUNT / WITAG_HIST macros from obs/obs.hpp, which
-// compile away entirely when WITAG_OBS_ENABLED is 0).
-//
-// `snapshot()` copies everything into plain structs for export; the
-// metrics JSON schema written by obs::RunScope is built from it.
+// `snapshot()` copies everything into plain structs for export. HDR
+// histograms additionally surface p50/p90/p99/p99.9/max quantile
+// gauges (`<name>.p50` …) into the snapshot's gauge map, so the
+// existing flat-gauge consumers (metrics JSON, bench_compare,
+// telemetry streaming) see latency percentiles without schema changes.
 #pragma once
 
 #include <atomic>
@@ -22,7 +27,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/hdr.hpp"
+#include "obs/sharded.hpp"
 
 namespace witag::obs {
 
@@ -79,7 +88,10 @@ class Histogram {
 std::vector<double> exp_bounds(double first, double factor,
                                std::size_t count);
 
-/// Point-in-time copy of every registered metric.
+/// Point-in-time copy of every registered metric. Sharded counters
+/// fold into `counters` (summed with any plain counter of the same
+/// name); HDR histograms appear in `hdrs` and contribute quantile
+/// gauges (`<name>.p50`, `.p90`, `.p99`, `.p999`, `.max`) to `gauges`.
 struct MetricsSnapshot {
   struct Hist {
     std::vector<double> bounds;
@@ -87,9 +99,19 @@ struct MetricsSnapshot {
     std::uint64_t count = 0;
     double sum = 0.0;
   };
+  struct Hdr {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::uint64_t overflow = 0;
+    /// Non-zero buckets, ascending (upper_edge, count).
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+    HdrQuantiles quantiles;
+  };
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, Hist> histograms;
+  std::map<std::string, Hdr> hdrs;
 };
 
 class MetricsRegistry {
@@ -97,13 +119,18 @@ class MetricsRegistry {
   static MetricsRegistry& instance();
 
   /// Idempotent registration: the first call for a name creates the
-  /// metric, later calls return the same object. References stay valid
-  /// for the process lifetime (reset() zeroes values, never removes).
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  /// metric, later calls return the same object via the lock-free
+  /// handle cache. References stay valid for the process lifetime
+  /// (reset() zeroes values, never removes).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  ShardedCounter& sharded_counter(std::string_view name);
   /// `bounds` are used on first registration only; a later call with
   /// different bounds for the same name throws std::invalid_argument.
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  /// `cfg` is used on first registration only; a later call with a
+  /// different config for the same name throws std::invalid_argument.
+  HdrHistogram& hdr(std::string_view name, HdrConfig cfg = {});
 
   MetricsSnapshot snapshot() const;
 
@@ -111,24 +138,45 @@ class MetricsRegistry {
   void reset();
 
  private:
-  MetricsRegistry() = default;
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  struct HandleCache;
+
+  template <typename T, typename Make>
+  T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
+            HandleCache& cache, std::string_view name, Make&& make);
 
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<ShardedCounter>, std::less<>>
+      sharded_counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdrs_;
+  std::unique_ptr<HandleCache> counter_cache_;
+  std::unique_ptr<HandleCache> gauge_cache_;
+  std::unique_ptr<HandleCache> sharded_cache_;
+  std::unique_ptr<HandleCache> histogram_cache_;
+  std::unique_ptr<HandleCache> hdr_cache_;
 };
 
 /// Shorthands for the process-wide registry.
-inline Counter& counter(const std::string& name) {
+inline Counter& counter(std::string_view name) {
   return MetricsRegistry::instance().counter(name);
 }
-inline Gauge& gauge(const std::string& name) {
+inline Gauge& gauge(std::string_view name) {
   return MetricsRegistry::instance().gauge(name);
 }
-inline Histogram& histogram(const std::string& name,
+inline ShardedCounter& sharded_counter(std::string_view name) {
+  return MetricsRegistry::instance().sharded_counter(name);
+}
+inline Histogram& histogram(std::string_view name,
                             std::vector<double> bounds) {
   return MetricsRegistry::instance().histogram(name, std::move(bounds));
+}
+inline HdrHistogram& hdr(std::string_view name, HdrConfig cfg = {}) {
+  return MetricsRegistry::instance().hdr(name, cfg);
 }
 
 }  // namespace witag::obs

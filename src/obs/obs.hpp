@@ -62,6 +62,43 @@
         .observe(static_cast<double>(x));                                \
   } while (0)
 
+/// Like WITAG_COUNT but backed by a sharded counter: workers on
+/// different threads land on different cache lines instead of bouncing
+/// one atomic. Use for counters bumped from inside parallel regions.
+/// Exported value is the exact sum (folds into the plain-counter
+/// namespace in snapshots).
+#define WITAG_COUNT_HOT(name, n)                                         \
+  do {                                                                   \
+    static ::witag::obs::ShardedCounter& WITAG_OBS_CONCAT(               \
+        witag_obs_shard_, __LINE__) = ::witag::obs::sharded_counter(     \
+        (name));                                                         \
+    WITAG_OBS_CONCAT(witag_obs_shard_, __LINE__)                         \
+        .add(static_cast<std::uint64_t>(n));                             \
+  } while (0)
+
+/// Records `x` into a named HDR (log-bucketed) histogram with the
+/// default config — snapshots export <name>.p50/.p90/.p99/.p999/.max
+/// quantile gauges. Use WITAG_HDR_CFG to pick a non-default layout.
+#define WITAG_HDR(name, x)                                               \
+  do {                                                                   \
+    static ::witag::obs::HdrHistogram& WITAG_OBS_CONCAT(witag_obs_hdr_,  \
+                                                        __LINE__) =      \
+        ::witag::obs::hdr((name));                                       \
+    WITAG_OBS_CONCAT(witag_obs_hdr_, __LINE__)                           \
+        .record(static_cast<double>(x));                                 \
+  } while (0)
+
+/// HDR histogram with an explicit HdrConfig (first execution wins; a
+/// different config for the same name elsewhere throws).
+#define WITAG_HDR_CFG(name, cfg, x)                                      \
+  do {                                                                   \
+    static ::witag::obs::HdrHistogram& WITAG_OBS_CONCAT(witag_obs_hdr_,  \
+                                                        __LINE__) =      \
+        ::witag::obs::hdr((name), (cfg));                                \
+    WITAG_OBS_CONCAT(witag_obs_hdr_, __LINE__)                           \
+        .record(static_cast<double>(x));                                 \
+  } while (0)
+
 #else  // WITAG_OBS_ENABLED == 0: every site compiles to nothing.
 
 #define WITAG_SPAN(name) \
@@ -84,6 +121,15 @@
   } while (0)
 #define WITAG_HIST(name, bounds_expr, x) \
   do {                                   \
+  } while (0)
+#define WITAG_COUNT_HOT(name, n) \
+  do {                           \
+  } while (0)
+#define WITAG_HDR(name, x) \
+  do {                     \
+  } while (0)
+#define WITAG_HDR_CFG(name, cfg, x) \
+  do {                              \
   } while (0)
 
 #endif  // WITAG_OBS_ENABLED

@@ -1,12 +1,16 @@
 #include "obs/report.hpp"
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/stream.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
 
@@ -19,6 +23,43 @@ double wall_clock_us() {
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count()) /
          1e3;
+}
+
+// Crash-safe flush. A RunScope on the stack never runs its destructor
+// when the process exit()s early or dies to SIGINT/SIGTERM — which is
+// exactly when a long soak's telemetry matters most. The active scope
+// registers itself here; an atexit hook and signal handlers finish()
+// it (stop the streamer, write the metrics JSON) before the process
+// goes down. finish() is not async-signal-safe, but at that point the
+// alternative is losing the data — this is a deliberate best-effort
+// flush on the way out, and the handler re-raises with SIG_DFL so the
+// exit status still reports the signal.
+std::atomic<RunScope*> g_active_scope{nullptr};
+
+void flush_active_scope() noexcept {
+  RunScope* scope = g_active_scope.exchange(nullptr);
+  if (scope == nullptr) return;
+  try {
+    scope->finish();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Dying anyway; nothing useful left to do with the error.
+  }
+}
+
+extern "C" void witag_obs_signal_flush(int sig) {
+  flush_active_scope();
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+void install_crash_flush_once() {
+  static const bool installed = [] {
+    std::atexit([] { flush_active_scope(); });
+    std::signal(SIGINT, &witag_obs_signal_flush);
+    std::signal(SIGTERM, &witag_obs_signal_flush);
+    return true;
+  }();
+  (void)installed;
 }
 
 }  // namespace
@@ -72,19 +113,37 @@ RunScope::RunScope(std::string bench, const util::Args& args)
   metrics_path_ = args.get_string("metrics-out", bench_ + "_metrics.json");
   if (args.has("no-metrics")) metrics_path_.clear();
   trace_path_ = args.get_string("trace-out", "");
+  stream_path_ = args.get_string("stream-out", "");
 
   MetricsRegistry::instance().reset();
-  if (!trace_path_.empty()) {
+  if (!trace_path_.empty() || !stream_path_.empty()) {
     Tracer::instance().clear();
     Tracer::instance().set_enabled(true);
   }
+  if (!stream_path_.empty()) {
+    StreamerConfig scfg;
+    scfg.jsonl_path = stream_path_;
+    scfg.chrome_path = trace_path_;  // incremental when both are given
+    scfg.period_ms = args.get_double("stream-period-ms", 250.0);
+    scfg.ring_capacity = static_cast<std::size_t>(
+        args.get_u64("stream-ring", 8192));
+    scfg.bench = bench_;
+    streamer_ = std::make_unique<TelemetryStreamer>(scfg);
+  }
+  register_crash_flush();
   start_us_ = wall_clock_us();
 }
 
 RunScope::RunScope(std::string bench) : bench_(std::move(bench)) {
   metrics_path_ = bench_ + "_metrics.json";
   MetricsRegistry::instance().reset();
+  register_crash_flush();
   start_us_ = wall_clock_us();
+}
+
+void RunScope::register_crash_flush() {
+  install_crash_flush_once();
+  g_active_scope.store(this, std::memory_order_release);
 }
 
 void RunScope::config(const std::string& key, const std::string& value) {
@@ -110,9 +169,19 @@ void RunScope::parallelism(std::size_t jobs, double serial_estimate_ms,
 void RunScope::finish() {
   if (finished_) return;
   finished_ = true;
+  RunScope* self = this;
+  g_active_scope.compare_exchange_strong(self, nullptr,
+                                         std::memory_order_acq_rel);
   const double wall_ms = (wall_clock_us() - start_us_) / 1e3;
 
-  if (!trace_path_.empty()) {
+  if (streamer_) {
+    Tracer::instance().set_enabled(false);
+    streamer_->stop();  // final drain + Chrome footer when streaming it
+    std::cerr << "[obs] telemetry streamed to " << stream_path_ << '\n';
+    if (!trace_path_.empty()) {
+      std::cerr << "[obs] trace written to " << trace_path_ << '\n';
+    }
+  } else if (!trace_path_.empty()) {
     Tracer::instance().set_enabled(false);
     Tracer::instance().write_file(trace_path_);
     std::cerr << "[obs] trace written to " << trace_path_ << '\n';

@@ -10,16 +10,36 @@
 //      --trace-out <path>    enable tracing and write a Chrome
 //                            trace-event JSON (or JSONL when the path
 //                            ends in ".jsonl") on exit
+//      --stream-out <path>   streaming mode: enable tracing with
+//                            bounded per-thread span rings and run a
+//                            background flusher that appends telemetry
+//                            JSONL to <path> while the run is live
+//                            (tail it with tools/telemetry_tail). With
+//                            --trace-out too, the Chrome trace is
+//                            written incrementally by the flusher
+//                            instead of buffered to end-of-run.
+//      --stream-period-ms N  flush period (default 250)
+//      --stream-ring N       per-thread span-ring capacity
+//                            (default 8192; overflow drops oldest)
 //  * on destruction writes the metrics report:
 //      {"bench": ..., "config": {...}, "wall_ms": ...,
 //       "counters": {...}, "gauges": {...},
 //       "histograms": {name: {bounds, counts, count, sum}}}
 //    and, when tracing, the trace file.
 //
+// Crash-safe flush: the first RunScope installs an atexit hook and
+// SIGINT/SIGTERM handlers that finish() the active scope (stopping the
+// streamer, writing the metrics JSON) before the process dies, so an
+// aborted soak keeps everything already streamed plus a final report.
+// The signal path re-raises with the default disposition afterwards —
+// exit codes still reflect the signal. Telemetry goes to side-channel
+// files and stderr only; stdout stays byte-identical with streaming on.
+//
 // The schema is parsed back by tests/test_obs.cpp via obs/json.hpp, so
 // changes here must keep that round-trip green.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,6 +53,7 @@ class Args;
 namespace witag::obs {
 
 struct MetricsSnapshot;
+class TelemetryStreamer;
 
 /// Builds the metrics-report JSON document (exposed for tests and for
 /// callers that want the document without the RAII file handling).
@@ -66,6 +87,10 @@ class RunScope {
   const std::string& metrics_path() const { return metrics_path_; }
   /// Trace destination; empty when tracing is off.
   const std::string& trace_path() const { return trace_path_; }
+  /// Telemetry JSONL destination; empty when not streaming.
+  const std::string& stream_path() const { return stream_path_; }
+  /// Live streamer (nullptr when not streaming or already finished).
+  TelemetryStreamer* streamer() const { return streamer_.get(); }
 
   /// Writes the report(s) now instead of at destruction (benches that
   /// want the path printed before their own epilogue).
@@ -74,10 +99,14 @@ class RunScope {
   ~RunScope();
 
  private:
+  void register_crash_flush();
+
   std::string bench_;
   std::string metrics_path_;
   std::string trace_path_;
+  std::string stream_path_;
   std::vector<std::pair<std::string, json::Value>> config_;
+  std::unique_ptr<TelemetryStreamer> streamer_;
   double start_us_ = 0.0;
   bool finished_ = false;
 };

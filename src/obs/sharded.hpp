@@ -1,0 +1,94 @@
+// Sharded lock-free counters/gauges for contended hot paths.
+//
+// A plain obs::Counter is one relaxed atomic cell — uncontended that is
+// ~1 ns, but when every `--jobs N` worker hammers the same name the
+// cache line ping-pongs and the fetch_add serializes across cores. A
+// ShardedCounter spreads the value over kMetricShards cache-line-padded
+// cells; each thread picks a fixed cell from its (dense, lazily
+// assigned) thread slot, so concurrent adds from different threads
+// land on different cache lines and never contend. Reads sum the cells.
+//
+// The sum is exact once writers quiesce (each add lands in exactly one
+// cell); a concurrent read is a momentary snapshot, same as the plain
+// Counter. `value()` costs kMetricShards relaxed loads, which is why
+// these back the *aggregation* path (periodic streamer cycles,
+// end-of-run snapshots) rather than read-heavy code.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace witag::obs {
+
+/// Shard count: enough to keep any realistic --jobs worker set on
+/// distinct cells, small enough that summing stays trivial.
+inline constexpr std::size_t kMetricShards = 32;
+
+namespace detail {
+inline std::atomic<std::size_t> next_shard_slot{0};
+}  // namespace detail
+
+/// Dense per-thread shard slot in [0, kMetricShards): assigned from an
+/// incrementing process-wide counter on first use per thread, so the
+/// first kMetricShards threads get private cells and later ones wrap.
+/// Inline so the thread_local read compiles to a TLS load at the call
+/// site instead of a cross-TU function call on every add().
+inline std::size_t shard_index() {
+  thread_local const std::size_t slot =
+      detail::next_shard_slot.fetch_add(1, std::memory_order_relaxed) %
+      kMetricShards;
+  return slot;
+}
+
+/// Monotonic event count, sharded (see file comment).
+class ShardedCounter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+/// Additive gauge, sharded: add() accumulates contention-free and
+/// value() sums. (A last-write-wins set() cannot shard meaningfully —
+/// use the plain Gauge for those.) Note the cell a thread lands in
+/// depends on thread creation order, so the floating-point sum can
+/// vary in the last ulp across schedules — don't export ShardedGauge
+/// values where byte-identical output across --jobs is required;
+/// ShardedCounter sums are integer and always exact.
+class ShardedGauge {
+ public:
+  void add(double x) {
+    cells_[shard_index()].v.fetch_add(x, std::memory_order_relaxed);
+  }
+  double value() const {
+    double sum = 0.0;
+    for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() {
+    for (Cell& c : cells_) c.v.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<double> v{0.0};
+  };
+  Cell cells_[kMetricShards];
+};
+
+}  // namespace witag::obs

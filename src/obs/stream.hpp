@@ -1,0 +1,112 @@
+// Incremental telemetry streamer: bounded-memory live export for soak
+// and city-scale runs.
+//
+// The PR-1 obs subsystem buffers every span in memory and writes one
+// report at end-of-run — a long soak either blows memory or reports
+// nothing until it finishes. The streamer inverts that: a background
+// flusher thread wakes every `period_ms`, drains the tracer's bounded
+// per-thread span rings (drop-oldest, exact drop accounting — see
+// Tracer::set_streaming) and the metric registry's current totals, and
+// appends them to an append-only JSONL file (and, optionally, an
+// incrementally-written Chrome trace). Memory is O(ring capacity ×
+// threads + registry size) no matter how long the run is, and
+// `tools/telemetry_tail` can follow the JSONL for a live readout.
+//
+// JSONL record types (one JSON object per line, every one parseable by
+// obs::json::Value::parse — round-tripped in tests):
+//   {"type":"meta", "bench":…, "period_ms":…, "ring_capacity":…}
+//   {"type":"span", …}               Chrome trace-event fields (name,
+//                                    cat, ph, ts, dur, tid, args)
+//   {"type":"metrics", "seq":N, "ts_us":…,
+//    "counters":{name:cumulative,…}, "gauges":{…},
+//    "hdr":{name:{count,sum,p50,p90,p99,p999,max},…},
+//    "spans_dropped":N}              one per flush cycle
+//   {"type":"final", "seq":N, …}     same shape as metrics, written by
+//                                    the last flush (clean stop OR the
+//                                    crash-flush path)
+//
+// Counters stream as cumulative totals (not deltas): a tail that
+// missed records still computes exact rates from any two cycles, and
+// a truncated stream never under-counts.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace witag::obs {
+
+struct StreamerConfig {
+  std::string jsonl_path;   ///< Required: append-only JSONL stream.
+  std::string chrome_path;  ///< Optional: incremental Chrome trace.
+  double period_ms = 250.0;
+  std::size_t ring_capacity = 8192;  ///< Per-thread span ring slots.
+  std::string bench;                 ///< Run name for the meta record.
+};
+
+class TelemetryStreamer {
+ public:
+  /// Opens the output file(s), switches the tracer into streaming mode
+  /// with `ring_capacity`, writes the meta record and starts the
+  /// flusher thread. Throws std::runtime_error when a file cannot be
+  /// opened.
+  explicit TelemetryStreamer(StreamerConfig cfg);
+  TelemetryStreamer(const TelemetryStreamer&) = delete;
+  TelemetryStreamer& operator=(const TelemetryStreamer&) = delete;
+  /// stop()s if still running.
+  ~TelemetryStreamer();
+
+  /// Joins the flusher, runs one final drain cycle (record type
+  /// "final"), closes the files and restores the tracer's buffered
+  /// mode. Idempotent.
+  void stop();
+
+  /// Runs one flush cycle on the calling thread (serialized with the
+  /// flusher). Exposed for tests and for the crash-flush path.
+  void flush_now();
+
+  /// JSONL records written so far (all types).
+  std::uint64_t records_written() const {
+    return records_.load(std::memory_order_relaxed);
+  }
+  /// Flush cycles completed so far.
+  std::uint64_t cycles() const { return seq_.load(std::memory_order_relaxed); }
+
+  const StreamerConfig& config() const { return cfg_; }
+
+  /// The most recently constructed, still-live streamer (nullptr when
+  /// none): the crash-flush handler drains this before the process
+  /// dies.
+  static TelemetryStreamer* active();
+
+ private:
+  void flusher_loop();
+  void flush_cycle(bool final_cycle);
+  void write_line(const std::string& line);
+
+  StreamerConfig cfg_;
+  std::ofstream jsonl_;
+  std::ofstream chrome_;
+  bool chrome_open_ = false;
+  bool chrome_first_ = true;  ///< No comma before the first trace event.
+
+  std::mutex cycle_mu_;  ///< Serializes flush cycles.
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> records_{0};
+  std::vector<TraceEvent> drain_buf_;  ///< Reused across cycles.
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread flusher_;
+};
+
+}  // namespace witag::obs

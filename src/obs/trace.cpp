@@ -18,7 +18,9 @@ std::uint64_t steady_ns() {
           .count());
 }
 
-void dump_event(const TraceEvent& ev, std::string& out) {
+}  // namespace
+
+void dump_trace_event(const TraceEvent& ev, std::string& out) {
   out += "{\"name\":\"";
   out += json::escape(ev.name);
   out += "\",\"cat\":\"";
@@ -48,8 +50,6 @@ void dump_event(const TraceEvent& ev, std::string& out) {
   out += '}';
 }
 
-}  // namespace
-
 Tracer::Tracer() : epoch_ns_(steady_ns()) {}
 
 Tracer& Tracer::instance() {
@@ -58,19 +58,60 @@ Tracer& Tracer::instance() {
 }
 
 Tracer::ThreadBuf& Tracer::local_buf() {
-  thread_local std::shared_ptr<ThreadBuf> buf;
-  if (!buf) {
-    buf = std::make_shared<ThreadBuf>();
+  // The handle's destructor runs at thread exit (before static-duration
+  // teardown on the main thread), returning the ring to the free list.
+  struct BufHandle {
+    std::shared_ptr<ThreadBuf> buf;
+    ~BufHandle() {
+      if (buf) Tracer::instance().retire_buf(buf);
+    }
+  };
+  thread_local BufHandle handle;
+  if (!handle.buf) {
     const std::lock_guard<std::mutex> lock(mu_);
-    buf->tid = next_tid_++;
-    bufs_.push_back(buf);
+    if (ring_capacity_.load(std::memory_order_relaxed) != 0 &&
+        !free_bufs_.empty()) {
+      handle.buf = std::move(free_bufs_.back());
+      free_bufs_.pop_back();
+    } else {
+      handle.buf = std::make_shared<ThreadBuf>();
+      handle.buf->tid = next_tid_++;
+      bufs_.push_back(handle.buf);
+    }
   }
-  return *buf;
+  return *handle.buf;
+}
+
+void Tracer::retire_buf(const std::shared_ptr<ThreadBuf>& buf) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  free_bufs_.push_back(buf);
+}
+
+void Tracer::set_streaming(std::size_t ring_capacity) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ring_capacity_.store(ring_capacity, std::memory_order_relaxed);
+  for (auto& buf : bufs_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    if (ring_capacity != 0) buf->events.resize(ring_capacity);
+    buf->events.shrink_to_fit();
+    buf->ring_head = 0;
+    buf->ring_size = 0;
+    buf->dropped = 0;
+  }
 }
 
 void Tracer::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
-  for (auto& buf : bufs_) buf->events.clear();
+  const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
+  for (auto& buf : bufs_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->events.clear();
+    if (cap != 0) buf->events.resize(cap);
+    buf->ring_head = 0;
+    buf->ring_size = 0;
+    buf->dropped = 0;
+  }
   epoch_ns_.store(steady_ns(), std::memory_order_relaxed);
 }
 
@@ -83,7 +124,55 @@ void Tracer::record(const TraceEvent& ev) {
   ThreadBuf& buf = local_buf();
   TraceEvent copy = ev;
   copy.tid = buf.tid;
-  buf.events.push_back(copy);
+  const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
+  if (cap == 0) {
+    buf.events.push_back(copy);
+    return;
+  }
+  // Streaming: bounded ring, drop-oldest. The per-thread mutex is
+  // uncontended except for the brief flusher drain, so this stays a
+  // handful of ns on the hot path.
+  const std::lock_guard<std::mutex> lock(buf.mu);
+  if (buf.events.size() != cap) buf.events.resize(cap);  // mode just flipped
+  if (buf.ring_size == cap) {
+    buf.events[buf.ring_head] = copy;  // overwrite the oldest
+    buf.ring_head = (buf.ring_head + 1) % cap;
+    ++buf.dropped;
+  } else {
+    buf.events[(buf.ring_head + buf.ring_size) % cap] = copy;
+    ++buf.ring_size;
+  }
+}
+
+std::size_t Tracer::drain(std::vector<TraceEvent>& out) {
+  std::vector<std::shared_ptr<ThreadBuf>> bufs;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    bufs = bufs_;
+  }
+  const std::size_t cap = ring_capacity_.load(std::memory_order_relaxed);
+  std::size_t drained = 0;
+  for (auto& buf : bufs) {
+    const std::lock_guard<std::mutex> lock(buf->mu);
+    if (cap == 0 || buf->events.empty()) continue;
+    for (std::size_t i = 0; i < buf->ring_size; ++i) {
+      out.push_back(buf->events[(buf->ring_head + i) % cap]);
+      ++drained;
+    }
+    buf->ring_head = 0;
+    buf->ring_size = 0;
+  }
+  return drained;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& buf : bufs_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->dropped;
+  }
+  return n;
 }
 
 std::vector<TraceEvent> Tracer::events() const {
@@ -91,7 +180,15 @@ std::vector<TraceEvent> Tracer::events() const {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     for (const auto& buf : bufs_) {
-      out.insert(out.end(), buf->events.begin(), buf->events.end());
+      const std::lock_guard<std::mutex> buf_lock(buf->mu);
+      if (ring_capacity_.load(std::memory_order_relaxed) != 0) {
+        for (std::size_t i = 0; i < buf->ring_size; ++i) {
+          out.push_back(
+              buf->events[(buf->ring_head + i) % buf->events.size()]);
+        }
+      } else {
+        out.insert(out.end(), buf->events.begin(), buf->events.end());
+      }
     }
   }
   std::stable_sort(out.begin(), out.end(),
@@ -103,8 +200,12 @@ std::vector<TraceEvent> Tracer::events() const {
 
 std::size_t Tracer::event_count() const {
   const std::lock_guard<std::mutex> lock(mu_);
+  const bool ring = ring_capacity_.load(std::memory_order_relaxed) != 0;
   std::size_t n = 0;
-  for (const auto& buf : bufs_) n += buf->events.size();
+  for (const auto& buf : bufs_) {
+    const std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += ring ? buf->ring_size : buf->events.size();
+  }
   return n;
 }
 
@@ -115,7 +216,7 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
   for (const TraceEvent& ev : evs) {
     if (!first) out += ',';
     out += '\n';
-    dump_event(ev, out);
+    dump_trace_event(ev, out);
     first = false;
   }
   out += "\n],\"displayTimeUnit\":\"ms\"}\n";
@@ -126,7 +227,7 @@ void Tracer::write_jsonl(std::ostream& os) const {
   const auto evs = events();
   std::string out;
   for (const TraceEvent& ev : evs) {
-    dump_event(ev, out);
+    dump_trace_event(ev, out);
     out += '\n';
   }
   os << out;

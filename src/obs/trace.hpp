@@ -47,6 +47,23 @@ class Tracer {
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
+  /// Streaming mode for long runs: instead of growing each thread
+  /// buffer without bound, record() writes into a bounded per-thread
+  /// ring (capacity `ring_capacity` events) that a flusher drains with
+  /// drain(). When a ring is full the OLDEST event is overwritten and
+  /// counted in dropped() — the stream stays fresh and memory stays
+  /// flat no matter how far the flusher falls behind. A ring whose
+  /// thread exits is retired to a free list and adopted (storage, tid
+  /// and any undrained events included) by the next new thread, so a
+  /// soak that spawns workers per chunk keeps O(peak threads) rings,
+  /// not O(total threads ever). `ring_capacity == 0` restores the
+  /// default buffered mode. Switch only while quiesced (no concurrent
+  /// record/drain); RunScope does this before workers start.
+  void set_streaming(std::size_t ring_capacity);
+  bool streaming() const {
+    return ring_capacity_.load(std::memory_order_relaxed) != 0;
+  }
+
   /// Drops all buffered events and restarts the timestamp epoch.
   void clear();
 
@@ -56,6 +73,14 @@ class Tracer {
   /// Appends one event to the calling thread's buffer (caller has
   /// already checked enabled()).
   void record(const TraceEvent& ev);
+
+  /// Streaming mode: moves every buffered event (all threads, oldest
+  /// first per thread) into `out` and empties the rings. Returns the
+  /// number of events appended. Safe to call concurrently with
+  /// record() — each ring is guarded by its own mutex.
+  std::size_t drain(std::vector<TraceEvent>& out);
+  /// Cumulative count of events lost to ring overwrite (all threads).
+  std::uint64_t dropped() const;
 
   /// Merged snapshot of all thread buffers, sorted by ts_us.
   std::vector<TraceEvent> events() const;
@@ -72,18 +97,38 @@ class Tracer {
  private:
   struct ThreadBuf {
     std::uint32_t tid = 0;
-    std::vector<TraceEvent> events;
+    std::vector<TraceEvent> events;  ///< Buffered mode: grows unbounded.
+    // Streaming mode: `events` doubles as a bounded ring of
+    // `ring_capacity_` slots. `mu` is per-thread, so the only possible
+    // contention is this thread vs the flusher.
+    std::mutex mu;
+    std::size_t ring_head = 0;  ///< Oldest live slot.
+    std::size_t ring_size = 0;  ///< Live events in the ring.
+    std::uint64_t dropped = 0;  ///< Events overwritten while full.
   };
 
   Tracer();
   ThreadBuf& local_buf();
+  /// Called from the owning thread's exit path; the buf stays in
+  /// `bufs_` (pending events still drain) but becomes adoptable.
+  void retire_buf(const std::shared_ptr<ThreadBuf>& buf);
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  ///< Guards bufs_.
+  std::atomic<std::size_t> ring_capacity_{0};  ///< 0 = buffered mode.
+  mutable std::mutex mu_;  ///< Guards bufs_ and free_bufs_.
   std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  /// Rings of exited threads, awaiting adoption (streaming mode only:
+  /// in buffered mode every thread's events must stay attributed to
+  /// its own tid for the end-of-run trace).
+  std::vector<std::shared_ptr<ThreadBuf>> free_bufs_;
   std::uint32_t next_tid_ = 0;
   std::atomic<std::uint64_t> epoch_ns_{0};  ///< steady_clock epoch, ns.
 };
+
+/// Appends one event as a Chrome trace-event JSON object to `out` (no
+/// trailing newline) — shared by the buffered exporters and the
+/// incremental telemetry streamer.
+void dump_trace_event(const TraceEvent& ev, std::string& out);
 
 /// True when span/event recording is active (compiled in AND runtime
 /// enabled).

@@ -46,7 +46,8 @@ SweepResult run_sweep(const std::vector<SweepTask>& tasks,
         core::Session::RunStats stats = session.run(tasks[i].rounds);
         task_ms[i] = steady_ms() - start;
 #if WITAG_OBS_ENABLED
-        WITAG_COUNT("runner.tasks", 1);
+        WITAG_COUNT_HOT("runner.tasks", 1);
+        WITAG_HDR("runner.task_ms", task_ms[i]);
         if (obs::trace_enabled()) {
           // Recorded on the worker's own thread, so the Chrome trace
           // shows which worker lane ran which task.

@@ -159,7 +159,7 @@ std::optional<tag::QueryTiming> Session::tag_timing(
 }
 
 Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
-  WITAG_COUNT("session.exchanges", 1);
+  WITAG_COUNT_HOT("session.exchanges", 1);
   QueryFrame frame =
       build_query(layout_for(address), client_, cfg_.query.trigger_low_scale);
 
@@ -349,6 +349,9 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
 
   WITAG_HIST("session.airtime_us", obs::exp_bounds(500.0, 1.5, 16),
              result.airtime_us.value());
+  // Simulated airtime, not wall time: identical across --jobs, so the
+  // exported latency quantiles stay deterministic.
+  WITAG_HDR("session.latency_us", result.airtime_us.value());
   // Channel and fault processes share one simulated clock: brownout
   // windows and interference sojourns elapse with the same dilated
   // airtime the fading does.
@@ -361,13 +364,13 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
 
 Session::RoundResult Session::run_round() {
   WITAG_SPAN_CAT("session.round", "session");
-  WITAG_COUNT("session.rounds", 1);
+  WITAG_COUNT_HOT("session.rounds", 1);
   return exchange(true, cfg_.query.trigger_code);
 }
 
 Session::RoundResult Session::run_round_addressed(unsigned address) {
   WITAG_SPAN_CAT("session.round", "session");
-  WITAG_COUNT("session.rounds", 1);
+  WITAG_COUNT_HOT("session.rounds", 1);
   return exchange(true, address);
 }
 

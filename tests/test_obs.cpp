@@ -1,10 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <string>
 #include <string_view>
 #include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
@@ -38,6 +44,9 @@ using ObsMetrics = ObsTest;
 using ObsTrace = ObsTest;
 using ObsReport = ObsTest;
 using ObsSession = ObsTest;
+// Fork-based: deliberately NOT named Stream/Telemetry so the tsan CI
+// job (which can't follow fork) filters these out.
+using ObsCrashFlush = ObsTest;
 
 TEST_F(ObsJson, ParsesNestedDocument) {
   const auto v = json::Value::parse(
@@ -277,6 +286,134 @@ TEST_F(ObsSession, SpanCountsMatchLinkMetrics) {
   EXPECT_EQ(snap.counters.at("witag.false_corruption"),
             stats.metrics.false_corruptions());
 #endif
+}
+
+// --- Crash-safe flush ------------------------------------------------
+// Each test forks a child that heap-leaks its RunScope (so the
+// destructor can never write the report) and then dies — by signal or
+// by exit() — proving the installed handlers/atexit hook flush for it.
+
+json::Value parse_json_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return json::Value::parse(ss.str());
+}
+
+TEST_F(ObsCrashFlush, SignalHandlerWritesMetricsReport) {
+  const std::string metrics = ::testing::TempDir() + "crash_sigint.json";
+  std::remove(metrics.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    (void)!freopen("/dev/null", "w", stderr);
+    const std::vector<const char*> argv{"prog", "--metrics-out",
+                                        metrics.c_str()};
+    const util::Args args(static_cast<int>(argv.size()), argv.data());
+    auto* run = new RunScope("crash_bench", args);
+    run->config("mode", "crash");
+    counter("crash.count").add(3);
+    std::raise(SIGINT);
+    _exit(99);  // unreachable: the handler re-raises with SIG_DFL
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGINT);
+
+  const json::Value doc = parse_json_file(metrics);
+  EXPECT_EQ(doc.at("bench").as_string(), "crash_bench");
+  EXPECT_EQ(doc.at("config").at("mode").as_string(), "crash");
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("crash.count").as_number(), 3.0);
+  std::remove(metrics.c_str());
+}
+
+TEST_F(ObsCrashFlush, SigtermFlushesFinalStreamRecord) {
+  const std::string metrics = ::testing::TempDir() + "crash_sigterm.json";
+  const std::string stream = ::testing::TempDir() + "crash_sigterm.jsonl";
+  std::remove(metrics.c_str());
+  std::remove(stream.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    (void)!freopen("/dev/null", "w", stderr);
+    // A huge flush period: nothing but the meta record is written
+    // before the crash, so everything below must come from the handler.
+    const std::vector<const char*> argv{
+        "prog",         "--metrics-out", metrics.c_str(), "--stream-out",
+        stream.c_str(), "--stream-period-ms", "60000"};
+    const util::Args args(static_cast<int>(argv.size()), argv.data());
+    auto* run = new RunScope("crash_bench", args);
+    (void)run;
+    counter("crash.count").add(7);
+    hdr("crash.lat").record(5.0);
+    instant("crash_ev");
+    std::raise(SIGTERM);
+    _exit(99);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+
+  // The stream ends with a "final" record carrying the totals, and the
+  // span recorded just before the crash made it out of the ring.
+  std::ifstream in(stream);
+  ASSERT_TRUE(in.good()) << stream;
+  std::vector<json::Value> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) records.push_back(json::Value::parse(line));
+  }
+  ASSERT_GE(records.size(), 3u);  // meta + span + final
+  EXPECT_EQ(records.front().at("type").as_string(), "meta");
+  EXPECT_EQ(records.back().at("type").as_string(), "final");
+  EXPECT_DOUBLE_EQ(
+      records.back().at("counters").at("crash.count").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      records.back().at("hdr").at("crash.lat").at("count").as_number(), 1.0);
+  std::size_t spans = 0;
+  for (const json::Value& rec : records) {
+    if (rec.at("type").as_string() == "span") ++spans;
+  }
+  EXPECT_GE(spans, 1u);
+
+  const json::Value doc = parse_json_file(metrics);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("crash.count").as_number(), 7.0);
+  std::remove(metrics.c_str());
+  std::remove(stream.c_str());
+}
+
+TEST_F(ObsCrashFlush, AtexitFlushesLeakedScope) {
+  const std::string metrics = ::testing::TempDir() + "crash_atexit.json";
+  std::remove(metrics.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_NE(pid, -1);
+  if (pid == 0) {
+    (void)!freopen("/dev/null", "w", stderr);
+    const std::vector<const char*> argv{"prog", "--metrics-out",
+                                        metrics.c_str()};
+    const util::Args args(static_cast<int>(argv.size()), argv.data());
+    auto* run = new RunScope("crash_bench", args);
+    (void)run;  // leaked: only the atexit hook can write the report
+    counter("crash.count").add(5);
+    std::exit(7);
+  }
+
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 7);
+
+  const json::Value doc = parse_json_file(metrics);
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("crash.count").as_number(), 5.0);
+  std::remove(metrics.c_str());
 }
 
 }  // namespace

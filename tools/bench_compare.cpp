@@ -158,14 +158,30 @@ GaugeScan load_gauges(const std::string& path) {
   return result;
 }
 
+bool ends_with(const std::string& name, const std::string& suffix) {
+  return name.size() >= suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// HDR histograms export <name>.p50/.p90/.p99/.p999/.max quantile
+/// gauges into the same flat gauge map (see obs/metrics.hpp). Those are
+/// observability, not a perf contract: distribution tails are too noisy
+/// to gate on and may be absent entirely when a run records no samples
+/// — so they are never pinned, and a baseline that carries them never
+/// fails on their absence from the current run.
+bool is_quantile_gauge(const std::string& name) {
+  for (const char* suffix : {".p50", ".p90", ".p99", ".p999", ".max"}) {
+    if (ends_with(name, suffix)) return true;
+  }
+  return false;
+}
+
 bool is_pinned(const std::string& name) {
-  constexpr const char* kPrefix = "bench.";
-  constexpr const char* kSuffix = ".ns_per_op";
-  const std::string prefix = kPrefix;
-  const std::string suffix = kSuffix;
+  const std::string prefix = "bench.";
+  const std::string suffix = ".ns_per_op";
   return name.size() > prefix.size() + suffix.size() &&
          name.compare(0, prefix.size(), prefix) == 0 &&
-         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+         ends_with(name, suffix) && !is_quantile_gauge(name);
 }
 
 }  // namespace
@@ -210,6 +226,13 @@ int main(int argc, char** argv) {
   std::vector<std::string> failures;
   std::vector<std::string> improvements;
   for (const auto& [name, base] : baseline.gauges) {
+    if (is_quantile_gauge(name)) {
+      if (current.gauges.find(name) == current.gauges.end()) {
+        std::cout << "  skip " << name
+                  << ": quantile gauge absent from current (not gated)\n";
+      }
+      continue;
+    }
     if (!is_pinned(name)) continue;
     ++pinned;
     const auto it = current.gauges.find(name);
@@ -237,6 +260,15 @@ int main(int argc, char** argv) {
     std::cerr << "bench_compare: baseline " << baseline_path
               << " pins no bench.*.ns_per_op gauges\n";
     return 2;
+  }
+  // New pinned-shaped gauges in the current run are not gated (the
+  // baseline predates them) but should not slip by silently either.
+  for (const auto& [name, cur] : current.gauges) {
+    if (!is_pinned(name)) continue;
+    if (baseline.gauges.find(name) == baseline.gauges.end()) {
+      std::cout << "  note new pinned gauge not in baseline (add on next "
+                   "refresh): " << name << " = " << cur << " ns\n";
+    }
   }
   for (const auto& f : failures) std::cout << "  FAIL " << f << "\n";
   for (const auto& imp : improvements) {

@@ -47,4 +47,13 @@ double step_metrics(int n_steps) {
   return acc;
 }
 
+// hot-lookup: registry lookup re-resolved on every round instead of a
+// cached handle (WITAG_* macro / function-local static).
+void count_rounds(int n_rounds) {
+  for (int round = 0; round < n_rounds; ++round) {
+    obs::counter("session.rounds").add(1);
+    obs::sharded_counter("session.exchanges").add(1);
+  }
+}
+
 }  // namespace witag::fixture

@@ -37,4 +37,16 @@ double accumulate_rows(int n_rows) {
   return acc;
 }
 
+/// Hot-lookup hygiene: the registry handle is resolved once — here via
+/// a function-local static, exactly what the WITAG_* macros expand to —
+/// and only the cheap add() runs per iteration. The one intentional
+/// in-loop lookup carries an allow marker.
+void count_rounds_cached(int n_rounds) {
+  for (int i = 0; i < n_rounds; ++i) {
+    static auto& rounds = obs::counter("fixture.rounds");
+    rounds.add(1);
+    obs::gauge("fixture.level").set(1.0);  // witag-lint: allow(hot-lookup)
+  }
+}
+
 }  // namespace witag::fixture

@@ -23,6 +23,13 @@
 //                      src/phy/ofdm.cpp): per-step allocations defeat
 //                      the zero-alloc workspace design — hoist the
 //                      buffer into ViterbiWorkspace / DecodeScratch.
+//   hot-lookup         no obs::counter/gauge/histogram/hdr/
+//                      sharded_counter(name) registry lookup inside a
+//                      for/while body in the hot files (the decode
+//                      files plus src/witag/session.cpp): even the
+//                      lock-free handle-cache probe re-hashes the name
+//                      every iteration — cache the reference once via
+//                      the WITAG_* macros or a function-local static.
 //
 // Usage: witag_lint [--all-rules] [--expect-all-rules] <path>...
 //   --all-rules         apply the path-scoped rules (determinism,
@@ -56,7 +63,7 @@ namespace fs = std::filesystem;
 
 const std::vector<std::string> kAllRules = {
     "determinism", "unordered-iter", "pragma-once", "namespace-comment",
-    "raw-literal", "hot-alloc"};
+    "raw-literal", "hot-alloc", "hot-lookup"};
 
 struct Violation {
   std::string file;
@@ -294,16 +301,28 @@ bool hot_alloc_applies(const std::string& path) {
          path.find("phy/ofdm.cpp") != std::string::npos;
 }
 
-void check_hot_alloc(const std::string& path,
-                     const std::vector<std::string>& code,
-                     const std::vector<std::string>& raw,
-                     std::vector<Violation>& out) {
+/// Hot-lookup adds the session exchange loop: its per-round work is
+/// not allocation-free like decode, but a per-round registry lookup
+/// still costs a hash+probe that the WITAG_* macros hoist for free.
+bool hot_lookup_applies(const std::string& path) {
+  return hot_alloc_applies(path) ||
+         path.find("witag/session.cpp") != std::string::npos;
+}
+
+/// Shared engine for the in-loop rules: flags lines matching `pattern`
+/// while any for/while body is open. Line-granular brace tracking
+/// remembers the depth at which each loop body opened. Lines declaring
+/// a `static` are exempt when `skip_static` is set — a function-local
+/// static initializer runs once, which is exactly the sanctioned
+/// hoisting pattern.
+void check_loop_pattern(const std::string& path,
+                        const std::vector<std::string>& code,
+                        const std::vector<std::string>& raw,
+                        const std::string& rule, const std::regex& pattern,
+                        bool skip_static, const std::string& message,
+                        std::vector<Violation>& out) {
   static const std::regex kLoopHead(R"(\b(?:for|while)\s*\()");
-  static const std::regex kContainerDecl(
-      R"((?:^|[;{(\s])(?:std\s*::\s*vector\s*<|(?:util\s*::\s*)?(?:BitVec|ByteVec|CxVec)\s+[A-Za-z_]))");
-  // Line-granular brace tracking: remember the depth at which each
-  // for/while body opened; a container declared while any such body is
-  // open is a per-iteration allocation.
+  static const std::regex kStaticDecl(R"(\bstatic\b)");
   int depth = 0;
   int paren_depth = 0;
   bool pending_loop = false;  // saw a loop head, body brace not yet open
@@ -311,13 +330,10 @@ void check_hot_alloc(const std::string& path,
   for (std::size_t i = 0; i < code.size(); ++i) {
     const std::string& line = code[i];
     if (std::regex_search(line, kLoopHead)) pending_loop = true;
-    if (!loop_body_depths.empty() &&
-        std::regex_search(line, kContainerDecl) &&
-        !line_allows(raw[i], "hot-alloc")) {
-      out.push_back({path, i + 1, "hot-alloc",
-                     "container constructed inside a hot decode loop; "
-                     "hoist the buffer into the workspace/scratch struct "
-                     "so steady-state decode stays allocation-free"});
+    if (!loop_body_depths.empty() && std::regex_search(line, pattern) &&
+        !(skip_static && std::regex_search(line, kStaticDecl)) &&
+        !line_allows(raw[i], rule)) {
+      out.push_back({path, i + 1, rule, message});
     }
     for (const char c : line) {
       if (c == '(') {
@@ -340,6 +356,35 @@ void check_hot_alloc(const std::string& path,
       }
     }
   }
+}
+
+void check_hot_alloc(const std::string& path,
+                     const std::vector<std::string>& code,
+                     const std::vector<std::string>& raw,
+                     std::vector<Violation>& out) {
+  static const std::regex kContainerDecl(
+      R"((?:^|[;{(\s])(?:std\s*::\s*vector\s*<|(?:util\s*::\s*)?(?:BitVec|ByteVec|CxVec)\s+[A-Za-z_]))");
+  check_loop_pattern(path, code, raw, "hot-alloc", kContainerDecl,
+                     /*skip_static=*/false,
+                     "container constructed inside a hot decode loop; "
+                     "hoist the buffer into the workspace/scratch struct "
+                     "so steady-state decode stays allocation-free",
+                     out);
+}
+
+void check_hot_lookup(const std::string& path,
+                      const std::vector<std::string>& code,
+                      const std::vector<std::string>& raw,
+                      std::vector<Violation>& out) {
+  static const std::regex kRegistryLookup(
+      R"(\bobs\s*::\s*(?:counter|gauge|sharded_counter|histogram|hdr)\s*\()");
+  check_loop_pattern(path, code, raw, "hot-lookup", kRegistryLookup,
+                     /*skip_static=*/true,
+                     "metric registry lookup inside a per-step loop "
+                     "re-hashes the name every iteration; cache the "
+                     "handle with a WITAG_* macro or a function-local "
+                     "static outside the loop",
+                     out);
 }
 
 void lint_file(const fs::path& file, bool all_rules,
@@ -366,6 +411,9 @@ void lint_file(const fs::path& file, bool all_rules,
   check_raw_literals(path, code, raw, out);
   if (all_rules || hot_alloc_applies(path)) {
     check_hot_alloc(path, code, raw, out);
+  }
+  if (all_rules || hot_lookup_applies(path)) {
+    check_hot_lookup(path, code, raw, out);
   }
 }
 
