@@ -10,10 +10,12 @@
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "util/cli.hpp"
+#include "phy/batch.hpp"
 #include "phy/convolutional.hpp"
 #include "phy/fft.hpp"
 #include "phy/ppdu.hpp"
 #include "phy/scrambler.hpp"
+#include "phy/simd.hpp"
 #include "phy/viterbi.hpp"
 #include "tag/envelope.hpp"
 #include "util/crc.hpp"
@@ -67,6 +69,21 @@ void BM_Fft256Reference(benchmark::State& state) {
 BENCHMARK(BM_Fft64Reference);
 BENCHMARK(BM_Fft128Reference);
 BENCHMARK(BM_Fft256Reference);
+
+// The radix-4 engine on the scalar kernel tier, isolated from both the
+// plan cache lookup (plan fetched once here) and the SIMD dispatch, so
+// the gauge pins the stage-fusion win itself. BM_Fft64 above is the
+// dispatched production path over the same engine.
+void BM_Fft64Radix4(benchmark::State& state) {
+  util::Rng rng(1);
+  util::CxVec data(64);
+  for (auto& x : data) x = rng.complex_normal(1.0);
+  for (auto _ : state) {
+    phy::detail::fft_radix4_inplace(data, /*inverse=*/false);
+    benchmark::DoNotOptimize(data.data());
+  }
+}
+BENCHMARK(BM_Fft64Radix4);
 
 void BM_ViterbiPerKilobit(benchmark::State& state) {
   util::Rng rng(2);
@@ -139,6 +156,22 @@ void BM_Viterbi1536Reference(benchmark::State& state) {
 BENCHMARK(BM_Viterbi48Reference);
 BENCHMARK(BM_Viterbi192Reference);
 BENCHMARK(BM_Viterbi1536Reference);
+
+// Viterbi with the ACS kernel pinned to the best tier this CPU offers
+// (AVX2 on CI), over the dense A-MPDU size. BM_Viterbi1536 above runs
+// whatever tier the environment dispatches (same thing by default, but
+// WITAG_SIMD can demote it); this gauge pins the vector kernel itself.
+void BM_ViterbiAcsSimd(benchmark::State& state) {
+  const std::vector<double> llrs = viterbi_bench_llrs(1536);
+  phy::ViterbiWorkspace ws;
+  util::BitVec bits;
+  const phy::simd::ScopedTier pin(phy::simd::detect_best_tier());
+  for (auto _ : state) {
+    phy::viterbi_decode(llrs, ws, bits);
+    benchmark::DoNotOptimize(bits.data());
+  }
+}
+BENCHMARK(BM_ViterbiAcsSimd);
 
 // Table-driven (byte-at-a-time keystream) vs bit-serial scrambler over
 // one max-rate data field's worth of bits.
@@ -218,6 +251,31 @@ void BM_PpduDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PpduDecode);
+
+// Eight independent MCS5 PPDUs decoded through one persistent
+// BatchDecoder — the A-MPDU exchange shape. Reported per batch (eight
+// full decodes per iteration); divide by eight to compare against
+// BM_PpduDecode's single-PPDU steady state.
+void BM_PpduDecodeBatch8(benchmark::State& state) {
+  constexpr std::size_t kLanes = 8;
+  util::Rng rng(4);
+  phy::TxConfig cfg;
+  cfg.mcs_index = 5;
+  std::vector<phy::TxPpdu> ppdus;
+  ppdus.reserve(kLanes);
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    ppdus.push_back(phy::transmit(rng.bytes(3328), cfg));
+  }
+  std::vector<std::span<const phy::FreqSymbol>> lanes;
+  lanes.reserve(kLanes);
+  for (const phy::TxPpdu& p : ppdus) lanes.emplace_back(p.symbols);
+  phy::BatchDecoder decoder;
+  for (auto _ : state) {
+    const auto results = decoder.decode(lanes, {});
+    benchmark::DoNotOptimize(results.data());
+  }
+}
+BENCHMARK(BM_PpduDecodeBatch8);
 
 void BM_AesBlock(benchmark::State& state) {
   const mac::AesKey key{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};

@@ -1,0 +1,164 @@
+#include "phy/batch.hpp"
+
+#include <array>
+
+#include "obs/obs.hpp"
+#include "phy/constellation.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/plcp.hpp"
+#include "phy/scrambler.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy {
+namespace {
+
+constexpr std::size_t kServiceBits = 16;
+constexpr std::size_t kTailBits = 6;
+
+template <typename T>
+std::size_t vec_capacity_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace
+
+std::size_t BatchDecoder::capacity_bytes() const {
+  std::size_t total = vec_capacity_bytes(re_) + vec_capacity_bytes(im_) +
+                      vec_capacity_bytes(nv_) + vec_capacity_bytes(llr_) +
+                      vec_capacity_bytes(plans_);
+  for (const DecodeScratch& sc : scratch_) total += sc.capacity_bytes();
+  return total;
+}
+
+std::span<const RxResult> BatchDecoder::decode(
+    std::span<const std::span<const FreqSymbol>> lanes, const RxConfig& cfg) {
+  WITAG_SPAN_CAT("phy.batch", "phy");
+  const std::size_t n = lanes.size();
+  WITAG_COUNT("phy.batch.decodes", 1);
+  WITAG_COUNT("phy.batch.lanes", n);
+  const std::size_t capacity_before = capacity_bytes();
+
+  if (scratch_.size() < n) scratch_.resize(n);  // grow-only: lanes keep
+  plans_.resize(n);                             // their warmed buffers
+  results_.resize(n);
+  re_.clear();
+  im_.clear();
+  nv_.clear();
+
+  // Phase 1 — per-lane header decode (channel estimate + SIG, same
+  // scalar path as receive(): SIG is two BPSK symbols, not worth
+  // staging) and SoA staging of every decodable lane's data symbols.
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::span<const FreqSymbol> syms = lanes[l];
+    DecodeScratch& sc = scratch_[l];
+    RxResult& res = results_[l];
+    LanePlan& plan = plans_[l];
+    plan = LanePlan{};
+    res.sig_ok = false;
+    res.sig = HtSig{};  // results_ is reused: drop any stale header
+    res.psdu.clear();
+    WITAG_REQUIRE(syms.size() >= kHeaderSlots);
+
+    res.estimate = estimate_channel(syms.subspan(kStfSlots, kLtfSlots));
+    detail::field_llrs_into(syms.subspan(kPreambleSlots, kSigSymbols),
+                            res.estimate, Modulation::kBpsk, 0,
+                            cfg.cpe_correction, sc);
+    detail::field_bits_from_llrs(CodeRate::kHalf, 0, sc);
+    const auto sig = decode_sig(sc.bits);
+    if (!sig || sig->mcs_index >= kNumMcs || sig->length == 0) {
+      continue;  // header unusable; receiver drops the PPDU
+    }
+    res.sig = *sig;
+
+    const McsParams& m = mcs(res.sig.mcs_index);
+    const std::size_t n_sym = data_symbols_for(res.sig.length, m);
+    if (syms.size() < kHeaderSlots + n_sym) {
+      continue;  // truncated capture; treat as undecodable
+    }
+    res.sig_ok = true;
+    plan.data_ok = true;
+    plan.mod = m.modulation;
+    plan.rate = m.rate;
+    plan.n_sym = n_sym;
+    plan.field_bits = kServiceBits + 8 * res.sig.length + kTailBits;
+    plan.point_off = re_.size();
+    for (std::size_t s = 0; s < n_sym; ++s) {
+      equalize_into(syms[kHeaderSlots + s], res.estimate, kSigSymbols + s,
+                    cfg.cpe_correction, sc.eq);
+      for (const util::Cx& y : sc.eq.points) {
+        re_.push_back(y.real());
+        im_.push_back(y.imag());
+      }
+      nv_.insert(nv_.end(), sc.eq.noise_vars.begin(),
+                 sc.eq.noise_vars.end());
+    }
+    plan.n_points = re_.size() - plan.point_off;
+  }
+
+  // Phase 2 — lockstep soft demap: one kernel sweep per lane over its
+  // whole staged field (the SIMD kernels chew through all lanes'
+  // points back to back; per-point math is position-independent, so
+  // the LLRs match receive()'s per-symbol calls bit for bit).
+  std::size_t total_llrs = 0;
+  for (std::size_t l = 0; l < n; ++l) {
+    LanePlan& plan = plans_[l];
+    if (!plan.data_ok) continue;
+    plan.llr_off = total_llrs;
+    total_llrs += plan.n_points * bits_per_symbol(plan.mod);
+  }
+  llr_.resize(total_llrs);
+  for (std::size_t l = 0; l < n; ++l) {
+    const LanePlan& plan = plans_[l];
+    if (!plan.data_ok) continue;
+    demap_soft_soa(re_.data() + plan.point_off, im_.data() + plan.point_off,
+                   nv_.data() + plan.point_off, plan.n_points, plan.mod,
+                   llr_.data() + plan.llr_off);
+  }
+
+  // Phase 3 — per-lane tail: deinterleave each symbol's LLR slice, then
+  // depuncture, Viterbi-decode, descramble and pack the PSDU, all into
+  // reused lane buffers.
+  for (std::size_t l = 0; l < n; ++l) {
+    const LanePlan& plan = plans_[l];
+    if (!plan.data_ok) continue;
+    DecodeScratch& sc = scratch_[l];
+    RxResult& res = results_[l];
+    const unsigned n_cbps =
+        kDataSubcarriers * bits_per_symbol(plan.mod);
+    sc.llrs.clear();
+    sc.llrs.reserve(plan.n_sym * n_cbps);
+    for (std::size_t s = 0; s < plan.n_sym; ++s) {
+      const std::span<const double> sym_llrs(
+          llr_.data() + plan.llr_off + s * n_cbps, n_cbps);
+      deinterleave_llrs_into(sym_llrs, plan.mod, sc.deint);
+      sc.llrs.insert(sc.llrs.end(), sc.deint.begin(), sc.deint.end());
+    }
+    detail::field_bits_from_llrs(plan.rate, plan.field_bits, sc);
+
+    descramble_recover_into(sc.bits, sc.plain);
+    const std::size_t payload_bits = 8 * res.sig.length;
+    WITAG_ENSURE(sc.plain.size() >= kServiceBits + payload_bits);
+    const std::span<const std::uint8_t> payload(
+        sc.plain.data() + kServiceBits, payload_bits);
+    util::bits_to_bytes_into(payload, res.psdu);
+  }
+
+  if (n > 0 && capacity_bytes() == capacity_before) {
+    WITAG_COUNT("phy.batch.scratch_reuses", 1);
+  }
+#if WITAG_OBS_ENABLED
+  static obs::Gauge& scratch_gauge = obs::gauge("phy.batch.scratch_bytes");
+  scratch_gauge.set(static_cast<double>(capacity_bytes()));
+#endif
+  return {results_.data(), n};
+}
+
+const RxResult& BatchDecoder::decode_one(std::span<const FreqSymbol> symbols,
+                                         const RxConfig& cfg) {
+  one_lane_[0] = symbols;
+  return decode(std::span<const std::span<const FreqSymbol>>(
+                    one_lane_.data(), 1),
+                cfg)[0];
+}
+
+}  // namespace witag::phy

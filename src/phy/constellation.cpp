@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "phy/simd.hpp"
 #include "util/require.hpp"
 
 namespace witag::phy {
@@ -93,6 +94,47 @@ const CxVec& table_for(Modulation mod) {
   return kBpskTable;
 }
 
+// Per-axis view of a point table for the separable soft demap. Gray
+// mapping makes the table a product set: entry i has I level
+// i_levels[i & (2^i_bits - 1)] and Q level q_levels[i >> i_bits], so the
+// squared distance to entry i is dI²(j) + dQ²(q). The reference's
+// per-bit minimum over all entries therefore decomposes into per-axis
+// minima: for an I bit, the candidate set {i : bit set} is the full
+// product {j : bit set} × {all q}, rounding is monotone
+// (x ≤ y ⇒ round(x) ≤ round(y)) and the joint minimizer (argmin_j,
+// argmin_q) lies in the set — so min over the set of
+// round(dI² + dQ²) equals round(min dI² + min dQ²) exactly, down to the
+// last bit. The kernels below compute precisely that (simd.hpp).
+simd::DemapAxes make_axes(Modulation mod) {
+  const CxVec& table = table_for(mod);
+  const unsigned n = bits_per_symbol(mod);
+  simd::DemapAxes ax;
+  ax.n_bits = n;
+  ax.i_bits = (n == 1) ? 1u : n / 2;
+  ax.q_bits = n - ax.i_bits;
+  for (unsigned j = 0; j < (1u << ax.i_bits); ++j) {
+    ax.i_levels[j] = table[j].real();
+  }
+  for (unsigned q = 0; q < (1u << ax.q_bits); ++q) {
+    ax.q_levels[q] = table[q << ax.i_bits].imag();  // 0.0 for BPSK
+  }
+  return ax;
+}
+
+const simd::DemapAxes& axes_for(Modulation mod) {
+  static const std::array<simd::DemapAxes, 4> axes{
+      make_axes(Modulation::kBpsk), make_axes(Modulation::kQpsk),
+      make_axes(Modulation::kQam16), make_axes(Modulation::kQam64)};
+  switch (mod) {
+    case Modulation::kBpsk: return axes[0];
+    case Modulation::kQpsk: return axes[1];
+    case Modulation::kQam16: return axes[2];
+    case Modulation::kQam64: return axes[3];
+  }
+  WITAG_ENSURE(false);
+  return axes[0];
+}
+
 }  // namespace
 
 std::span<const Cx> constellation_points(Modulation mod) {
@@ -154,9 +196,48 @@ void demap_soft_into(std::span<const Cx> points, Modulation mod,
                      std::span<const double> noise_vars,
                      std::vector<double>& out) {
   WITAG_REQUIRE(points.size() == noise_vars.size());
+  const simd::DemapAxes& ax = axes_for(mod);
+  out.resize(points.size() * ax.n_bits);
+  const simd::DemapBlockFn kernel =
+      simd::demap_block_for(simd::active_tier());
+  // Split the interleaved points into SoA chunks for the kernel; the
+  // per-point math is chunk-independent, so any chunk size gives the
+  // same LLRs (the batch decoder stages whole fields without chunking).
+  constexpr std::size_t kChunk = 64;
+  std::array<double, kChunk> re;
+  std::array<double, kChunk> im;
+  for (std::size_t base = 0; base < points.size(); base += kChunk) {
+    const std::size_t count = std::min(kChunk, points.size() - base);
+    for (std::size_t c = 0; c < count; ++c) {
+      re[c] = points[base + c].real();
+      im[c] = points[base + c].imag();
+      WITAG_REQUIRE(noise_vars[base + c] > 0.0);
+    }
+    kernel(re.data(), im.data(), noise_vars.data() + base, count, ax,
+           out.data() + base * ax.n_bits);
+  }
+}
+
+void demap_soft_soa(const double* re, const double* im,
+                    const double* noise_vars, std::size_t count,
+                    Modulation mod, double* out) {
+  const simd::DemapAxes& ax = axes_for(mod);
+  for (std::size_t p = 0; p < count; ++p) {
+    WITAG_REQUIRE(noise_vars[p] > 0.0);
+  }
+  simd::demap_block_for(simd::active_tier())(re, im, noise_vars, count, ax,
+                                             out);
+}
+
+namespace detail {
+
+std::vector<double> demap_soft_reference(std::span<const Cx> points,
+                                         Modulation mod,
+                                         std::span<const double> noise_vars) {
+  WITAG_REQUIRE(points.size() == noise_vars.size());
   const unsigned n = bits_per_symbol(mod);
   const CxVec& table = table_for(mod);
-  out.resize(points.size() * n);
+  std::vector<double> out(points.size() * n);
   std::size_t w = 0;
   for (std::size_t p = 0; p < points.size(); ++p) {
     const Cx& y = points[p];
@@ -177,6 +258,9 @@ void demap_soft_into(std::span<const Cx> points, Modulation mod,
       out[w++] = (min1 - min0) / noise_var;
     }
   }
+  return out;
 }
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -36,12 +36,33 @@ std::vector<double> demap_soft(std::span<const util::Cx> points,
 
 /// Allocation-reusing variant of the per-point soft demap: writes the
 /// LLRs into `out` (resized; capacity reused) for the hot decode path.
+/// Dispatches to the separable SIMD kernels (phy/simd.hpp), which are
+/// bit-identical to detail::demap_soft_reference.
 void demap_soft_into(std::span<const util::Cx> points, Modulation mod,
                      std::span<const double> noise_vars,
                      std::vector<double>& out);
 
+/// SoA soft demap for the batch decode path: `re`/`im`/`noise_vars` are
+/// parallel arrays of `count` equalized points, `out` receives
+/// count * bits_per_symbol(mod) LLRs. Same kernels (and bits) as
+/// demap_soft_into, minus the AoS→SoA staging.
+void demap_soft_soa(const double* re, const double* im,
+                    const double* noise_vars, std::size_t count,
+                    Modulation mod, double* out);
+
 /// The (normalized) points of a constellation in bit-pattern order:
 /// entry i is the point whose bits, LSB-first, encode i.
 std::span<const util::Cx> constellation_points(Modulation mod);
+
+namespace detail {
+
+/// The original full-table-scan max-log demap (O(points · bits ·
+/// table)), kept as the specification the separable kernels are
+/// parity-fuzzed against in tests/test_simd.cpp.
+std::vector<double> demap_soft_reference(std::span<const util::Cx> points,
+                                         Modulation mod,
+                                         std::span<const double> noise_vars);
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "phy/simd.hpp"
 #include "util/require.hpp"
 #include "util/units.hpp"
 
@@ -100,7 +101,18 @@ const FftPlan& plan_for(std::size_t n) {
   return *plan;
 }
 
-void transform(std::span<Cx> data, bool inverse) {
+// Radix-4 engine: the radix-2 stage ladder (len = 2, 4, ..., n) is run
+// as fused pairs of consecutive stages — a fused pass performs exactly
+// the arithmetic of its two radix-2 stages, element for element (each
+// output of stage L feeds exactly one butterfly of stage 2L, so fusing
+// reorders operations only across independent elements), which keeps the
+// result bit-identical to the reference while halving the sweeps over
+// the data. The plan's concatenated twiddle tables serve both stage
+// halves directly: the stage with half-length h starts at offset h - 1.
+// When log2(n) is odd the leading len-2 stage runs standalone first.
+// The per-pass butterflies come from phy::simd (scalar with hoisted
+// twiddles, or AVX2 two-complex vectors).
+void transform_tiered(std::span<Cx> data, bool inverse, simd::Tier tier) {
   const std::size_t n = data.size();
   check_length(n);
   if (n == 1) return;
@@ -108,22 +120,22 @@ void transform(std::span<Cx> data, bool inverse) {
 
   for (const auto& [i, j] : plan.swaps) std::swap(data[i], data[j]);
 
+  const simd::FftKernels& kern = simd::fft_kernels_for(tier);
   const std::vector<Cx>& twiddles = inverse ? plan.inv : plan.fwd;
-  std::size_t stage = 0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const Cx* w = twiddles.data() + stage;
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < len / 2; ++k) {
-        const Cx u = data[i + k];
-        const Cx v = data[i + k + len / 2] * w[k];
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-      }
-    }
-    stage += len / 2;
+  const Cx* tw = twiddles.data();
+  std::size_t h = 1;
+  if (static_cast<unsigned>(std::countr_zero(n)) % 2 == 1) {
+    kern.len2_pass(data.data(), n);
+    h = 2;
   }
+  for (; 4 * h <= n; h *= 4) {
+    kern.radix4_pass(data.data(), n, h, tw + (h - 1), tw + (2 * h - 1));
+  }
+  kern.scale(data.data(), n, plan.scale);
+}
 
-  for (Cx& x : data) x *= plan.scale;
+void transform(std::span<Cx> data, bool inverse) {
+  transform_tiered(data, inverse, simd::active_tier());
 }
 
 }  // namespace
@@ -161,6 +173,10 @@ void fft_reference_inplace(std::span<Cx> data, bool inverse) {
 
   const double scale = 1.0 / std::sqrt(static_cast<double>(n));
   for (Cx& x : data) x *= scale;
+}
+
+void fft_radix4_inplace(std::span<Cx> data, bool inverse) {
+  transform_tiered(data, inverse, simd::Tier::kScalar);
 }
 
 std::size_t fft_plan_count() {

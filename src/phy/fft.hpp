@@ -35,6 +35,12 @@ namespace detail {
 /// asserting the planned path is bit-identical.
 void fft_reference_inplace(std::span<util::Cx> data, bool inverse);
 
+/// The planned fused-radix-4 engine pinned to the scalar (hoisted
+/// twiddle) butterflies regardless of the active SIMD tier. Used by
+/// BM_Fft64Radix4 to gate the scalar engine on plain CI runners, and by
+/// tests to check every tier against fft_reference_inplace.
+void fft_radix4_inplace(std::span<util::Cx> data, bool inverse);
+
 /// Number of FFT plans currently cached (one per distinct length seen).
 std::size_t fft_plan_count();
 

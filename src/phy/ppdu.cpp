@@ -47,16 +47,26 @@ std::vector<FreqSymbol> encode_field(std::span<const std::uint8_t> bits,
 
 // Inverse of encode_field: equalize, soft-demap and deinterleave each
 // symbol, then depuncture and Viterbi-decode the concatenated stream.
-// `n_info_bits` truncates decoding at the known end of the field
-// (through the tail bits), where the trellis is terminated — the
-// scrambled pad bits beyond it carry no data and do not end in state 0.
-// 0 decodes everything. The decoded bits land in `scratch.bits`; every
-// intermediate buffer is reused from `scratch`, so a steady-state call
-// performs no heap allocation.
+// Split into the two detail:: stages below so the batch decoder can run
+// the symbols→LLRs front half over its SoA staging buffers and reuse the
+// LLRs→bits back half unchanged.
 void decode_field(std::span<const FreqSymbol> symbols,
                   const ChannelEstimate& est, Modulation mod, CodeRate rate,
                   std::size_t first_symbol_index, bool cpe_correction,
                   std::size_t n_info_bits, DecodeScratch& scratch) {
+  detail::field_llrs_into(symbols, est, mod, first_symbol_index,
+                          cpe_correction, scratch);
+  detail::field_bits_from_llrs(rate, n_info_bits, scratch);
+}
+
+}  // namespace
+
+namespace detail {
+
+void field_llrs_into(std::span<const FreqSymbol> symbols,
+                     const ChannelEstimate& est, Modulation mod,
+                     std::size_t first_symbol_index, bool cpe_correction,
+                     DecodeScratch& scratch) {
   const unsigned n_cbps = kDataSubcarriers * bits_per_symbol(mod);
   scratch.llrs.clear();
   scratch.llrs.reserve(symbols.size() * n_cbps);
@@ -69,7 +79,10 @@ void decode_field(std::span<const FreqSymbol> symbols,
     scratch.llrs.insert(scratch.llrs.end(), scratch.deint.begin(),
                         scratch.deint.end());
   }
+}
 
+void field_bits_from_llrs(CodeRate rate, std::size_t n_info_bits,
+                          DecodeScratch& scratch) {
   const auto frac = rate_fraction(rate);
   // llrs.size() punctured bits carry llrs.size() * num / den info bits at
   // the mother rate.
@@ -82,7 +95,7 @@ void decode_field(std::span<const FreqSymbol> symbols,
   viterbi_decode(scratch.mother, scratch.viterbi, scratch.bits);
 }
 
-}  // namespace
+}  // namespace detail
 
 std::size_t DecodeScratch::capacity_bytes() const {
   return viterbi.capacity_bytes() + vec_capacity_bytes(eq.points) +

@@ -116,4 +116,23 @@ RxResult receive_samples(std::span<const util::Cx> samples,
 RxResult receive_samples(std::span<const util::Cx> samples,
                          const RxConfig& cfg, DecodeScratch& scratch);
 
+namespace detail {
+
+/// Front half of a field decode: equalize, soft-demap and deinterleave
+/// each symbol, leaving the concatenated field LLRs in `scratch.llrs`
+/// (cleared first). Shared by receive() and the BatchDecoder staging.
+void field_llrs_into(std::span<const FreqSymbol> symbols,
+                     const ChannelEstimate& est, Modulation mod,
+                     std::size_t first_symbol_index, bool cpe_correction,
+                     DecodeScratch& scratch);
+
+/// Back half: depunctures `scratch.llrs` at `rate`, truncates to
+/// `n_info_bits` information bits (0 = decode everything; the data
+/// field stops at the tail where the trellis terminates) and
+/// Viterbi-decodes into `scratch.bits`.
+void field_bits_from_llrs(CodeRate rate, std::size_t n_info_bits,
+                          DecodeScratch& scratch);
+
+}  // namespace detail
+
 }  // namespace witag::phy

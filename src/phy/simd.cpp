@@ -1,0 +1,279 @@
+// Tier detection, the WITAG_SIMD override, and the scalar reference
+// kernels every tier falls back to. The vector implementations live in
+// simd_sse2.cpp / simd_avx2.cpp; this TU owns the dispatch tables so a
+// build without AVX2 support (or a non-x86 target) degrades to the
+// lower tiers without any caller noticing.
+
+#include "phy/simd.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "phy/trellis.hpp"
+#include "util/require.hpp"
+
+namespace witag::phy::simd {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+constexpr bool kIsX86 = true;
+#else
+constexpr bool kIsX86 = false;
+#endif
+
+Tier clamp_tier(Tier t) { return std::min(t, detect_best_tier()); }
+
+/// WITAG_SIMD parse, read once per process. Unset or unrecognized
+/// values mean "auto" (best available); "off"/"scalar" force the
+/// portable path CI's simd-dispatch job byte-compares against.
+Tier env_tier() {
+  static const Tier tier = [] {
+    const char* env = std::getenv("WITAG_SIMD");
+    if (!env) return detect_best_tier();
+    const std::string v(env);
+    if (v == "off" || v == "scalar" || v == "0") return Tier::kScalar;
+    if (v == "sse2") return clamp_tier(Tier::kSse2);
+    if (v == "avx2") return clamp_tier(Tier::kAvx2);
+    return detect_best_tier();  // "auto" and anything else
+  }();
+  return tier;
+}
+
+/// ScopedTier override: -1 = none, otherwise a Tier value. Relaxed is
+/// enough — overrides are set from single-threaded test/bench setup.
+std::atomic<int> g_override{-1};
+
+// ---------------------------------------------------------------------
+// Scalar kernels (the fallback tier, and the semantics every vector
+// kernel must reproduce bit for bit).
+// ---------------------------------------------------------------------
+
+void acs_step_scalar(const double* cur, double* nxt, std::uint8_t* srow,
+                     double la, double lb) {
+  // pa[e] / pb[e] = metric contribution of a branch expecting bit e.
+  const double pa[2] = {la, -la};
+  const double pb[2] = {lb, -lb};
+  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+    const detail::Butterfly& bf = detail::kButterflies[ns];
+    // Same association as the reference: (metric + a) + b.
+    const double m0 = (cur[bf.s0] + pa[bf.a0]) + pb[bf.b0];
+    const double m1 = (cur[bf.s1] + pa[bf.a1]) + pb[bf.b1];
+    const bool take1 = m1 > m0;  // strict: ties keep the s0 branch
+    nxt[ns] = take1 ? m1 : m0;
+    srow[ns] = take1 ? bf.sv1 : bf.sv0;
+  }
+}
+
+void demap_block_scalar(const double* re, const double* im, const double* nv,
+                        std::size_t count, const DemapAxes& ax, double* out) {
+  const unsigned ni = 1u << ax.i_bits;
+  const unsigned nq = 1u << ax.q_bits;  // q_bits == 0 -> one level (0.0)
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (std::size_t p = 0; p < count; ++p) {
+    const double yr = re[p];
+    const double yi = im[p];
+    const double noise_var = nv[p];
+    // Squared per-axis distances: the same subtract and multiply the
+    // reference performs inside std::norm(y - table[i]).
+    double di2[8];
+    double dq2[8];
+    for (unsigned j = 0; j < ni; ++j) {
+      const double d = yr - ax.i_levels[j];
+      di2[j] = d * d;
+    }
+    for (unsigned q = 0; q < nq; ++q) {
+      const double d = yi - ax.q_levels[q];
+      dq2[q] = d * d;
+    }
+    // Per-axis minima, overall and split by each index bit.
+    double min_i = kInf, min_q = kInf;
+    double min0_i[4], min1_i[4], min0_q[4], min1_q[4];
+    for (unsigned b = 0; b < ax.i_bits; ++b) min0_i[b] = min1_i[b] = kInf;
+    for (unsigned b = 0; b < ax.q_bits; ++b) min0_q[b] = min1_q[b] = kInf;
+    for (unsigned j = 0; j < ni; ++j) {
+      min_i = std::min(min_i, di2[j]);
+      for (unsigned b = 0; b < ax.i_bits; ++b) {
+        if ((j >> b) & 1u) {
+          min1_i[b] = std::min(min1_i[b], di2[j]);
+        } else {
+          min0_i[b] = std::min(min0_i[b], di2[j]);
+        }
+      }
+    }
+    for (unsigned q = 0; q < nq; ++q) {
+      min_q = std::min(min_q, dq2[q]);
+      for (unsigned b = 0; b < ax.q_bits; ++b) {
+        if ((q >> b) & 1u) {
+          min1_q[b] = std::min(min1_q[b], dq2[q]);
+        } else {
+          min0_q[b] = std::min(min0_q[b], dq2[q]);
+        }
+      }
+    }
+    // Max-log LLRs, same I-part + Q-part addition and final division as
+    // the reference's (min1 - min0) / noise_var over full distances.
+    double* llr = out + p * ax.n_bits;
+    for (unsigned b = 0; b < ax.i_bits; ++b) {
+      llr[b] = ((min1_i[b] + min_q) - (min0_i[b] + min_q)) / noise_var;
+    }
+    for (unsigned b = 0; b < ax.q_bits; ++b) {
+      llr[ax.i_bits + b] =
+          ((min_i + min1_q[b]) - (min_i + min0_q[b])) / noise_var;
+    }
+  }
+}
+
+using util::Cx;
+
+void fft_radix4_pass_scalar(Cx* data, std::size_t n, std::size_t h,
+                            const Cx* w1, const Cx* w2) {
+  // k outer so each twiddle triple is loaded once per pass instead of
+  // once per block — the "hoist twiddle loads" win for the many-block
+  // early stages.
+  for (std::size_t k = 0; k < h; ++k) {
+    const Cx w1k = w1[k];
+    const Cx w2k = w2[k];
+    const Cx w2kh = w2[k + h];
+    for (std::size_t i = 0; i < n; i += 4 * h) {
+      Cx& d0 = data[i + k];
+      Cx& d1 = data[i + k + h];
+      Cx& d2 = data[i + k + 2 * h];
+      Cx& d3 = data[i + k + 3 * h];
+      // First (half-h) stage on both sub-blocks, then the half-2h
+      // stage across them: identical per-element arithmetic to running
+      // the two radix-2 stages back to back.
+      const Cx t = d1 * w1k;
+      const Cx s0 = d0 + t;
+      const Cx s1 = d0 - t;
+      const Cx u = d3 * w1k;
+      const Cx s2 = d2 + u;
+      const Cx s3 = d2 - u;
+      const Cx v0 = s2 * w2k;
+      const Cx v1 = s3 * w2kh;
+      d0 = s0 + v0;
+      d2 = s0 - v0;
+      d1 = s1 + v1;
+      d3 = s1 - v1;
+    }
+  }
+}
+
+void fft_len2_pass_scalar(Cx* data, std::size_t n) {
+  // Stage twiddle is exactly (1, 0); the reference still multiplies by
+  // it, so do the same multiply to stay bit-identical on signed zeros.
+  const Cx w{1.0, 0.0};
+  for (std::size_t i = 0; i < n; i += 2) {
+    const Cx a = data[i];
+    const Cx v = data[i + 1] * w;
+    data[i] = a + v;
+    data[i + 1] = a - v;
+  }
+}
+
+void fft_scale_scalar(Cx* data, std::size_t n, double scale) {
+  for (std::size_t i = 0; i < n; ++i) data[i] *= scale;
+}
+
+constexpr FftKernels kFftScalar{fft_radix4_pass_scalar, fft_len2_pass_scalar,
+                                fft_scale_scalar};
+
+}  // namespace
+
+// Vector kernel entry points, defined in simd_sse2.cpp / simd_avx2.cpp.
+// Declared here (not in the public header) so only the dispatch tables
+// see them.
+namespace kernels {
+bool sse2_available();
+void acs_step_sse2(const double* cur, double* nxt, std::uint8_t* srow,
+                   double la, double lb);
+void demap_block_sse2(const double* re, const double* im, const double* nv,
+                      std::size_t count, const DemapAxes& ax, double* out);
+bool avx2_compiled();
+bool avx2_supported();
+void acs_step_avx2(const double* cur, double* nxt, std::uint8_t* srow,
+                   double la, double lb);
+void demap_block_avx2(const double* re, const double* im, const double* nv,
+                      std::size_t count, const DemapAxes& ax, double* out);
+void fft_radix4_pass_avx2(util::Cx* data, std::size_t n, std::size_t h,
+                          const util::Cx* w1, const util::Cx* w2);
+void fft_len2_pass_avx2(util::Cx* data, std::size_t n);
+void fft_scale_avx2(util::Cx* data, std::size_t n, double scale);
+}  // namespace kernels
+
+Tier detect_best_tier() {
+  static const Tier best = [] {
+    if (!kIsX86) return Tier::kScalar;
+    if (kernels::avx2_compiled() && kernels::avx2_supported()) {
+      return Tier::kAvx2;
+    }
+    return kernels::sse2_available() ? Tier::kSse2 : Tier::kScalar;
+  }();
+  return best;
+}
+
+Tier active_tier() {
+  const int override_tier = g_override.load(std::memory_order_relaxed);
+  if (override_tier >= 0) return clamp_tier(static_cast<Tier>(override_tier));
+  return env_tier();
+}
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kSse2: return "sse2";
+    case Tier::kAvx2: return "avx2";
+  }
+  WITAG_ENSURE(false);
+  return "scalar";
+}
+
+ScopedTier::ScopedTier(Tier t)
+    : previous_(g_override.load(std::memory_order_relaxed)) {
+  g_override.store(static_cast<int>(clamp_tier(t)),
+                   std::memory_order_relaxed);
+}
+
+ScopedTier::~ScopedTier() {
+  g_override.store(previous_, std::memory_order_relaxed);
+}
+
+AcsStepFn acs_step_for(Tier t) {
+  switch (t) {
+    case Tier::kAvx2:
+      if (detect_best_tier() == Tier::kAvx2) return kernels::acs_step_avx2;
+      [[fallthrough]];
+    case Tier::kSse2:
+      if (kernels::sse2_available()) return kernels::acs_step_sse2;
+      [[fallthrough]];
+    case Tier::kScalar:
+      break;
+  }
+  return acs_step_scalar;
+}
+
+DemapBlockFn demap_block_for(Tier t) {
+  switch (t) {
+    case Tier::kAvx2:
+      if (detect_best_tier() == Tier::kAvx2) return kernels::demap_block_avx2;
+      [[fallthrough]];
+    case Tier::kSse2:
+      if (kernels::sse2_available()) return kernels::demap_block_sse2;
+      [[fallthrough]];
+    case Tier::kScalar:
+      break;
+  }
+  return demap_block_scalar;
+}
+
+const FftKernels& fft_kernels_for(Tier t) {
+  static const FftKernels avx2{kernels::fft_radix4_pass_avx2,
+                               kernels::fft_len2_pass_avx2,
+                               kernels::fft_scale_avx2};
+  if (t == Tier::kAvx2 && detect_best_tier() == Tier::kAvx2) return avx2;
+  return kFftScalar;  // one complex double per SSE2 vector: no win
+}
+
+}  // namespace witag::phy::simd

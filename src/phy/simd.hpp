@@ -1,0 +1,134 @@
+// Runtime SIMD capability tiers and the dispatch surface for the PHY hot
+// kernels (Viterbi add-compare-select, soft demap, radix-4 FFT passes).
+//
+// Every kernel here is bit-identical to its scalar counterpart by
+// construction: the build carries no -march/-ffast-math, so scalar code
+// never contracts into FMA, and the vector kernels use only packed
+// mul/add/sub/xor/min/compare — the same IEEE-754 operations on the same
+// operands in the same association, just several lanes at a time.
+// Negation is a sign-bit XOR (exact), selection is a bitwise blend
+// (exact), and reductions only reorder operations across independent
+// outputs, never within one. tests/test_simd.cpp fuzzes every tier
+// against the detail::*_reference implementations.
+//
+// Dispatch is resolved once per call site from `active_tier()`:
+// hardware detection (AVX2 via cpuid, SSE2 implied by x86-64) clamped by
+// what the build supports, overridable with the WITAG_SIMD environment
+// variable ("off"/"scalar", "sse2", "avx2", "auto") — CI's simd-dispatch
+// job forces the scalar fallback and byte-compares bench stdout.
+//
+// Raw intrinsics live only in src/phy/simd_sse2.cpp / simd_avx2.cpp;
+// tools/witag_lint enforces this (rule `simd-intrinsic`).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/complexvec.hpp"
+
+namespace witag::phy::simd {
+
+/// Capability tiers, ordered: a higher tier implies the lower ones.
+enum class Tier : std::uint8_t { kScalar = 0, kSse2 = 1, kAvx2 = 2 };
+
+/// Best tier the hardware and build support (ignores WITAG_SIMD).
+Tier detect_best_tier();
+
+/// The tier kernels dispatch on: detect_best_tier() clamped by the
+/// WITAG_SIMD environment variable (read once per process) and by any
+/// ScopedTier override. Never exceeds detect_best_tier().
+Tier active_tier();
+
+/// Lower-case tier name ("scalar", "sse2", "avx2") for logs and benches.
+const char* tier_name(Tier t);
+
+/// RAII tier override for tests and benches: clamps to the detected
+/// best tier, restores the previous override on destruction. Not
+/// thread-safe — use from single-threaded test/bench setup only.
+class ScopedTier {
+ public:
+  explicit ScopedTier(Tier t);
+  ~ScopedTier();
+  ScopedTier(const ScopedTier&) = delete;
+  ScopedTier& operator=(const ScopedTier&) = delete;
+
+ private:
+  int previous_;
+};
+
+// ---------------------------------------------------------------------
+// Viterbi add-compare-select.
+// ---------------------------------------------------------------------
+
+/// One trellis step over all 64 states: reads the current path metrics
+/// from `cur`, writes the next metrics to `nxt` and the survivor bytes
+/// to `srow` (64 entries each). `la`/`lb` are the step's two LLRs.
+/// `cur` and `nxt` must be 32-byte aligned and distinct.
+using AcsStepFn = void (*)(const double* cur, double* nxt,
+                           std::uint8_t* srow, double la, double lb);
+
+/// The ACS kernel for a tier (always non-null; unavailable tiers fall
+/// back to the next lower implementation).
+AcsStepFn acs_step_for(Tier t);
+
+// ---------------------------------------------------------------------
+// Soft demap (separable Gray-QAM, SoA inputs).
+// ---------------------------------------------------------------------
+
+/// Per-axis view of a Gray-mapped constellation: the low `i_bits` of a
+/// point index select the I (real) level, the remaining `q_bits` select
+/// Q. BPSK has q_bits == 0 with the single Q "level" 0.0. Squared
+/// distances are separable (d = dI² + dQ²), which is what lets the
+/// kernels do per-axis minima instead of the reference's full table
+/// scan per bit — see constellation.cpp for the bit-exactness argument.
+struct DemapAxes {
+  unsigned n_bits = 0;  ///< bits per point (i_bits + q_bits)
+  unsigned i_bits = 0;
+  unsigned q_bits = 0;
+  std::array<double, 8> i_levels{};
+  std::array<double, 8> q_levels{};
+};
+
+/// Demaps `count` equalized points given as parallel arrays (re/im and
+/// per-point noise variance) into max-log LLRs: out[p * n_bits + b].
+/// All noise variances must be > 0 (checked by the callers).
+using DemapBlockFn = void (*)(const double* re, const double* im,
+                              const double* nv, std::size_t count,
+                              const DemapAxes& ax, double* out);
+
+/// The demap kernel for a tier (always non-null).
+DemapBlockFn demap_block_for(Tier t);
+
+// ---------------------------------------------------------------------
+// FFT passes (decimation-in-time, fused radix-4). See fft.cpp for the
+// engine that sequences these over a plan's twiddle tables.
+// ---------------------------------------------------------------------
+
+/// One fused radix-4 pass: performs the two consecutive radix-2 stages
+/// with half-lengths `h` and `2*h` over blocks of `4*h` elements. `w1`
+/// points at the h-half stage's twiddles (h entries), `w2` at the
+/// 2h-half stage's (2*h entries). Requires 4*h <= n.
+using FftRadix4PassFn = void (*)(util::Cx* data, std::size_t n,
+                                 std::size_t h, const util::Cx* w1,
+                                 const util::Cx* w2);
+
+/// The standalone length-2 stage used when log2(n) is odd. Requires
+/// n >= 4 and even.
+using FftLen2PassFn = void (*)(util::Cx* data, std::size_t n);
+
+/// Final 1/sqrt(n) scaling over the whole buffer.
+using FftScaleFn = void (*)(util::Cx* data, std::size_t n, double scale);
+
+struct FftKernels {
+  FftRadix4PassFn radix4_pass;
+  FftLen2PassFn len2_pass;
+  FftScaleFn scale;
+};
+
+/// The FFT pass kernels for a tier. SSE2 gains nothing over scalar at
+/// one complex double per vector, so only the AVX2 tier differs from
+/// scalar here.
+const FftKernels& fft_kernels_for(Tier t);
+
+}  // namespace witag::phy::simd

@@ -1,0 +1,148 @@
+// SSE2 kernels (two doubles per vector): Viterbi add-compare-select and
+// the separable soft demap. SSE2 is part of the x86-64 baseline, so
+// these compile with no extra flags; on non-x86 targets the file
+// compiles to the `sse2_available() == false` stubs and dispatch stays
+// scalar. Bit-exactness: only packed add/sub/mul/min/xor/compare and
+// bitwise selection are used — the same IEEE-754 operations as the
+// scalar kernels, two lanes at a time (see simd.hpp).
+
+#include "phy/simd.hpp"
+
+#include <cstdint>
+#include <limits>
+
+#include "phy/trellis.hpp"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace witag::phy::simd::kernels {
+
+#if defined(__SSE2__)
+
+bool sse2_available() { return true; }
+
+void acs_step_sse2(const double* cur, double* nxt, std::uint8_t* srow,
+                   double la, double lb) {
+  const __m128d la_v = _mm_set1_pd(la);
+  const __m128d lb_v = _mm_set1_pd(lb);
+  const detail::AcsSigns& sg = detail::kAcsSigns;
+  // Next-states ns and ns + 32 share predecessors cur[2*ns], cur[2*ns+1]
+  // (only the expected branch bits differ), so one gather of the
+  // even/odd metric pair feeds both halves of the state vector.
+  for (std::uint32_t j = 0; j < kNumStates / 2; j += 2) {
+    const __m128d v0 = _mm_load_pd(cur + 2 * j);      // cur[2j], cur[2j+1]
+    const __m128d v1 = _mm_load_pd(cur + 2 * j + 2);  // cur[2j+2], cur[2j+3]
+    const __m128d evens = _mm_unpacklo_pd(v0, v1);    // cur[s0] for ns=j,j+1
+    const __m128d odds = _mm_unpackhi_pd(v0, v1);     // cur[s1]
+    for (std::uint32_t half = 0; half < 2; ++half) {
+      const std::uint32_t ns = j + half * (kNumStates / 2);
+      // Branch metrics via sign-bit XOR: ±llr exactly as the scalar
+      // pa[e]/pb[e] tables, with the same (cur + pa) + pb association.
+      const __m128d pa0 = _mm_xor_pd(la_v, _mm_load_pd(&sg.a0[ns]));
+      const __m128d pb0 = _mm_xor_pd(lb_v, _mm_load_pd(&sg.b0[ns]));
+      const __m128d pa1 = _mm_xor_pd(la_v, _mm_load_pd(&sg.a1[ns]));
+      const __m128d pb1 = _mm_xor_pd(lb_v, _mm_load_pd(&sg.b1[ns]));
+      const __m128d m0 = _mm_add_pd(_mm_add_pd(evens, pa0), pb0);
+      const __m128d m1 = _mm_add_pd(_mm_add_pd(odds, pa1), pb1);
+      // Strict m1 > m0: ties keep the s0 branch, like the scalar code.
+      const __m128d take1 = _mm_cmpgt_pd(m1, m0);
+      const __m128d best = _mm_or_pd(_mm_and_pd(take1, m1),
+                                     _mm_andnot_pd(take1, m0));
+      _mm_store_pd(nxt + ns, best);
+      const int mask = _mm_movemask_pd(take1);
+      srow[ns] = static_cast<std::uint8_t>(
+          detail::kSurvivor0[ns] + 2 * (mask & 1));
+      srow[ns + 1] = static_cast<std::uint8_t>(
+          detail::kSurvivor0[ns + 1] + ((mask & 2) ? 2 : 0));
+    }
+  }
+}
+
+void demap_block_sse2(const double* re, const double* im, const double* nv,
+                      std::size_t count, const DemapAxes& ax, double* out) {
+  const unsigned ni = 1u << ax.i_bits;
+  const unsigned nq = 1u << ax.q_bits;
+  const __m128d inf = _mm_set1_pd(std::numeric_limits<double>::infinity());
+  std::size_t p = 0;
+  for (; p + 2 <= count; p += 2) {
+    // SoA spans land at arbitrary lane offsets inside vector-owned
+    // storage, so these loads cannot assume 16-byte alignment.
+    const __m128d yr =
+        _mm_loadu_pd(re + p);  // witag-lint: allow(simd-unaligned)
+    const __m128d yi =
+        _mm_loadu_pd(im + p);  // witag-lint: allow(simd-unaligned)
+    const __m128d noise =
+        _mm_loadu_pd(nv + p);  // witag-lint: allow(simd-unaligned)
+    __m128d min_i = inf, min_q = inf;
+    __m128d min0_i[4], min1_i[4], min0_q[4], min1_q[4];
+    for (unsigned b = 0; b < ax.i_bits; ++b) min0_i[b] = min1_i[b] = inf;
+    for (unsigned b = 0; b < ax.q_bits; ++b) min0_q[b] = min1_q[b] = inf;
+    for (unsigned j = 0; j < ni; ++j) {
+      const __m128d d = _mm_sub_pd(yr, _mm_set1_pd(ax.i_levels[j]));
+      const __m128d sq = _mm_mul_pd(d, d);
+      min_i = _mm_min_pd(min_i, sq);
+      for (unsigned b = 0; b < ax.i_bits; ++b) {
+        if ((j >> b) & 1u) {
+          min1_i[b] = _mm_min_pd(min1_i[b], sq);
+        } else {
+          min0_i[b] = _mm_min_pd(min0_i[b], sq);
+        }
+      }
+    }
+    for (unsigned q = 0; q < nq; ++q) {
+      const __m128d d = _mm_sub_pd(yi, _mm_set1_pd(ax.q_levels[q]));
+      const __m128d sq = _mm_mul_pd(d, d);
+      min_q = _mm_min_pd(min_q, sq);
+      for (unsigned b = 0; b < ax.q_bits; ++b) {
+        if ((q >> b) & 1u) {
+          min1_q[b] = _mm_min_pd(min1_q[b], sq);
+        } else {
+          min0_q[b] = _mm_min_pd(min0_q[b], sq);
+        }
+      }
+    }
+    alignas(16) double lanes[2];
+    for (unsigned b = 0; b < ax.i_bits; ++b) {
+      const __m128d m1 = _mm_add_pd(min1_i[b], min_q);
+      const __m128d m0 = _mm_add_pd(min0_i[b], min_q);
+      const __m128d llr = _mm_div_pd(_mm_sub_pd(m1, m0), noise);
+      _mm_store_pd(lanes, llr);
+      out[p * ax.n_bits + b] = lanes[0];
+      out[(p + 1) * ax.n_bits + b] = lanes[1];
+    }
+    for (unsigned b = 0; b < ax.q_bits; ++b) {
+      const __m128d m1 = _mm_add_pd(min_i, min1_q[b]);
+      const __m128d m0 = _mm_add_pd(min_i, min0_q[b]);
+      const __m128d llr = _mm_div_pd(_mm_sub_pd(m1, m0), noise);
+      _mm_store_pd(lanes, llr);
+      out[p * ax.n_bits + ax.i_bits + b] = lanes[0];
+      out[(p + 1) * ax.n_bits + ax.i_bits + b] = lanes[1];
+    }
+  }
+  if (p < count) {
+    // Odd tail: one point through the scalar kernel (same per-point
+    // math, so chunk boundaries never change results).
+    demap_block_for(Tier::kScalar)(re + p, im + p, nv + p, count - p, ax,
+                                   out + p * ax.n_bits);
+  }
+}
+
+#else  // !defined(__SSE2__)
+
+bool sse2_available() { return false; }
+
+void acs_step_sse2(const double* cur, double* nxt, std::uint8_t* srow,
+                   double la, double lb) {
+  acs_step_for(Tier::kScalar)(cur, nxt, srow, la, lb);
+}
+
+void demap_block_sse2(const double* re, const double* im, const double* nv,
+                      std::size_t count, const DemapAxes& ax, double* out) {
+  demap_block_for(Tier::kScalar)(re, im, nv, count, ax, out);
+}
+
+#endif  // defined(__SSE2__)
+
+}  // namespace witag::phy::simd::kernels

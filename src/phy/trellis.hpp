@@ -1,0 +1,127 @@
+// Shared constexpr trellis tables for the K = 7 Viterbi decoder
+// (generators 133/171 octal). Factored out of viterbi.cpp so the SIMD
+// add-compare-select kernels in src/phy/simd*.cpp walk the exact same
+// flattened trellis as the scalar decoder and the transition-oriented
+// reference — bit-identical outputs fall out of sharing one table.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "phy/convolutional.hpp"
+
+namespace witag::phy::detail {
+
+// Transition model (matches convolutional_encode): from state s (the top
+// six register bits) with input u, the full 7-bit register becomes
+// f = s | (u << 6); the branch outputs are the parities of f with each
+// generator and the next state is f >> 1.
+struct Transitions {
+  // For [state][input]: next state and the two expected output bits.
+  std::array<std::array<std::uint8_t, 2>, kNumStates> next{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_a{};
+  std::array<std::array<std::uint8_t, 2>, kNumStates> out_b{};
+};
+
+constexpr Transitions make_transitions() {
+  Transitions t;
+  for (std::uint32_t s = 0; s < kNumStates; ++s) {
+    for (std::uint32_t u = 0; u < 2; ++u) {
+      const std::uint32_t full = s | (u << 6);
+      t.next[s][u] = static_cast<std::uint8_t>(full >> 1);
+      t.out_a[s][u] =
+          static_cast<std::uint8_t>(std::popcount(full & kGenPolyA) & 1);
+      t.out_b[s][u] =
+          static_cast<std::uint8_t>(std::popcount(full & kGenPolyB) & 1);
+    }
+  }
+  return t;
+}
+
+inline constexpr Transitions kTrellis = make_transitions();
+
+// Predecessor-oriented view of the same trellis: next-state ns is fed by
+// exactly the two 7-bit registers f0 = 2*ns and f1 = 2*ns + 1, i.e. by
+// predecessor states s0 = f0 & 63 and s1 = s0 + 1, both under the same
+// input u = ns >> 5. s0 < s1 always, which is exactly the order the
+// transition-oriented reference visits them in — so "prefer the s0
+// branch on metric ties" reproduces its strict-> update rule bit for
+// bit.
+struct Butterfly {
+  std::uint8_t s0, s1;          // the two predecessor states
+  std::uint8_t sv0, sv1;        // survivor bytes (pred << 1) | input
+  std::uint8_t a0, b0, a1, b1;  // expected coded bits per branch
+};
+
+constexpr std::array<Butterfly, kNumStates> make_butterflies() {
+  std::array<Butterfly, kNumStates> bs{};
+  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+    const std::uint32_t f0 = ns << 1;
+    const std::uint32_t f1 = f0 | 1u;
+    const std::uint32_t u = ns >> 5;
+    Butterfly& bf = bs[ns];
+    bf.s0 = static_cast<std::uint8_t>(f0 & (kNumStates - 1));
+    bf.s1 = static_cast<std::uint8_t>(f1 & (kNumStates - 1));
+    bf.sv0 = static_cast<std::uint8_t>((bf.s0 << 1) | u);
+    bf.sv1 = static_cast<std::uint8_t>((bf.s1 << 1) | u);
+    bf.a0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyA) & 1);
+    bf.b0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyB) & 1);
+    bf.a1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyA) & 1);
+    bf.b1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyB) & 1);
+  }
+  return bs;
+}
+
+inline constexpr std::array<Butterfly, kNumStates> kButterflies =
+    make_butterflies();
+
+// Large-finite stand-in for -inf: unreachable states carry this value
+// instead of being skipped, which removes the per-state branch from the
+// ACS loop. Physical LLR sums are tens per step, so adding a branch
+// metric to the sentinel does not move it at double granularity (ulp at
+// 1e300 is ~1e284), and a sentinel path can never beat a real one. Any
+// end metric below kSentinelThreshold therefore means "state 0 was
+// pruned", exactly like the reference's -inf test.
+inline constexpr double kSentinel = -1e300;
+inline constexpr double kSentinelThreshold = -1e290;
+
+// SoA companion to kButterflies for the vector ACS kernels. A branch
+// metric ±llr is the LLR with its sign bit XORed, so the expected-bit
+// flags become ±0.0 masks; negation-by-sign-flip is exact in IEEE-754,
+// making the vector branch metrics bit-identical to the scalar
+// `expected ? -llr : llr`. Survivor bytes need only sv0: s1 = s0 + 1
+// under the same input, so sv1 = sv0 + 2 always.
+struct AcsSigns {
+  alignas(32) std::array<double, kNumStates> a0{};
+  alignas(32) std::array<double, kNumStates> b0{};
+  alignas(32) std::array<double, kNumStates> a1{};
+  alignas(32) std::array<double, kNumStates> b1{};
+};
+
+constexpr AcsSigns make_acs_signs() {
+  AcsSigns m;
+  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+    const Butterfly& bf = kButterflies[ns];
+    m.a0[ns] = bf.a0 ? -0.0 : 0.0;
+    m.b0[ns] = bf.b0 ? -0.0 : 0.0;
+    m.a1[ns] = bf.a1 ? -0.0 : 0.0;
+    m.b1[ns] = bf.b1 ? -0.0 : 0.0;
+  }
+  return m;
+}
+
+inline constexpr AcsSigns kAcsSigns = make_acs_signs();
+
+constexpr std::array<std::uint8_t, kNumStates> make_survivor0() {
+  std::array<std::uint8_t, kNumStates> sv{};
+  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
+    sv[ns] = kButterflies[ns].sv0;
+  }
+  return sv;
+}
+
+inline constexpr std::array<std::uint8_t, kNumStates> kSurvivor0 =
+    make_survivor0();
+
+}  // namespace witag::phy::detail

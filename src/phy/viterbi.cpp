@@ -2,87 +2,16 @@
 
 #include <algorithm>
 #include <array>
-#include <bit>
 #include <limits>
 
 #include "obs/obs.hpp"
 #include "phy/convolutional.hpp"
+#include "phy/simd.hpp"
+#include "phy/trellis.hpp"
 #include "util/require.hpp"
 
 namespace witag::phy {
 namespace {
-
-// Transition model (matches convolutional_encode): from state s (the top
-// six register bits) with input u, the full 7-bit register becomes
-// f = s | (u << 6); the branch outputs are the parities of f with each
-// generator and the next state is f >> 1.
-struct Transitions {
-  // For [state][input]: next state and the two expected output bits.
-  std::array<std::array<std::uint8_t, 2>, kNumStates> next{};
-  std::array<std::array<std::uint8_t, 2>, kNumStates> out_a{};
-  std::array<std::array<std::uint8_t, 2>, kNumStates> out_b{};
-};
-
-constexpr Transitions make_transitions() {
-  Transitions t;
-  for (std::uint32_t s = 0; s < kNumStates; ++s) {
-    for (std::uint32_t u = 0; u < 2; ++u) {
-      const std::uint32_t full = s | (u << 6);
-      t.next[s][u] = static_cast<std::uint8_t>(full >> 1);
-      t.out_a[s][u] =
-          static_cast<std::uint8_t>(std::popcount(full & kGenPolyA) & 1);
-      t.out_b[s][u] =
-          static_cast<std::uint8_t>(std::popcount(full & kGenPolyB) & 1);
-    }
-  }
-  return t;
-}
-
-constexpr Transitions kTrellis = make_transitions();
-
-// Predecessor-oriented view of the same trellis: next-state ns is fed by
-// exactly the two 7-bit registers f0 = 2*ns and f1 = 2*ns + 1, i.e. by
-// predecessor states s0 = f0 & 63 and s1 = s0 + 1, both under the same
-// input u = ns >> 5. s0 < s1 always, which is exactly the order the
-// transition-oriented reference visits them in — so "prefer the s0
-// branch on metric ties" reproduces its strict-> update rule bit for
-// bit.
-struct Butterfly {
-  std::uint8_t s0, s1;          // the two predecessor states
-  std::uint8_t sv0, sv1;        // survivor bytes (pred << 1) | input
-  std::uint8_t a0, b0, a1, b1;  // expected coded bits per branch
-};
-
-constexpr std::array<Butterfly, kNumStates> make_butterflies() {
-  std::array<Butterfly, kNumStates> bs{};
-  for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
-    const std::uint32_t f0 = ns << 1;
-    const std::uint32_t f1 = f0 | 1u;
-    const std::uint32_t u = ns >> 5;
-    Butterfly& bf = bs[ns];
-    bf.s0 = static_cast<std::uint8_t>(f0 & (kNumStates - 1));
-    bf.s1 = static_cast<std::uint8_t>(f1 & (kNumStates - 1));
-    bf.sv0 = static_cast<std::uint8_t>((bf.s0 << 1) | u);
-    bf.sv1 = static_cast<std::uint8_t>((bf.s1 << 1) | u);
-    bf.a0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyA) & 1);
-    bf.b0 = static_cast<std::uint8_t>(std::popcount(f0 & kGenPolyB) & 1);
-    bf.a1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyA) & 1);
-    bf.b1 = static_cast<std::uint8_t>(std::popcount(f1 & kGenPolyB) & 1);
-  }
-  return bs;
-}
-
-constexpr std::array<Butterfly, kNumStates> kButterflies = make_butterflies();
-
-// Large-finite stand-in for -inf: unreachable states carry this value
-// instead of being skipped, which removes the per-state branch from the
-// ACS loop. Physical LLR sums are tens per step, so adding a branch
-// metric to the sentinel does not move it at double granularity (ulp at
-// 1e300 is ~1e284), and a sentinel path can never beat a real one. Any
-// end metric below kSentinelThreshold therefore means "state 0 was
-// pruned", exactly like the reference's -inf test.
-constexpr double kSentinel = -1e300;
-constexpr double kSentinelThreshold = -1e290;
 
 // Branch metric contribution of one coded bit: LLR > 0 favors bit 0, so a
 // branch expecting bit 0 gains +llr and one expecting bit 1 gains -llr.
@@ -107,36 +36,28 @@ void viterbi_decode(std::span<const double> llrs, ViterbiWorkspace& ws,
   std::uint8_t* survivor = ws.survivor_.data();
 
   // Path metrics ping-pong between two fixed-size arrays — no heap.
-  std::array<double, kNumStates> metric_a;
-  std::array<double, kNumStates> metric_b;
-  metric_a.fill(kSentinel);
+  // 32-byte aligned so the vector ACS kernels use aligned loads/stores.
+  alignas(32) std::array<double, kNumStates> metric_a;
+  alignas(32) std::array<double, kNumStates> metric_b;
+  metric_a.fill(detail::kSentinel);
   metric_a[0] = 0.0;  // encoder starts zeroed
   double* cur = metric_a.data();
   double* nxt = metric_b.data();
 
+  // Tier resolved once per decode, not once per trellis step; every
+  // tier's kernel is bit-identical (tests/test_simd.cpp fuzzes ties).
+  const simd::AcsStepFn acs_step = simd::acs_step_for(simd::active_tier());
+
   for (std::size_t step = 0; step < n_steps; ++step) {
-    const double la = llrs[2 * step];
-    const double lb = llrs[2 * step + 1];
-    // pa[e] / pb[e] = metric contribution of a branch expecting bit e.
-    const double pa[2] = {la, -la};
-    const double pb[2] = {lb, -lb};
-    std::uint8_t* srow = survivor + step * kNumStates;
-    for (std::uint32_t ns = 0; ns < kNumStates; ++ns) {
-      const Butterfly& bf = kButterflies[ns];
-      // Same association as the reference: (metric + a) + b.
-      const double m0 = (cur[bf.s0] + pa[bf.a0]) + pb[bf.b0];
-      const double m1 = (cur[bf.s1] + pa[bf.a1]) + pb[bf.b1];
-      const bool take1 = m1 > m0;  // strict: ties keep the s0 branch
-      nxt[ns] = take1 ? m1 : m0;
-      srow[ns] = take1 ? bf.sv1 : bf.sv0;
-    }
+    acs_step(cur, nxt, survivor + step * kNumStates, llrs[2 * step],
+             llrs[2 * step + 1]);
     std::swap(cur, nxt);
   }
 
   // The tail drives the encoder back to state 0; fall back to the best
   // surviving state if 0 was pruned (can happen under extreme noise).
   std::uint32_t state = 0;
-  if (cur[0] <= kSentinelThreshold) {
+  if (cur[0] <= detail::kSentinelThreshold) {
     state = static_cast<std::uint32_t>(
         std::max_element(cur, cur + kNumStates) - cur);
   }

@@ -18,13 +18,18 @@ BitVec bytes_to_bits(std::span<const std::uint8_t> bytes) {
 }
 
 ByteVec bits_to_bytes(std::span<const std::uint8_t> bits) {
-  ByteVec bytes((bits.size() + 7) / 8, 0);
+  ByteVec bytes;
+  bits_to_bytes_into(bits, bytes);
+  return bytes;
+}
+
+void bits_to_bytes_into(std::span<const std::uint8_t> bits, ByteVec& out) {
+  out.assign((bits.size() + 7) / 8, 0);
   for (std::size_t i = 0; i < bits.size(); ++i) {
     if (bits[i] & 1u) {
-      bytes[i / 8] = static_cast<std::uint8_t>(bytes[i / 8] | (1u << (i % 8)));
+      out[i / 8] = static_cast<std::uint8_t>(out[i / 8] | (1u << (i % 8)));
     }
   }
-  return bytes;
 }
 
 std::size_t hamming_distance(std::span<const std::uint8_t> a,

@@ -22,6 +22,10 @@ BitVec bytes_to_bits(std::span<const std::uint8_t> bytes);
 /// not a multiple of 8, the final byte is zero-padded in its high bits.
 ByteVec bits_to_bytes(std::span<const std::uint8_t> bits);
 
+/// Allocation-reusing variant of bits_to_bytes: writes into `out`
+/// (resized; capacity reused) for the hot decode path.
+void bits_to_bytes_into(std::span<const std::uint8_t> bits, ByteVec& out);
+
 /// Number of positions at which the two bit/byte sequences differ.
 /// Sequences of unequal length count the length difference as errors
 /// (each missing position is one error).

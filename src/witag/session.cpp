@@ -300,7 +300,7 @@ Session::RoundResult Session::exchange(bool tag_active, unsigned address) {
   // AP side: PHY receive, deaggregate, FCS-check, block ack.
   phy::RxConfig rx_cfg;
   rx_cfg.cpe_correction = cfg_.cpe_correction;
-  const phy::RxResult rx = phy::receive(rx_syms, rx_cfg, decode_scratch_);
+  const phy::RxResult& rx = batch_decoder_.decode_one(rx_syms, rx_cfg);
 
   std::optional<mac::BlockAck> ba;
   if (rx.sig_ok) {

@@ -13,6 +13,7 @@
 #include "channel/channel_model.hpp"
 #include "faults/injectors.hpp"
 #include "mac/station.hpp"
+#include "phy/batch.hpp"
 #include "phy/ppdu.hpp"
 #include "util/complexvec.hpp"
 #include "tag/device.hpp"
@@ -121,10 +122,11 @@ class Session {
   /// Layout cache for addressed queries (index = trigger code).
   std::vector<std::optional<QueryLayout>> layout_cache_;
   double tag_noise_var_ = 0.0;      ///< Noise at the tag detector [W].
-  /// Decode buffers reused across every exchange this session runs (the
+  /// Batch decoder reused across every exchange this session runs (the
   /// Reader drives many rounds through one Session, so A-MPDU decode is
-  /// allocation-free in steady state).
-  phy::DecodeScratch decode_scratch_;
+  /// allocation-free in steady state). An exchange decodes its whole
+  /// A-MPDU in one batch call through the SoA/SIMD pipeline.
+  phy::BatchDecoder batch_decoder_;
 };
 
 }  // namespace witag::core

@@ -1,0 +1,161 @@
+// BatchDecoder parity and allocation tests: decoding N subframe
+// timelines through phy::BatchDecoder must equal per-PPDU receive()
+// lane for lane — across lane counts, ragged MCS/length mixes, noisy
+// channels and broken lanes (corrupted SIG, truncated captures) — and
+// steady-state batch decode must not allocate.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "phy/batch.hpp"
+#include "phy/mcs.hpp"
+#include "phy/ppdu.hpp"
+#include "util/rng.hpp"
+
+namespace witag {
+namespace {
+
+/// One lane's prepared input: the (possibly corrupted) symbol timeline
+/// plus how much of it the receiver gets to see.
+struct Lane {
+  std::vector<phy::FreqSymbol> symbols;
+  std::size_t visible = 0;
+
+  std::span<const phy::FreqSymbol> view() const {
+    return {symbols.data(), visible};
+  }
+};
+
+void add_noise(std::vector<phy::FreqSymbol>& symbols, util::Rng& rng,
+               double variance, std::size_t first_slot = 0) {
+  for (std::size_t s = first_slot; s < symbols.size(); ++s) {
+    for (util::Cx& bin : symbols[s]) bin += rng.complex_normal(variance);
+  }
+}
+
+/// Builds a ragged batch: every lane gets its own MCS and PSDU length,
+/// and the regime cycle plants clean, noisy, corrupted-SIG and
+/// truncated lanes so the batch path handles broken lanes exactly like
+/// receive() does.
+std::vector<Lane> make_lanes(std::size_t n, std::uint64_t seed) {
+  std::vector<Lane> lanes(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    util::Rng rng(seed + l);
+    phy::TxConfig tx;
+    tx.mcs_index = static_cast<unsigned>(rng.uniform_int(phy::kNumMcs));
+    const std::size_t length = 1 + rng.uniform_int(600);
+    phy::TxPpdu ppdu = phy::transmit(rng.bytes(length), tx);
+    Lane& lane = lanes[l];
+    lane.symbols = std::move(ppdu.symbols);
+    lane.visible = lane.symbols.size();
+    switch (l % 4) {
+      case 0:  // clean
+        break;
+      case 1:  // noisy channel: expect occasional payload bit errors
+        add_noise(lane.symbols, rng, 0.05);
+        break;
+      case 2:  // SIG destroyed: header CRC must fail in both paths
+        add_noise(lane.symbols, rng, 50.0, phy::kPreambleSlots);
+        break;
+      default:  // truncated capture (header visible, data cut short)
+        add_noise(lane.symbols, rng, 0.01);
+        lane.visible = phy::kHeaderSlots +
+                       (lane.symbols.size() - phy::kHeaderSlots) / 2;
+        break;
+    }
+  }
+  return lanes;
+}
+
+void expect_lane_parity(const phy::RxResult& batch, const phy::RxResult& ref,
+                        std::size_t lane, std::size_t n_lanes) {
+  ASSERT_EQ(batch.sig_ok, ref.sig_ok) << "lane " << lane << "/" << n_lanes;
+  ASSERT_EQ(batch.sig, ref.sig) << "lane " << lane << "/" << n_lanes;
+  ASSERT_EQ(batch.psdu, ref.psdu) << "lane " << lane << "/" << n_lanes;
+}
+
+TEST(BatchDecode, MatchesPerPpduReceiveAcrossLaneCounts) {
+  phy::BatchDecoder decoder;  // one decoder across all shapes: buffers
+  const phy::RxConfig cfg;    // sized by one batch must not leak into
+  for (const std::size_t n : {1u, 3u, 8u, 17u}) {  // the next
+    const std::vector<Lane> lanes = make_lanes(n, 0xBA'7C'00 + n);
+    std::vector<std::span<const phy::FreqSymbol>> views;
+    views.reserve(n);
+    for (const Lane& lane : lanes) views.push_back(lane.view());
+
+    const std::span<const phy::RxResult> results =
+        decoder.decode(views, cfg);
+    ASSERT_EQ(results.size(), n);
+    for (std::size_t l = 0; l < n; ++l) {
+      const phy::RxResult ref = phy::receive(lanes[l].view(), cfg);
+      expect_lane_parity(results[l], ref, l, n);
+    }
+  }
+}
+
+TEST(BatchDecode, DecodeOneMatchesReceive) {
+  phy::BatchDecoder decoder;
+  const phy::RxConfig cfg;
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    const std::vector<Lane> lanes = make_lanes(1, 0xD0'0E + 13 * trial);
+    const phy::RxResult& got = decoder.decode_one(lanes[0].view(), cfg);
+    const phy::RxResult ref = phy::receive(lanes[0].view(), cfg);
+    expect_lane_parity(got, ref, 0, 1);
+  }
+}
+
+TEST(BatchDecode, BrokenLaneDoesNotLeakStaleHeader) {
+  // A lane slot that decoded fine in one batch and fails SIG in the
+  // next must come back with a default header, exactly like a fresh
+  // receive() — the reused results_ buffer must not echo the old SIG.
+  phy::BatchDecoder decoder;
+  const phy::RxConfig cfg;
+  std::vector<Lane> lanes = make_lanes(1, 0x57'A1);  // l%4==0: clean
+  ASSERT_TRUE(decoder.decode_one(lanes[0].view(), cfg).sig_ok);
+
+  util::Rng rng(7);
+  add_noise(lanes[0].symbols, rng, 50.0, phy::kPreambleSlots);
+  const phy::RxResult& got = decoder.decode_one(lanes[0].view(), cfg);
+  const phy::RxResult ref = phy::receive(lanes[0].view(), cfg);
+  expect_lane_parity(got, ref, 0, 1);
+  EXPECT_FALSE(got.sig_ok);
+  EXPECT_EQ(got.sig, phy::HtSig{});
+}
+
+TEST(BatchDecode, SteadyStateDecodesWithoutAllocating) {
+  phy::BatchDecoder decoder;
+  const phy::RxConfig cfg;
+  const std::vector<Lane> lanes = make_lanes(8, 0xA1'10C);
+  std::vector<std::span<const phy::FreqSymbol>> views;
+  for (const Lane& lane : lanes) views.push_back(lane.view());
+
+  // Two warm-up rounds: the first sizes the SoA staging, the second
+  // confirms the high-water mark before we start asserting.
+  decoder.decode(views, cfg);
+  decoder.decode(views, cfg);
+  const std::size_t warm_capacity = decoder.capacity_bytes();
+  ASSERT_GT(warm_capacity, 0u);
+
+#if WITAG_OBS_ENABLED
+  const std::uint64_t reuses_before =
+      obs::counter("phy.batch.scratch_reuses").value();
+#endif
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto results = decoder.decode(views, cfg);
+    ASSERT_EQ(results.size(), views.size()) << "round " << round;
+    ASSERT_EQ(decoder.capacity_bytes(), warm_capacity) << "round " << round;
+  }
+#if WITAG_OBS_ENABLED
+  // Every steady-state batch must have taken the reuse (zero-alloc)
+  // path: the counter only increments when no buffer grew.
+  EXPECT_EQ(obs::counter("phy.batch.scratch_reuses").value(),
+            reuses_before + kRounds);
+#endif
+}
+
+}  // namespace
+}  // namespace witag

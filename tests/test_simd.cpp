@@ -1,0 +1,273 @@
+// Tier-parity tests for the SIMD dispatch layer (phy/simd.hpp): every
+// kernel tier the hardware can run — scalar, SSE2, AVX2 — must produce
+// bit-identical output to the detail::*_reference implementations, over
+// fuzz regimes that include the degenerate cases (Viterbi ties, demap
+// dead bins, erasures) where "almost equal" kernels diverge first.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "phy/constellation.hpp"
+#include "phy/convolutional.hpp"
+#include "phy/fft.hpp"
+#include "phy/mcs.hpp"
+#include "phy/simd.hpp"
+#include "phy/viterbi.hpp"
+#include "util/bits.hpp"
+#include "util/complexvec.hpp"
+#include "util/rng.hpp"
+
+namespace witag {
+namespace {
+
+using util::BitVec;
+using Tier = phy::simd::Tier;
+
+/// Every tier this machine can actually execute, in ascending order.
+std::vector<Tier> runnable_tiers() {
+  std::vector<Tier> tiers{Tier::kScalar};
+  const Tier best = phy::simd::detect_best_tier();
+  if (best >= Tier::kSse2) tiers.push_back(Tier::kSse2);
+  if (best >= Tier::kAvx2) tiers.push_back(Tier::kAvx2);
+  return tiers;
+}
+
+TEST(SimdDispatch, ActiveTierNeverExceedsDetected) {
+  EXPECT_LE(phy::simd::active_tier(), phy::simd::detect_best_tier());
+}
+
+TEST(SimdDispatch, ScopedTierOverridesAndRestores) {
+  const Tier ambient = phy::simd::active_tier();
+  {
+    const phy::simd::ScopedTier pin(Tier::kScalar);
+    EXPECT_EQ(phy::simd::active_tier(), Tier::kScalar);
+    {
+      // Requesting more than the hardware offers clamps, never lies.
+      const phy::simd::ScopedTier wish(Tier::kAvx2);
+      EXPECT_LE(phy::simd::active_tier(), phy::simd::detect_best_tier());
+    }
+    EXPECT_EQ(phy::simd::active_tier(), Tier::kScalar);
+  }
+  EXPECT_EQ(phy::simd::active_tier(), ambient);
+}
+
+TEST(SimdDispatch, TierNames) {
+  EXPECT_STREQ(phy::simd::tier_name(Tier::kScalar), "scalar");
+  EXPECT_STREQ(phy::simd::tier_name(Tier::kSse2), "sse2");
+  EXPECT_STREQ(phy::simd::tier_name(Tier::kAvx2), "avx2");
+}
+
+// ---------------------------------------------------------------------
+// Viterbi ACS.
+// ---------------------------------------------------------------------
+
+BitVec random_info_bits(util::Rng& rng, std::size_t n_info) {
+  BitVec bits(n_info, 0);
+  for (std::size_t i = 0; i + phy::kConstraintLength - 1 < n_info; ++i) {
+    bits[i] = static_cast<std::uint8_t>(rng.uniform_int(2));
+  }
+  return bits;
+}
+
+/// Same fuzz regimes as test_viterbi_equiv.cpp: clean, moderate noise,
+/// extreme noise (sign is chance), all-ties, punctured-style erasures.
+/// The ties matter most here — the vector compare must keep the scalar
+/// path's strict-greater survivor rule bit for bit.
+std::vector<double> fuzz_llrs(util::Rng& rng, const BitVec& coded,
+                              int regime) {
+  std::vector<double> llrs(coded.size());
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    const double clean = coded[i] != 0 ? -4.0 : 4.0;
+    switch (regime) {
+      case 0:
+        llrs[i] = clean;
+        break;
+      case 1:
+        llrs[i] = clean + rng.uniform(-6.0, 6.0);
+        break;
+      case 2:
+        llrs[i] = rng.uniform(-1e6, 1e6);
+        break;
+      case 3:
+        llrs[i] = 0.0;
+        break;
+      default:
+        llrs[i] = rng.uniform_int(3) == 0 ? 0.0
+                                          : clean + rng.uniform(-2.0, 2.0);
+        break;
+    }
+  }
+  return llrs;
+}
+
+TEST(SimdParity, ViterbiEveryTierMatchesReference) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  phy::ViterbiWorkspace ws;
+  BitVec decoded;
+  for (std::uint64_t trial = 0; trial < 1000; ++trial) {
+    util::Rng rng(0x51'3D'00 + trial);
+    const std::size_t n_info = 8 + rng.uniform_int(201);
+    const BitVec info = random_info_bits(rng, n_info);
+    const BitVec coded = phy::convolutional_encode(info);
+    const std::vector<double> llrs =
+        fuzz_llrs(rng, coded, static_cast<int>(trial % 5));
+
+    const BitVec expect = phy::detail::viterbi_reference(llrs);
+    for (const Tier t : tiers) {
+      const phy::simd::ScopedTier pin(t);
+      phy::viterbi_decode(llrs, ws, decoded);
+      ASSERT_EQ(decoded, expect)
+          << "trial " << trial << " n_info " << n_info << " regime "
+          << trial % 5 << " tier " << phy::simd::tier_name(t);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Soft demap.
+// ---------------------------------------------------------------------
+
+constexpr phy::Modulation kMods[] = {
+    phy::Modulation::kBpsk, phy::Modulation::kQpsk, phy::Modulation::kQam16,
+    phy::Modulation::kQam64};
+
+/// Fuzz points: random complexes, exact constellation points (ties in
+/// the per-bit minima), and far outliers; noise variances span tiny to
+/// the 1e18 dead-bin regime equalize() emits for nulled subcarriers.
+void fuzz_points(util::Rng& rng, phy::Modulation mod, std::size_t count,
+                 util::CxVec& points, std::vector<double>& noise_vars) {
+  const std::span<const util::Cx> table = phy::constellation_points(mod);
+  points.resize(count);
+  noise_vars.resize(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    switch (rng.uniform_int(4)) {
+      case 0:
+        points[p] = table[rng.uniform_int(table.size())];  // exact: ties
+        break;
+      case 1:
+        points[p] = rng.complex_normal(1.0);
+        break;
+      case 2:
+        points[p] = rng.complex_normal(100.0);  // far outlier
+        break;
+      default:
+        points[p] = util::Cx(0.0, 0.0);  // equidistant center
+        break;
+    }
+    switch (rng.uniform_int(3)) {
+      case 0:
+        noise_vars[p] = 1e18;  // dead bin
+        break;
+      case 1:
+        noise_vars[p] = 1e-12;
+        break;
+      default:
+        noise_vars[p] = rng.uniform(1e-3, 10.0);
+        break;
+    }
+  }
+}
+
+TEST(SimdParity, DemapEveryTierMatchesReference) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  util::CxVec points;
+  std::vector<double> noise_vars;
+  std::vector<double> got;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    util::Rng rng(0xD3'3A'90 + trial);
+    for (const phy::Modulation mod : kMods) {
+      // Odd counts exercise the vector kernels' scalar tails.
+      const std::size_t count = 1 + rng.uniform_int(97);
+      fuzz_points(rng, mod, count, points, noise_vars);
+      const std::vector<double> expect =
+          phy::detail::demap_soft_reference(points, mod, noise_vars);
+      for (const Tier t : tiers) {
+        const phy::simd::ScopedTier pin(t);
+        phy::demap_soft_into(points, mod, noise_vars, got);
+        ASSERT_EQ(got.size(), expect.size());
+        ASSERT_EQ(std::memcmp(got.data(), expect.data(),
+                              expect.size() * sizeof(double)),
+                  0)
+            << "trial " << trial << " mod " << bits_per_symbol(mod)
+            << " bpsc, count " << count << " tier "
+            << phy::simd::tier_name(t);
+      }
+    }
+  }
+}
+
+TEST(SimdParity, DemapSoaMatchesAosPath) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  util::CxVec points;
+  std::vector<double> noise_vars;
+  std::vector<double> re, im, soa;
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    util::Rng rng(0x50'A0 + trial);
+    for (const phy::Modulation mod : kMods) {
+      const std::size_t count = 1 + rng.uniform_int(97);
+      fuzz_points(rng, mod, count, points, noise_vars);
+      re.resize(count);
+      im.resize(count);
+      for (std::size_t p = 0; p < count; ++p) {
+        re[p] = points[p].real();
+        im[p] = points[p].imag();
+      }
+      const std::vector<double> expect =
+          phy::detail::demap_soft_reference(points, mod, noise_vars);
+      soa.assign(expect.size(), 0.0);
+      for (const Tier t : tiers) {
+        const phy::simd::ScopedTier pin(t);
+        phy::demap_soft_soa(re.data(), im.data(), noise_vars.data(), count,
+                            mod, soa.data());
+        ASSERT_EQ(std::memcmp(soa.data(), expect.data(),
+                              expect.size() * sizeof(double)),
+                  0)
+            << "trial " << trial << " tier " << phy::simd::tier_name(t);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// FFT.
+// ---------------------------------------------------------------------
+
+TEST(SimdParity, FftEveryTierMatchesReference) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  for (std::size_t n = 1; n <= 512; n *= 2) {
+    util::Rng rng(0xFF'70 + n);
+    util::CxVec input(n);
+    for (auto& x : input) x = rng.complex_normal(1.0);
+    for (const bool inverse : {false, true}) {
+      util::CxVec expect = input;
+      phy::detail::fft_reference_inplace(expect, inverse);
+
+      util::CxVec radix4 = input;
+      phy::detail::fft_radix4_inplace(radix4, inverse);
+      ASSERT_EQ(std::memcmp(radix4.data(), expect.data(),
+                            n * sizeof(util::Cx)),
+                0)
+          << "n " << n << " inverse " << inverse << " (scalar radix-4)";
+
+      for (const Tier t : tiers) {
+        const phy::simd::ScopedTier pin(t);
+        util::CxVec got = input;
+        if (inverse) {
+          phy::ifft_inplace(got);
+        } else {
+          phy::fft_inplace(got);
+        }
+        ASSERT_EQ(std::memcmp(got.data(), expect.data(),
+                              n * sizeof(util::Cx)),
+                  0)
+            << "n " << n << " inverse " << inverse << " tier "
+            << phy::simd::tier_name(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace witag

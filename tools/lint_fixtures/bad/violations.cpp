@@ -56,4 +56,14 @@ void count_rounds(int n_rounds) {
   }
 }
 
+// simd-intrinsic: raw x86 and NEON intrinsics outside src/phy/simd*.
+// simd-unaligned: the loadu call also lacks a justification marker.
+double lane_sum(const double* p, const float* q) {
+  const __m256d aligned = _mm256_load_pd(p);
+  const __m256d tail = _mm256_loadu_pd(p + 1);
+  const auto neon = vld1q_f32(q);
+  (void)neon;
+  return _mm256_cvtsd_f64(_mm256_add_pd(aligned, tail));
+}
+
 }  // namespace witag::fixture

@@ -49,4 +49,17 @@ void count_rounds_cached(int n_rounds) {
   }
 }
 
+/// SIMD hygiene: the rare intrinsic outside src/phy/simd* carries an
+/// allow marker, and an unaligned load additionally justifies itself —
+/// one comma-list marker may opt out of both rules at once. (This file
+/// is scanned, never compiled, so the vector types need no header.)
+double lane_sum(const double* p) {
+  const __m256d head = _mm256_load_pd(p);  // witag-lint: allow(simd-intrinsic)
+  const __m256d tail =  // caller slices mid-vector, cannot align:
+      _mm256_loadu_pd(p + 1);  // witag-lint: allow(simd-intrinsic, simd-unaligned)
+  const __m256d sum =
+      _mm256_add_pd(head, tail);  // witag-lint: allow(simd-intrinsic)
+  return _mm256_cvtsd_f64(sum);  // witag-lint: allow(simd-intrinsic)
+}
+
 }  // namespace witag::fixture

@@ -30,17 +30,30 @@
 //                      lock-free handle-cache probe re-hashes the name
 //                      every iteration — cache the reference once via
 //                      the WITAG_* macros or a function-local static.
+//   simd-intrinsic     no raw _mm*/vld* vector intrinsics outside the
+//                      src/phy/simd* kernel files: everything else goes
+//                      through the phy::simd dispatch table so scalar
+//                      parity references and the WITAG_SIMD=off escape
+//                      hatch keep covering every code path.
+//   simd-unaligned     no unaligned-load intrinsic (_mm*_loadu_*,
+//                      _mm*_lddqu_*) without an allow marker stating
+//                      why the pointer cannot be aligned — heap
+//                      std::vector data is only 16-byte aligned, which
+//                      is a fact to acknowledge per call site, not a
+//                      default to reach for.
 //
 // Usage: witag_lint [--all-rules] [--expect-all-rules] <path>...
 //   --all-rules         apply the path-scoped rules (determinism,
-//                       hot-alloc) to every scanned file regardless of
-//                       location (fixture testing).
+//                       hot-alloc, simd-intrinsic) to every scanned
+//                       file regardless of location (fixture testing).
 //   --expect-all-rules  invert the contract: exit 0 only when every
 //                       rule fired at least once (bad-fixture self
 //                       test), 1 otherwise.
 //
 // A line may opt out of one rule with a trailing marker comment:
 //   foo();  // witag-lint: allow(determinism)
+// or several at once with a comma list:
+//   bar();  // witag-lint: allow(simd-intrinsic, simd-unaligned)
 //
 // Exit status: 0 clean, 1 violations found (or, with
 // --expect-all-rules, a rule that failed to fire), 2 usage error.
@@ -62,8 +75,9 @@ namespace {
 namespace fs = std::filesystem;
 
 const std::vector<std::string> kAllRules = {
-    "determinism", "unordered-iter", "pragma-once", "namespace-comment",
-    "raw-literal", "hot-alloc", "hot-lookup"};
+    "determinism",    "unordered-iter", "pragma-once",
+    "namespace-comment", "raw-literal", "hot-alloc",
+    "hot-lookup",     "simd-intrinsic", "simd-unaligned"};
 
 struct Violation {
   std::string file;
@@ -154,10 +168,35 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-/// True when `raw_line` carries a "// witag-lint: allow(<rule>)" marker.
+/// True when `raw_line` carries a "// witag-lint: allow(<rules>)"
+/// marker naming `rule`. The parenthesized list may opt out of several
+/// rules at once, comma-separated.
 bool line_allows(const std::string& raw_line, const std::string& rule) {
-  const std::string marker = "witag-lint: allow(" + rule + ")";
-  return raw_line.find(marker) != std::string::npos;
+  static const std::string kPrefix = "witag-lint: allow(";
+  std::size_t pos = raw_line.find(kPrefix);
+  while (pos != std::string::npos) {
+    const std::size_t open = pos + kPrefix.size();
+    const std::size_t close = raw_line.find(')', open);
+    if (close == std::string::npos) break;
+    std::size_t start = open;
+    while (start < close) {
+      std::size_t end = raw_line.find(',', start);
+      if (end == std::string::npos || end > close) end = close;
+      std::size_t a = start;
+      std::size_t b = end;
+      while (a < b && std::isspace(static_cast<unsigned char>(raw_line[a]))) {
+        ++a;
+      }
+      while (b > a &&
+             std::isspace(static_cast<unsigned char>(raw_line[b - 1]))) {
+        --b;
+      }
+      if (raw_line.compare(a, b - a, rule) == 0) return true;
+      start = end + 1;
+    }
+    pos = raw_line.find(kPrefix, close);
+  }
+  return false;
 }
 
 bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
@@ -387,6 +426,51 @@ void check_hot_lookup(const std::string& path,
                      out);
 }
 
+/// Simd-intrinsic applies everywhere *except* the dispatch kernel files
+/// (src/phy/simd.cpp, simd_sse2.cpp, simd_avx2.cpp and the simd.hpp
+/// header), which are the sanctioned home for vector code.
+bool simd_intrinsic_applies(const std::string& path) {
+  return path.find("phy/simd") == std::string::npos;
+}
+
+void check_simd_intrinsic(const std::string& path,
+                          const std::vector<std::string>& code,
+                          const std::vector<std::string>& raw,
+                          std::vector<Violation>& out) {
+  // x86 intrinsic calls (_mm_*, _mm256_*, _mm512_*) and ARM NEON
+  // loads/ops (vld1q_f32, ...). Matching the call form `name(` keeps
+  // type names like __m256d out of scope — declaring a vector local is
+  // harmless, computing with intrinsics outside the kernels is not.
+  static const std::regex kIntrinsicCall(
+      R"(\b(?:_mm\d*_\w+|vld\w+)\s*\()");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line_allows(raw[i], "simd-intrinsic")) continue;
+    if (std::regex_search(code[i], kIntrinsicCall)) {
+      out.push_back({path, i + 1, "simd-intrinsic",
+                     "raw vector intrinsic outside src/phy/simd*; route "
+                     "through the phy::simd dispatch table so the scalar "
+                     "reference and WITAG_SIMD=off cover this path"});
+    }
+  }
+}
+
+void check_simd_unaligned(const std::string& path,
+                          const std::vector<std::string>& code,
+                          const std::vector<std::string>& raw,
+                          std::vector<Violation>& out) {
+  static const std::regex kUnalignedLoad(
+      R"(\b_mm\d*_(?:loadu|lddqu)_\w+\s*\()");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (line_allows(raw[i], "simd-unaligned")) continue;
+    if (std::regex_search(code[i], kUnalignedLoad)) {
+      out.push_back({path, i + 1, "simd-unaligned",
+                     "unaligned vector load without a justification "
+                     "marker; align the buffer (alignas array, aligned "
+                     "workspace) or annotate why it cannot be"});
+    }
+  }
+}
+
 void lint_file(const fs::path& file, bool all_rules,
                std::vector<Violation>& out) {
   std::ifstream in(file, std::ios::binary);
@@ -415,6 +499,10 @@ void lint_file(const fs::path& file, bool all_rules,
   if (all_rules || hot_lookup_applies(path)) {
     check_hot_lookup(path, code, raw, out);
   }
+  if (all_rules || simd_intrinsic_applies(path)) {
+    check_simd_intrinsic(path, code, raw, out);
+  }
+  check_simd_unaligned(path, code, raw, out);
 }
 
 bool is_source(const fs::path& p) {
