@@ -5,6 +5,9 @@
 #include "baselines/moxcatter.hpp"
 #include "tag/power.hpp"
 #include "witag/session.hpp"
+#include "util/rng.hpp"
+#include <cstddef>
+#include <cstdint>
 
 namespace witag::baselines {
 namespace {

@@ -6,6 +6,8 @@
 
 #include <string>
 #include <vector>
+#include <cstddef>
+#include <cstdint>
 #include "util/units.hpp"
 
 namespace witag::baselines {

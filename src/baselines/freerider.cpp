@@ -1,6 +1,7 @@
 #include "baselines/freerider.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "phy/ofdm.hpp"
 #include "util/bits.hpp"

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 
 #include "baselines/common.hpp"
 #include "util/rng.hpp"

@@ -1,9 +1,11 @@
 #include "baselines/hitchhike.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "util/bits.hpp"
 #include "util/units.hpp"
+#include "util/complexvec.hpp"
 
 namespace witag::baselines {
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 
 #include "baselines/common.hpp"
 #include "phy/dsss.hpp"

@@ -1,10 +1,12 @@
 #include "baselines/moxcatter.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "phy/constellation.hpp"
 #include "phy/mimo.hpp"
 #include "util/units.hpp"
+#include "util/bits.hpp"
 
 namespace witag::baselines {
 
@@ -82,6 +84,6 @@ MoxcatterResult run_moxcatter(const MoxcatterConfig& cfg,
                          static_cast<double>(result.tag_bits);
   result.instantaneous_rate_kbps = 1e3 / cfg.packet_airtime_us;
   return result;
-}
+}  // namespace witag::baselines
 
 }  // namespace witag::baselines

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstddef>
 
 #include "baselines/common.hpp"
 #include "util/rng.hpp"

@@ -1,6 +1,7 @@
 #include "channel/channel_model.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "channel/pathloss.hpp"
 #include "obs/obs.hpp"

@@ -22,6 +22,7 @@
 #include <optional>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "channel/fading.hpp"
 #include "channel/geometry.hpp"

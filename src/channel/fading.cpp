@@ -7,7 +7,7 @@
 
 namespace witag::channel {
 
-FadingProcess::FadingProcess(const FadingConfig& cfg, util::Rng rng)
+FadingProcess::FadingProcess(const FadingConfig& cfg, util::Rng rng)  // witag-lint: allow(rng-copy)
     : cfg_(cfg), rng_(rng) {
   WITAG_REQUIRE(cfg.area_max_x > cfg.area_min_x && cfg.area_max_y > cfg.area_min_y);
   scatterers_.reserve(cfg_.n_scatterers);

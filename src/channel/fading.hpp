@@ -44,7 +44,9 @@ struct FadingConfig {
 /// Evolves the moving-scatterer and blocking state over simulated time.
 class FadingProcess {
  public:
-  FadingProcess(const FadingConfig& cfg, util::Rng rng);
+  // Sink parameter: the process owns a dedicated child stream the
+  // caller hands in (split()/derived), so the copy is the handoff.
+  FadingProcess(const FadingConfig& cfg, util::Rng rng);  // witag-lint: allow(rng-copy)
 
   /// Advances simulated time by `dt` (random-walk steps and blocking
   /// arrivals/expiries).

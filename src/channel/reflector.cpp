@@ -1,4 +1,5 @@
 #include "channel/reflector.hpp"
+#include "util/units.hpp"
 
 namespace witag::channel {
 

@@ -8,6 +8,7 @@
 
 #include "channel/geometry.hpp"
 #include "channel/pathloss.hpp"
+#include "util/units.hpp"
 
 namespace witag::channel {
 

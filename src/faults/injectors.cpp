@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 
 #include "util/require.hpp"
 
@@ -23,7 +24,7 @@ enum SubStream : std::uint64_t {
 
 }  // namespace
 
-OnOffProcess::OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng)
+OnOffProcess::OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng)  // witag-lint: allow(rng-copy)
     : rng_(rng) {
   WITAG_REQUIRE(duty > 0.0 && duty < 1.0);
   WITAG_REQUIRE(mean_on_s > util::Seconds{0.0});

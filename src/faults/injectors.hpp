@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <vector>
+#include <cstddef>
 
 #include "faults/fault_plan.hpp"
 #include "util/rng.hpp"
@@ -32,7 +33,9 @@ class OnOffProcess {
   /// `duty` = long-run fraction of time spent On; `mean_on_s` = mean On
   /// sojourn (the Off mean follows from the duty). Requires duty in
   /// (0, 1) and a positive mean.
-  OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng);
+  // Sink parameter: the process owns a dedicated child stream the
+  // caller hands in (split()/derived), so the copy is the handoff.
+  OnOffProcess(double duty, util::Seconds mean_on_s, util::Rng rng);  // witag-lint: allow(rng-copy)
 
   /// Consumes `dt` of simulated time, flipping state on sojourn expiry.
   void advance(util::Seconds dt);

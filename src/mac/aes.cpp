@@ -1,4 +1,5 @@
 #include "mac/aes.hpp"
+#include <cstddef>
 
 namespace witag::mac {
 namespace {

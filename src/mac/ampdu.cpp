@@ -1,6 +1,7 @@
 #include "mac/ampdu.hpp"
 
 #include <array>
+#include <cstddef>
 
 #include "util/crc.hpp"
 #include "util/require.hpp"

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <array>
+#include <cstddef>
 
 #include "util/bits.hpp"
 

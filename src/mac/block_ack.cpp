@@ -1,6 +1,7 @@
 #include "mac/block_ack.hpp"
 
 #include "util/require.hpp"
+#include <cstddef>
 
 namespace witag::mac {
 

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <array>
+#include <cstddef>
 
 #include "mac/aes.hpp"
 #include "mac/mac_header.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstddef>
 
 #include "util/require.hpp"
 

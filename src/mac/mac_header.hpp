@@ -8,6 +8,7 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <cstddef>
 
 #include "util/bits.hpp"
 

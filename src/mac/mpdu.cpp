@@ -1,6 +1,8 @@
 #include "mac/mpdu.hpp"
 
 #include "util/crc.hpp"
+#include <cstddef>
+#include <cstdint>
 
 namespace witag::mac {
 

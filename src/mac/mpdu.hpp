@@ -5,6 +5,8 @@
 
 #include <optional>
 #include <span>
+#include <cstdint>
+#include <cstddef>
 
 #include "mac/mac_header.hpp"
 #include "util/bits.hpp"

@@ -1,6 +1,9 @@
 #include "mac/station.hpp"
 
 #include "util/require.hpp"
+#include <cstddef>
+#include "util/bits.hpp"
+#include <cstdint>
 
 namespace witag::mac {
 

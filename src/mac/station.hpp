@@ -13,12 +13,15 @@
 #include <optional>
 #include <span>
 #include <vector>
+#include <cstdint>
+#include <cstddef>
 
 #include "mac/ampdu.hpp"
 #include "mac/block_ack.hpp"
 #include "mac/ccmp.hpp"
 #include "mac/mpdu.hpp"
 #include "mac/wep.hpp"
+#include "util/bits.hpp"
 
 namespace witag::mac {
 

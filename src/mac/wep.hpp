@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <cstddef>
 
 #include "util/bits.hpp"
 

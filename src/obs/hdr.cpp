@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <cstddef>
 
 namespace witag::obs {
 namespace {

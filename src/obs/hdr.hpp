@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <vector>
+#include <cstddef>
 
 namespace witag::obs {
 

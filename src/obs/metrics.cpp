@@ -4,6 +4,7 @@
 #include <array>
 #include <stdexcept>
 #include <utility>
+#include <cstddef>
 
 namespace witag::obs {
 
@@ -81,7 +82,7 @@ struct MetricsRegistry::HandleCache {
     void* ptr = nullptr;  ///< Written before `key`'s release store.
   };
   std::array<Slot, kCapacity> slots;
-  std::size_t used = 0;  ///< Guarded by the registry mutex.
+  std::size_t used = 0;  // witag: guarded_by(mu_)
 
   static std::size_t hash(std::string_view s) {
     // FNV-1a, 64-bit.
@@ -105,6 +106,7 @@ struct MetricsRegistry::HandleCache {
   }
 
   /// Caller holds the registry mutex. Idempotent per key.
+  // witag: locks_required(mu_)
   void insert(const std::string* key, void* ptr) {
     if (used * 2 >= kCapacity) return;  // full: fall back to the map path
     std::size_t i = hash(*key) & kMask;

@@ -29,6 +29,7 @@
 #include <string>
 #include <string_view>
 #include <vector>
+#include <cstddef>
 
 #include "obs/hdr.hpp"
 #include "obs/sharded.hpp"
@@ -147,13 +148,20 @@ class MetricsRegistry {
   T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& table,
             HandleCache& cache, std::string_view name, Make&& make);
 
+  // The maps are written only under mu_; references handed out stay
+  // valid forever (nodes are never erased), which is what lets lookup()
+  // pass them to the lock-free cache after registration.
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>>
+      counters_;  // witag: guarded_by(mu_)
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>>
+      gauges_;  // witag: guarded_by(mu_)
   std::map<std::string, std::unique_ptr<ShardedCounter>, std::less<>>
-      sharded_counters_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
-  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>> hdrs_;
+      sharded_counters_;  // witag: guarded_by(mu_)
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;  // witag: guarded_by(mu_)
+  std::map<std::string, std::unique_ptr<HdrHistogram>, std::less<>>
+      hdrs_;  // witag: guarded_by(mu_)
   std::unique_ptr<HandleCache> counter_cache_;
   std::unique_ptr<HandleCache> gauge_cache_;
   std::unique_ptr<HandleCache> sharded_cache_;

@@ -22,6 +22,7 @@
 
 #include "obs/metrics.hpp"  // IWYU pragma: export
 #include "obs/trace.hpp"    // IWYU pragma: export
+#include <cstdint>
 
 #define WITAG_OBS_CONCAT_INNER(a, b) a##b
 #define WITAG_OBS_CONCAT(a, b) WITAG_OBS_CONCAT_INNER(a, b)

@@ -8,6 +8,8 @@
 #include <fstream>
 #include <iostream>
 #include <stdexcept>
+#include <cstddef>
+#include <cstdint>
 
 #include "obs/metrics.hpp"
 #include "obs/stream.hpp"

@@ -43,6 +43,7 @@
 #include <string>
 #include <utility>
 #include <vector>
+#include <cstddef>
 
 #include "obs/json.hpp"
 

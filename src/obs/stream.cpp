@@ -40,7 +40,9 @@ TelemetryStreamer::TelemetryStreamer(StreamerConfig cfg)
     chrome_ << "{\"traceEvents\":[";
     chrome_open_ = true;
   }
-  drain_buf_.reserve(cfg_.ring_capacity);
+  // Pre-start: the flusher thread does not exist yet, so the ctor is
+  // the one place drain_buf_ may be touched without cycle_mu_.
+  drain_buf_.reserve(cfg_.ring_capacity);  // witag-lint: allow(guarded-by)
   Tracer::instance().set_streaming(cfg_.ring_capacity);
 
   json::Value meta = json::Value::object();

@@ -38,6 +38,7 @@
 #include <string>
 #include <thread>
 #include <vector>
+#include <cstddef>
 
 #include "obs/trace.hpp"
 
@@ -95,17 +96,19 @@ class TelemetryStreamer {
   std::ofstream jsonl_;
   std::ofstream chrome_;
   bool chrome_open_ = false;
-  bool chrome_first_ = true;  ///< No comma before the first trace event.
+  // No comma before the first trace event.
+  bool chrome_first_ = true;  // witag: guarded_by(cycle_mu_)
 
   std::mutex cycle_mu_;  ///< Serializes flush cycles.
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<std::uint64_t> records_{0};
-  std::vector<TraceEvent> drain_buf_;  ///< Reused across cycles.
+  // Reused across cycles.
+  std::vector<TraceEvent> drain_buf_;  // witag: guarded_by(cycle_mu_)
 
   std::mutex stop_mu_;
   std::condition_variable stop_cv_;
-  bool stop_requested_ = false;
-  bool stopped_ = false;
+  bool stop_requested_ = false;  // witag: guarded_by(stop_mu_)
+  bool stopped_ = false;  // witag: guarded_by(stop_mu_)
   std::thread flusher_;
 };
 

@@ -5,6 +5,7 @@
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <cstddef>
 
 #include "obs/json.hpp"
 

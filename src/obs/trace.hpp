@@ -24,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <vector>
+#include <cstddef>
 
 namespace witag::obs {
 
@@ -102,9 +103,9 @@ class Tracer {
     // `ring_capacity_` slots. `mu` is per-thread, so the only possible
     // contention is this thread vs the flusher.
     std::mutex mu;
-    std::size_t ring_head = 0;  ///< Oldest live slot.
-    std::size_t ring_size = 0;  ///< Live events in the ring.
-    std::uint64_t dropped = 0;  ///< Events overwritten while full.
+    std::size_t ring_head = 0;  // witag: guarded_by(mu) — oldest live slot
+    std::size_t ring_size = 0;  // witag: guarded_by(mu) — live ring events
+    std::uint64_t dropped = 0;  // witag: guarded_by(mu) — overwritten count
   };
 
   Tracer();
@@ -115,13 +116,13 @@ class Tracer {
 
   std::atomic<bool> enabled_{false};
   std::atomic<std::size_t> ring_capacity_{0};  ///< 0 = buffered mode.
-  mutable std::mutex mu_;  ///< Guards bufs_ and free_bufs_.
-  std::vector<std::shared_ptr<ThreadBuf>> bufs_;
+  mutable std::mutex mu_;  ///< Guards the buffer roster below.
+  std::vector<std::shared_ptr<ThreadBuf>> bufs_;  // witag: guarded_by(mu_)
   /// Rings of exited threads, awaiting adoption (streaming mode only:
   /// in buffered mode every thread's events must stay attributed to
   /// its own tid for the end-of-run trace).
-  std::vector<std::shared_ptr<ThreadBuf>> free_bufs_;
-  std::uint32_t next_tid_ = 0;
+  std::vector<std::shared_ptr<ThreadBuf>> free_bufs_;  // witag: guarded_by(mu_)
+  std::uint32_t next_tid_ = 0;  // witag: guarded_by(mu_)
   std::atomic<std::uint64_t> epoch_ns_{0};  ///< steady_clock epoch, ns.
 };
 

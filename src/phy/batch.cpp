@@ -1,6 +1,8 @@
 #include "phy/batch.hpp"
 
 #include <array>
+#include <cstdint>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/constellation.hpp"

@@ -23,6 +23,7 @@
 #include <array>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "phy/ppdu.hpp"
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <complex>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/preamble.hpp"

@@ -11,6 +11,7 @@
 
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "phy/ofdm.hpp"
 #include "util/complexvec.hpp"

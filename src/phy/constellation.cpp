@@ -3,6 +3,8 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <cstddef>
+#include <cstdint>
 
 #include "phy/simd.hpp"
 #include "util/require.hpp"

@@ -5,6 +5,8 @@
 
 #include <span>
 #include <vector>
+#include <cstddef>
+#include <cstdint>
 
 #include "phy/mcs.hpp"
 #include "util/bits.hpp"

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "phy/mcs.hpp"
 #include "util/bits.hpp"

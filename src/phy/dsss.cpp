@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <cstddef>
 
 #include "util/require.hpp"
 #include "util/units.hpp"

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "util/bits.hpp"
 #include "util/complexvec.hpp"

@@ -1,6 +1,8 @@
 #include "phy/interleaver.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <array>
 
 #include "util/require.hpp"
 

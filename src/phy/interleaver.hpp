@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <span>
 #include <vector>
+#include <cstdint>
 
 #include "phy/mcs.hpp"
 #include "util/bits.hpp"

@@ -1,6 +1,8 @@
 #include "phy/mimo.hpp"
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 
 #include "phy/constellation.hpp"
 #include "util/require.hpp"

@@ -11,6 +11,7 @@
 #include <array>
 #include <span>
 #include <vector>
+#include <cstdint>
 
 #include "phy/mcs.hpp"
 #include "util/bits.hpp"

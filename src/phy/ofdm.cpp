@@ -1,6 +1,7 @@
 #include "phy/ofdm.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/fft.hpp"

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "util/complexvec.hpp"
 

@@ -2,6 +2,7 @@
 
 #include "util/crc.hpp"
 #include "util/require.hpp"
+#include <cstddef>
 
 namespace witag::phy {
 namespace {

@@ -8,6 +8,7 @@
 #include <optional>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "util/bits.hpp"
 

@@ -1,6 +1,7 @@
 #include "phy/ppdu.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/constellation.hpp"
@@ -10,6 +11,7 @@
 #include "phy/scrambler.hpp"
 #include "phy/viterbi.hpp"
 #include "util/require.hpp"
+#include "util/complexvec.hpp"
 
 namespace witag::phy {
 namespace {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "phy/channel_est.hpp"
 #include "phy/mcs.hpp"
@@ -20,6 +21,7 @@
 #include "phy/plcp.hpp"
 #include "phy/viterbi.hpp"
 #include "util/bits.hpp"
+#include "util/complexvec.hpp"
 
 namespace witag::phy {
 

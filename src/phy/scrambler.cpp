@@ -1,6 +1,7 @@
 #include "phy/scrambler.hpp"
 
 #include "util/require.hpp"
+#include <cstddef>
 
 namespace witag::phy {
 namespace {

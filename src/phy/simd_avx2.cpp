@@ -16,6 +16,7 @@
 
 #if defined(__AVX2__)
 #include <immintrin.h>
+#include <cstddef>
 #endif
 
 namespace witag::phy::simd::kernels {

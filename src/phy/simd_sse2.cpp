@@ -15,6 +15,7 @@
 
 #if defined(__SSE2__)
 #include <emmintrin.h>
+#include <cstddef>
 #endif
 
 namespace witag::phy::simd::kernels {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <cstddef>
 
 #include "phy/ofdm.hpp"
 #include "phy/preamble.hpp"

@@ -12,6 +12,7 @@
 
 #include <optional>
 #include <span>
+#include <cstddef>
 
 #include "util/complexvec.hpp"
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <limits>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/convolutional.hpp"

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <span>
 #include <vector>
+#include <cstddef>
 
 #include "util/bits.hpp"
 

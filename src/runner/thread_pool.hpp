@@ -44,9 +44,10 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  std::size_t in_flight_ = 0;  ///< Queued + currently executing.
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_;  // witag: guarded_by(mu_)
+  // Queued + currently executing.
+  std::size_t in_flight_ = 0;  // witag: guarded_by(mu_)
+  bool stopping_ = false;  // witag: guarded_by(mu_)
   std::vector<std::thread> workers_;
 };
 

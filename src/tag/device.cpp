@@ -1,6 +1,7 @@
 #include "tag/device.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"

@@ -1,6 +1,7 @@
 #include "tag/envelope.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "util/require.hpp"
 #include "util/units.hpp"

@@ -1,6 +1,7 @@
 #include "tag/reflector_ctl.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/require.hpp"
 

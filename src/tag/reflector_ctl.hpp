@@ -9,6 +9,7 @@
 #include <span>
 #include <utility>
 #include <vector>
+#include <cstddef>
 
 namespace witag::tag {
 

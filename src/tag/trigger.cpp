@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <vector>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"

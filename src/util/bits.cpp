@@ -1,6 +1,7 @@
 #include "util/bits.hpp"
 
 #include <algorithm>
+#include <cstddef>
 
 #include "util/require.hpp"
 

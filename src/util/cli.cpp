@@ -2,6 +2,7 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <cstddef>
 
 #include "util/require.hpp"
 

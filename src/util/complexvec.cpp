@@ -1,6 +1,7 @@
 #include "util/complexvec.hpp"
 
 #include <cmath>
+#include <cstddef>
 
 #include "util/require.hpp"
 

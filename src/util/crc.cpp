@@ -1,6 +1,7 @@
 #include "util/crc.hpp"
 
 #include <array>
+#include <cstddef>
 
 namespace witag::util {
 namespace {

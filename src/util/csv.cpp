@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <cstddef>
 
 #include "util/require.hpp"
 

@@ -7,6 +7,7 @@
 #include <initializer_list>
 #include <string>
 #include <vector>
+#include <cstddef>
 
 namespace witag::util {
 

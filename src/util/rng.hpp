@@ -10,6 +10,7 @@
 #include <complex>
 #include <cstdint>
 #include <vector>
+#include <cstddef>
 
 namespace witag::util {
 

@@ -2,6 +2,8 @@
 
 #include "util/crc.hpp"
 #include "util/require.hpp"
+#include <array>
+#include <cstddef>
 
 namespace witag::core {
 namespace {

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <cstdint>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"

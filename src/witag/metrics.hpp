@@ -8,6 +8,7 @@
 #include <span>
 #include <string>
 #include <vector>
+#include <cstdint>
 
 #include "util/units.hpp"
 

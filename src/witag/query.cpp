@@ -6,6 +6,9 @@
 #include "mac/wep.hpp"
 #include "phy/mcs.hpp"
 #include "util/require.hpp"
+#include <cstdint>
+#include "util/bits.hpp"
+#include <cstddef>
 
 namespace witag::core {
 namespace {

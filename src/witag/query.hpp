@@ -13,6 +13,7 @@
 #pragma once
 
 #include <vector>
+#include <cstddef>
 
 #include "mac/station.hpp"
 #include "phy/ppdu.hpp"

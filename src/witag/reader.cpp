@@ -1,6 +1,9 @@
 #include "witag/reader.hpp"
 
 #include "util/require.hpp"
+#include "util/bits.hpp"
+#include "util/units.hpp"
+#include <cstddef>
 
 namespace witag::core {
 

@@ -11,9 +11,12 @@
 #include <cstdint>
 #include <optional>
 #include <vector>
+#include <cstddef>
 
 #include "witag/link.hpp"
 #include "witag/session.hpp"
+#include "util/units.hpp"
+#include "util/bits.hpp"
 
 namespace witag::core {
 

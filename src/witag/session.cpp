@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+#include <cstddef>
 
 #include "channel/pathloss.hpp"
 #include "obs/obs.hpp"

@@ -9,6 +9,8 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <cstddef>
+#include <vector>
 
 #include "channel/channel_model.hpp"
 #include "faults/injectors.hpp"
@@ -21,6 +23,8 @@
 #include "witag/config.hpp"
 #include "witag/metrics.hpp"
 #include "witag/query.hpp"
+#include "util/units.hpp"
+#include "util/bits.hpp"
 
 namespace witag::core {
 

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <cstddef>
 
 #include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/rng.hpp"
+#include "util/bits.hpp"
+#include "util/units.hpp"
 
 namespace witag::core {
 namespace {

@@ -20,8 +20,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <cstddef>
 
 #include "witag/reader.hpp"
+#include "util/bits.hpp"
+#include "util/units.hpp"
 
 namespace witag::core {
 

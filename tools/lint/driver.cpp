@@ -1,0 +1,461 @@
+// witag_lint driver: argument parsing, the shared scan, pass
+// sequencing, baseline filtering and output routing.
+//
+// Usage: witag_lint [options] <path>...
+//
+//   --all-rules            apply the path-scoped per-file rules
+//                          (determinism, hot-alloc, hot-lookup,
+//                          simd-intrinsic) to every scanned file
+//                          regardless of location (fixture testing).
+//   --expect-all-rules     invert the contract: exit 0 only when every
+//                          rule fired at least once (bad-fixture self
+//                          test), 1 otherwise.
+//   --rules <a,b,...>      run only the named rules.
+//   --baseline <file>      suppress findings whose fingerprint appears
+//                          in <file>; remaining findings still fail.
+//   --write-baseline <file> write the current findings' fingerprints
+//                          and exit 0 (accepting today's findings).
+//   --sarif <file>         also write findings as SARIF 2.1.
+//   --github               also print GitHub ::error annotations.
+//   --fix                  apply mechanical fixes (pragma-once,
+//                          namespace-comment, missing direct include)
+//                          to the files on disk.
+//   --manifest <file>      fixture-manifest mode: scan exactly the
+//                          files the manifest lists, then require each
+//                          file to fire exactly its listed rule set
+//                          ("clean" = no findings). Files on disk but
+//                          missing from the manifest are an error.
+//   --check-sarif <file>   validate <file> as structural SARIF 2.1 and
+//                          exit (no scan).
+//
+// Exit status: 0 clean / expectations met, 1 findings or failed
+// expectations, 2 usage error.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace witag::lint;
+
+bool is_source(const fs::path& p) {
+  return p.extension() == ".hpp" || p.extension() == ".cpp";
+}
+
+std::vector<std::string> split_list(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+struct Cli {
+  bool all_rules = false;
+  bool expect_all_rules = false;
+  bool github = false;
+  bool fix = false;
+  std::set<std::string> only_rules;
+  fs::path baseline;
+  fs::path write_baseline_path;
+  fs::path sarif;
+  fs::path manifest;
+  fs::path check_sarif_path;
+  std::vector<fs::path> roots;
+};
+
+int usage() {
+  std::cerr
+      << "usage: witag_lint [--all-rules] [--expect-all-rules]\n"
+         "                  [--rules <a,b,...>] [--baseline <file>]\n"
+         "                  [--write-baseline <file>] [--sarif <file>]\n"
+         "                  [--github] [--fix] <path>...\n"
+         "       witag_lint [--all-rules] --manifest <file>\n"
+         "       witag_lint --check-sarif <file>\n";
+  return 2;
+}
+
+/// Loads every .hpp/.cpp under `roots` (descending into directories),
+/// sorted by path for deterministic output.
+bool collect_files(const std::vector<fs::path>& roots,
+                   std::vector<SourceFile>& files) {
+  std::vector<fs::path> paths;
+  for (const fs::path& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && is_source(entry.path())) {
+          paths.push_back(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      paths.push_back(root);
+    } else {
+      std::cerr << "witag_lint: no such path: " << root.generic_string()
+                << "\n";
+      return false;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& p : paths) {
+    std::optional<SourceFile> f = load_source(p);
+    if (!f) {
+      std::cerr << "witag_lint: cannot read " << p.generic_string() << "\n";
+      return false;
+    }
+    files.push_back(std::move(*f));
+  }
+  return true;
+}
+
+void run_all_passes(const std::vector<SourceFile>& files,
+                    const Options& opts, std::vector<Finding>& findings) {
+  for (const SourceFile& f : files) run_file_passes(f, opts, findings);
+  run_graph_pass(files, opts, findings);
+  run_concurrency_pass(files, opts, findings);
+  run_rngflow_pass(files, opts, findings);
+  sort_findings(findings);
+}
+
+void print_findings(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+              << f.message << "\n";
+  }
+}
+
+int expect_all_rules_verdict(const std::vector<Finding>& findings) {
+  std::set<std::string> fired;
+  for (const Finding& f : findings) fired.insert(f.rule);
+  bool ok = true;
+  for (const std::string& rule : all_rules()) {
+    if (fired.count(rule) == 0) {
+      std::cerr << "witag_lint: self-test FAILED: rule '" << rule
+                << "' did not fire on the bad fixtures\n";
+      ok = false;
+    }
+  }
+  if (ok) {
+    std::cout << "witag_lint: self-test ok: all " << all_rules().size()
+              << " rules fired\n";
+  }
+  return ok ? 0 : 1;
+}
+
+// ---------------------------------------------------------------------------
+// Manifest mode
+
+int run_manifest(const Cli& cli) {
+  std::ifstream in(cli.manifest);
+  if (!in) {
+    std::cerr << "witag_lint: cannot read manifest "
+              << cli.manifest.generic_string() << "\n";
+    return 2;
+  }
+  const fs::path base = cli.manifest.parent_path();
+
+  // rel-path -> expected rule set ("clean" = empty set).
+  std::map<std::string, std::set<std::string>> expected;
+  const std::set<std::string> known(all_rules().begin(), all_rules().end());
+  std::string line;
+  std::size_t lineno = 0;
+  bool manifest_ok = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::size_t a = line.find_first_not_of(" \t");
+    if (a == std::string::npos) continue;
+    const std::size_t colon = line.find(':', a);
+    if (colon == std::string::npos) {
+      std::cerr << cli.manifest.generic_string() << ":" << lineno
+                << ": expected '<path>: <rules|clean>'\n";
+      manifest_ok = false;
+      continue;
+    }
+    std::string rel = line.substr(a, colon - a);
+    while (!rel.empty() && (rel.back() == ' ' || rel.back() == '\t')) {
+      rel.pop_back();
+    }
+    std::set<std::string> rules;
+    for (const std::string& r : split_list(line.substr(colon + 1))) {
+      if (r == "clean") continue;
+      if (known.count(r) == 0) {
+        std::cerr << cli.manifest.generic_string() << ":" << lineno
+                  << ": unknown rule '" << r << "'\n";
+        manifest_ok = false;
+        continue;
+      }
+      rules.insert(r);
+    }
+    expected[rel] = rules;
+  }
+
+  // Every fixture on disk must be in the manifest: enumerate the
+  // top-level directories the manifest references.
+  std::set<std::string> top_dirs;
+  for (const auto& [rel, rules] : expected) {
+    const std::size_t slash = rel.find('/');
+    if (slash != std::string::npos) top_dirs.insert(rel.substr(0, slash));
+  }
+  for (const std::string& dir : top_dirs) {
+    const fs::path root = base / dir;
+    if (!fs::is_directory(root)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file() || !is_source(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), base).generic_string();
+      if (expected.count(rel) == 0) {
+        std::cerr << "witag_lint: fixture " << rel
+                  << " is not listed in the manifest; every fixture "
+                     "must declare which rules it triggers (or 'clean')\n";
+        manifest_ok = false;
+      }
+    }
+  }
+
+  // One shared scan over every listed fixture, so the cross-file
+  // passes see good and bad trees exactly as the repo pass would.
+  std::vector<SourceFile> files;
+  std::map<std::string, std::string> display_to_rel;
+  {
+    std::vector<fs::path> paths;
+    for (const auto& [rel, rules] : expected) {
+      const fs::path p = base / rel;
+      if (!fs::is_regular_file(p)) {
+        std::cerr << "witag_lint: manifest lists missing fixture " << rel
+                  << "\n";
+        manifest_ok = false;
+        continue;
+      }
+      paths.push_back(p);
+      display_to_rel[p.generic_string()] = rel;
+    }
+    if (!collect_files(paths, files)) return 2;
+  }
+
+  Options opts;
+  opts.all_rules = cli.all_rules;
+  opts.only_rules = cli.only_rules;
+  std::vector<Finding> findings;
+  run_all_passes(files, opts, findings);
+
+  std::map<std::string, std::set<std::string>> fired;
+  for (const Finding& f : findings) {
+    const auto it = display_to_rel.find(f.file);
+    fired[it == display_to_rel.end() ? f.file : it->second].insert(f.rule);
+  }
+
+  bool ok = manifest_ok;
+  for (const auto& [rel, want] : expected) {
+    const auto it = fired.find(rel);
+    const std::set<std::string> got =
+        it == fired.end() ? std::set<std::string>{} : it->second;
+    if (got == want) continue;
+    ok = false;
+    const auto join = [](const std::set<std::string>& s) {
+      if (s.empty()) return std::string("clean");
+      std::string out;
+      for (const std::string& r : s) {
+        if (!out.empty()) out += ", ";
+        out += r;
+      }
+      return out;
+    };
+    std::cerr << "witag_lint: fixture " << rel << ": expected {"
+              << join(want) << "} but fired {" << join(got) << "}\n";
+    for (const Finding& f : findings) {
+      const auto dit = display_to_rel.find(f.file);
+      const std::string frel =
+          dit == display_to_rel.end() ? f.file : dit->second;
+      if (frel == rel && want.count(f.rule) == 0) {
+        std::cerr << "  unexpected: " << f.file << ":" << f.line << ": ["
+                  << f.rule << "] " << f.message << "\n";
+      }
+    }
+  }
+
+  // Coverage: the manifest's bad fixtures should exercise the whole
+  // rule registry, so a new rule without a fixture fails loudly here.
+  std::set<std::string> covered;
+  for (const auto& [rel, rules] : expected) {
+    covered.insert(rules.begin(), rules.end());
+  }
+  for (const std::string& rule : all_rules()) {
+    if (covered.count(rule) == 0) {
+      std::cerr << "witag_lint: manifest covers no fixture for rule '"
+                << rule << "'\n";
+      ok = false;
+    }
+  }
+
+  if (ok) {
+    std::cout << "witag_lint: manifest ok: " << expected.size()
+              << " fixtures, all " << all_rules().size()
+              << " rules covered\n";
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_value = [&](fs::path& dst) {
+      if (i + 1 >= argc) return false;
+      dst = argv[++i];
+      return true;
+    };
+    if (arg == "--all-rules") {
+      cli.all_rules = true;
+    } else if (arg == "--expect-all-rules") {
+      cli.expect_all_rules = true;
+    } else if (arg == "--github") {
+      cli.github = true;
+    } else if (arg == "--fix") {
+      cli.fix = true;
+    } else if (arg == "--rules") {
+      if (i + 1 >= argc) return usage();
+      for (const std::string& r : split_list(argv[++i])) {
+        cli.only_rules.insert(r);
+      }
+    } else if (arg == "--baseline") {
+      if (!next_value(cli.baseline)) return usage();
+    } else if (arg == "--write-baseline") {
+      if (!next_value(cli.write_baseline_path)) return usage();
+    } else if (arg == "--sarif") {
+      if (!next_value(cli.sarif)) return usage();
+    } else if (arg == "--manifest") {
+      if (!next_value(cli.manifest)) return usage();
+    } else if (arg == "--check-sarif") {
+      if (!next_value(cli.check_sarif_path)) return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "witag_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      cli.roots.emplace_back(arg);
+    }
+  }
+
+  if (!cli.check_sarif_path.empty()) {
+    std::vector<std::string> errors;
+    if (check_sarif(cli.check_sarif_path, errors)) {
+      std::cout << "witag_lint: " << cli.check_sarif_path.generic_string()
+                << " is structurally valid SARIF 2.1\n";
+      return 0;
+    }
+    for (const std::string& e : errors) {
+      std::cerr << "witag_lint: sarif: " << e << "\n";
+    }
+    return 1;
+  }
+
+  if (!cli.manifest.empty()) {
+    if (!cli.roots.empty()) return usage();
+    return run_manifest(cli);
+  }
+  if (cli.roots.empty()) return usage();
+
+  std::vector<SourceFile> files;
+  if (!collect_files(cli.roots, files)) return 2;
+
+  Options opts;
+  opts.all_rules = cli.all_rules;
+  opts.only_rules = cli.only_rules;
+  std::vector<Finding> findings;
+  run_all_passes(files, opts, findings);
+
+  // Baseline: accepted findings are filtered out (but still counted).
+  std::size_t suppressed = 0;
+  if (!cli.baseline.empty()) {
+    const std::set<std::string> accepted = load_baseline(cli.baseline);
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      if (accepted.count(fingerprint(f, files)) != 0) {
+        ++suppressed;
+      } else {
+        kept.push_back(std::move(f));
+      }
+    }
+    findings = std::move(kept);
+  }
+
+  if (!cli.write_baseline_path.empty()) {
+    std::set<std::string> fps;
+    for (const Finding& f : findings) fps.insert(fingerprint(f, files));
+    if (!write_baseline(cli.write_baseline_path, fps)) {
+      std::cerr << "witag_lint: cannot write "
+                << cli.write_baseline_path.generic_string() << "\n";
+      return 2;
+    }
+    std::cout << "witag_lint: baseline with " << fps.size()
+              << " fingerprint(s) written to "
+              << cli.write_baseline_path.generic_string() << "\n";
+    return 0;
+  }
+
+  print_findings(findings);
+  if (cli.github) print_github_annotations(findings);
+  if (!cli.sarif.empty()) {
+    if (!write_sarif(cli.sarif, findings)) {
+      std::cerr << "witag_lint: cannot write "
+                << cli.sarif.generic_string() << "\n";
+      return 2;
+    }
+    std::cout << "witag_lint: SARIF written to "
+              << cli.sarif.generic_string() << "\n";
+  }
+
+  std::size_t fixed_files = 0;
+  if (cli.fix) {
+    fixed_files = apply_fixes(files, findings);
+    std::cout << "witag_lint: --fix rewrote " << fixed_files
+              << " file(s)\n";
+  }
+
+  const GraphStats gs = last_graph_stats();
+  if (gs.nodes > 0) {
+    std::cout << "witag_lint: include graph: " << gs.nodes << " files, "
+              << gs.edges << " edges, "
+              << (gs.cycle_free ? "cycle-free" : "HAS CYCLES") << ", "
+              << (gs.dag_conformant ? "layer-conformant"
+                                    : "LAYERING VIOLATIONS")
+              << "\n";
+  }
+
+  if (cli.expect_all_rules) return expect_all_rules_verdict(findings);
+
+  if (findings.empty()) {
+    std::cout << "witag_lint: " << files.size() << " files clean";
+    if (suppressed > 0) {
+      std::cout << " (" << suppressed << " baselined finding(s))";
+    }
+    std::cout << "\n";
+    return 0;
+  }
+  std::cout << "witag_lint: " << findings.size() << " violation(s) in "
+            << files.size() << " files";
+  if (suppressed > 0) {
+    std::cout << " (" << suppressed << " more baselined)";
+  }
+  std::cout << "\n";
+  return 1;
+}

@@ -1,0 +1,151 @@
+// --fix rewriter for the mechanical rules.
+//
+// Only findings that carry a Fix hint are touched; everything else
+// requires judgment and stays a report. Three rewrites exist:
+//
+//   kInsertPragmaOnce      insert "#pragma once" (plus a separating
+//                          blank line) before the first code-bearing
+//                          line, i.e. after the header's comment block;
+//   kAnnotateNamespaceEnd  append "  // namespace <name>" to the
+//                          closing-brace line;
+//   kInsertInclude         insert the missing direct include next to
+//                          the file's existing includes of the same
+//                          kind (angled with angled, quoted with
+//                          quoted).
+//
+// Edits within one file are applied bottom-up so earlier line numbers
+// stay valid, and the raw line vector is rejoined with '\n' exactly as
+// it was split, so a file with no applicable findings is byte-identical
+// after --fix — that idempotence is what lint.fix_roundtrip asserts.
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "lint.hpp"
+
+namespace witag::lint {
+namespace {
+
+std::string rstrip(const std::string& s) {
+  std::size_t b = s.size();
+  while (b > 0 && (s[b - 1] == ' ' || s[b - 1] == '\t')) --b;
+  return s.substr(0, b);
+}
+
+/// 1-based line index at which to insert `spelled` ("<vector>" or
+/// "\"util/rng.hpp\""): after the last include of the same kind, else
+/// after the last include of any kind, else after #pragma once, else 1.
+std::size_t include_insert_line(const SourceFile& f, bool angled) {
+  std::size_t after_same = 0;
+  std::size_t after_any = 0;
+  for (const auto& inc : f.includes) {
+    after_any = std::max(after_any, inc.line);
+    if (inc.angled == angled) after_same = std::max(after_same, inc.line);
+  }
+  if (after_same != 0) return after_same + 1;
+  if (after_any != 0) return after_any + 1;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (f.code[i].find("#pragma once") != std::string::npos) return i + 2;
+  }
+  return 1;
+}
+
+}  // namespace
+
+std::size_t apply_fixes(const std::vector<SourceFile>& files,
+                        const std::vector<Finding>& findings) {
+  std::map<std::string, const SourceFile*> by_display;
+  for (const SourceFile& f : files) by_display[f.display] = &f;
+
+  // Group fixable findings per file.
+  std::map<std::string, std::vector<const Finding*>> per_file;
+  for (const Finding& f : findings) {
+    if (f.fix == Finding::Fix::kNone) continue;
+    per_file[f.file].push_back(&f);
+  }
+
+  std::size_t rewritten = 0;
+  for (auto& [display, fixes] : per_file) {
+    const auto it = by_display.find(display);
+    if (it == by_display.end()) continue;
+    const SourceFile& sf = *it->second;
+    std::vector<std::string> lines = sf.raw;
+
+    // Resolve each fix to (insert-position, action) and apply
+    // bottom-up; dedupe identical include insertions.
+    struct Edit {
+      std::size_t line;  ///< 1-based.
+      enum class Kind { kInsertBefore, kAppend } kind;
+      std::vector<std::string> insert;  ///< For kInsertBefore.
+      std::string append;               ///< For kAppend.
+    };
+    std::vector<Edit> edits;
+    std::set<std::string> pending_includes;
+    // A pragma-once insert must land *above* any include we insert: its
+    // target line is noted first, include insert lines are clamped to
+    // it, and the pragma edit is pushed last so that among equal-line
+    // inserts (applied in order; each lands above the previous) the
+    // pragma ends up on top.
+    std::size_t pragma_line = 0;
+    for (const Finding* f : fixes) {
+      if (f->fix == Finding::Fix::kInsertPragmaOnce) pragma_line = f->line;
+    }
+    for (const Finding* f : fixes) {
+      switch (f->fix) {
+        case Finding::Fix::kAnnotateNamespaceEnd: {
+          std::string tag = "  // namespace";
+          if (!f->fix_payload.empty()) tag += " " + f->fix_payload;
+          edits.push_back({f->line, Edit::Kind::kAppend, {}, tag});
+          break;
+        }
+        case Finding::Fix::kInsertInclude: {
+          if (!pending_includes.insert(f->fix_payload).second) break;
+          const bool angled =
+              !f->fix_payload.empty() && f->fix_payload.front() == '<';
+          edits.push_back(
+              {std::max(include_insert_line(sf, angled), pragma_line),
+               Edit::Kind::kInsertBefore,
+               {"#include " + f->fix_payload},
+               {}});
+          break;
+        }
+        case Finding::Fix::kInsertPragmaOnce:
+        case Finding::Fix::kNone:
+          break;
+      }
+    }
+    if (pragma_line != 0) {
+      edits.push_back({pragma_line, Edit::Kind::kInsertBefore,
+                       {"#pragma once", ""}, {}});
+    }
+    std::stable_sort(edits.begin(), edits.end(),
+                     [](const Edit& a, const Edit& b) {
+                       return a.line > b.line;
+                     });
+    for (const Edit& e : edits) {
+      const std::size_t idx =
+          std::min(e.line == 0 ? 0 : e.line - 1, lines.size());
+      if (e.kind == Edit::Kind::kAppend) {
+        if (idx < lines.size()) {
+          lines[idx] = rstrip(lines[idx]) + e.append;
+        }
+      } else {
+        lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(idx),
+                     e.insert.begin(), e.insert.end());
+      }
+    }
+
+    std::ofstream out(sf.path, std::ios::binary);
+    if (!out) continue;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      out << lines[i];
+      if (i + 1 < lines.size()) out << "\n";
+    }
+    if (out) ++rewritten;
+  }
+  return rewritten;
+}
+
+}  // namespace witag::lint

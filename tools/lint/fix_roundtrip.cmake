@@ -1,0 +1,86 @@
+# --fix round-trip test, run via `cmake -P` from CTest.
+#
+# Inputs: LINT (witag_lint binary), FIXTURES (tools/lint_fixtures in the
+# source tree), WORK (scratch dir in the build tree).
+#
+# Asserts, in order:
+#   1. the fixable tree has findings (exit 1);
+#   2. --fix rewrites it and a re-lint is clean (exit 0);
+#   3. a second --fix rewrites 0 files and changes no bytes
+#      (idempotence on a clean tree);
+#   4. --fix over the good tree rewrites nothing and every file stays
+#      byte-identical to the source copy.
+
+function(assert_exit expected actual what)
+  if(NOT actual EQUAL expected)
+    message(FATAL_ERROR
+      "fix_roundtrip: ${what}: expected exit ${expected}, got ${actual}")
+  endif()
+endfunction()
+
+function(run_lint out_result out_stdout)
+  execute_process(
+    COMMAND ${LINT} ${ARGN}
+    RESULT_VARIABLE result
+    OUTPUT_VARIABLE stdout
+    ERROR_VARIABLE stderr)
+  set(${out_result} ${result} PARENT_SCOPE)
+  set(${out_stdout} "${stdout}${stderr}" PARENT_SCOPE)
+endfunction()
+
+# Hash every source file under `dir` into one digest string.
+function(tree_digest dir out_var)
+  file(GLOB_RECURSE files "${dir}/*.hpp" "${dir}/*.cpp")
+  list(SORT files)
+  set(digest "")
+  foreach(f IN LISTS files)
+    file(SHA256 "${f}" h)
+    file(RELATIVE_PATH rel "${dir}" "${f}")
+    string(APPEND digest "${rel}=${h};")
+  endforeach()
+  set(${out_var} "${digest}" PARENT_SCOPE)
+endfunction()
+
+file(REMOVE_RECURSE "${WORK}")
+file(COPY "${FIXTURES}/fixable" DESTINATION "${WORK}")
+file(COPY "${FIXTURES}/good" DESTINATION "${WORK}")
+
+# 1. Fixable tree is dirty.
+run_lint(res out --all-rules "${WORK}/fixable")
+assert_exit(1 "${res}" "pre-fix lint of fixable tree")
+
+# 2. --fix, then clean.
+run_lint(res out --all-rules --fix "${WORK}/fixable")
+assert_exit(1 "${res}" "--fix pass over fixable tree")
+if(NOT out MATCHES "--fix rewrote [1-9]")
+  message(FATAL_ERROR "fix_roundtrip: --fix rewrote no files:\n${out}")
+endif()
+run_lint(res out --all-rules "${WORK}/fixable")
+if(NOT res EQUAL 0)
+  message(FATAL_ERROR
+    "fix_roundtrip: fixable tree still dirty after --fix:\n${out}")
+endif()
+
+# 3. Idempotence: a second --fix touches nothing.
+tree_digest("${WORK}/fixable" before)
+run_lint(res out --all-rules --fix "${WORK}/fixable")
+assert_exit(0 "${res}" "second --fix over fixed tree")
+if(NOT out MATCHES "--fix rewrote 0")
+  message(FATAL_ERROR
+    "fix_roundtrip: second --fix rewrote files on a clean tree:\n${out}")
+endif()
+tree_digest("${WORK}/fixable" after)
+if(NOT before STREQUAL after)
+  message(FATAL_ERROR "fix_roundtrip: second --fix changed bytes")
+endif()
+
+# 4. Good tree: --fix is a byte-level no-op.
+tree_digest("${FIXTURES}/good" pristine)
+run_lint(res out --all-rules --fix "${WORK}/good")
+assert_exit(0 "${res}" "--fix over good tree")
+tree_digest("${WORK}/good" copied)
+if(NOT pristine STREQUAL copied)
+  message(FATAL_ERROR "fix_roundtrip: --fix changed bytes in good tree")
+endif()
+
+message(STATUS "fix_roundtrip: ok")

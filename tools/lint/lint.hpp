@@ -1,0 +1,187 @@
+// witag_lint core: shared source model, finding/rule registry and the
+// pass interface for the whole-repo static audit.
+//
+// The analyzer runs in two phases over one shared scan:
+//  * per-file passes (tools/lint/passes_file.cpp) — the line-oriented
+//    determinism/style rules that only need one file at a time;
+//  * whole-repo passes (pass_graph.cpp, pass_concurrency.cpp,
+//    pass_rngflow.cpp) — include-graph layering, guarded_by/lock-order
+//    checking and determinism dataflow, which see every scanned file
+//    at once so violations that span translation units are visible.
+//
+// Every pass emits Finding records; the driver (driver.cpp) owns
+// baseline filtering, text/GitHub/SARIF emission (emit.cpp) and the
+// --fix rewriter (fix.cpp).
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace witag::lint {
+
+// ---------------------------------------------------------------------------
+// Rules
+
+/// Every rule the analyzer knows, in reporting order. --expect-all-rules
+/// demands each of these fires at least once over the bad fixtures.
+const std::vector<std::string>& all_rules();
+
+/// One-line description per rule (SARIF rule metadata and --help).
+const std::map<std::string, std::string>& rule_descriptions();
+
+// ---------------------------------------------------------------------------
+// Source model
+
+/// One scanned file with three aligned views of its text. Line numbers
+/// index into all three equally (comments/strings are blanked in
+/// `code`, everything but comment text is blanked in `comment`), so a
+/// pass can pattern-match code without tripping on comments and read
+/// markers without tripping on string literals.
+struct SourceFile {
+  std::filesystem::path path;
+  std::string display;  ///< generic_string form used in findings.
+
+  std::vector<std::string> raw;      ///< Original lines.
+  std::vector<std::string> code;     ///< Comments + literals blanked.
+  std::vector<std::string> comment;  ///< Only comment text survives.
+
+  struct Include {
+    std::size_t line = 0;  ///< 1-based.
+    std::string target;    ///< "util/rng.hpp" or "vector".
+    bool angled = false;
+  };
+  std::vector<Include> includes;
+
+  bool is_header = false;
+  /// Module name when the path has a src/<module>/ component ("phy",
+  /// "witag", ...); empty otherwise. Fixture trees that mimic the
+  /// layout (…/fixtures/bad/src/witag/x.hpp) resolve the same way.
+  std::string module;
+  /// Path relative to the src/ component ("phy/fft.hpp"); empty when
+  /// the file is not under a src/ tree.
+  std::string src_rel;
+
+  /// True when the comment text of `line` (1-based) carries an allow
+  /// marker naming `rule`. Markers inside string literals are code,
+  /// not comments, and never count.
+  bool line_allows(std::size_t line, const std::string& rule) const;
+};
+
+/// Loads and tokenizes `path`. Returns std::nullopt when unreadable.
+std::optional<SourceFile> load_source(const std::filesystem::path& path);
+
+/// Exposed for the loader and tests: blanks comments and string/char
+/// literals (keeping newlines) when `keep_comments` is false, or blanks
+/// everything except comment text when true.
+std::string strip_view(const std::string& src, bool keep_comments);
+
+// ---------------------------------------------------------------------------
+// Findings
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  ///< 1-based; 0 = whole file.
+  std::string rule;
+  std::string message;
+
+  /// Mechanical-fix hint consumed by --fix (fix.cpp). Unset = no
+  /// automatic fix for this finding.
+  enum class Fix {
+    kNone,
+    kInsertPragmaOnce,       ///< Insert "#pragma once" before `line`.
+    kAnnotateNamespaceEnd,   ///< Append "  // namespace <payload>".
+    kInsertInclude,          ///< Insert include of `payload` (angled
+                             ///< when payload is "<...>").
+  };
+  Fix fix = Fix::kNone;
+  std::string fix_payload;
+};
+
+/// Stable ordering for output: by file, then line, then rule.
+void sort_findings(std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------------
+// Options and pass entry points
+
+struct Options {
+  bool all_rules = false;        ///< Path-scoped rules everywhere.
+  std::set<std::string> only_rules;  ///< Empty = every rule.
+
+  bool rule_enabled(const std::string& rule) const {
+    return only_rules.empty() || only_rules.count(rule) != 0;
+  }
+};
+
+/// Line-oriented rules needing one file at a time (the nine legacy
+/// rules plus allow-marker validation).
+void run_file_passes(const SourceFile& file, const Options& opts,
+                     std::vector<Finding>& out);
+
+/// Include-graph audit over every scanned file: layering DAG, cycle
+/// detection, cross-module detail:: reach-in and IWYU-lite missing
+/// direct includes. Only files with a src/<module>/ component are
+/// checked; the rest of the scan set still participates as include
+/// targets.
+void run_graph_pass(const std::vector<SourceFile>& files,
+                    const Options& opts, std::vector<Finding>& out);
+
+/// Summary of the include-graph audit for the text report.
+struct GraphStats {
+  std::size_t nodes = 0;      ///< src-module files in the graph.
+  std::size_t edges = 0;      ///< Resolved src→src include edges.
+  bool cycle_free = true;
+  bool dag_conformant = true;  ///< No layering violations.
+};
+GraphStats last_graph_stats();
+
+/// guarded_by / locks_required annotation checking plus the cross-TU
+/// lock-acquisition-order graph.
+void run_concurrency_pass(const std::vector<SourceFile>& files,
+                          const Options& opts, std::vector<Finding>& out);
+
+/// Determinism dataflow: util::Rng copied by value, derive_seed results
+/// discarded.
+void run_rngflow_pass(const std::vector<SourceFile>& files,
+                      const Options& opts, std::vector<Finding>& out);
+
+// ---------------------------------------------------------------------------
+// Output, baseline, fixing (emit.cpp / fix.cpp)
+
+/// FNV-1a 64-bit over `s` — the fingerprint hash for baseline entries.
+std::uint64_t fnv1a(const std::string& s);
+
+/// Baseline fingerprint: rule|file|hash(trimmed raw line text). Line
+/// *content* (not number) keyed, so unrelated edits above a suppressed
+/// finding do not invalidate the entry.
+std::string fingerprint(const Finding& f,
+                        const std::vector<SourceFile>& files);
+
+/// Loads baseline fingerprints (one per line, '#' comments).
+std::set<std::string> load_baseline(const std::filesystem::path& path);
+/// Writes `fps` sorted, with a header comment.
+bool write_baseline(const std::filesystem::path& path,
+                    const std::set<std::string>& fps);
+
+/// Writes SARIF 2.1 to `path`. Returns false on I/O failure.
+bool write_sarif(const std::filesystem::path& path,
+                 const std::vector<Finding>& findings);
+
+/// Structural validation of a SARIF 2.1 file (parse + required
+/// properties). Appends human-readable problems to `errors`.
+bool check_sarif(const std::filesystem::path& path,
+                 std::vector<std::string>& errors);
+
+/// GitHub Actions workflow annotations (::error file=…,line=…).
+void print_github_annotations(const std::vector<Finding>& findings);
+
+/// Applies the mechanical fixes carried by `findings` to the files on
+/// disk. Returns the number of files rewritten.
+std::size_t apply_fixes(const std::vector<SourceFile>& files,
+                        const std::vector<Finding>& findings);
+
+}  // namespace witag::lint

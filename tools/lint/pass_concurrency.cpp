@@ -1,0 +1,375 @@
+// Concurrency audit: guarded_by annotations and lock-acquisition order.
+//
+// WiTAG's hot paths are single-threaded by design (decode never locks),
+// so the little locking the repo does have — the telemetry registry,
+// the tracer's ring buffers, the runner's thread pool — concentrates
+// all of the concurrency risk in a handful of members. Those members
+// carry a comment annotation:
+//
+//     std::vector<ThreadBuf*> bufs_;  // witag: guarded_by(mu_)
+//
+// and this pass enforces the contract the comment used to merely state:
+// every *use* of `bufs_` (in the declaring file or its sibling .cpp/.hpp)
+// must sit inside a lock_guard/scoped_lock/unique_lock scope on `mu_`,
+// or inside a function marked
+//
+//     // witag: locks_required(mu_)
+//
+// meaning "caller holds the lock" (the classic _locked() helper).
+//
+// Second check: every nested acquisition (locking B while holding A)
+// contributes an edge A -> B to a repo-wide acquisition-order graph;
+// a cycle in that graph is a lock-order inversion — two threads can
+// each hold one lock and wait for the other. Mutex names are
+// normalized to their last identifier (`buf->mu` -> `mu`), which
+// merges same-named locks of different classes; with the repo's small
+// lock population that trade favors catching cross-TU inversions over
+// per-class precision.
+//
+// Heuristic limits (deliberate, documented): scopes are tracked by
+// brace depth, so a lock and a use must be in the same file;
+// constructor bodies touching their own members before the object is
+// shared want a `witag-lint: allow(guarded-by)` marker; member
+// *mention* is textual, with three exemptions — the declaration line
+// itself, `name(` method calls (Tracer::dropped() vs ThreadBuf::
+// dropped), and bare-argument position `f(name, ...)` where the callee
+// locks internally (MetricsRegistry::lookup takes the map by reference
+// and acquires mu_ itself).
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "lint.hpp"
+
+namespace witag::lint {
+namespace {
+
+/// Last identifier in `expr` ("buf->mu" -> "mu", "&cell.m" -> "m").
+std::string last_identifier(const std::string& expr) {
+  std::string cur;
+  std::string last;
+  for (const char c : expr) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      cur += c;
+    } else {
+      if (!cur.empty()) last = cur;
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) last = cur;
+  return last;
+}
+
+std::vector<std::string> split_args(const std::string& args) {
+  std::vector<std::string> out;
+  std::string cur;
+  int depth = 0;
+  for (const char c : args) {
+    if (c == ',' && depth == 0) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      if (c == '(' || c == '<') ++depth;
+      if (c == ')' || c == '>') --depth;
+      cur += c;
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+struct Annotation {
+  std::string member;
+  std::string mutex;            ///< Normalized name.
+  const SourceFile* declared_in = nullptr;
+  std::size_t decl_line = 0;    ///< 1-based.
+};
+
+/// Group key joining a header with its sibling .cpp: path minus
+/// extension, so annotations declared in trace.hpp govern trace.cpp.
+std::string stem_key(const SourceFile& f) {
+  const std::string& d = f.display;
+  const std::size_t dot = d.rfind('.');
+  return dot == std::string::npos ? d : d.substr(0, dot);
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+char prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+  }
+  return '\0';
+}
+
+char next_nonspace(const std::string& s, std::size_t pos) {
+  for (; pos < s.size(); ++pos) {
+    if (!std::isspace(static_cast<unsigned char>(s[pos]))) return s[pos];
+  }
+  return '\0';
+}
+
+struct LockScope {
+  int depth = 0;  ///< Scope dies when brace depth drops below this.
+  std::set<std::string> names;
+};
+
+struct OrderEdge {
+  std::string site;  ///< "file:line" of the first observed nesting.
+};
+
+}  // namespace
+
+void run_concurrency_pass(const std::vector<SourceFile>& files,
+                          const Options& opts, std::vector<Finding>& out) {
+  const bool want_guard = opts.rule_enabled("guarded-by");
+  const bool want_order = opts.rule_enabled("lock-order");
+  if (!want_guard && !want_order) return;
+
+  // ---- Collect annotations, grouped by header/source sibling stem.
+  static const std::regex kGuardedBy(R"(witag:\s*guarded_by\(([^)]+)\))");
+  static const std::regex kLocksRequired(
+      R"(witag:\s*locks_required\(([^)]+)\))");
+  std::map<std::string, std::vector<Annotation>> by_stem;
+  for (const SourceFile& f : files) {
+    if (f.module.empty()) continue;
+    for (std::size_t i = 0; i < f.comment.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(f.comment[i], m, kGuardedBy)) continue;
+      // The member is the declarator on the same code line: the last
+      // identifier before the initializer / semicolon.
+      std::string decl = f.code[i];
+      const std::size_t cut = decl.find_first_of("=;{");
+      if (cut != std::string::npos) decl = decl.substr(0, cut);
+      const std::string member = last_identifier(decl);
+      if (member.empty()) {
+        out.push_back({f.display, i + 1, "guarded-by",
+                       "guarded_by annotation on a line with no "
+                       "recognizable member declaration",
+                       {},
+                       {}});
+        continue;
+      }
+      by_stem[stem_key(f)].push_back(
+          {member, last_identifier(m[1].str()), &f, i + 1});
+    }
+  }
+
+  // ---- Scan each src-module file: track lock scopes, record order
+  // edges, and check annotated-member uses against the held set.
+  std::map<std::string, std::map<std::string, OrderEdge>> order;
+  static const std::regex kAcquire(
+      R"(\b(?:std\s*::\s*)?(?:lock_guard|scoped_lock|unique_lock|shared_lock)\s*(?:<[^>;]*>)?\s+[A-Za-z_]\w*\s*[({]([^;]*?)[)}]\s*;)");
+
+  for (const SourceFile& f : files) {
+    if (f.module.empty()) continue;
+    const auto group = by_stem.find(stem_key(f));
+    const std::vector<Annotation>* anns =
+        group == by_stem.end() ? nullptr : &group->second;
+    if (anns == nullptr && !want_order) continue;
+
+    std::vector<LockScope> scopes;
+    int depth = 0;
+    std::set<std::string> pending_required;  // armed, awaits next '{'
+
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const std::string& line = f.code[i];
+
+      // locks_required marker arms a function-body scope.
+      std::smatch m;
+      if (std::regex_search(f.comment[i], m, kLocksRequired)) {
+        for (const std::string& arg : split_args(m[1].str())) {
+          const std::string name = last_identifier(arg);
+          if (!name.empty()) pending_required.insert(name);
+        }
+      }
+
+      // Lock acquisitions on this line.
+      std::string rest = line;
+      while (std::regex_search(rest, m, kAcquire)) {
+        std::set<std::string> named;
+        bool deferred = false;
+        for (const std::string& arg : split_args(m[1].str())) {
+          const std::string name = last_identifier(arg);
+          if (name == "defer_lock" || name == "try_to_lock") deferred = true;
+          if (name == "adopt_lock" || name == "defer_lock" ||
+              name == "try_to_lock" || name.empty()) {
+            continue;
+          }
+          named.insert(name);
+        }
+        if (!deferred && !named.empty()) {
+          if (want_order) {
+            std::set<std::string> held;
+            for (const LockScope& s : scopes) {
+              held.insert(s.names.begin(), s.names.end());
+            }
+            for (const std::string& h : held) {
+              for (const std::string& n : named) {
+                if (h == n) continue;
+                order[h].emplace(
+                    n, OrderEdge{f.display + ":" + std::to_string(i + 1)});
+              }
+            }
+          }
+          scopes.push_back({depth, named});
+        }
+        rest = m.suffix().str();
+      }
+
+      if (!pending_required.empty() &&
+          line.find('{') != std::string::npos) {
+        scopes.push_back({depth + 1, pending_required});
+        pending_required.clear();
+      }
+
+      // Check annotated-member uses against the held set.
+      if (anns != nullptr && want_guard) {
+        std::set<std::string> held;
+        for (const LockScope& s : scopes) {
+          held.insert(s.names.begin(), s.names.end());
+        }
+        for (const Annotation& a : *anns) {
+          if (held.count(a.mutex) != 0) continue;
+          if (a.declared_in == &f && a.decl_line == i + 1) continue;
+          bool used = false;
+          std::size_t pos = line.find(a.member);
+          while (pos != std::string::npos) {
+            const std::size_t end = pos + a.member.size();
+            const bool whole =
+                (pos == 0 || !ident_char(line[pos - 1])) &&
+                (end >= line.size() || !ident_char(line[end]));
+            if (whole) {
+              const char before = prev_nonspace(line, pos);
+              const char after = next_nonspace(line, end);
+              const bool call = after == '(';
+              const bool bare_arg = (before == '(' || before == ',') &&
+                                    (after == ',' || after == ')');
+              if (!call && !bare_arg) {
+                used = true;
+                break;
+              }
+            }
+            pos = line.find(a.member, end);
+          }
+          if (used && !f.line_allows(i + 1, "guarded-by")) {
+            out.push_back(
+                {f.display, i + 1, "guarded-by",
+                 "'" + a.member + "' is guarded_by(" + a.mutex +
+                     ") but no lock_guard/scoped_lock/unique_lock on '" +
+                     a.mutex +
+                     "' is in scope here (and the enclosing function is "
+                     "not marked locks_required)",
+                 {},
+                 {}});
+          }
+        }
+      }
+
+      // End-of-line brace accounting; retire dead scopes.
+      for (const char c : line) {
+        if (c == '{') ++depth;
+        if (c == '}') --depth;
+      }
+      while (!scopes.empty() && scopes.back().depth > depth) {
+        scopes.pop_back();
+      }
+    }
+  }
+
+  // ---- Lock-order inversion: cycle in the acquisition graph.
+  if (want_order) {
+    std::set<std::string> nodes;
+    for (const auto& [from, tos] : order) {
+      nodes.insert(from);
+      for (const auto& [to, e] : tos) nodes.insert(to);
+    }
+    std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+    std::set<std::string> reported;
+    for (const std::string& root : nodes) {
+      if (color[root] != 0) continue;
+      std::vector<std::pair<std::string, std::vector<std::string>>> stack;
+      auto out_edges = [&](const std::string& n) {
+        std::vector<std::string> e;
+        const auto it = order.find(n);
+        if (it != order.end()) {
+          for (const auto& [to, edge] : it->second) e.push_back(to);
+        }
+        return e;
+      };
+      stack.push_back({root, out_edges(root)});
+      color[root] = 1;
+      while (!stack.empty()) {
+        auto& [node, edges] = stack.back();
+        if (edges.empty()) {
+          color[node] = 2;
+          stack.pop_back();
+          continue;
+        }
+        const std::string to = edges.back();
+        edges.pop_back();
+        if (color[to] == 0) {
+          color[to] = 1;
+          stack.push_back({to, out_edges(to)});
+        } else if (color[to] == 1) {
+          // Reconstruct the cycle from `to` up the DFS stack.
+          std::vector<std::string> cycle;
+          bool in_cycle = false;
+          for (const auto& [n, e] : stack) {
+            if (n == to) in_cycle = true;
+            if (in_cycle) cycle.push_back(n);
+          }
+          std::string path;
+          std::string sites;
+          for (std::size_t k = 0; k < cycle.size(); ++k) {
+            const std::string& a = cycle[k];
+            const std::string& b = cycle[(k + 1) % cycle.size()];
+            path += a + " -> ";
+            const auto ei = order.find(a);
+            if (ei != order.end()) {
+              const auto ej = ei->second.find(b);
+              if (ej != ei->second.end()) {
+                if (!sites.empty()) sites += ", ";
+                sites += a + "->" + b + " at " + ej->second.site;
+              }
+            }
+          }
+          path += to;
+          const std::string key = path;
+          if (reported.insert(key).second) {
+            // Anchor the finding at the first edge's site.
+            std::string file = "<repo>";
+            std::size_t lineno = 0;
+            const auto colon = sites.find(" at ");
+            if (colon != std::string::npos) {
+              std::string site = sites.substr(colon + 4);
+              const std::size_t comma = site.find(',');
+              if (comma != std::string::npos) site = site.substr(0, comma);
+              const std::size_t c2 = site.rfind(':');
+              if (c2 != std::string::npos) {
+                file = site.substr(0, c2);
+                lineno = static_cast<std::size_t>(
+                    std::stoul(site.substr(c2 + 1)));
+              }
+            }
+            out.push_back(
+                {file, lineno, "lock-order",
+                 "lock-order inversion: acquisition cycle " + path +
+                     " (" + sites +
+                     "); two threads taking these locks in opposite "
+                     "order can deadlock",
+                 {},
+                 {}});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace witag::lint

@@ -1,0 +1,10 @@
+// Known-bad fixture: an allow marker naming a rule the analyzer does
+// not know. The typo means nothing is suppressed, which must be called
+// out rather than silently ignored. Scanned, never compiled.
+namespace witag::fixture {
+
+inline int answer() {
+  return 42;  // witag-lint: allow(determinsm)
+}
+
+}  // namespace witag::fixture

@@ -1,0 +1,13 @@
+// Known-bad fixture: an allow marker *inside a string literal* on the
+// violating line. String contents are code, not comments; the marker
+// must not suppress the determinism finding. (The original
+// single-view linter had exactly this bug.) Scanned, never compiled.
+#include <cstdlib>
+
+namespace witag::fixture {
+
+inline int fake_excused() {
+  const char* e = "// witag-lint: allow(determinism)"; return std::rand();
+}
+
+}  // namespace witag::fixture

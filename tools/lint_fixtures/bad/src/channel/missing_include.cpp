@@ -1,0 +1,17 @@
+// Known-bad fixture: include-what-you-use violations. The file names
+// std::vector and util::Rng but includes neither header directly,
+// leaning on whatever some other header happens to drag in. Both
+// findings carry an insert-include fix. Scanned, never compiled.
+namespace channel {
+
+double mean_tap(const std::vector<double>& taps) {
+  double acc = 0.0;
+  const std::size_t n = taps.size();  // witag-lint: allow(iwyu)
+  if (n == 0) return 0.0;
+  acc = taps[0];
+  return acc;
+}
+
+double jitter_sample(util::Rng& rng) { return rng.uniform(0.0, 1.0); }
+
+}  // namespace channel

@@ -1,0 +1,20 @@
+// Known-bad fixture: a guarded_by annotation violated in the same
+// class. `pending_` is declared guarded by mu_, but add() touches it
+// with no lock_guard/scoped_lock in scope and no locks_required marker
+// on the function. Scanned, never compiled.
+#pragma once
+
+#include <mutex>
+
+namespace obs {
+
+class DropBox {
+ public:
+  void add(int v) { pending_ += v; }
+
+ private:
+  std::mutex mu_;
+  int pending_ = 0;  // witag: guarded_by(mu_)
+};
+
+}  // namespace obs

@@ -1,0 +1,19 @@
+// Known-bad fixture, half one: acquires alpha_mu then beta_mu nested.
+// Together with lock_order_ba.cpp (the opposite order in a different
+// translation unit) this closes a cycle in the repo-wide acquisition
+// graph — the classic two-thread deadlock. The inversion finding is
+// anchored here, on the first edge of the cycle; lock_order_ba.cpp is
+// the other participant. Scanned, never compiled.
+#include <mutex>
+
+namespace runner {
+
+std::mutex alpha_mu;
+std::mutex beta_mu;
+
+void forward_transfer() {
+  std::scoped_lock hold_a(alpha_mu);
+  std::scoped_lock hold_b(beta_mu);
+}
+
+}  // namespace runner

@@ -1,0 +1,19 @@
+// Known-bad fixture, half two: acquires beta_mu then alpha_mu — the
+// inverse of lock_order_ab.cpp, closing the acquisition-order cycle.
+// The lock-order finding for the cycle is reported once, anchored at
+// the first edge (in lock_order_ab.cpp), so this file itself carries
+// no finding; the manifest lists it as a participant. Scanned, never
+// compiled.
+#include <mutex>
+
+namespace runner {
+
+extern std::mutex alpha_mu;
+extern std::mutex beta_mu;
+
+void reverse_transfer() {
+  std::scoped_lock hold_b(beta_mu);
+  std::scoped_lock hold_a(alpha_mu);
+}
+
+}  // namespace runner

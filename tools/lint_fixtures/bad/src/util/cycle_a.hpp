@@ -1,0 +1,12 @@
+// Known-bad fixture: half of a file-level include cycle (see
+// cycle_b.hpp). Include guards make this compile by accident; the
+// include-cycle rule must reject it anyway. Scanned, never compiled.
+#pragma once
+
+#include "util/cycle_b.hpp"
+
+namespace util {
+
+int a_value();
+
+}  // namespace util

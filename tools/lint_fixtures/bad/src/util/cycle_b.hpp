@@ -1,0 +1,11 @@
+// Known-bad fixture: the other half of the include cycle with
+// cycle_a.hpp. Scanned, never compiled.
+#pragma once
+
+#include "util/cycle_a.hpp"
+
+namespace util {
+
+int b_value();
+
+}  // namespace util

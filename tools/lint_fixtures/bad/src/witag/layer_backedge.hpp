@@ -1,0 +1,13 @@
+// Known-bad fixture: a layering back-edge. The witag layer sits below
+// baselines/runner in the module DAG, so reaching *up* into runner —
+// here, a session pulling in the thread pool to parallelize itself —
+// must fail the layering rule. Scanned, never compiled.
+#pragma once
+
+#include "runner/thread_pool.hpp"
+
+namespace witag {
+
+void attach_pool_to_session();
+
+}  // namespace witag

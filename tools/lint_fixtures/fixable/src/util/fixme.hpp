@@ -1,0 +1,10 @@
+// Fixable fixture: three mechanical violations in one header — no
+// #pragma once, a namespace closed without its comment, and a
+// std::vector use with no direct <vector> include. `witag_lint --fix`
+// must repair all three and the result must re-lint clean; see
+// lint.fix_roundtrip. Scanned, never compiled.
+namespace util {
+inline int head_or(const std::vector<int>& v, int fallback) {
+  return v.empty() ? fallback : v[0];
+}
+}

@@ -1,0 +1,30 @@
+// Known-good fixture: implementation side of guarded_good.hpp. Every
+// touch of pending_ is either under a lock_guard on mu_, inside the
+// locks_required helper, or in the constructor with an allow marker.
+// Scanned, never compiled.
+#include "obs/guarded_good.hpp"
+
+namespace obs {
+
+InboxCounter::InboxCounter() {
+  pending_ = 0;  // witag-lint: allow(guarded-by)
+}
+
+void InboxCounter::add(int v) {
+  std::lock_guard<std::mutex> lk(mu_);
+  pending_ += v;
+}
+
+int InboxCounter::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return drain_locked();
+}
+
+// witag: locks_required(mu_)
+int InboxCounter::drain_locked() {
+  const int n = pending_;
+  pending_ = 0;
+  return n;
+}
+
+}  // namespace obs

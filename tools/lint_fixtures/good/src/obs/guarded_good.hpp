@@ -1,0 +1,26 @@
+// Known-good fixture: the guarded_by dialect used correctly — a locked
+// public method, a _locked() helper carrying locks_required, and a
+// constructor touch excused with an explicit allow marker (the object
+// is not yet shared during construction). Scanned, never compiled.
+#pragma once
+
+#include <mutex>
+
+namespace obs {
+
+class InboxCounter {
+ public:
+  InboxCounter();
+
+  void add(int v);
+  int drain();
+
+ private:
+  // witag: locks_required(mu_)
+  int drain_locked();
+
+  std::mutex mu_;
+  int pending_ = 0;  // witag: guarded_by(mu_)
+};
+
+}  // namespace obs

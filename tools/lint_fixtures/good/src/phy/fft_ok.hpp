@@ -1,0 +1,16 @@
+// Known-good fixture: a phy header using its *own* detail namespace.
+// detail-reach only forbids naming another module's detail::; the
+// owning module referencing its private kernels is the intended
+// pattern. Scanned, never compiled.
+#pragma once
+
+namespace phy {
+namespace detail {
+
+double reference_twiddle(int k);
+
+}  // namespace detail
+
+inline double twiddle(int k) { return phy::detail::reference_twiddle(k); }
+
+}  // namespace phy

@@ -1,0 +1,21 @@
+// Known-good fixture: nested acquisition with a globally consistent
+// order (gamma_mu before delta_mu in every function), so the
+// acquisition graph stays acyclic. Scanned, never compiled.
+#include <mutex>
+
+namespace runner {
+
+std::mutex gamma_mu;
+std::mutex delta_mu;
+
+void settle() {
+  std::scoped_lock hold_g(gamma_mu);
+  std::scoped_lock hold_d(delta_mu);
+}
+
+void settle_again() {
+  std::scoped_lock hold_g(gamma_mu);
+  std::scoped_lock hold_d(delta_mu);
+}
+
+}  // namespace runner

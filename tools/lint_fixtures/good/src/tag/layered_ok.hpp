@@ -1,0 +1,13 @@
+// Known-good fixture: a legal layering edge. tag sits above phy in the
+// module DAG, so including a phy header is allowed — this file also
+// gives the include-graph pass a resolved src→src edge to count.
+// Scanned, never compiled.
+#pragma once
+
+#include "phy/fft_ok.hpp"
+
+namespace tag {
+
+double modulated_twiddle(int k);
+
+}  // namespace tag
