@@ -20,6 +20,7 @@
 #include "tag/envelope.hpp"
 #include "util/crc.hpp"
 #include "util/rng.hpp"
+#include "witag/rateless.hpp"
 #include "witag/session.hpp"
 
 namespace {
@@ -299,6 +300,46 @@ void BM_EnvelopeDetector(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EnvelopeDetector);
+
+// LT fountain layer (witag/rateless): droplet stream generation and the
+// peeling decode, the per-delivery costs the rateless data plane adds
+// on top of the session round. The peel bench feeds coded droplets only
+// (systematic prefix withheld) so the ripple cascade actually runs.
+void BM_LtEncode(benchmark::State& state) {
+  util::Rng rng(7);
+  const util::ByteVec payload = rng.bytes(32);  // K = 17 symbols
+  const core::LtDropletSource source(payload, 0xBE7Cull);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(source.stream(64));
+  }
+}
+BENCHMARK(BM_LtEncode);
+
+void BM_LtPeel(benchmark::State& state) {
+  util::Rng rng(8);
+  const util::ByteVec payload = rng.bytes(32);
+  const std::uint64_t seed = 0xBE7Cull;
+  const core::LtDropletSource source(payload, seed);
+  const core::RatelessConfig rcfg;
+  const std::uint8_t salt = core::rateless_salt(seed);
+  std::vector<core::DecodedDroplet> droplets;
+  core::ErasedBits stream;
+  stream.append(source.stream(256));
+  std::size_t offset = source.k() * core::droplet_frame_bits(rcfg);
+  while (auto d = core::decode_droplet_frame(stream, offset, salt, rcfg)) {
+    offset = d->next_offset;
+    droplets.push_back(std::move(*d));
+  }
+  for (auto _ : state) {
+    core::LtDecoder decoder(payload.size(), seed);
+    for (const auto& d : droplets) {
+      if (decoder.complete()) break;
+      decoder.add(d.seq, d.data);
+    }
+    benchmark::DoNotOptimize(decoder.complete());
+  }
+}
+BENCHMARK(BM_LtPeel);
 
 void BM_SessionRound(benchmark::State& state) {
   auto cfg = core::los_testbed_config(util::Meters{4.0}, 6);

@@ -2,8 +2,10 @@
 
 #include "util/crc.hpp"
 #include "util/require.hpp"
+#include "witag/rateless.hpp"
 #include <array>
 #include <cstddef>
+#include <utility>
 
 namespace witag::core {
 namespace {
@@ -17,6 +19,7 @@ std::size_t encoded_bits(std::size_t raw_bits, TagFec fec) {
     case TagFec::kRepetition3: return raw_bits * 3;
     case TagFec::kRepetition5: return raw_bits * 5;
     case TagFec::kHamming74: return (raw_bits / 4) * 7;
+    case TagFec::kRateless: break;  // No fixed expansion; handled below.
   }
   WITAG_ENSURE(false);
   return 0;
@@ -31,7 +34,75 @@ std::array<std::uint8_t, 7> hamming_encode4(std::uint8_t d0, std::uint8_t d1,
   return {p1, p2, d0, p3, d1, d2, d3};
 }
 
+unsigned hamming_syndrome(const std::array<std::uint8_t, 7>& cw) {
+  const std::uint8_t s1 = cw[0] ^ cw[2] ^ cw[4] ^ cw[6];
+  const std::uint8_t s2 = cw[1] ^ cw[2] ^ cw[5] ^ cw[6];
+  const std::uint8_t s3 = cw[3] ^ cw[4] ^ cw[5] ^ cw[6];
+  return static_cast<unsigned>(s1) | (static_cast<unsigned>(s2) << 1) |
+         (static_cast<unsigned>(s3) << 2);
+}
+
+void hamming_emit(FecDecodeResult& result,
+                  const std::array<std::uint8_t, 7>& cw) {
+  result.bits.push_back(cw[2]);
+  result.bits.push_back(cw[4]);
+  result.bits.push_back(cw[5]);
+  result.bits.push_back(cw[6]);
+}
+
+// Rateless frames are decoded by accumulating droplets into an LT
+// decoder; the decoder restarts whenever the advertised payload length
+// changes (a new frame boundary) or a poisoned decode must be abandoned.
+std::optional<DecodedTagFrame> decode_rateless_frame(const ErasedBits& stream,
+                                                     std::size_t offset) {
+  const RatelessConfig cfg;
+  const std::uint8_t salt = rateless_salt(kRatelessDefaultSeed);
+  std::optional<LtDecoder> decoder;
+  std::size_t cursor = offset;
+  while (auto d = decode_droplet_frame(stream, cursor, salt, cfg)) {
+    cursor = d->next_offset;
+    if (!decoder || decoder->k() != rateless_symbols(d->payload_len, cfg) ||
+        decoder->poisoned()) {
+      decoder.emplace(d->payload_len, kRatelessDefaultSeed, cfg);
+    }
+    decoder->add(d->seq, d->data);
+    if (decoder->complete()) {
+      DecodedTagFrame out;
+      out.payload = decoder->payload();
+      out.next_offset = cursor;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
+
+void ErasedBits::append(std::span<const std::uint8_t> b) {
+  bits.insert(bits.end(), b.begin(), b.end());
+  known.insert(known.end(), b.size(), std::uint8_t{1});
+}
+
+void ErasedBits::append_erasure_run(std::size_t n) {
+  bits.insert(bits.end(), n, std::uint8_t{0});
+  known.insert(known.end(), n, std::uint8_t{0});
+}
+
+void ErasedBits::erase_prefix(std::size_t n) {
+  WITAG_REQUIRE(n <= bits.size());
+  bits.erase(bits.begin(),
+             bits.begin() + static_cast<std::ptrdiff_t>(n));
+  known.erase(known.begin(),
+              known.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+bool ErasedBits::all_known(std::size_t offset, std::size_t n) const {
+  if (offset + n > known.size()) return false;
+  for (std::size_t i = offset; i < offset + n; ++i) {
+    if (!known[i]) return false;
+  }
+  return true;
+}
 
 util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
   switch (fec) {
@@ -58,17 +129,33 @@ util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec) {
       }
       return out;
     }
+    case TagFec::kRateless:
+      break;  // Droplet framing — see src/witag/rateless.hpp.
   }
   WITAG_ENSURE(false);
   return {};
 }
 
 FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
+  const util::BitVec known(bits.size(), std::uint8_t{1});
+  return fec_decode(bits, known, fec);
+}
+
+FecDecodeResult fec_decode(std::span<const std::uint8_t> bits,
+                           std::span<const std::uint8_t> known, TagFec fec) {
+  WITAG_REQUIRE(bits.size() == known.size());
   FecDecodeResult result;
   switch (fec) {
-    case TagFec::kNone:
+    case TagFec::kNone: {
       result.bits.assign(bits.begin(), bits.end());
+      for (const std::uint8_t k : known) {
+        if (!k) {
+          result.ok = false;
+          break;
+        }
+      }
       return result;
+    }
     case TagFec::kRepetition3:
     case TagFec::kRepetition5: {
       const std::size_t reps = fec == TagFec::kRepetition3 ? 3 : 5;
@@ -76,9 +163,20 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
       result.bits.reserve(bits.size() / reps);
       for (std::size_t i = 0; i < bits.size(); i += reps) {
         unsigned sum = 0;
-        for (std::size_t r = 0; r < reps; ++r) sum += bits[i + r] & 1u;
-        const std::uint8_t majority = sum * 2 >= reps + 1 ? 1 : 0;
-        if (sum != 0 && sum != reps) ++result.corrected;
+        unsigned n_known = 0;
+        for (std::size_t r = 0; r < reps; ++r) {
+          if (!known[i + r]) continue;
+          ++n_known;
+          sum += bits[i + r] & 1u;
+        }
+        if (n_known == 0) {
+          // Every copy erased: no information survives for this bit.
+          result.ok = false;
+          result.bits.push_back(0);
+          continue;
+        }
+        const std::uint8_t majority = sum * 2 >= n_known + 1 ? 1 : 0;
+        if (sum != 0 && sum != n_known) ++result.corrected;
         result.bits.push_back(majority);
       }
       return result;
@@ -88,24 +186,50 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
       result.bits.reserve((bits.size() / 7) * 4);
       for (std::size_t i = 0; i < bits.size(); i += 7) {
         std::array<std::uint8_t, 7> cw{};
-        for (std::size_t k = 0; k < 7; ++k) cw[k] = bits[i + k] & 1u;
-        const std::uint8_t s1 = cw[0] ^ cw[2] ^ cw[4] ^ cw[6];
-        const std::uint8_t s2 = cw[1] ^ cw[2] ^ cw[5] ^ cw[6];
-        const std::uint8_t s3 = cw[3] ^ cw[4] ^ cw[5] ^ cw[6];
-        const unsigned syndrome =
-            static_cast<unsigned>(s1) | (static_cast<unsigned>(s2) << 1) |
-            (static_cast<unsigned>(s3) << 2);
+        std::size_t erased = 7;  // Index of the erased bit, 7 = none.
+        std::size_t n_erased = 0;
+        for (std::size_t k = 0; k < 7; ++k) {
+          cw[k] = bits[i + k] & 1u;
+          if (!known[i + k]) {
+            erased = k;
+            ++n_erased;
+          }
+        }
+        if (n_erased >= 2) {
+          // Hamming(7,4) corrects one unknown position; two erasures
+          // leave the codeword ambiguous.
+          result.ok = false;
+          result.bits.insert(result.bits.end(), 4, std::uint8_t{0});
+          continue;
+        }
+        if (n_erased == 1) {
+          // Fill the erased position by syndrome consistency: exactly
+          // one value yields syndrome 0 when the other six bits are
+          // clean; anything else means an additional error.
+          cw[erased] = 0;
+          if (hamming_syndrome(cw) != 0) {
+            cw[erased] = 1;
+            if (hamming_syndrome(cw) != 0) {
+              result.ok = false;
+              result.bits.insert(result.bits.end(), 4, std::uint8_t{0});
+              continue;
+            }
+          }
+          ++result.corrected;
+          hamming_emit(result, cw);
+          continue;
+        }
+        const unsigned syndrome = hamming_syndrome(cw);
         if (syndrome != 0) {
           cw[syndrome - 1] ^= 1u;
           ++result.corrected;
         }
-        result.bits.push_back(cw[2]);
-        result.bits.push_back(cw[4]);
-        result.bits.push_back(cw[5]);
-        result.bits.push_back(cw[6]);
+        hamming_emit(result, cw);
       }
       return result;
     }
+    case TagFec::kRateless:
+      break;  // Droplet framing — see src/witag/rateless.hpp.
   }
   WITAG_ENSURE(false);
   return result;
@@ -114,6 +238,11 @@ FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec) {
 util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
                               TagFec fec) {
   WITAG_REQUIRE(payload.size() <= kMaxTagPayload);
+  if (fec == TagFec::kRateless) {
+    const RatelessConfig cfg;
+    const LtDropletSource source(payload, kRatelessDefaultSeed, cfg);
+    return source.stream(rateless_nominal_droplets(payload.size(), cfg));
+  }
   util::ByteVec check;
   check.push_back(static_cast<std::uint8_t>(payload.size()));
   check.insert(check.end(), payload.begin(), payload.end());
@@ -127,22 +256,41 @@ util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
 }
 
 std::size_t tag_frame_bits(std::size_t payload_bytes, TagFec fec) {
+  if (fec == TagFec::kRateless) {
+    const RatelessConfig cfg;
+    return rateless_nominal_droplets(payload_bytes, cfg) *
+           droplet_frame_bits(cfg);
+  }
   return encoded_bits(kHeaderRawBits + 8 * payload_bytes + kCrcRawBits, fec);
 }
 
 std::optional<DecodedTagFrame> decode_tag_frame(
     std::span<const std::uint8_t> bits, std::size_t offset, TagFec fec) {
+  ErasedBits stream;
+  stream.append(bits);
+  return decode_tag_frame(stream, offset, fec);
+}
+
+std::optional<DecodedTagFrame> decode_tag_frame(const ErasedBits& stream,
+                                                std::size_t offset,
+                                                TagFec fec) {
+  if (fec == TagFec::kRateless) return decode_rateless_frame(stream, offset);
+  const std::span<const std::uint8_t> bits(stream.bits);
+  const std::span<const std::uint8_t> known(stream.known);
   const std::size_t header_enc = encoded_bits(kHeaderRawBits, fec);
   for (std::size_t i = offset; i + header_enc <= bits.size(); ++i) {
-    const FecDecodeResult header =
-        fec_decode(bits.subspan(i, header_enc), fec);
+    const FecDecodeResult header = fec_decode(
+        bits.subspan(i, header_enc), known.subspan(i, header_enc), fec);
+    if (!header.ok) continue;
     util::BitReader r(header.bits);
     if (r.read(8) != kTagPreamble) continue;
     const auto length = static_cast<std::size_t>(r.read(8));
     const std::size_t frame_enc = tag_frame_bits(length, fec);
     if (i + frame_enc > bits.size()) continue;
 
-    const FecDecodeResult body = fec_decode(bits.subspan(i, frame_enc), fec);
+    const FecDecodeResult body = fec_decode(
+        bits.subspan(i, frame_enc), known.subspan(i, frame_enc), fec);
+    if (!body.ok) continue;
     util::BitReader br(body.bits);
     br.read(8);  // preamble (already matched)
     util::ByteVec check;
@@ -163,9 +311,16 @@ std::optional<DecodedTagFrame> decode_tag_frame(
 
 std::vector<DecodedTagFrame> decode_tag_stream(
     std::span<const std::uint8_t> bits, TagFec fec) {
+  ErasedBits stream;
+  stream.append(bits);
+  return decode_tag_stream(stream, fec);
+}
+
+std::vector<DecodedTagFrame> decode_tag_stream(const ErasedBits& stream,
+                                               TagFec fec) {
   std::vector<DecodedTagFrame> frames;
   std::size_t offset = 0;
-  while (auto frame = decode_tag_frame(bits, offset, fec)) {
+  while (auto frame = decode_tag_frame(stream, offset, fec)) {
     offset = frame->next_offset;
     frames.push_back(std::move(*frame));
   }

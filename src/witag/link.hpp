@@ -9,6 +9,23 @@
 // to the whole frame. The decoder scans a raw bit stream (the concatenated
 // block-ack bits across queries, possibly with gaps from lost rounds),
 // resynchronizes on the preamble and validates the CRC.
+//
+// Two refinements on top of that baseline:
+//
+//  * Lost block-acks are *known* losses — the reader saw the round fail —
+//    so instead of splicing the stream (which lets the resync scan lock
+//    onto a phantom preamble straddling the gap), the stream carries an
+//    explicit erasure run (`ErasedBits`). The erasure-aware decoders
+//    treat erased bits as "no information": repetition takes the majority
+//    of the surviving copies, Hamming(7,4) fills a single erased bit by
+//    syndrome consistency, and a frame that still depends on an erased
+//    bit is rejected rather than guessed.
+//
+//  * `TagFec::kRateless` switches framing to the LT fountain layer
+//    (src/witag/rateless.hpp): short droplet frames instead of one
+//    monolithic frame, any sufficient subset of which reconstructs the
+//    payload. The generic entry points below route to it with the
+//    default stream seed; `Reader` drives it with per-delivery seeds.
 #pragma once
 
 #include <cstdint>
@@ -21,17 +38,43 @@
 
 namespace witag::core {
 
-enum class TagFec { kNone, kRepetition3, kRepetition5, kHamming74 };
+enum class TagFec { kNone, kRepetition3, kRepetition5, kHamming74, kRateless };
 
 inline constexpr std::uint8_t kTagPreamble = 0xB5;
 inline constexpr std::size_t kMaxTagPayload = 255;
 
+/// Bit stream with per-bit erasure flags. `bits[i]` is meaningful only
+/// where `known[i]` is non-zero; erased positions hold 0. Lost
+/// block-acks append erasure runs so downstream offsets stay aligned.
+struct ErasedBits {
+  util::BitVec bits;
+  util::BitVec known;
+
+  std::size_t size() const { return bits.size(); }
+
+  /// Appends fully-known bits.
+  void append(std::span<const std::uint8_t> b);
+  /// Appends `n` erased placeholder bits (a known-lost round).
+  void append_erasure_run(std::size_t n);
+  /// Drops the first `n` bits (stream-cap trimming). Requires n <= size().
+  void erase_prefix(std::size_t n);
+  /// True when every bit in [offset, offset+n) is known.
+  bool all_known(std::size_t offset, std::size_t n) const;
+  void clear() {
+    bits.clear();
+    known.clear();
+  }
+};
+
 /// Encodes a payload into the bit stream the tag transmits.
-/// Requires payload.size() <= kMaxTagPayload.
+/// Requires payload.size() <= kMaxTagPayload (<= kMaxRatelessPayload
+/// for kRateless).
 util::BitVec encode_tag_frame(std::span<const std::uint8_t> payload,
                               TagFec fec);
 
-/// Number of channel bits one frame of `payload_bytes` occupies.
+/// Number of channel bits one frame of `payload_bytes` occupies. For
+/// kRateless this is the nominal droplet stream length (K plus coded
+/// headroom); the actual number consumed depends on the channel.
 std::size_t tag_frame_bits(std::size_t payload_bytes, TagFec fec);
 
 struct DecodedTagFrame {
@@ -45,17 +88,35 @@ struct DecodedTagFrame {
 std::optional<DecodedTagFrame> decode_tag_frame(
     std::span<const std::uint8_t> bits, std::size_t offset, TagFec fec);
 
+/// Erasure-aware variant: erased spans are treated as lost information
+/// (never matched as preamble bits, out-voted by surviving repetition
+/// copies, filled by Hamming syndrome consistency when unique) instead
+/// of being spliced out of the stream.
+std::optional<DecodedTagFrame> decode_tag_frame(const ErasedBits& stream,
+                                                std::size_t offset,
+                                                TagFec fec);
+
 /// Decodes every recoverable frame in a stream.
 std::vector<DecodedTagFrame> decode_tag_stream(
     std::span<const std::uint8_t> bits, TagFec fec);
+std::vector<DecodedTagFrame> decode_tag_stream(const ErasedBits& stream,
+                                               TagFec fec);
 
-/// FEC primitives (exposed for tests and ablations).
+/// FEC primitives (exposed for tests and ablations). Not defined for
+/// kRateless — droplet framing lives in src/witag/rateless.hpp.
 util::BitVec fec_encode(std::span<const std::uint8_t> bits, TagFec fec);
 struct FecDecodeResult {
   util::BitVec bits;
   std::size_t corrected = 0;
+  bool ok = true;  ///< False when erasures defeat the code.
 };
 /// Requires the input length to be a multiple of the FEC block size.
 FecDecodeResult fec_decode(std::span<const std::uint8_t> bits, TagFec fec);
+/// Erasure-aware decode: `known` parallels `bits`. A repetition group
+/// with every copy erased, a Hamming codeword with 2+ erasures (or one
+/// erasure no fill makes consistent), or any erased kNone bit fails the
+/// decode (ok = false) instead of guessing.
+FecDecodeResult fec_decode(std::span<const std::uint8_t> bits,
+                           std::span<const std::uint8_t> known, TagFec fec);
 
 }  // namespace witag::core

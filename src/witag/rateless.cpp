@@ -1,0 +1,308 @@
+#include "witag/rateless.hpp"
+
+#include "util/crc.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace witag::core {
+namespace {
+
+constexpr std::size_t kDropletHeaderBits = 24;  // preamble + len + seq
+constexpr std::size_t kDropletCrcBits = 8;
+constexpr std::size_t kMaxDroplets = 256;       // 8-bit seq space
+constexpr std::uint64_t kSaltStream = 0x5A17ull;
+
+/// XORs `src` into `dst` (symbol accumulate).
+void xor_into(util::ByteVec& dst, std::span<const std::uint8_t> src) {
+  WITAG_REQUIRE(dst.size() == src.size());
+  for (std::size_t i = 0; i < dst.size(); ++i) dst[i] ^= src[i];
+}
+
+/// Samples a degree in 1..k from the robust-soliton CDF.
+std::size_t sample_degree(util::Rng& rng, const std::vector<double>& pmf) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t d = 1; d < pmf.size(); ++d) {
+    acc += pmf[d];
+    if (u < acc) return d;
+  }
+  return pmf.size() - 1;
+}
+
+}  // namespace
+
+std::size_t rateless_symbols(std::size_t payload_bytes,
+                             const RatelessConfig& cfg) {
+  WITAG_REQUIRE(cfg.symbol_bytes > 0);
+  const std::size_t block_bytes = payload_bytes + 1;  // + payload CRC-8
+  return (block_bytes + cfg.symbol_bytes - 1) / cfg.symbol_bytes;
+}
+
+std::size_t rateless_nominal_droplets(std::size_t payload_bytes,
+                                      const RatelessConfig& cfg) {
+  const std::size_t k = rateless_symbols(payload_bytes, cfg);
+  const std::size_t headroom = std::max<std::size_t>(2, (k + 1) / 2);
+  return std::min(kMaxDroplets, k + headroom);
+}
+
+std::size_t droplet_frame_bits(const RatelessConfig& cfg) {
+  return kDropletHeaderBits + 8 * cfg.symbol_bytes + kDropletCrcBits;
+}
+
+std::vector<double> robust_soliton_pmf(std::size_t k, double c,
+                                       double delta) {
+  WITAG_REQUIRE(k >= 1);
+  std::vector<double> pmf(k + 1, 0.0);
+  if (k == 1) {
+    pmf[1] = 1.0;
+    return pmf;
+  }
+  // Ideal soliton rho(d).
+  pmf[1] = 1.0 / static_cast<double>(k);
+  for (std::size_t d = 2; d <= k; ++d) {
+    pmf[d] = 1.0 / (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  // Robust spike tau(d) at d = k/R, boosting low degrees so the ripple
+  // stays populated (Luby 2002).
+  const double kd = static_cast<double>(k);
+  const double r = c * std::log(kd / delta) * std::sqrt(kd);
+  if (r > 0.0) {
+    const auto spike = static_cast<std::size_t>(
+        std::min(kd, std::max(1.0, std::floor(kd / r))));
+    for (std::size_t d = 1; d < spike; ++d) {
+      pmf[d] += r / (static_cast<double>(d) * kd);
+    }
+    pmf[spike] += r * std::log(r / delta) > 0.0
+                      ? r * std::log(r / delta) / kd
+                      : 0.0;
+  }
+  double total = 0.0;
+  for (std::size_t d = 1; d <= k; ++d) total += pmf[d];
+  for (std::size_t d = 1; d <= k; ++d) pmf[d] /= total;
+  return pmf;
+}
+
+std::uint8_t rateless_salt(std::uint64_t stream_seed) {
+  const auto salt_seed = util::Rng::derive_seed(stream_seed, kSaltStream);
+  return static_cast<std::uint8_t>(salt_seed & 0xFFu);
+}
+
+std::vector<std::uint32_t> droplet_neighbors(std::uint64_t stream_seed,
+                                             std::size_t seq, std::size_t k,
+                                             const RatelessConfig& cfg) {
+  WITAG_REQUIRE(k >= 1);
+  WITAG_REQUIRE(seq < kMaxDroplets);
+  if (seq < k) return {static_cast<std::uint32_t>(seq)};
+  util::Rng rng(util::Rng::derive_seed(stream_seed, seq));
+  const std::vector<double> pmf =
+      robust_soliton_pmf(k, cfg.soliton_c, cfg.soliton_delta);
+  const std::size_t degree = sample_degree(rng, pmf);
+  std::vector<std::uint32_t> neighbors;
+  neighbors.reserve(degree);
+  while (neighbors.size() < degree) {
+    const auto candidate = static_cast<std::uint32_t>(rng.uniform_int(k));
+    if (std::find(neighbors.begin(), neighbors.end(), candidate) ==
+        neighbors.end()) {
+      neighbors.push_back(candidate);
+    }
+  }
+  return neighbors;
+}
+
+util::BitVec encode_droplet_frame(std::uint8_t payload_len,
+                                  std::uint8_t seq,
+                                  std::span<const std::uint8_t> data,
+                                  std::uint8_t salt) {
+  util::ByteVec check;
+  check.push_back(salt);
+  check.push_back(payload_len);
+  check.push_back(seq);
+  check.insert(check.end(), data.begin(), data.end());
+
+  util::BitWriter w;
+  w.write(kTagPreamble, 8);
+  w.write(payload_len, 8);
+  w.write(seq, 8);
+  for (const std::uint8_t b : data) w.write(b, 8);
+  w.write(util::crc8(check), 8);
+  return w.take();
+}
+
+std::optional<DecodedDroplet> decode_droplet_frame(
+    const ErasedBits& stream, std::size_t offset, std::uint8_t salt,
+    const RatelessConfig& cfg) {
+  const std::size_t frame_bits = droplet_frame_bits(cfg);
+  const std::span<const std::uint8_t> bits(stream.bits);
+  for (std::size_t i = offset; i + frame_bits <= bits.size(); ++i) {
+    // A frame overlapping an erased span cannot be validated; treat it
+    // as lost and keep scanning (the stream stays aligned because the
+    // erasure run preserved its length).
+    if (!stream.known[i]) continue;
+    if (!stream.all_known(i, frame_bits)) continue;
+    util::BitReader r(bits.subspan(i, frame_bits));
+    if (r.read(8) != kTagPreamble) continue;
+    const auto payload_len = static_cast<std::uint8_t>(r.read(8));
+    const auto seq = static_cast<std::uint8_t>(r.read(8));
+    util::ByteVec data(cfg.symbol_bytes);
+    for (auto& b : data) b = static_cast<std::uint8_t>(r.read(8));
+
+    util::ByteVec check;
+    check.push_back(salt);
+    check.push_back(payload_len);
+    check.push_back(seq);
+    check.insert(check.end(), data.begin(), data.end());
+    if (static_cast<std::uint8_t>(r.read(8)) != util::crc8(check)) continue;
+
+    DecodedDroplet out;
+    out.payload_len = payload_len;
+    out.seq = seq;
+    out.data = std::move(data);
+    out.next_offset = i + frame_bits;
+    return out;
+  }
+  return std::nullopt;
+}
+
+LtDropletSource::LtDropletSource(std::span<const std::uint8_t> payload,
+                                 std::uint64_t stream_seed, RatelessConfig cfg)
+    : cfg_(cfg),
+      stream_seed_(stream_seed),
+      salt_(rateless_salt(stream_seed)),
+      payload_bytes_(payload.size()),
+      k_(rateless_symbols(payload.size(), cfg)) {
+  WITAG_REQUIRE(payload.size() <= kMaxRatelessPayload);
+  block_.assign(payload.begin(), payload.end());
+  block_.push_back(util::crc8(payload));
+  block_.resize(k_ * cfg_.symbol_bytes, 0);
+}
+
+util::BitVec LtDropletSource::droplet_frame(std::size_t seq) const {
+  WITAG_REQUIRE(seq < kMaxDroplets);
+  const std::vector<std::uint32_t> neighbors =
+      droplet_neighbors(stream_seed_, seq, k_, cfg_);
+  util::ByteVec data(cfg_.symbol_bytes, 0);
+  for (const std::uint32_t n : neighbors) {
+    xor_into(data, std::span<const std::uint8_t>(block_).subspan(
+                       n * cfg_.symbol_bytes, cfg_.symbol_bytes));
+  }
+  return encode_droplet_frame(static_cast<std::uint8_t>(payload_bytes_),
+                              static_cast<std::uint8_t>(seq), data, salt_);
+}
+
+util::BitVec LtDropletSource::stream(std::size_t n_droplets) const {
+  WITAG_REQUIRE(n_droplets <= kMaxDroplets);
+  util::BitVec out;
+  out.reserve(n_droplets * droplet_frame_bits(cfg_));
+  for (std::size_t seq = 0; seq < n_droplets; ++seq) {
+    const util::BitVec frame = droplet_frame(seq);
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+LtDecoder::LtDecoder(std::size_t payload_bytes, std::uint64_t stream_seed,
+                     RatelessConfig cfg)
+    : cfg_(cfg),
+      stream_seed_(stream_seed),
+      payload_bytes_(payload_bytes),
+      k_(rateless_symbols(payload_bytes, cfg)),
+      symbols_(k_),
+      resolved_(k_, 0),
+      seen_seq_(kMaxDroplets, 0) {
+  WITAG_REQUIRE(payload_bytes <= kMaxRatelessPayload);
+}
+
+bool LtDecoder::add(std::size_t seq, std::span<const std::uint8_t> data) {
+  WITAG_REQUIRE(data.size() == cfg_.symbol_bytes);
+  WITAG_REQUIRE(seq < kMaxDroplets);
+  if (complete_ || poisoned_) return false;
+  ++droplets_added_;
+  // A tag whose droplet budget wraps retransmits earlier indices; the
+  // repeat costs airtime (counted above) but carries no new equations.
+  if (seen_seq_[seq]) return false;
+  seen_seq_[seq] = 1;
+
+  Pending incoming;
+  incoming.data.assign(data.begin(), data.end());
+  for (const std::uint32_t n :
+       droplet_neighbors(stream_seed_, seq, k_, cfg_)) {
+    if (resolved_[n]) {
+      xor_into(incoming.data, symbols_[n]);
+    } else {
+      incoming.neighbors.push_back(n);
+    }
+  }
+  if (incoming.neighbors.empty()) return false;  // Fully covered already.
+  if (incoming.neighbors.size() > 1) {
+    pending_.push_back(std::move(incoming));
+    return false;
+  }
+  resolve(incoming.neighbors.front(), incoming.data);
+  return true;
+}
+
+void LtDecoder::resolve(std::uint32_t symbol,
+                        std::span<const std::uint8_t> data) {
+  // Peeling cascade: resolving one symbol may reduce buffered droplets
+  // to degree one, releasing further symbols (the "ripple").
+  std::vector<std::pair<std::uint32_t, util::ByteVec>> ripple;
+  ripple.emplace_back(symbol, util::ByteVec(data.begin(), data.end()));
+  while (!ripple.empty()) {
+    const auto [sym, value] = std::move(ripple.back());
+    ripple.pop_back();
+    if (resolved_[sym]) continue;
+    symbols_[sym] = value;
+    resolved_[sym] = 1;
+    ++resolved_count_;
+    last_progress_at_ = droplets_added_;
+
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      Pending& p = pending_[i];
+      const auto it = std::find(p.neighbors.begin(), p.neighbors.end(), sym);
+      if (it != p.neighbors.end()) {
+        p.neighbors.erase(it);
+        xor_into(p.data, value);
+      }
+      if (p.neighbors.size() == 1 && !resolved_[p.neighbors.front()]) {
+        ripple.emplace_back(p.neighbors.front(), std::move(p.data));
+        continue;  // Consumed; drop from pending.
+      }
+      if (p.neighbors.empty()) continue;  // Redundant now; drop.
+      if (write != i) pending_[write] = std::move(p);
+      ++write;
+    }
+    pending_.resize(write);
+  }
+  if (resolved_count_ == k_) finish();
+}
+
+void LtDecoder::finish() {
+  util::ByteVec block;
+  block.reserve(k_ * cfg_.symbol_bytes);
+  for (const util::ByteVec& s : symbols_) {
+    block.insert(block.end(), s.begin(), s.end());
+  }
+  const std::span<const std::uint8_t> payload(block.data(), payload_bytes_);
+  if (block[payload_bytes_] != util::crc8(payload)) {
+    // A corrupt droplet slipped past its frame CRC and was XORed into
+    // the solution; the decode is unrecoverable for this stream.
+    poisoned_ = true;
+    return;
+  }
+  payload_.assign(payload.begin(), payload.end());
+  complete_ = true;
+}
+
+bool LtDecoder::stalled(std::size_t window) const {
+  if (complete_ || poisoned_) return false;
+  return droplets_added_ >= last_progress_at_ + window;
+}
+
+}  // namespace witag::core

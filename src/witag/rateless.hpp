@@ -1,0 +1,193 @@
+// Rateless (LT fountain) coding for the tag link.
+//
+// Repetition FEC spends a fixed multiple of every frame bit whether the
+// channel needs it or not, and a burst that eats more than the
+// repetition budget kills the whole frame. The LT layer instead has the
+// tag emit a stream of short, self-delimiting *droplet frames*: each
+// carries the XOR of a pseudo-randomly chosen subset of the source
+// symbols, the subset derived from (stream seed, droplet index) on both
+// sides, so any sufficiently large subset of surviving droplets
+// reconstructs the payload (GuardRider / FlexScatter direction,
+// PAPERS.md). Corrupt or lost droplets become erasures — the decoder
+// just waits for the next one — instead of resync failures.
+//
+// Droplet frame on the block-ack bit channel:
+//
+//   preamble (8, 0xB5) | len (8) | seq (8) | data (8*symbol_bytes) | CRC-8
+//
+// `len` is the source payload length in bytes (so a cold receiver can
+// size the decoder), `seq` the droplet index, and the CRC-8 covers a
+// stream-seed-derived salt byte plus len|seq|data — droplets from a
+// stale stream (previous delivery) fail the CRC instead of silently
+// corrupting the decode. The source block is the payload plus a trailing
+// CRC-8 of the payload, so a completed decode is end-to-end checked
+// before the reader believes it.
+//
+// Encoding is systematic: droplet seq < K is source symbol seq verbatim
+// (clean channels pay ~zero overhead); seq >= K XORs a robust-soliton-
+// sampled neighbor set. Degree/neighbor streams hang off
+// `Rng::derive_seed(stream_seed, seq)`, the same fan-out discipline as
+// the sweep engine, so encoder and decoder agree bit-for-bit at any
+// --jobs count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+#include <cstddef>
+
+#include "util/bits.hpp"
+#include "witag/link.hpp"
+
+namespace witag::core {
+
+struct RatelessConfig {
+  /// Source symbol size [bytes]; droplet data field carries one symbol.
+  std::size_t symbol_bytes = 2;
+  /// Robust-soliton parameters (spike location c, failure bound delta).
+  double soliton_c = 0.1;
+  double soliton_delta = 0.5;
+};
+
+/// Stream seed used by the generic encode_tag_frame/decode_tag_stream
+/// entry points (the Reader derives per-delivery seeds instead).
+inline constexpr std::uint64_t kRatelessDefaultSeed = 0xD201713ull;
+
+/// Largest payload the 8-bit droplet sequence space supports with
+/// comfortable coded-droplet headroom.
+inline constexpr std::size_t kMaxRatelessPayload = 128;
+
+/// Source symbol count K for a payload: payload bytes + 1 CRC-8 byte,
+/// zero-padded up to a whole number of symbols.
+std::size_t rateless_symbols(std::size_t payload_bytes,
+                             const RatelessConfig& cfg);
+
+/// Nominal droplet count the generic encode path emits: K systematic
+/// droplets plus ~50% coded headroom, capped by the 8-bit seq space.
+std::size_t rateless_nominal_droplets(std::size_t payload_bytes,
+                                      const RatelessConfig& cfg);
+
+/// On-air bits of one droplet frame (fixed for a config).
+std::size_t droplet_frame_bits(const RatelessConfig& cfg);
+
+/// Robust-soliton PMF over degrees 1..K (index 0 unused), normalized.
+/// Exposed for the degree-distribution sanity tests.
+std::vector<double> robust_soliton_pmf(std::size_t k, double c,
+                                       double delta);
+
+/// CRC salt byte shared by every droplet of a stream.
+std::uint8_t rateless_salt(std::uint64_t stream_seed);
+
+/// Neighbor set of droplet `seq` for K source symbols (systematic:
+/// seq < K yields the singleton {seq}).
+std::vector<std::uint32_t> droplet_neighbors(std::uint64_t stream_seed,
+                                             std::size_t seq, std::size_t k,
+                                             const RatelessConfig& cfg);
+
+/// Tag-side encoder: turns a payload into framed droplet bit streams.
+class LtDropletSource {
+ public:
+  /// Requires payload.size() <= kMaxRatelessPayload.
+  LtDropletSource(std::span<const std::uint8_t> payload,
+                  std::uint64_t stream_seed, RatelessConfig cfg = {});
+
+  /// One framed droplet. Requires seq < 256.
+  util::BitVec droplet_frame(std::size_t seq) const;
+
+  /// Concatenation of droplet frames 0..n_droplets-1 — the bit stream
+  /// loaded into the tag. Requires n_droplets <= 256.
+  util::BitVec stream(std::size_t n_droplets) const;
+
+  std::size_t k() const { return k_; }
+  const RatelessConfig& config() const { return cfg_; }
+
+ private:
+  RatelessConfig cfg_;
+  std::uint64_t stream_seed_;
+  std::uint8_t salt_;
+  std::size_t payload_bytes_;
+  std::size_t k_;
+  util::ByteVec block_;  ///< payload | crc8(payload) | zero pad.
+};
+
+/// Reader-side peeling (belief-propagation) decoder. Feed CRC-valid
+/// droplets as they surface from the bit stream; `complete()` flips once
+/// every symbol is resolved AND the payload CRC-8 checks out.
+class LtDecoder {
+ public:
+  LtDecoder(std::size_t payload_bytes, std::uint64_t stream_seed,
+            RatelessConfig cfg = {});
+
+  /// Consumes one droplet. Returns true when it resolved at least one
+  /// new symbol (false for duplicates, already-covered combinations, or
+  /// droplets buffered pending more peeling).
+  bool add(std::size_t seq, std::span<const std::uint8_t> data);
+
+  /// All symbols resolved and the payload CRC-8 verified.
+  bool complete() const { return complete_; }
+  /// All symbols resolved but the payload CRC-8 failed: a corrupt
+  /// droplet slipped past its frame CRC. The decode is unrecoverable
+  /// (the poison is XORed in); the poll must fail rather than deliver.
+  bool poisoned() const { return poisoned_; }
+  /// No symbol resolved in the last `window` droplets consumed — the
+  /// stall signal (degree coverage hole) the supervisor's overhead
+  /// learner reacts to.
+  bool stalled(std::size_t window) const;
+
+  /// Decoded payload; valid only when complete().
+  const util::ByteVec& payload() const { return payload_; }
+
+  std::size_t droplets_added() const { return droplets_added_; }
+  std::size_t symbols_resolved() const { return resolved_count_; }
+  std::size_t k() const { return k_; }
+
+ private:
+  struct Pending {
+    std::vector<std::uint32_t> neighbors;  ///< Still-unresolved symbols.
+    util::ByteVec data;                    ///< XOR-reduced payload.
+  };
+
+  void resolve(std::uint32_t symbol, std::span<const std::uint8_t> data);
+  void finish();
+
+  RatelessConfig cfg_;
+  std::uint64_t stream_seed_;
+  std::size_t payload_bytes_;
+  std::size_t k_;
+  std::vector<util::ByteVec> symbols_;   ///< Resolved symbol data.
+  std::vector<std::uint8_t> resolved_;   ///< Flag per symbol.
+  std::size_t resolved_count_ = 0;
+  std::vector<Pending> pending_;
+  std::vector<std::uint8_t> seen_seq_;   ///< Dedup per droplet index.
+  std::size_t droplets_added_ = 0;
+  std::size_t last_progress_at_ = 0;     ///< droplets_added_ when a
+                                         ///< symbol last resolved.
+  bool complete_ = false;
+  bool poisoned_ = false;
+  util::ByteVec payload_;
+};
+
+/// One droplet recovered from the bit stream.
+struct DecodedDroplet {
+  std::uint8_t payload_len = 0;   ///< Source payload bytes (len field).
+  std::uint8_t seq = 0;           ///< Droplet index.
+  util::ByteVec data;             ///< symbol_bytes of XOR payload.
+  std::size_t next_offset = 0;    ///< Stream offset just past the frame.
+};
+
+/// Frames one droplet (exposed for tests; LtDropletSource uses it).
+util::BitVec encode_droplet_frame(std::uint8_t payload_len,
+                                  std::uint8_t seq,
+                                  std::span<const std::uint8_t> data,
+                                  std::uint8_t salt);
+
+/// Scans `stream` from `offset` for the next droplet frame whose bits
+/// are all known (erasure spans are skipped, not misparsed) and whose
+/// salted CRC-8 verifies. Returns nullopt when none completes in the
+/// remaining stream.
+std::optional<DecodedDroplet> decode_droplet_frame(
+    const ErasedBits& stream, std::size_t offset, std::uint8_t salt,
+    const RatelessConfig& cfg);
+
+}  // namespace witag::core

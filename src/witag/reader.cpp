@@ -1,9 +1,12 @@
 #include "witag/reader.hpp"
 
+#include "obs/obs.hpp"
 #include "util/require.hpp"
 #include "util/bits.hpp"
 #include "util/units.hpp"
+#include <algorithm>
 #include <cstddef>
+#include <utility>
 
 namespace witag::core {
 
@@ -17,6 +20,7 @@ void Reader::set_fec(TagFec fec) {
   if (fec == cfg_.fec) return;
   cfg_.fec = fec;
   for (auto& stream : streams_) stream.clear();
+  for (auto& decoder : decoders_) decoder.reset();
 }
 
 void Reader::set_max_rounds(std::size_t rounds) {
@@ -26,8 +30,33 @@ void Reader::set_max_rounds(std::size_t rounds) {
 
 void Reader::load_tag(std::size_t tag_index,
                       std::span<const std::uint8_t> payload) {
-  session_.tag_device(tag_index).set_payload(
-      encode_tag_frame(payload, cfg_.fec));
+  load_tag(tag_index, payload, kRatelessDefaultSeed);
+}
+
+void Reader::load_tag(std::size_t tag_index,
+                      std::span<const std::uint8_t> payload,
+                      std::uint64_t rateless_seed) {
+  if (cfg_.fec != TagFec::kRateless) {
+    session_.tag_device(tag_index).set_payload(
+        encode_tag_frame(payload, cfg_.fec));
+    return;
+  }
+  const RatelessConfig rcfg;
+  const LtDropletSource source(payload, rateless_seed, rcfg);
+  // Size the droplet stream to the poll budget: enough frames that the
+  // tag's cursor does not wrap inside one poll (wraps only resend known
+  // indices), floored at the nominal stream and capped by the 8-bit seq
+  // space.
+  const std::size_t budget_bits =
+      cfg_.max_rounds_per_frame * session_.layout().n_data_subframes;
+  const std::size_t want = budget_bits / droplet_frame_bits(rcfg) + 2;
+  const std::size_t n = std::clamp(
+      want, rateless_nominal_droplets(payload.size(), rcfg),
+      std::size_t{256});
+  session_.tag_device(tag_index).set_payload(source.stream(n));
+  if (rateless_.size() <= tag_index) rateless_.resize(tag_index + 1);
+  rateless_[tag_index] =
+      RatelessLoad{rateless_seed, payload.size(), n, true};
 }
 
 double Reader::Stats::frame_goodput_kbps(std::size_t payload_bytes) const {
@@ -36,9 +65,18 @@ double Reader::Stats::frame_goodput_kbps(std::size_t payload_bytes) const {
   return bits / (airtime_us.value() / 1e6) / 1e3;
 }
 
+void Reader::trim_stream(ErasedBits& stream) const {
+  // Bound the buffer: drop the oldest bits (they can no longer start a
+  // frame we would still care about).
+  if (stream.size() > cfg_.stream_cap_bits) {
+    stream.erase_prefix(stream.size() - cfg_.stream_cap_bits);
+  }
+}
+
 Reader::PollResult Reader::poll_frame(unsigned address) {
   if (streams_.size() <= address) streams_.resize(address + 1);
-  util::BitVec& stream = streams_[address];
+  if (cfg_.fec == TagFec::kRateless) return poll_rateless(address);
+  ErasedBits& stream = streams_[address];
 
   PollResult result;
   for (std::size_t round = 0; round < cfg_.max_rounds_per_frame; ++round) {
@@ -48,30 +86,147 @@ Reader::PollResult Reader::poll_frame(unsigned address) {
     stats_.airtime_us += r.airtime_us;
     result.airtime_us += r.airtime_us;
     if (r.lost) {
-      // Nothing usable arrived this round; the frame CRC + preamble
-      // resync absorb the gap.
       ++stats_.rounds_lost;
+      if (r.trigger_detected) {
+        // The tag answered but the block ack died: its cursor advanced
+        // by a full round of bits we never saw. An erasure run of the
+        // same length keeps every later bit aligned with the tag.
+        stream.append_erasure_run(r.received.size());
+      }
+      // Trigger miss / brownout: the tag never advanced, so the stream
+      // has no gap to represent.
       continue;
     }
-    for (const bool bit : r.received) stream.push_back(bit ? 1 : 0);
+    for (const bool bit : r.received) {
+      stream.bits.push_back(bit ? 1 : 0);
+      stream.known.push_back(1);
+    }
 
     if (auto frame = decode_tag_frame(stream, 0, cfg_.fec)) {
-      stream.erase(stream.begin(),
-                   stream.begin() +
-                       static_cast<std::ptrdiff_t>(frame->next_offset));
+      stream.erase_prefix(frame->next_offset);
       result.ok = true;
       result.payload = std::move(frame->payload);
       result.fec_corrected = frame->corrected_bits;
       ++stats_.frames_ok;
       return result;
     }
-    // Bound the buffer: drop the oldest bits (they can no longer start
-    // a frame we would still care about).
-    if (stream.size() > cfg_.stream_cap_bits) {
-      stream.erase(stream.begin(),
-                   stream.begin() + static_cast<std::ptrdiff_t>(
-                                        stream.size() - cfg_.stream_cap_bits));
+    trim_stream(stream);
+  }
+  ++stats_.polls_failed;
+  return result;
+}
+
+Reader::PollResult Reader::poll_rateless(unsigned address) {
+  const std::size_t tag_idx = session_.tag_index(address);
+  WITAG_REQUIRE(tag_idx < rateless_.size() && rateless_[tag_idx].loaded);
+  const RatelessLoad& load = rateless_[tag_idx];
+
+  ErasedBits& stream = streams_[address];
+  if (stream_seed_.size() <= address) stream_seed_.resize(address + 1);
+  if (decoders_.size() <= address) decoders_.resize(address + 1);
+  if (stream_seed_[address] != load.seed) {
+    // Buffered bits belong to the previous delivery's stream; their
+    // droplets carry the old salt and would only CRC-fail. Start clean.
+    stream.clear();
+    stream_seed_[address] = load.seed;
+    decoders_[address].reset();
+  }
+
+  const RatelessConfig rcfg;
+  const std::uint8_t salt = rateless_salt(load.seed);
+  if (!decoders_[address]) {
+    decoders_[address].emplace(load.payload_bytes, load.seed, rcfg);
+  }
+  LtDecoder& decoder = *decoders_[address];
+  std::size_t offset = 0;
+
+  PollResult result;
+  result.k_symbols = decoder.k();
+  std::size_t bits_appended = 0;
+
+  const auto drain_droplets = [&]() {
+    while (!decoder.complete() && !decoder.poisoned()) {
+      const auto droplet = decode_droplet_frame(stream, offset, salt, rcfg);
+      if (!droplet) break;
+      offset = droplet->next_offset;
+      WITAG_COUNT("link.rateless.droplets_decoded", 1);
+      decoder.add(droplet->seq, droplet->data);
     }
+    if (decoder.poisoned()) {
+      // A corrupt droplet survived its frame CRC and reached the
+      // solution; every equation is tainted. Restart the decode on
+      // whatever still arrives.
+      WITAG_COUNT("link.rateless.decoders_poisoned", 1);
+      decoder = LtDecoder(load.payload_bytes, load.seed, rcfg);
+    }
+    // Drop the consumed prefix immediately: cap-trimming then only ever
+    // removes unparsed bits, so `offset` stays valid across rounds.
+    stream.erase_prefix(offset);
+    offset = 0;
+  };
+
+  // Droplets left over from a failed poll of the same delivery may
+  // already close the system.
+  drain_droplets();
+
+  // `round` meters droplet-collecting opportunities: scheduler skips
+  // charge airtime but not the budget (the predictor's cap bounds them
+  // to max_consecutive_skips per real round, so the poll still ends).
+  for (std::size_t round = 0;
+       round < cfg_.max_rounds_per_frame && !decoder.complete();) {
+    if (scheduler_ && scheduler_->should_skip()) {
+      // Predicted burst: the client's A-MPDU flies without the tag.
+      // The airtime is real and charged; the tag's droplet cursor and
+      // the stream buffer both stand still.
+      const util::Micros us = session_.skip_round(address);
+      ++result.rounds;
+      ++result.rounds_skipped;
+      ++stats_.rounds;
+      ++stats_.rounds_skipped;
+      result.airtime_us += us;
+      result.skipped_us += us;
+      stats_.airtime_us += us;
+      stats_.skipped_us += us;
+      continue;
+    }
+    ++round;
+    const Session::RoundResult r = session_.run_round_addressed(address);
+    ++result.rounds;
+    ++stats_.rounds;
+    stats_.airtime_us += r.airtime_us;
+    result.airtime_us += r.airtime_us;
+    if (scheduler_) scheduler_->observe(r.lost);
+    if (r.lost) {
+      ++stats_.rounds_lost;
+      if (r.trigger_detected) {
+        stream.append_erasure_run(r.received.size());
+        bits_appended += r.received.size();
+      }
+      continue;
+    }
+    for (const bool bit : r.received) {
+      stream.bits.push_back(bit ? 1 : 0);
+      stream.known.push_back(1);
+    }
+    bits_appended += r.received.size();
+    drain_droplets();
+    if (!decoder.complete()) trim_stream(stream);
+  }
+
+  // Droplet frames the tag spent energy transmitting this poll (erased
+  // rounds included: the tag sent them whether or not the ack survived).
+  WITAG_COUNT("link.rateless.droplets_sent",
+              bits_appended / droplet_frame_bits(rcfg));
+
+  result.droplets_used = decoder.droplets_added();
+  if (decoder.complete()) {
+    result.ok = true;
+    result.payload = decoder.payload();
+    ++stats_.frames_ok;
+    // The next poll of this load decodes afresh from new droplets (the
+    // tag keeps cycling its stream); only a reload reuses this state.
+    decoders_[address].reset();
+    return result;
   }
   ++stats_.polls_failed;
   return result;

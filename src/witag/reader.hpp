@@ -6,6 +6,14 @@
 // rounds via preamble resync), retries up to a round budget, and keeps
 // running statistics. With multiple tags it polls by address using the
 // trigger-code extension.
+//
+// Lost rounds where the tag *did* respond (the block ack died on the
+// return path) enter the stream buffer as explicit erasure runs, so the
+// bits after the gap stay aligned with the tag's cursor instead of
+// splicing together across it. Under `TagFec::kRateless` the buffer
+// carries LT droplet frames (src/witag/rateless.hpp): a poll feeds every
+// CRC-valid droplet into a peeling decoder and completes as soon as the
+// equations close, so erased rounds cost extra droplets, never a resync.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +22,7 @@
 #include <cstddef>
 
 #include "witag/link.hpp"
+#include "witag/rateless.hpp"
 #include "witag/session.hpp"
 #include "util/units.hpp"
 #include "util/bits.hpp"
@@ -29,6 +38,20 @@ struct ReaderConfig {
   std::size_t stream_cap_bits = 1 << 16;
 };
 
+/// Decides, before each query round of a rateless poll, whether the tag
+/// should sit the upcoming A-MPDU out (e.g. a predicted interference
+/// burst). Skipped rounds consume poll budget and airtime — the client
+/// transmits regardless — but no tag energy and no droplets; the
+/// scheduler sees the loss outcome of every round the tag *did* answer.
+class RoundScheduler {
+ public:
+  virtual ~RoundScheduler() = default;
+  /// True to skip the upcoming round.
+  virtual bool should_skip() = 0;
+  /// Outcome feedback for a transmitted (non-skipped) round.
+  virtual void observe(bool lost) = 0;
+};
+
 class Reader {
  public:
   /// The session must outlive the reader.
@@ -39,7 +62,12 @@ class Reader {
     util::ByteVec payload;
     std::size_t rounds = 0;           ///< Queries spent in this poll.
     std::size_t fec_corrected = 0;    ///< Channel bits FEC repaired.
-    util::Micros airtime_us{};
+    util::Micros airtime_us{};        ///< Includes skipped rounds' air.
+    /// Rateless decode detail (zero under the classic FEC modes).
+    std::size_t droplets_used = 0;    ///< Droplets the decoder consumed.
+    std::size_t k_symbols = 0;        ///< Source symbols of the payload.
+    std::size_t rounds_skipped = 0;   ///< Scheduler-skipped rounds.
+    util::Micros skipped_us{};        ///< Airtime of those rounds.
   };
 
   /// Queries tag `address` until one whole frame decodes or the round
@@ -52,7 +80,9 @@ class Reader {
     std::size_t polls_failed = 0;
     std::size_t rounds = 0;
     std::size_t rounds_lost = 0;
+    std::size_t rounds_skipped = 0;   ///< Scheduler-skipped rounds.
     util::Micros airtime_us{};
+    util::Micros skipped_us{};
 
     /// Delivered frame payload bits per second of airtime [Kbps].
     double frame_goodput_kbps(std::size_t payload_bytes) const;
@@ -60,8 +90,15 @@ class Reader {
   const Stats& stats() const { return stats_; }
 
   /// Loads a tag with a framed payload using the reader's FEC (test and
-  /// example convenience; a real sensor frames its own readings).
+  /// example convenience; a real sensor frames its own readings). Under
+  /// kRateless the tag gets a droplet stream sized to the poll budget,
+  /// derived from `rateless_seed` — pass a fresh per-delivery seed
+  /// (Rng::derive_seed fan-out) so stale droplets from the previous
+  /// delivery fail their salted CRC instead of aliasing into the new
+  /// decode. The previous buffered bits for that tag are discarded.
   void load_tag(std::size_t tag_index, std::span<const std::uint8_t> payload);
+  void load_tag(std::size_t tag_index, std::span<const std::uint8_t> payload,
+                std::uint64_t rateless_seed);
 
   /// The wrapped session (the supervisor drives its MCS and idle time).
   Session& session() { return session_; }
@@ -77,13 +114,37 @@ class Reader {
   /// to the current frame length so failed polls stop burning a budget
   /// sized for frames no longer in flight). Stream buffers are kept.
   void set_max_rounds(std::size_t rounds);
+  /// Installs (or clears, with nullptr) the round scheduler consulted
+  /// by rateless polls. The scheduler must outlive the reader or be
+  /// cleared first; the reader does not own it.
+  void set_scheduler(RoundScheduler* scheduler) { scheduler_ = scheduler; }
   const ReaderConfig& config() const { return cfg_; }
 
  private:
+  /// Per-tag droplet stream parameters set by the last rateless load.
+  struct RatelessLoad {
+    std::uint64_t seed = kRatelessDefaultSeed;
+    std::size_t payload_bytes = 0;
+    std::size_t n_droplets = 0;
+    bool loaded = false;
+  };
+
+  PollResult poll_rateless(unsigned address);
+  void trim_stream(ErasedBits& stream) const;
+
   Session& session_;
   ReaderConfig cfg_;
   /// Per-address stream buffers (indexed by trigger code).
-  std::vector<util::BitVec> streams_;
+  std::vector<ErasedBits> streams_;
+  /// Stream seed whose droplets currently fill streams_[address]; a
+  /// reload under a new seed invalidates the buffered bits.
+  std::vector<std::uint64_t> stream_seed_;
+  /// Live decoder per address: droplets accumulate across failed polls
+  /// of the same delivery (a retry resumes where the budget ran out
+  /// instead of re-earning every equation).
+  std::vector<std::optional<LtDecoder>> decoders_;
+  std::vector<RatelessLoad> rateless_;  ///< Indexed by tag index.
+  RoundScheduler* scheduler_ = nullptr;
   Stats stats_;
 };
 

@@ -396,6 +396,25 @@ void Session::set_mcs(unsigned mcs) {
   WITAG_EVENT1("session.set_mcs", "mcs", static_cast<double>(mcs), "session");
 }
 
+util::Micros Session::skip_round(unsigned address) {
+  WITAG_COUNT("session.rounds_skipped", 1);
+  WITAG_EVENT("session.round_skipped", "session");
+  const QueryLayout& layout = layout_for(address);
+  // The PPDU the client would have sent: header region plus every
+  // subframe slot. Using the layout (not a built frame) keeps the skip
+  // allocation-free and rng-free.
+  const util::Micros ppdu_us =
+      layout.subframes_start_us() +
+      static_cast<double>(layout.n_subframes) * layout.subframe_duration_us();
+  const auto airtime =
+      mac::ampdu_exchange(ppdu_us, mac::expected_backoff_us());
+  const util::Micros total = airtime.total_us() + cfg_.inter_query_gap_us;
+  const util::Seconds dt = util::to_seconds(total * cfg_.time_dilation);
+  channel_->advance(dt);
+  faults_.advance(dt);
+  return total;
+}
+
 void Session::idle_wait(util::Micros us) {
   WITAG_REQUIRE(us >= util::Micros{0.0});
   WITAG_COUNT("session.idle_wait.calls", 1);

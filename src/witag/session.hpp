@@ -82,6 +82,15 @@ class Session {
   /// rides on this, which is why waiting out a burst genuinely helps.
   void idle_wait(util::Micros us);
 
+  /// The tag sits out one addressed query: the client's A-MPDU still
+  /// occupies the air (its airtime is charged — the returned duration —
+  /// and the channel/fault clocks advance by it), but the tag spends no
+  /// harvested energy and no bits move. The predictive scheduler uses
+  /// this to skip rounds it expects to land inside an interference
+  /// burst. Deterministic: the backoff is the CWmin expectation, not a
+  /// draw, so skipping never perturbs the session's random stream.
+  util::Micros skip_round(unsigned address);
+
   /// Realized fault events so far (all zero when no plan is active).
   const faults::FaultCounts& fault_counts() const { return faults_.counts(); }
 

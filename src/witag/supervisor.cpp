@@ -10,11 +10,16 @@
 #include "util/rng.hpp"
 #include "util/bits.hpp"
 #include "util/units.hpp"
+#include "witag/rateless.hpp"
 
 namespace witag::core {
 namespace {
 
 /// One FEC step up the robustness ladder (no step from the strongest).
+/// kRateless is a fixed point: the fountain already adapts its rate
+/// droplet by droplet, so there is no stronger code to jump to — the
+/// learned overhead ratio absorbs what FEC escalation did for
+/// repetition.
 TagFec stronger_fec(TagFec fec) {
   switch (fec) {
     case TagFec::kNone:
@@ -24,6 +29,8 @@ TagFec stronger_fec(TagFec fec) {
       return TagFec::kRepetition5;
     case TagFec::kRepetition5:
       return TagFec::kRepetition5;
+    case TagFec::kRateless:
+      return TagFec::kRateless;
   }
   return TagFec::kRepetition5;
 }
@@ -39,6 +46,7 @@ TagFec weaker_fec(TagFec fec, TagFec floor) {
       return floor;
     case TagFec::kNone:
     case TagFec::kHamming74:
+    case TagFec::kRateless:
       return fec;
   }
   return fec;
@@ -53,10 +61,52 @@ double LinkSupervisor::Stats::goodput_kbps() const {
   return bits / (total.value() / 1e6) / 1e3;
 }
 
+BurstPredictor::BurstPredictor(double alpha, double skip_threshold,
+                               std::size_t max_consecutive_skips)
+    : alpha_(alpha),
+      threshold_(skip_threshold),
+      max_skips_(max_consecutive_skips) {
+  WITAG_REQUIRE(alpha > 0.0 && alpha <= 1.0);
+  WITAG_REQUIRE(skip_threshold > 0.0 && skip_threshold < 1.0);
+  WITAG_REQUIRE(max_consecutive_skips > 0);
+}
+
+void BurstPredictor::observe(bool lost) {
+  const double x = lost ? 1.0 : 0.0;
+  p_loss_ += alpha_ * (x - p_loss_);
+  if (prev_lost_) {
+    // This transition started from a lost round: it is exactly one
+    // sample of the burst-persistence statistic.
+    p_continue_ += alpha_ * (x - p_continue_);
+  }
+  prev_lost_ = lost;
+  skips_in_row_ = 0;
+}
+
+bool BurstPredictor::should_skip() {
+  // Skip only while the last *observed* round was lost and bursts are
+  // sticky enough that the next one probably is too. The consecutive-
+  // skip cap forces a probe round that discovers the burst's end —
+  // without it a persistent estimate would starve the link forever.
+  if (!prev_lost_ || p_continue_ <= threshold_ ||
+      skips_in_row_ >= max_skips_) {
+    return false;
+  }
+  ++skips_in_row_;
+  ++skips_total_;
+  WITAG_COUNT("supervisor.skips", 1);
+  // Distribution of skip-run lengths: p99 near max_consecutive_skips
+  // means the cap binds (bursts outlast the patience).
+  WITAG_HDR("supervisor.skip_predictions",
+            static_cast<double>(skips_in_row_));
+  return true;
+}
+
 LinkSupervisor::LinkSupervisor(Reader& reader, SupervisorConfig cfg)
     : reader_(reader),
       cfg_(cfg),
       payload_bytes_(cfg.payload_bytes),
+      overhead_(cfg.overhead_init),
       top_mcs_(reader.session().current_mcs()),
       base_fec_(reader.fec()),
       entry_budget_(reader.config().max_rounds_per_frame) {
@@ -69,7 +119,18 @@ LinkSupervisor::LinkSupervisor(Reader& reader, SupervisorConfig cfg)
   WITAG_REQUIRE(cfg.backoff_base_us > util::Micros{0.0});
   WITAG_REQUIRE(cfg.backoff_factor >= 1.0);
   WITAG_REQUIRE(cfg.probe_period > 0);
+  WITAG_REQUIRE(cfg.overhead_alpha > 0.0 && cfg.overhead_alpha <= 1.0);
+  WITAG_REQUIRE(cfg.overhead_init >= 1.0);
+  if (cfg.predictive && reader.fec() == TagFec::kRateless) {
+    predictor_.emplace(cfg.predict_alpha, cfg.skip_threshold,
+                       cfg.max_consecutive_skips);
+    reader_.set_scheduler(&*predictor_);
+  }
   retune_budget();
+}
+
+LinkSupervisor::~LinkSupervisor() {
+  if (predictor_) reader_.set_scheduler(nullptr);
 }
 
 unsigned LinkSupervisor::mcs() const {
@@ -96,12 +157,25 @@ util::ByteVec LinkSupervisor::next_payload(unsigned address) {
   return rng.bytes(payload_bytes_);
 }
 
+std::size_t LinkSupervisor::expected_frame_bits(
+    TagFec fec, std::size_t payload_bytes) const {
+  if (fec != TagFec::kRateless) return tag_frame_bits(payload_bytes, fec);
+  // A rateless delivery needs about K * overhead droplets, where the
+  // overhead ratio is learned from decode feedback instead of fixed by
+  // a repetition count.
+  const RatelessConfig rcfg;
+  const auto droplets = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(rateless_symbols(payload_bytes, rcfg)) *
+      overhead_));
+  return droplets * droplet_frame_bits(rcfg);
+}
+
 bool LinkSupervisor::frame_fits(TagFec fec, std::size_t payload_bytes) const {
   const std::size_t per_round =
       reader_.session().layout().n_data_subframes;
   // A frame must fit in well under the caller's poll budget or lost
   // rounds leave the poll no room to ever complete it: cap at 3/4.
-  return tag_frame_bits(payload_bytes, fec) * 4 <=
+  return expected_frame_bits(fec, payload_bytes) * 4 <=
          entry_budget_ * per_round * 3;
 }
 
@@ -110,11 +184,13 @@ void LinkSupervisor::retune_budget() {
   // nominal round count (hostile channels lose about half the rounds)
   // plus slack. Without this, a poll that will fail burns a budget
   // sized for the largest frame the caller ever planned — the dominant
-  // airtime sink under heavy faults.
+  // airtime sink under heavy faults. For kRateless the nominal round
+  // count tracks the learned overhead, so the budget tightens as the
+  // channel proves cheap and relaxes as decodes get expensive.
   const std::size_t per_round =
       reader_.session().layout().n_data_subframes;
   const std::size_t frame_rounds =
-      (tag_frame_bits(payload_bytes_, reader_.fec()) + per_round - 1) /
+      (expected_frame_bits(reader_.fec(), payload_bytes_) + per_round - 1) /
       per_round;
   const std::size_t budget =
       std::min(entry_budget_, std::max<std::size_t>(2 * frame_rounds + 2, 4));
@@ -265,8 +341,15 @@ LinkSupervisor::DeliveryResult LinkSupervisor::deliver(unsigned address) {
   WITAG_SPAN_CAT("supervisor.deliver", "supervisor");
   Session& session = reader_.session();
   const util::ByteVec payload = next_payload(address);
+  // Per-delivery droplet stream seed (kRateless; ignored by classic
+  // FEC): two-level derive_seed fan-out keeps every (address, sequence)
+  // stream independent and worker-count invariant, and the seed-derived
+  // droplet CRC salt makes any buffered droplets of the previous
+  // delivery visibly stale.
+  const std::uint64_t stream_seed = util::Rng::derive_seed(
+      util::Rng::derive_seed(0xD2'0917ull, address), sequence_);
   ++sequence_;
-  reader_.load_tag(session.tag_index(address), payload);
+  reader_.load_tag(session.tag_index(address), payload, stream_seed);
 
   DeliveryResult result;
   for (std::size_t attempt = 0; attempt <= cfg_.max_retries; ++attempt) {
@@ -287,6 +370,20 @@ LinkSupervisor::DeliveryResult LinkSupervisor::deliver(unsigned address) {
     Reader::PollResult poll = reader_.poll_frame(address);
     result.rounds += poll.rounds;
     result.airtime_us += poll.airtime_us;
+    result.rounds_skipped += poll.rounds_skipped;
+    stats_.rounds_skipped += poll.rounds_skipped;
+    result.droplets_used += poll.droplets_used;
+    stats_.droplets_used += poll.droplets_used;
+    if (poll.ok && reader_.fec() == TagFec::kRateless &&
+        poll.k_symbols > 0) {
+      // Online overhead learning: droplets this delivery consumed per
+      // source symbol, folded into the EWMA that sizes future budgets.
+      const double ratio = static_cast<double>(poll.droplets_used) /
+                           static_cast<double>(poll.k_symbols);
+      overhead_ += cfg_.overhead_alpha * (ratio - overhead_);
+      obs::gauge("link.rateless.overhead_ratio").set(overhead_);
+      retune_budget();
+    }
     if (poll.ok) {
       // The supervisor loaded the tag, so it can audit the content: a
       // CRC-valid frame that is not the loaded payload is a false

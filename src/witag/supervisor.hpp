@@ -67,6 +67,62 @@ struct SupervisorConfig {
 
   /// Successful polls between recovery probes of the next-better rung.
   std::size_t probe_period = 8;
+
+  /// --- kRateless policy ---------------------------------------------
+  /// Under TagFec::kRateless the FEC rung of the ladder is a fixed
+  /// point: instead of stepping between repetition factors, the
+  /// supervisor learns the droplet overhead ratio (droplets consumed
+  /// per source symbol on successful deliveries, >= 1.0) by EWMA and
+  /// sizes poll budgets from it — the code rate adapts continuously
+  /// where repetition could only jump 3x -> 5x.
+  double overhead_alpha = 0.25;
+  /// Overhead assumed before the first successful decode.
+  double overhead_init = 1.35;
+
+  /// Traffic-predictive scheduling (kRateless only): watch the round
+  /// loss process, estimate the Gilbert-Elliott burst persistence
+  /// P(lost | previous lost), and have the tag sit out rounds predicted
+  /// to land inside a burst. Skipped airtime is still charged to
+  /// goodput — the win must come from droplets not wasted, not from
+  /// pretending the air was free.
+  bool predictive = false;
+  /// EWMA weight for the loss/burst estimates.
+  double predict_alpha = 0.3;
+  /// Skip only while the burst-persistence estimate exceeds this.
+  double skip_threshold = 0.55;
+  /// Forced transmit after this many consecutive skips (the probe that
+  /// discovers the burst ended).
+  std::size_t max_consecutive_skips = 3;
+};
+
+/// EWMA loss/burst predictor over recent round outcomes, installed as
+/// the Reader's RoundScheduler when predictive scheduling is on. Skips
+/// are decided from two online estimates: the stationary loss rate and
+/// the burst persistence P(this round lost | previous round lost) — the
+/// Gilbert-Elliott channel's defining statistic. Purely deterministic
+/// in the outcome sequence.
+class BurstPredictor : public RoundScheduler {
+ public:
+  BurstPredictor(double alpha, double skip_threshold,
+                 std::size_t max_consecutive_skips);
+
+  bool should_skip() override;
+  void observe(bool lost) override;
+
+  double loss_rate() const { return p_loss_; }
+  double burst_persistence() const { return p_continue_; }
+  std::size_t skips() const { return skips_total_; }
+
+ private:
+  double alpha_;
+  double threshold_;
+  std::size_t max_skips_;
+  double p_loss_ = 0.0;
+  /// P(lost | previous lost); 0.5 start = "no burst evidence yet".
+  double p_continue_ = 0.5;
+  bool prev_lost_ = false;
+  std::size_t skips_in_row_ = 0;
+  std::size_t skips_total_ = 0;
 };
 
 /// Wraps a Reader (which wraps a Session) and delivers application
@@ -78,11 +134,18 @@ class LinkSupervisor {
   /// either behind its back.
   LinkSupervisor(Reader& reader, SupervisorConfig cfg);
 
+  /// Clears the reader's scheduler hook if this supervisor installed one.
+  ~LinkSupervisor();
+  LinkSupervisor(const LinkSupervisor&) = delete;
+  LinkSupervisor& operator=(const LinkSupervisor&) = delete;
+
   struct DeliveryResult {
     bool ok = false;
     util::ByteVec payload;
     std::size_t rounds = 0;    ///< Query rounds across all attempts.
     std::size_t retries = 0;   ///< Extra attempts beyond the first.
+    std::size_t rounds_skipped = 0;  ///< Predictive-scheduler skips.
+    std::size_t droplets_used = 0;   ///< Droplets consumed (kRateless).
     util::Micros airtime_us{};  ///< On-air time (excludes backoff).
   };
 
@@ -106,6 +169,8 @@ class LinkSupervisor {
     std::size_t frame_shrinks = 0;
     std::size_t recoveries = 0;        ///< Ladder steps back up.
     std::size_t probes = 0;            ///< Recovery probes attempted.
+    std::size_t rounds_skipped = 0;    ///< Predictive-scheduler skips.
+    std::size_t droplets_used = 0;     ///< Droplets consumed (kRateless).
     util::Micros airtime_us{};         ///< On-air time across deliveries.
     util::Micros backoff_us{};         ///< Simulated idle time burned.
 
@@ -119,6 +184,14 @@ class LinkSupervisor {
   unsigned mcs() const;
   TagFec fec() const { return reader_.fec(); }
   std::size_t payload_bytes() const { return payload_bytes_; }
+  /// Learned droplet overhead ratio (kRateless; overhead_init until the
+  /// first successful decode updates it).
+  double overhead_ratio() const { return overhead_; }
+  /// The installed burst predictor, or nullptr (not predictive /
+  /// classic FEC).
+  const BurstPredictor* predictor() const {
+    return predictor_ ? &*predictor_ : nullptr;
+  }
 
  private:
   bool escalate(unsigned address);
@@ -141,9 +214,17 @@ class LinkSupervisor {
   /// stop paying for frames the ladder no longer sends.
   void retune_budget();
 
+  /// Channel bits one delivery is expected to need under the current
+  /// frame shape — learned-overhead droplets for kRateless, the fixed
+  /// encoding expansion otherwise. frame_fits/retune_budget run on it.
+  std::size_t expected_frame_bits(TagFec fec,
+                                  std::size_t payload_bytes) const;
+
   Reader& reader_;
   SupervisorConfig cfg_;
   std::size_t payload_bytes_;
+  double overhead_;  ///< Learned droplet overhead (kRateless).
+  std::optional<BurstPredictor> predictor_;
   unsigned top_mcs_;  ///< The rate rung the ladder recovers toward.
   TagFec base_fec_;   ///< The FEC rung the ladder recovers toward.
   std::size_t entry_budget_;  ///< The caller's per-poll round budget.

@@ -65,6 +65,81 @@ TEST_P(LinkFec, CrcRejectsCorruptPayloadBits) {
   }
 }
 
+// A lost block-ack round enters the reader's stream as an erasure run of
+// the round's length (the tag's cursor advanced; the bits are simply
+// unknown). These regressions pin that the erasure-aware decoders keep
+// the stream aligned across such gaps instead of splicing and hunting
+// for a resync — the frame after the gap must decode at its exact
+// offset.
+
+/// Replaces `count` bits at `start` with erasures in place.
+void erase_span(ErasedBits& stream, std::size_t start, std::size_t count) {
+  for (std::size_t i = start; i < start + count; ++i) {
+    stream.bits[i] = 0;
+    stream.known[i] = 0;
+  }
+}
+
+constexpr std::size_t kRoundBits = 59;  // data bits per default query
+
+TEST_P(LinkFec, ResyncsAcrossSingleErasedRound) {
+  // Payloads sized so a full lost round fits inside one frame even for
+  // kNone (12-byte payload = 128 raw frame bits > 2 * kRoundBits).
+  const util::ByteVec p1(12, 0xA1);
+  const util::ByteVec p2(12, 0xB2);
+  const util::ByteVec p3(12, 0xC3);
+  util::BitVec all = encode_tag_frame(p1, GetParam());
+  const std::size_t f1_end = all.size();
+  const util::BitVec f2 = encode_tag_frame(p2, GetParam());
+  all.insert(all.end(), f2.begin(), f2.end());
+  const util::BitVec f3 = encode_tag_frame(p3, GetParam());
+  all.insert(all.end(), f3.begin(), f3.end());
+
+  ErasedBits stream;
+  stream.append(all);
+  // One lost round in the middle of frame 2.
+  erase_span(stream, f1_end + f2.size() / 2, kRoundBits);
+
+  const auto frames = decode_tag_stream(stream, GetParam());
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(frames.front().payload, p1);
+  EXPECT_EQ(frames.front().next_offset, f1_end);
+  // Whatever the erasure did to frame 2, frame 3 must decode at its
+  // position: the erasure run kept the stream aligned. Repetition codes
+  // are shift-tolerant by a bit or two (a majority window straddling
+  // two copies of the same value still wins), hence the small slack.
+  EXPECT_EQ(frames.back().payload, p3);
+  EXPECT_GE(frames.back().next_offset + 4, stream.size());
+}
+
+TEST_P(LinkFec, ResyncsAcrossConsecutiveErasedRounds) {
+  const util::ByteVec p1(12, 0x0F);
+  const util::ByteVec p2(12, 0x5A);
+  util::BitVec all = encode_tag_frame(p1, GetParam());
+  const std::size_t f1_end = all.size();
+  const util::BitVec f2 = encode_tag_frame(p2, GetParam());
+  all.insert(all.end(), f2.begin(), f2.end());
+
+  ErasedBits stream;
+  stream.append(all);
+  // Two back-to-back lost rounds straddling the frame boundary: the
+  // tail of frame 1 and the head of frame 2 are both unknown.
+  ASSERT_GT(f1_end, kRoundBits);
+  erase_span(stream, f1_end - kRoundBits, 2 * kRoundBits);
+
+  const auto frames = decode_tag_stream(stream, GetParam());
+  // Neither frame is required to survive (the erasure may exceed the
+  // code), but any frame that does decode must carry a loaded payload
+  // near its true offset — never a phantom assembled across the gap.
+  // (Repetition codes tolerate a bit or two of shift; see above.)
+  for (const auto& frame : frames) {
+    EXPECT_TRUE(frame.payload == p1 || frame.payload == p2);
+    const std::size_t off = frame.next_offset;
+    EXPECT_TRUE((off + 4 >= f1_end && off <= f1_end + 4) ||
+                off + 4 >= stream.size());
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllFecs, LinkFec,
                          ::testing::Values(TagFec::kNone,
                                            TagFec::kRepetition3,
@@ -143,6 +218,61 @@ TEST(LinkFecCoding, BlockSizeContracts) {
   EXPECT_THROW(fec_decode(ragged, TagFec::kRepetition3),
                std::invalid_argument);
   EXPECT_THROW(fec_decode(ragged, TagFec::kHamming74), std::invalid_argument);
+}
+
+TEST(LinkFecCoding, RepetitionDecodesThroughPartialErasure) {
+  util::Rng rng(11);
+  const util::BitVec raw = rng.bits(32);
+  const util::BitVec coded = fec_encode(raw, TagFec::kRepetition3);
+  util::BitVec known(coded.size(), 1);
+  for (std::size_t t = 0; t < coded.size() / 3; ++t) {
+    known[3 * t + (t % 3)] = 0;  // one copy of every triple erased
+  }
+  const FecDecodeResult out = fec_decode(coded, known, TagFec::kRepetition3);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.bits, raw);
+  EXPECT_EQ(out.corrected, 0u);  // surviving copies agree
+}
+
+TEST(LinkFecCoding, RepetitionAllCopiesErasedFails) {
+  const util::BitVec raw{1, 0};
+  const util::BitVec coded = fec_encode(raw, TagFec::kRepetition5);
+  util::BitVec known(coded.size(), 1);
+  for (std::size_t i = 0; i < 5; ++i) known[i] = 0;  // whole first group
+  const FecDecodeResult out = fec_decode(coded, known, TagFec::kRepetition5);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(LinkFecCoding, Hamming74FillsSingleErasurePerBlock) {
+  util::Rng rng(13);
+  const util::BitVec raw = rng.bits(64);
+  const util::BitVec coded = fec_encode(raw, TagFec::kHamming74);
+  util::BitVec known(coded.size(), 1);
+  for (std::size_t b = 0; b < coded.size() / 7; ++b) {
+    known[7 * b + (b % 7)] = 0;
+  }
+  const FecDecodeResult out = fec_decode(coded, known, TagFec::kHamming74);
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(out.bits, raw);
+  EXPECT_EQ(out.corrected, coded.size() / 7);  // every fill counted
+}
+
+TEST(LinkFecCoding, Hamming74DoubleErasureFails) {
+  const util::BitVec raw{1, 0, 1, 1};
+  const util::BitVec coded = fec_encode(raw, TagFec::kHamming74);
+  util::BitVec known(coded.size(), 1);
+  known[0] = 0;
+  known[4] = 0;
+  const FecDecodeResult out = fec_decode(coded, known, TagFec::kHamming74);
+  EXPECT_FALSE(out.ok);
+}
+
+TEST(LinkFecCoding, NoneRejectsAnyErasure) {
+  const util::BitVec raw{1, 0, 1};
+  util::BitVec known(raw.size(), 1);
+  known[1] = 0;
+  const FecDecodeResult out = fec_decode(raw, known, TagFec::kNone);
+  EXPECT_FALSE(out.ok);
 }
 
 TEST(Link, StreamWithNoFrameReturnsNothing) {

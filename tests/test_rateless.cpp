@@ -1,0 +1,336 @@
+#include "witag/rateless.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/crc.hpp"
+#include "util/rng.hpp"
+#include "witag/link.hpp"
+
+namespace witag::core {
+namespace {
+
+constexpr RatelessConfig kCfg;
+
+// --- Degree distribution -------------------------------------------------
+
+TEST(RatelessSoliton, PmfIsNormalized) {
+  for (const std::size_t k : {1u, 2u, 5u, 17u, 64u}) {
+    const auto pmf = robust_soliton_pmf(k, kCfg.soliton_c, kCfg.soliton_delta);
+    ASSERT_EQ(pmf.size(), k + 1);
+    EXPECT_EQ(pmf[0], 0.0);
+    double total = 0.0;
+    for (const double p : pmf) {
+      EXPECT_GE(p, 0.0);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(RatelessSoliton, DegenerateSingleSymbol) {
+  const auto pmf = robust_soliton_pmf(1, kCfg.soliton_c, kCfg.soliton_delta);
+  EXPECT_EQ(pmf[1], 1.0);
+}
+
+TEST(RatelessSoliton, EmpiricalDegreesMatchPmf) {
+  // Sample coded-droplet degrees across many stream seeds and compare
+  // the empirical histogram against the robust-soliton PMF the sampler
+  // claims to draw from.
+  constexpr std::size_t kK = 32;
+  const auto pmf = robust_soliton_pmf(kK, kCfg.soliton_c, kCfg.soliton_delta);
+  std::vector<double> hist(kK + 1, 0.0);
+  std::size_t samples = 0;
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    for (std::size_t seq = kK; seq < 256; ++seq) {
+      const auto neighbors = droplet_neighbors(seed, seq, kK, kCfg);
+      ASSERT_GE(neighbors.size(), 1u);
+      ASSERT_LE(neighbors.size(), kK);
+      hist[neighbors.size()] += 1.0;
+      ++samples;
+    }
+  }
+  for (std::size_t d = 1; d <= kK; ++d) {
+    EXPECT_NEAR(hist[d] / static_cast<double>(samples), pmf[d], 0.03)
+        << "degree " << d;
+  }
+}
+
+TEST(RatelessSoliton, SystematicPrefixIsSingleton) {
+  for (std::size_t seq = 0; seq < 6; ++seq) {
+    const auto n = droplet_neighbors(0xABCDull, seq, 6, kCfg);
+    ASSERT_EQ(n.size(), 1u);
+    EXPECT_EQ(n[0], seq);
+  }
+}
+
+TEST(RatelessSoliton, CodedNeighborsDistinctAndDeterministic) {
+  for (std::size_t seq = 10; seq < 40; ++seq) {
+    const auto a = droplet_neighbors(0x1234ull, seq, 10, kCfg);
+    const auto b = droplet_neighbors(0x1234ull, seq, 10, kCfg);
+    EXPECT_EQ(a, b);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_LT(a[i], 10u);
+      for (std::size_t j = i + 1; j < a.size(); ++j) {
+        EXPECT_NE(a[i], a[j]);
+      }
+    }
+  }
+}
+
+// --- Sizing --------------------------------------------------------------
+
+TEST(RatelessSizing, SymbolCountCoversPayloadPlusCrc) {
+  // K symbols hold payload + 1 CRC byte, rounded up to whole symbols.
+  EXPECT_EQ(rateless_symbols(0, kCfg), 1u);
+  EXPECT_EQ(rateless_symbols(1, kCfg), 1u);
+  EXPECT_EQ(rateless_symbols(2, kCfg), 2u);
+  EXPECT_EQ(rateless_symbols(3, kCfg), 2u);
+  EXPECT_EQ(rateless_symbols(8, kCfg), 5u);
+  EXPECT_EQ(rateless_symbols(kMaxRatelessPayload, kCfg), 65u);
+}
+
+TEST(RatelessSizing, NominalDropletsFitSeqSpace) {
+  for (std::size_t p = 0; p <= kMaxRatelessPayload; ++p) {
+    const std::size_t n = rateless_nominal_droplets(p, kCfg);
+    EXPECT_GE(n, rateless_symbols(p, kCfg));
+    EXPECT_LE(n, 256u);
+  }
+}
+
+TEST(RatelessSizing, DropletFrameBitsMatchLayout) {
+  // preamble(8) + len(8) + seq(8) + data(8*S) + crc(8)
+  EXPECT_EQ(droplet_frame_bits(kCfg), 32 + 8 * kCfg.symbol_bytes);
+}
+
+TEST(RatelessSizing, SaltIsSeedDependent) {
+  EXPECT_EQ(rateless_salt(42), rateless_salt(42));
+  // Not a guarantee for all pairs (it is one byte), but these must
+  // differ for the stale-stream rejection tests below to mean anything.
+  EXPECT_NE(rateless_salt(0x1111ull), rateless_salt(0x2222ull));
+}
+
+// --- Droplet framing -----------------------------------------------------
+
+TEST(RatelessFraming, RoundTrip) {
+  const util::ByteVec data{0xCA, 0xFE};
+  const util::BitVec bits = encode_droplet_frame(17, 5, data, 0x3C);
+  ASSERT_EQ(bits.size(), droplet_frame_bits(kCfg));
+  ErasedBits stream;
+  stream.append(bits);
+  const auto d = decode_droplet_frame(stream, 0, 0x3C, kCfg);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->payload_len, 17);
+  EXPECT_EQ(d->seq, 5);
+  EXPECT_EQ(d->data, data);
+  EXPECT_EQ(d->next_offset, bits.size());
+}
+
+TEST(RatelessFraming, WrongSaltRejected) {
+  const util::ByteVec data{0xCA, 0xFE};
+  ErasedBits stream;
+  stream.append(encode_droplet_frame(17, 5, data, 0x3C));
+  EXPECT_FALSE(decode_droplet_frame(stream, 0, 0x3D, kCfg).has_value());
+}
+
+TEST(RatelessFraming, TruncatedFrameRejected) {
+  const util::ByteVec data{0xCA, 0xFE};
+  const util::BitVec bits = encode_droplet_frame(17, 5, data, 0x3C);
+  ErasedBits stream;
+  stream.append(
+      std::span<const std::uint8_t>(bits.data(), bits.size() - 4));
+  EXPECT_FALSE(decode_droplet_frame(stream, 0, 0x3C, kCfg).has_value());
+}
+
+TEST(RatelessFraming, ScansPastErasureRun) {
+  const util::ByteVec data{0x12, 0x34};
+  ErasedBits stream;
+  stream.append_erasure_run(100);  // e.g. a lost round's worth of bits
+  const util::BitVec bits = encode_droplet_frame(9, 3, data, 0x77);
+  stream.append(bits);
+  const auto d = decode_droplet_frame(stream, 0, 0x77, kCfg);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->seq, 3);
+  EXPECT_EQ(d->next_offset, 100 + bits.size());
+}
+
+// --- Decoder -------------------------------------------------------------
+
+/// Source symbols of `payload` as the encoder blocks them (payload |
+/// crc8(payload) | zero pad, cut into symbol_bytes chunks).
+std::vector<util::ByteVec> source_symbols(const util::ByteVec& payload) {
+  util::ByteVec block = payload;
+  block.push_back(util::crc8(payload));
+  const std::size_t k = rateless_symbols(payload.size(), kCfg);
+  block.resize(k * kCfg.symbol_bytes, 0);
+  std::vector<util::ByteVec> symbols;
+  for (std::size_t i = 0; i < k; ++i) {
+    symbols.emplace_back(block.begin() + i * kCfg.symbol_bytes,
+                         block.begin() + (i + 1) * kCfg.symbol_bytes);
+  }
+  return symbols;
+}
+
+TEST(RatelessDecoder, SystematicPrefixCompletesAtExactlyK) {
+  const util::ByteVec payload{1, 2, 3, 4, 5, 6, 7};
+  const auto symbols = source_symbols(payload);
+  LtDecoder decoder(payload.size(), 0x5EEDull);
+  ASSERT_EQ(decoder.k(), symbols.size());
+  for (std::size_t seq = 0; seq < symbols.size(); ++seq) {
+    EXPECT_FALSE(decoder.complete());
+    EXPECT_TRUE(decoder.add(seq, symbols[seq]));
+  }
+  ASSERT_TRUE(decoder.complete());
+  EXPECT_FALSE(decoder.poisoned());
+  EXPECT_EQ(decoder.payload(), payload);
+  EXPECT_EQ(decoder.droplets_added(), decoder.k());
+}
+
+TEST(RatelessDecoder, DuplicateDropletsTripStallSignal) {
+  const util::ByteVec payload{9, 9, 9, 9};
+  const auto symbols = source_symbols(payload);
+  LtDecoder decoder(payload.size(), 0x5EEDull);
+  ASSERT_TRUE(decoder.add(0, symbols[0]));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(decoder.add(0, symbols[0]));  // no new equation
+  }
+  EXPECT_FALSE(decoder.complete());
+  EXPECT_TRUE(decoder.stalled(10));
+  EXPECT_FALSE(decoder.stalled(11));
+}
+
+TEST(RatelessDecoder, CorruptDropletPoisonsDecode) {
+  const util::ByteVec payload{0xAA, 0xBB, 0xCC, 0xDD, 0xEE};
+  auto symbols = source_symbols(payload);
+  symbols[1][0] ^= 0xFF;  // survives its (hypothetical) frame CRC
+  LtDecoder decoder(payload.size(), 0x5EEDull);
+  for (std::size_t seq = 0; seq < symbols.size(); ++seq) {
+    decoder.add(seq, symbols[seq]);
+  }
+  EXPECT_FALSE(decoder.complete());
+  EXPECT_TRUE(decoder.poisoned());
+  EXPECT_FALSE(decoder.stalled(1));  // poisoned, not stalled
+}
+
+TEST(RatelessDecoder, CodedDropletsRecoverErasedSystematics) {
+  // Drop the entire systematic prefix; only coded droplets remain. The
+  // peeling cascade must still reconstruct the payload.
+  const util::ByteVec payload{0x10, 0x20, 0x30};  // K = 2
+  const std::uint64_t seed = 0x0DDBA11ull;
+  const LtDropletSource source(payload, seed);
+  LtDecoder decoder(payload.size(), seed);
+  ErasedBits stream;
+  stream.append(source.stream(256));
+  const std::uint8_t salt = rateless_salt(seed);
+  std::size_t offset = source.k() * droplet_frame_bits(kCfg);
+  while (!decoder.complete()) {
+    const auto d = decode_droplet_frame(stream, offset, salt, kCfg);
+    ASSERT_TRUE(d.has_value()) << "ran out of droplets";
+    offset = d->next_offset;
+    decoder.add(d->seq, d->data);
+  }
+  EXPECT_EQ(decoder.payload(), payload);
+}
+
+// --- Seeded erasure fuzz -------------------------------------------------
+
+TEST(FountainFuzz, EncodeEraseDecodeAcrossSeeds) {
+  // 1000 seeded trials across erasure rates 0..60% (droplet
+  // granularity, the unit a lost block-ack erases). Every completed
+  // decode must return the exact payload; completion itself must be
+  // near-certain given the 256-droplet budget.
+  constexpr std::size_t kTrials = 1000;
+  std::size_t completions = 0;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    util::Rng rng(util::Rng::derive_seed(0xF0071ull, trial));
+    const std::size_t payload_len = 1 + rng.uniform_int(32);
+    const util::ByteVec payload = rng.bytes(payload_len);
+    const std::uint64_t seed = util::Rng::derive_seed(0x5EEDull, trial);
+    const double rate = 0.06 * static_cast<double>(trial % 11);  // 0..0.6
+
+    const LtDropletSource source(payload, seed);
+    ErasedBits stream;
+    for (std::size_t seq = 0; seq < 256; ++seq) {
+      const util::BitVec frame = source.droplet_frame(seq);
+      if (rng.uniform() < rate) {
+        stream.append_erasure_run(frame.size());
+      } else {
+        stream.append(frame);
+      }
+    }
+
+    LtDecoder decoder(payload_len, seed);
+    const std::uint8_t salt = rateless_salt(seed);
+    std::size_t offset = 0;
+    while (!decoder.complete() && !decoder.poisoned()) {
+      const auto d = decode_droplet_frame(stream, offset, salt, kCfg);
+      if (!d) break;
+      offset = d->next_offset;
+      decoder.add(d->seq, d->data);
+    }
+    ASSERT_FALSE(decoder.poisoned()) << "trial " << trial;
+    if (decoder.complete()) {
+      ++completions;
+      ASSERT_EQ(decoder.payload(), payload) << "trial " << trial;
+      if (rate == 0.0) {
+        // Clean channel: systematic prefix completes at exactly K.
+        EXPECT_EQ(decoder.droplets_added(), decoder.k());
+      }
+    }
+  }
+  EXPECT_GE(completions, kTrials - 5);
+}
+
+// --- Link-layer integration ----------------------------------------------
+
+TEST(RatelessLink, EncodeTagFrameRoundTrip) {
+  const util::ByteVec payload{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  const util::BitVec bits = encode_tag_frame(payload, TagFec::kRateless);
+  EXPECT_EQ(bits.size(),
+            tag_frame_bits(payload.size(), TagFec::kRateless));
+  const auto decoded = decode_tag_frame(bits, 0, TagFec::kRateless);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+  // Systematic prefix closes the decode before the coded headroom.
+  EXPECT_LE(decoded->next_offset, bits.size());
+}
+
+TEST(RatelessLink, BackToBackFramesDecodeInOrder) {
+  // Distinct payload lengths: the stream decoder restarts on a length
+  // change, which is how it finds the second frame's boundary.
+  const util::ByteVec p1{0x11, 0x22, 0x33};
+  const util::ByteVec p2{0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xAA};
+  util::BitVec stream = encode_tag_frame(p1, TagFec::kRateless);
+  const util::BitVec f2 = encode_tag_frame(p2, TagFec::kRateless);
+  stream.insert(stream.end(), f2.begin(), f2.end());
+  const auto frames = decode_tag_stream(stream, TagFec::kRateless);
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_EQ(frames.front().payload, p1);
+  EXPECT_EQ(frames.back().payload, p2);
+}
+
+TEST(RatelessLink, ErasedRoundResyncs) {
+  // Erase a mid-stream droplet span (a lost block-ack round); the
+  // decode must ride through on later droplets instead of desyncing.
+  const util::ByteVec payload{5, 4, 3, 2, 1, 0, 9, 8, 7, 6};
+  // A longer stream than encode_tag_frame's nominal: erasing two whole
+  // droplets must leave enough coded headroom to still close.
+  const util::BitVec bits =
+      LtDropletSource(payload, kRatelessDefaultSeed).stream(20);
+  const std::size_t frame_bits = droplet_frame_bits(kCfg);
+  ErasedBits stream;
+  stream.append(
+      std::span<const std::uint8_t>(bits.data(), 2 * frame_bits));
+  stream.append_erasure_run(2 * frame_bits);  // droplets 2 and 3 lost
+  stream.append(std::span<const std::uint8_t>(bits).subspan(4 * frame_bits));
+  const auto decoded = decode_tag_frame(stream, 0, TagFec::kRateless);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload, payload);
+}
+
+}  // namespace
+}  // namespace witag::core

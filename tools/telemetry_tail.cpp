@@ -43,6 +43,7 @@ struct MetricsRecord {
   std::uint64_t seq = 0;
   double ts_us = 0.0;
   std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
   std::uint64_t spans_dropped = 0;
   /// name -> {p50, p90, p99, p999, max, count}
   std::map<std::string, std::map<std::string, double>> hdr;
@@ -67,6 +68,11 @@ MetricsRecord parse_metrics(const Value& doc) {
   if (doc.has("counters")) {
     for (const auto& [name, v] : doc.at("counters").members()) {
       rec.counters[name] = v.as_number();
+    }
+  }
+  if (doc.has("gauges")) {
+    for (const auto& [name, v] : doc.at("gauges").members()) {
+      rec.gauges[name] = v.as_number();
     }
   }
   if (doc.has("spans_dropped")) {
@@ -134,6 +140,12 @@ void print_summary(const TailState& st) {
     std::cout << "  " << name << " = " << fmt(v, 0);
     if (elapsed_s > 0.0) std::cout << "  (" << fmt(v / elapsed_s, 1) << "/s)";
     std::cout << '\n';
+  }
+  if (!rec.gauges.empty()) {
+    std::cout << "\ngauges (last value):\n";
+    for (const auto& [name, v] : rec.gauges) {
+      std::cout << "  " << name << " = " << fmt(v, 3) << '\n';
+    }
   }
   if (!rec.hdr.empty()) {
     std::cout << "\nlatency quantiles:\n";
