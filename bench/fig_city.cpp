@@ -1,0 +1,173 @@
+// City scale: aggregate goodput and tag-latency distributions vs
+// deployment size.
+//
+// Each deployment is a square grid of WiTAG cells (AP + client + tag,
+// i.e. 3 nodes per cell) run on the sharded discrete-event engine in
+// src/sim/: every cell owns a full core::Session seeded with
+// Rng::derive_seed, shards advance their event calendars in parallel,
+// and cross-cell interference recomputes at epoch barriers as a pure
+// function of all cells' airtime loads (DESIGN.md section 17).
+//
+// stdout (the table and CSV) is byte-identical for any --jobs: the
+// shard count is fixed (default 8, --shards) rather than derived from
+// the worker count, cells are independent within epochs, and results
+// merge in cell-index order. Timing — wall, serial estimate (summed
+// per-shard busy time) and realized speedup — goes to stderr only.
+//
+// Options: --sizes LIST (deployment sizes in nodes, comma-separated;
+//          each rounds up to whole cells), --epochs N, --epoch-us US,
+//          --subframes N, --mcs N, --shards N, --pos METERS (tag to
+//          client), --spacing METERS (grid pitch), --coupling SCALE,
+//          --supervised, --seed S, --csv PATH, --jobs N
+#include <cstddef>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "runner/parallel_sweep.hpp"
+#include "sim/city.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "witag/metrics.hpp"
+
+namespace {
+
+using namespace witag;
+
+std::vector<std::size_t> parse_sizes(const std::string& spec) {
+  std::vector<std::size_t> sizes;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) sizes.push_back(std::stoul(tok));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::vector<std::size_t> sizes =
+      parse_sizes(args.get_string("sizes", "96,384,960,2496"));
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 3));
+  const double epoch_us = args.get_double("epoch-us", 1'500.0);
+  const auto subframes = static_cast<unsigned>(args.get_int("subframes", 8));
+  const auto mcs = static_cast<unsigned>(args.get_int("mcs", 5));
+  const auto shards = static_cast<std::size_t>(args.get_int("shards", 8));
+  const double pos = args.get_double("pos", 2.0);
+  const double spacing = args.get_double("spacing", 25.0);
+  // Default coupling models a channel-planned deployment (1-in-3 reuse
+  // plus adjacent-channel leakage); 1.0 is raw same-channel physics.
+  const double coupling = args.get_double("coupling", 0.02);
+  const bool supervised = args.has("supervised");
+  const std::uint64_t seed = args.get_u64("seed", 1234);
+  const std::string csv_path = args.get_string("csv", "");
+  std::size_t jobs = runner::jobs_from_args(args);
+  if (jobs == 0) jobs = runner::default_jobs();
+  obs::RunScope obs_run("fig_city", args);
+  obs_run.config("epochs", static_cast<double>(epochs));
+  obs_run.config("epoch_us", epoch_us);
+  obs_run.config("subframes", static_cast<double>(subframes));
+  obs_run.config("mcs", static_cast<double>(mcs));
+  obs_run.config("shards", static_cast<double>(shards));
+  obs_run.config("coupling", coupling);
+  obs_run.config("seed", static_cast<double>(seed));
+  args.warn_unused(std::cerr);
+
+  std::cout << "=== City scale: goodput and tag latency vs deployment size "
+               "===\n"
+            << "Grid cells of 3 nodes each (AP + client + tag), "
+            << spacing << " m pitch, tag " << pos
+            << " m from the client; " << epochs
+            << " interference epochs of " << epoch_us << " us, MCS " << mcs
+            << ", " << subframes << " subframes per query, " << shards
+            << " shards" << (supervised ? ", supervised delivery" : "")
+            << ".\n\n";
+
+  core::Table table({"nodes", "cells", "goodput [Kbps]", "ber", "lost",
+                     "lat p50 [us]", "lat p99 [us]", "events", "reuse",
+                     "ambient [nW]"});
+  std::unique_ptr<util::CsvWriter> csv;
+  if (!csv_path.empty()) {
+    csv = std::make_unique<util::CsvWriter>(csv_path);
+    csv->header({"nodes", "cells", "shards", "goodput_kbps", "ber", "rounds",
+                 "rounds_lost", "p50_us", "p99_us", "max_us", "events",
+                 "pool_reuses", "pool_peak", "mean_ambient_w"});
+  }
+
+  double total_wall_ms = 0.0;
+  double total_serial_ms = 0.0;
+  for (const std::size_t nodes : sizes) {
+    sim::CityConfig cfg;
+    cfg.n_cells = (nodes + 2) / 3;  // 3 nodes per cell, round up
+    cfg.n_shards = shards;
+    cfg.epochs = epochs;
+    cfg.epoch_us = epoch_us;
+    cfg.mcs = mcs;
+    cfg.n_subframes = subframes;
+    cfg.supervised = supervised;
+    cfg.tag_pos_m = pos;
+    cfg.cell_spacing_m = spacing;
+    cfg.coupling_scale = coupling;
+    cfg.seed = seed;
+    const sim::CityResult r = sim::run_city(cfg, jobs);
+    total_wall_ms += r.wall_ms;
+    total_serial_ms += r.serial_estimate_ms;
+
+    table.add_row({std::to_string(cfg.n_cells * 3),
+                   std::to_string(cfg.n_cells),
+                   core::Table::num(r.merged.goodput_kbps(), 2),
+                   core::Table::num(r.merged.ber(), 4),
+                   std::to_string(r.merged.rounds_lost()),
+                   core::Table::num(r.latency_us.p50, 0),
+                   core::Table::num(r.latency_us.p99, 0),
+                   std::to_string(r.events), std::to_string(r.pool_reuses),
+                   core::Table::num(r.mean_ambient_w * 1e9, 3)});
+    if (csv) {
+      csv->row({std::to_string(cfg.n_cells * 3), std::to_string(cfg.n_cells),
+                std::to_string(r.shards),
+                util::CsvWriter::num(r.merged.goodput_kbps()),
+                util::CsvWriter::num(r.merged.ber()),
+                std::to_string(r.merged.rounds()),
+                std::to_string(r.merged.rounds_lost()),
+                util::CsvWriter::num(r.latency_us.p50),
+                util::CsvWriter::num(r.latency_us.p99),
+                util::CsvWriter::num(r.latency_us.max),
+                std::to_string(r.events), std::to_string(r.pool_reuses),
+                std::to_string(r.pool_peak),
+                util::CsvWriter::num(r.mean_ambient_w)});
+    }
+
+    // Timing is stderr-only so stdout stays byte-identical across
+    // --jobs; the speedup is realized wall-clock win of the sharded
+    // run over the summed per-shard busy time.
+    const double speedup =
+        r.wall_ms > 0.0 ? r.serial_estimate_ms / r.wall_ms : 0.0;
+    std::cerr << "[runner] " << cfg.n_cells * 3 << " nodes: " << r.jobs
+              << " jobs, " << r.shards << " shards, wall "
+              << core::Table::num(r.wall_ms, 0) << " ms, serial estimate "
+              << core::Table::num(r.serial_estimate_ms, 0) << " ms, speedup "
+              << core::Table::num(speedup, 2) << "x\n";
+  }
+  obs_run.parallelism(jobs, total_serial_ms, total_wall_ms);
+  table.print(std::cout);
+
+  std::cout << "\nReading: goodput scales near-linearly with deployment "
+               "size while the ambient column shows why it is not exactly "
+               "linear — denser deployments raise every cell's "
+               "interference floor, nudging BER and lost rounds up. The "
+               "latency quantiles are per-cell delivery gaps and should "
+               "stay flat with size (cells progress independently); a "
+               "drifting p99 means interference is pushing edge cells "
+               "into retries. The reuse column counts event-pool nodes "
+               "recycled by the calendars: in steady state it tracks the "
+               "events column (the hot loop allocates nothing).\n";
+  return 0;
+}

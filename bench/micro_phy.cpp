@@ -11,8 +11,11 @@
 #include "obs/report.hpp"
 #include "util/cli.hpp"
 #include "phy/batch.hpp"
+#include "phy/channel_est.hpp"
 #include "phy/convolutional.hpp"
 #include "phy/fft.hpp"
+#include "phy/interleaver.hpp"
+#include "phy/ofdm.hpp"
 #include "phy/ppdu.hpp"
 #include "phy/scrambler.hpp"
 #include "phy/simd.hpp"
@@ -173,6 +176,97 @@ void BM_ViterbiAcsSimd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ViterbiAcsSimd);
+
+// Equalizer over one OFDM data symbol (52 subcarriers + 4 pilots):
+// dispatched kernel at the best tier, pinned-scalar kernel, and the
+// original std::complex-division loop. The best/scalar pair isolates
+// the SIMD win; scalar/reference isolates the separable-formula rewrite
+// (gather + real arithmetic vs per-point __divdc3 calls).
+void equalize_bench_inputs(phy::FreqSymbol& rx, phy::ChannelEstimate& est) {
+  util::Rng rng(9);
+  est = phy::ChannelEstimate{};
+  for (const int sc : phy::data_subcarriers()) {
+    const unsigned bin = phy::bin_index(sc);
+    est.h[bin] = rng.complex_normal(1.0);
+    rx[bin] = rng.complex_normal(1.0);
+  }
+  for (const int sc : phy::pilot_subcarriers()) {
+    const unsigned bin = phy::bin_index(sc);
+    est.h[bin] = rng.complex_normal(1.0);
+    rx[bin] = rng.complex_normal(1.0);
+  }
+  est.noise_var = 0.01;
+  est.mean_gain = 1.0;
+}
+
+void BM_Equalize(benchmark::State& state) {
+  phy::FreqSymbol rx{};
+  phy::ChannelEstimate est;
+  equalize_bench_inputs(rx, est);
+  phy::EqualizedSymbol out;
+  const phy::simd::ScopedTier pin(phy::simd::detect_best_tier());
+  for (auto _ : state) {
+    phy::equalize_into(rx, est, 1, /*cpe_correction=*/true, out);
+    benchmark::DoNotOptimize(out.points.data());
+  }
+}
+BENCHMARK(BM_Equalize);
+
+void BM_EqualizeScalar(benchmark::State& state) {
+  phy::FreqSymbol rx{};
+  phy::ChannelEstimate est;
+  equalize_bench_inputs(rx, est);
+  phy::EqualizedSymbol out;
+  const phy::simd::ScopedTier pin(phy::simd::Tier::kScalar);
+  for (auto _ : state) {
+    phy::equalize_into(rx, est, 1, /*cpe_correction=*/true, out);
+    benchmark::DoNotOptimize(out.points.data());
+  }
+}
+BENCHMARK(BM_EqualizeScalar);
+
+void BM_EqualizeReference(benchmark::State& state) {
+  phy::FreqSymbol rx{};
+  phy::ChannelEstimate est;
+  equalize_bench_inputs(rx, est);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        phy::detail::equalize_reference(rx, est, 1, /*cpe_correction=*/true));
+  }
+}
+BENCHMARK(BM_EqualizeReference);
+
+// LLR deinterleave over one 64-QAM symbol (312 LLRs, the widest map):
+// dispatched gather kernel at the best tier vs pinned scalar.
+std::vector<double> deinterleave_bench_llrs() {
+  util::Rng rng(10);
+  std::vector<double> llrs(phy::kDataSubcarriers *
+                           phy::bits_per_symbol(phy::Modulation::kQam64));
+  for (auto& v : llrs) v = rng.uniform(-20.0, 20.0);
+  return llrs;
+}
+
+void BM_Deinterleave(benchmark::State& state) {
+  const std::vector<double> llrs = deinterleave_bench_llrs();
+  std::vector<double> out;
+  const phy::simd::ScopedTier pin(phy::simd::detect_best_tier());
+  for (auto _ : state) {
+    phy::deinterleave_llrs_into(llrs, phy::Modulation::kQam64, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Deinterleave);
+
+void BM_DeinterleaveScalar(benchmark::State& state) {
+  const std::vector<double> llrs = deinterleave_bench_llrs();
+  std::vector<double> out;
+  const phy::simd::ScopedTier pin(phy::simd::Tier::kScalar);
+  for (auto _ : state) {
+    phy::deinterleave_llrs_into(llrs, phy::Modulation::kQam64, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DeinterleaveScalar);
 
 // Table-driven (byte-at-a-time keystream) vs bit-serial scrambler over
 // one max-rate data field's worth of bits.

@@ -141,8 +141,11 @@ phy::FreqSymbol ChannelModel::cfr(bool tag_asserted) const {
 }
 
 util::Watts ChannelModel::noise_variance() const {
-  return util::thermal_noise(kSubcarrierSpacing, radio_.temperature_k) *
-         util::db_to_linear(radio_.noise_figure_db);
+  return util::Watts{
+      (util::thermal_noise(kSubcarrierSpacing, radio_.temperature_k) *
+       util::db_to_linear(radio_.noise_figure_db))
+          .value() +
+      ambient_noise_w_};
 }
 
 std::vector<double> ChannelModel::draw_interference(std::size_t n_symbols) {

@@ -77,6 +77,16 @@ class ChannelModel {
   /// Complex noise variance per subcarrier sample.
   util::Watts noise_variance() const;
 
+  /// Ambient co-channel noise floor [W per subcarrier] added on top of
+  /// thermal noise — the city simulator's epoch-boundary interference
+  /// hook (src/sim/): neighbouring cells' airtime raises this floor.
+  /// A pure parameter change: the RNG draws the same number of noise
+  /// samples at a different variance, so the session's random stream
+  /// stays aligned whatever the floor (determinism contract, DESIGN.md
+  /// section 17).
+  void set_ambient_noise(util::Watts w) { ambient_noise_w_ = w.value(); }
+  util::Watts ambient_noise() const { return util::Watts{ambient_noise_w_}; }
+
   /// Applies the channel to a symbol timeline. `tag_level` gives tag 0's
   /// switch level during each symbol (empty = tag never asserted;
   /// otherwise size must match). Noise is drawn from the internal RNG;
@@ -132,6 +142,7 @@ class ChannelModel {
   FadingProcess fading_;
   util::Rng rng_;
   double amp_scale_ = 1.0;  ///< sqrt(tx power per subcarrier).
+  double ambient_noise_w_ = 0.0;  ///< Cross-cell interference floor [W].
 
   mutable bool cache_valid_ = false;
   /// Static channel (direct + reflectors + fading + every tag resting).

@@ -1,11 +1,14 @@
 #include "phy/channel_est.hpp"
 
+#include <algorithm>
+#include <array>
 #include <cmath>
 #include <complex>
 #include <cstddef>
 
 #include "obs/obs.hpp"
 #include "phy/preamble.hpp"
+#include "phy/simd.hpp"
 #include "util/require.hpp"
 
 namespace witag::phy {
@@ -15,7 +18,41 @@ using util::Cx;
 
 // Floor on |h|^2 to keep equalization of a faded bin from producing
 // non-finite values; such bins get an enormous noise variance instead.
+// The kernel path uses the identical simd::kEqualizeMinGain.
 constexpr double kMinGain = 1e-18;
+
+// Common phase error from the four pilots: correlate received pilots
+// against their expected post-channel values; the angle of the sum is
+// the shared rotation. Four complex MACs per symbol — not worth a
+// kernel, and shared verbatim by the kernel path and the reference.
+Cx estimate_cpe(const FreqSymbol& rx, const ChannelEstimate& est,
+                std::size_t symbol_index) {
+  const auto pilots_rx = extract_pilots(rx);
+  const auto pilots_tx = pilot_values(symbol_index);
+  const auto pilot_sc = pilot_subcarriers();
+  Cx acc{};
+  for (std::size_t i = 0; i < kNumPilots; ++i) {
+    const Cx expected = est.h[bin_index(pilot_sc[i])] * pilots_tx[i];
+    acc += pilots_rx[i] * std::conj(expected);
+  }
+  if (std::abs(acc) > 0.0) return acc / std::abs(acc);
+  return Cx{1.0, 0.0};
+}
+
+// FFT-bin index of each data subcarrier, in demap order. Built once;
+// equalize_into gathers through this table every symbol.
+const std::array<unsigned, kFftSize>& data_bin_table() {
+  static const std::array<unsigned, kFftSize> table = [] {
+    std::array<unsigned, kFftSize> t{};
+    const auto sc = data_subcarriers();
+    WITAG_REQUIRE(sc.size() <= kFftSize);
+    for (std::size_t i = 0; i < sc.size(); ++i) {
+      t[i] = bin_index(sc[i]);
+    }
+    return t;
+  }();
+  return table;
+}
 
 }  // namespace
 
@@ -68,21 +105,47 @@ void equalize_into(const FreqSymbol& rx, const ChannelEstimate& est,
                    EqualizedSymbol& out) {
   WITAG_SPAN_CAT("phy.equalize", "phy");
   WITAG_COUNT("phy.equalize.calls", 1);
-  Cx cpe{1.0, 0.0};
-  if (cpe_correction) {
-    // Correlate received pilots against their expected post-channel
-    // values; the angle of the sum is the common phase error.
-    const auto pilots_rx = extract_pilots(rx);
-    const auto pilots_tx = pilot_values(symbol_index);
-    const auto pilot_sc = pilot_subcarriers();
-    Cx acc{};
-    for (std::size_t i = 0; i < kNumPilots; ++i) {
-      const Cx expected = est.h[bin_index(pilot_sc[i])] * pilots_tx[i];
-      acc += pilots_rx[i] * std::conj(expected);
-    }
-    if (std::abs(acc) > 0.0) cpe = acc / std::abs(acc);
-  }
+  const Cx cpe = cpe_correction ? estimate_cpe(rx, est, symbol_index)
+                                : Cx{1.0, 0.0};
 
+  const auto data_sc = data_subcarriers();
+  const std::size_t n = data_sc.size();
+  out.points.resize(n);
+  out.noise_vars.resize(n);
+
+  // Gather h and rx into SoA staging buffers over the data-bin table,
+  // run the tier-dispatched divide, scatter back. The buffers live on
+  // the stack: equalize_into is on the per-symbol hot path and must not
+  // allocate beyond the (capacity-reused) output vectors.
+  const auto& bins = data_bin_table();
+  alignas(32) std::array<double, kFftSize> hr, hi, rr, ri, zr, zi, nv;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned bin = bins[i];
+    hr[i] = est.h[bin].real();
+    hi[i] = est.h[bin].imag();
+    rr[i] = rx[bin].real();
+    ri[i] = rx[bin].imag();
+  }
+  const double noise_floor = std::max(est.noise_var, 1e-12);
+  simd::equalize_for(simd::active_tier())(hr.data(), hi.data(), rr.data(),
+                                          ri.data(), cpe.real(), cpe.imag(),
+                                          noise_floor, n, zr.data(), zi.data(),
+                                          nv.data());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.points[i] = Cx{zr[i], zi[i]};
+    out.noise_vars[i] = nv[i];
+  }
+}
+
+namespace detail {
+
+EqualizedSymbol equalize_reference(const FreqSymbol& rx,
+                                   const ChannelEstimate& est,
+                                   std::size_t symbol_index,
+                                   bool cpe_correction) {
+  EqualizedSymbol out;
+  const Cx cpe = cpe_correction ? estimate_cpe(rx, est, symbol_index)
+                                : Cx{1.0, 0.0};
   const auto data_sc = data_subcarriers();
   out.points.resize(data_sc.size());
   out.noise_vars.resize(data_sc.size());
@@ -98,6 +161,9 @@ void equalize_into(const FreqSymbol& rx, const ChannelEstimate& est,
     out.points[i] = rx[bin] * std::conj(cpe) / est.h[bin];
     out.noise_vars[i] = std::max(est.noise_var, 1e-12) / gain;
   }
+  return out;
 }
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -46,8 +46,27 @@ EqualizedSymbol equalize(const FreqSymbol& rx, const ChannelEstimate& est,
 /// Allocation-reusing variant: writes into `out` (vectors resized;
 /// capacity reused). The hot decode path threads one EqualizedSymbol
 /// through phy::DecodeScratch so per-symbol buffers persist.
+///
+/// The per-subcarrier divide runs through the phy::simd equalize kernel
+/// (bit-identical at every dispatch tier): points are computed as
+/// y * conj(h) / |h|^2 in separable real arithmetic instead of the
+/// reference's std::complex division (libgcc's scaled Smith algorithm).
+/// The two agree to ~1 ULP on finite channels — see
+/// detail::equalize_reference and the parity test in test_simd.cpp.
 void equalize_into(const FreqSymbol& rx, const ChannelEstimate& est,
                    std::size_t symbol_index, bool cpe_correction,
                    EqualizedSymbol& out);
+
+namespace detail {
+
+/// The original equalizer loop (std::complex operator/ per subcarrier),
+/// kept as the numerical reference the kernel formulation is fuzzed
+/// against. Not used by the decode path.
+EqualizedSymbol equalize_reference(const FreqSymbol& rx,
+                                   const ChannelEstimate& est,
+                                   std::size_t symbol_index,
+                                   bool cpe_correction);
+
+}  // namespace detail
 
 }  // namespace witag::phy

@@ -126,6 +126,31 @@ void demap_block_scalar(const double* re, const double* im, const double* nv,
   }
 }
 
+void equalize_block_scalar(const double* hr, const double* hi,
+                           const double* rr, const double* ri, double cr,
+                           double ci, double noise_floor, std::size_t count,
+                           double* zr, double* zi, double* nv) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const double g = hr[i] * hr[i] + hi[i] * hi[i];
+    const double yr = rr[i] * cr + ri[i] * ci;
+    const double yi = ri[i] * cr - rr[i] * ci;
+    // Compute-then-select, exactly like the vector blend: a dead bin's
+    // quotient is produced (possibly NaN) and discarded.
+    const double qr = (yr * hr[i] + yi * hi[i]) / g;
+    const double qi = (yi * hr[i] - yr * hi[i]) / g;
+    const double qn = noise_floor / g;
+    const bool dead = g < kEqualizeMinGain;
+    zr[i] = dead ? 0.0 : qr;
+    zi[i] = dead ? 0.0 : qi;
+    nv[i] = dead ? kEqualizeDeadNoise : qn;
+  }
+}
+
+void deinterleave_scalar(const double* in, const std::int32_t* map,
+                         std::size_t n, double* out) {
+  for (std::size_t k = 0; k < n; ++k) out[k] = in[map[k]];
+}
+
 using util::Cx;
 
 void fft_radix4_pass_scalar(Cx* data, std::size_t n, std::size_t h,
@@ -191,12 +216,22 @@ void acs_step_sse2(const double* cur, double* nxt, std::uint8_t* srow,
                    double la, double lb);
 void demap_block_sse2(const double* re, const double* im, const double* nv,
                       std::size_t count, const DemapAxes& ax, double* out);
+void equalize_block_sse2(const double* hr, const double* hi, const double* rr,
+                         const double* ri, double cr, double ci,
+                         double noise_floor, std::size_t count, double* zr,
+                         double* zi, double* nv);
 bool avx2_compiled();
 bool avx2_supported();
 void acs_step_avx2(const double* cur, double* nxt, std::uint8_t* srow,
                    double la, double lb);
 void demap_block_avx2(const double* re, const double* im, const double* nv,
                       std::size_t count, const DemapAxes& ax, double* out);
+void equalize_block_avx2(const double* hr, const double* hi, const double* rr,
+                         const double* ri, double cr, double ci,
+                         double noise_floor, std::size_t count, double* zr,
+                         double* zi, double* nv);
+void deinterleave_avx2(const double* in, const std::int32_t* map,
+                       std::size_t n, double* out);
 void fft_radix4_pass_avx2(util::Cx* data, std::size_t n, std::size_t h,
                           const util::Cx* w1, const util::Cx* w2);
 void fft_len2_pass_avx2(util::Cx* data, std::size_t n);
@@ -266,6 +301,31 @@ DemapBlockFn demap_block_for(Tier t) {
       break;
   }
   return demap_block_scalar;
+}
+
+EqualizeFn equalize_for(Tier t) {
+  switch (t) {
+    case Tier::kAvx2:
+      if (detect_best_tier() == Tier::kAvx2) {
+        return kernels::equalize_block_avx2;
+      }
+      [[fallthrough]];
+    case Tier::kSse2:
+      if (kernels::sse2_available()) return kernels::equalize_block_sse2;
+      [[fallthrough]];
+    case Tier::kScalar:
+      break;
+  }
+  return equalize_block_scalar;
+}
+
+DeinterleaveFn deinterleave_for(Tier t) {
+  // SSE2 has no gather instruction; a 2-lane load/shuffle emulation
+  // loses to the scalar loop, so only AVX2 diverges from scalar.
+  if (t == Tier::kAvx2 && detect_best_tier() == Tier::kAvx2) {
+    return kernels::deinterleave_avx2;
+  }
+  return deinterleave_scalar;
 }
 
 const FftKernels& fft_kernels_for(Tier t) {

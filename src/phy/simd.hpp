@@ -101,6 +101,50 @@ using DemapBlockFn = void (*)(const double* re, const double* im,
 DemapBlockFn demap_block_for(Tier t);
 
 // ---------------------------------------------------------------------
+// Equalize (separable complex divide over gathered data subcarriers).
+// ---------------------------------------------------------------------
+
+/// |h|^2 below this is a dead bin: the equalizer emits a neutral point
+/// with kEqualizeDeadNoise variance instead of dividing by ~zero.
+inline constexpr double kEqualizeMinGain = 1e-18;
+inline constexpr double kEqualizeDeadNoise = 1e18;
+
+/// Equalizes `count` data points given as parallel arrays: channel
+/// estimate (hr/hi), received points (rr/ri), the common-phase-error
+/// rotation (cr, ci) and the noise floor max(noise_var, 1e-12). Writes
+/// equalized points (zr/zi) and post-equalization noise variances (nv).
+/// Per point, in this exact association (every tier performs the same
+/// IEEE-754 operations, so all tiers are bit-identical):
+///   g  = hr*hr + hi*hi
+///   yr = rr*cr + ri*ci          (rx * conj(cpe))
+///   yi = ri*cr - rr*ci
+///   zr = (yr*hr + yi*hi) / g    (y * conj(h) / |h|^2)
+///   zi = (yi*hr - yr*hi) / g
+///   nv = noise_floor / g
+/// with g < kEqualizeMinGain selecting {0, 0, kEqualizeDeadNoise}.
+using EqualizeFn = void (*)(const double* hr, const double* hi,
+                            const double* rr, const double* ri, double cr,
+                            double ci, double noise_floor, std::size_t count,
+                            double* zr, double* zi, double* nv);
+
+/// The equalize kernel for a tier (always non-null).
+EqualizeFn equalize_for(Tier t);
+
+// ---------------------------------------------------------------------
+// Deinterleave (pure permutation gather: out[k] = in[map[k]]).
+// ---------------------------------------------------------------------
+
+/// Applies a precomputed permutation: out[k] = in[map[k]] for k in
+/// [0, n). A pure data movement, so every tier is trivially
+/// bit-identical; AVX2 uses vgatherdpd over the int32 index table.
+using DeinterleaveFn = void (*)(const double* in, const std::int32_t* map,
+                                std::size_t n, double* out);
+
+/// The deinterleave kernel for a tier (always non-null). SSE2 has no
+/// gather, so only the AVX2 tier differs from scalar.
+DeinterleaveFn deinterleave_for(Tier t);
+
+// ---------------------------------------------------------------------
 // FFT passes (decimation-in-time, fused radix-4). See fft.cpp for the
 // engine that sequences these over a plan's twiddle tables.
 // ---------------------------------------------------------------------

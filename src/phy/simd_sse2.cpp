@@ -130,6 +130,57 @@ void demap_block_sse2(const double* re, const double* im, const double* nv,
   }
 }
 
+void equalize_block_sse2(const double* hr, const double* hi, const double* rr,
+                         const double* ri, double cr, double ci,
+                         double noise_floor, std::size_t count, double* zr,
+                         double* zi, double* nv) {
+  const __m128d cr_v = _mm_set1_pd(cr);
+  const __m128d ci_v = _mm_set1_pd(ci);
+  const __m128d nf_v = _mm_set1_pd(noise_floor);
+  const __m128d min_gain = _mm_set1_pd(kEqualizeMinGain);
+  const __m128d dead_nv = _mm_set1_pd(kEqualizeDeadNoise);
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    // The gather staging buffers are 32-byte aligned arrays, but this
+    // kernel is also the AVX2 path's documented fallback for arbitrary
+    // caller storage, so the loads stay unaligned.
+    const __m128d h_r =
+        _mm_loadu_pd(hr + i);  // witag-lint: allow(simd-unaligned)
+    const __m128d h_i =
+        _mm_loadu_pd(hi + i);  // witag-lint: allow(simd-unaligned)
+    const __m128d r_r =
+        _mm_loadu_pd(rr + i);  // witag-lint: allow(simd-unaligned)
+    const __m128d r_i =
+        _mm_loadu_pd(ri + i);  // witag-lint: allow(simd-unaligned)
+    // Same association as the scalar kernel: a*b + c*d, left to right.
+    const __m128d g =
+        _mm_add_pd(_mm_mul_pd(h_r, h_r), _mm_mul_pd(h_i, h_i));
+    const __m128d yr =
+        _mm_add_pd(_mm_mul_pd(r_r, cr_v), _mm_mul_pd(r_i, ci_v));
+    const __m128d yi =
+        _mm_sub_pd(_mm_mul_pd(r_i, cr_v), _mm_mul_pd(r_r, ci_v));
+    const __m128d qr = _mm_div_pd(
+        _mm_add_pd(_mm_mul_pd(yr, h_r), _mm_mul_pd(yi, h_i)), g);
+    const __m128d qi = _mm_div_pd(
+        _mm_sub_pd(_mm_mul_pd(yi, h_r), _mm_mul_pd(yr, h_i)), g);
+    const __m128d qn = _mm_div_pd(nf_v, g);
+    // Dead-bin select: bitwise blend, exact like the scalar ternary.
+    const __m128d dead = _mm_cmplt_pd(g, min_gain);
+    _mm_storeu_pd(zr + i,  // witag-lint: allow(simd-unaligned)
+                  _mm_andnot_pd(dead, qr));
+    _mm_storeu_pd(zi + i,  // witag-lint: allow(simd-unaligned)
+                  _mm_andnot_pd(dead, qi));
+    _mm_storeu_pd(nv + i,  // witag-lint: allow(simd-unaligned)
+                  _mm_or_pd(_mm_and_pd(dead, dead_nv),
+                            _mm_andnot_pd(dead, qn)));
+  }
+  if (i < count) {
+    equalize_for(Tier::kScalar)(hr + i, hi + i, rr + i, ri + i, cr, ci,
+                                noise_floor, count - i, zr + i, zi + i,
+                                nv + i);
+  }
+}
+
 #else  // !defined(__SSE2__)
 
 bool sse2_available() { return false; }
@@ -142,6 +193,14 @@ void acs_step_sse2(const double* cur, double* nxt, std::uint8_t* srow,
 void demap_block_sse2(const double* re, const double* im, const double* nv,
                       std::size_t count, const DemapAxes& ax, double* out) {
   demap_block_for(Tier::kScalar)(re, im, nv, count, ax, out);
+}
+
+void equalize_block_sse2(const double* hr, const double* hi, const double* rr,
+                         const double* ri, double cr, double ci,
+                         double noise_floor, std::size_t count, double* zr,
+                         double* zi, double* nv) {
+  equalize_for(Tier::kScalar)(hr, hi, rr, ri, cr, ci, noise_floor, count, zr,
+                              zi, nv);
 }
 
 #endif  // defined(__SSE2__)

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <ctime>
 
 #include "obs/obs.hpp"
 #include "util/cli.hpp"
 
 namespace witag::runner {
-namespace {
 
 double steady_ms() {
   return static_cast<double>(
@@ -17,7 +17,16 @@ double steady_ms() {
          1e6;
 }
 
-}  // namespace
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 +
+           static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return steady_ms();
+}
 
 std::size_t jobs_from_args(const util::Args& args) {
   const long jobs = args.get_int("jobs", 0);

@@ -45,6 +45,19 @@ struct SweepOptions {
 /// concurrency; clamps negatives to 1).
 std::size_t jobs_from_args(const util::Args& args);
 
+/// Monotonic wall-clock milliseconds (observability only, reported to
+/// stderr/metrics, never into simulation state). Lives in runner/ so
+/// layers under the determinism lint (src/sim's city loop) can time
+/// their phases without reading a clock directly.
+double steady_ms();
+
+/// CPU milliseconds consumed by the calling thread (observability
+/// only). Unlike steady_ms deltas, per-worker sums of this are immune
+/// to oversubscription: a worker descheduled by its siblings accrues
+/// no CPU time, so summed shard busy-time is an honest serial-cost
+/// estimate even with more workers than cores.
+double thread_cpu_ms();
+
 /// One independent Monte-Carlo unit: a fully-specified session (the
 /// config carries the task's seed) run for `rounds` exchanges.
 struct SweepTask {

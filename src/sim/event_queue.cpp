@@ -1,0 +1,72 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace witag::sim {
+
+void EventQueue::reserve(std::size_t n) {
+  nodes_.reserve(n);
+  free_.reserve(n);
+  heap_.reserve(n);
+}
+
+bool EventQueue::before(std::uint32_t a, std::uint32_t b) const {
+  const Event& ea = nodes_[a];
+  const Event& eb = nodes_[b];
+  if (ea.time_us != eb.time_us) return ea.time_us < eb.time_us;
+  return ea.seq < eb.seq;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t best = left;
+    const std::size_t right = left + 1;
+    if (right < n && before(heap_[right], heap_[left])) best = right;
+    if (!before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventQueue::push(double time_us, std::uint32_t cell, EventKind kind) {
+  std::uint32_t node;
+  if (!free_.empty()) {
+    node = free_.back();
+    free_.pop_back();
+    ++pool_reuses_;
+  } else {
+    node = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Event& e = nodes_[node];
+  e.time_us = time_us;
+  e.seq = next_seq_++;
+  e.cell = cell;
+  e.kind = kind;
+  heap_.push_back(node);
+  sift_up(heap_.size() - 1);
+}
+
+Event EventQueue::pop() {
+  const std::uint32_t node = heap_.front();
+  const Event out = nodes_[node];
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  free_.push_back(node);
+  return out;
+}
+
+}  // namespace witag::sim

@@ -1,0 +1,71 @@
+// Deterministic discrete-event calendar for the city simulator: a
+// binary min-heap over pooled event nodes, ordered by (time_us, seq).
+//
+// Determinism: two events at the same simulated time pop in push order
+// — `seq` is a monotonic counter assigned at push, so ties break FIFO
+// and the pop sequence is a pure function of the push sequence, never
+// of heap internals or platform sort behavior.
+//
+// Allocation: event nodes live in a pool with an intrusive free list.
+// push() reuses a freed node when one exists (counted in pool_reuses)
+// and only grows the pool past its high-water mark — so a steady-state
+// loop that pops one event and pushes its successor allocates nothing
+// after warm-up. reserve() pre-sizes the pool and heap for a known
+// deployment so even warm-up stays out of the epoch loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace witag::sim {
+
+/// What a calendar entry means to the city loop.
+enum class EventKind : std::uint8_t {
+  kExchange = 0,  ///< One query/block-ack exchange in a cell.
+};
+
+struct Event {
+  double time_us = 0.0;   ///< Simulated time (city clock, microseconds).
+  std::uint64_t seq = 0;  ///< Push order; breaks time ties FIFO.
+  std::uint32_t cell = 0;
+  EventKind kind = EventKind::kExchange;
+};
+
+class EventQueue {
+ public:
+  /// Pre-sizes pool and heap for `n` concurrently pending events.
+  void reserve(std::size_t n);
+
+  /// Schedules an event; `seq` is assigned internally (push order).
+  void push(double time_us, std::uint32_t cell,
+            EventKind kind = EventKind::kExchange);
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event by (time_us, seq). Requires !empty().
+  const Event& top() const { return nodes_[heap_.front()]; }
+
+  /// Removes and returns the earliest event. Requires !empty().
+  Event pop();
+
+  /// Nodes handed out from the free list instead of grown — the
+  /// steady-state gauge: once warm, every push should be a reuse.
+  std::uint64_t pool_reuses() const { return pool_reuses_; }
+  /// Total nodes ever allocated (the pool's high-water mark).
+  std::size_t pool_size() const { return nodes_.size(); }
+
+ private:
+  bool before(std::uint32_t a, std::uint32_t b) const;
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  std::vector<Event> nodes_;          ///< Pooled storage, never shrinks.
+  std::vector<std::uint32_t> free_;   ///< Indices of recycled nodes.
+  std::vector<std::uint32_t> heap_;   ///< Min-heap of node indices.
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t pool_reuses_ = 0;
+};
+
+}  // namespace witag::sim

@@ -1,0 +1,61 @@
+#include "sim/interference.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "channel/pathloss.hpp"
+#include "util/require.hpp"
+
+namespace witag::sim {
+
+std::vector<channel::Point2> cell_grid(std::size_t n, util::Meters spacing) {
+  std::vector<channel::Point2> centers;
+  centers.reserve(n);
+  const std::size_t cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<std::size_t>(n, 1)))));
+  for (std::size_t i = 0; i < n; ++i) {
+    const double col = static_cast<double>(i % cols);
+    const double row = static_cast<double>(i / cols);
+    centers.push_back({col * spacing.value(), row * spacing.value()});
+  }
+  return centers;
+}
+
+CouplingMatrix::CouplingMatrix(const std::vector<channel::Point2>& centers,
+                               util::Hertz carrier, util::Watts tx_power,
+                               double scale)
+    : n_(centers.size()), gains_(centers.size() * centers.size(), 0.0) {
+  // Per-subcarrier interference power: the interferer spreads its tx
+  // power evenly over the 56 used subcarriers (matching ChannelModel's
+  // amp_scale normalization), so the entry composes directly with the
+  // per-subcarrier noise variance the ambient floor feeds into.
+  constexpr double kUsedSubcarriers = 56.0;
+  const double p_per_subcarrier = tx_power.value() / kUsedSubcarriers;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const util::Meters d{channel::distance(centers[i], centers[j])};
+      const std::complex<double> g = channel::direct_gain(d, carrier);
+      gains_[i * n_ + j] = p_per_subcarrier * std::norm(g) * scale;
+    }
+  }
+}
+
+std::vector<double> ambient_noise(const CouplingMatrix& coupling,
+                                  const std::vector<double>& loads) {
+  const std::size_t n = coupling.size();
+  WITAG_REQUIRE(loads.size() == n);
+  std::vector<double> ambient(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double load = std::clamp(loads[j], 0.0, 1.0);
+      acc += coupling.at(i, j) * load;
+    }
+    ambient[i] = acc;
+  }
+  return ambient;
+}
+
+}  // namespace witag::sim

@@ -1,0 +1,56 @@
+// Cross-cell interference for the city simulator, applied at epoch
+// boundaries.
+//
+// Within an epoch, cells are fully independent: each owns its Session,
+// channel and RNG, so shards are pure execution partitions. What ties
+// the deployment together is co-channel interference — a busy
+// neighbour raises your noise floor. That coupling is computed here as
+// a pure function of (geometry, per-cell epoch airtime loads): cell
+// i's ambient floor for the next epoch is
+//
+//   ambient_i = tx_power * sum_{j != i} |direct_gain(d_ij)|^2 * load_j
+//
+// where load_j = airtime_j / epoch_us in [0, 1] is the fraction of the
+// epoch cell j's client spent on the air. Because the function sees
+// ALL cells' loads at a barrier and touches no RNG, the result is
+// byte-identical for any shard count or worker count (DESIGN.md
+// section 17).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "channel/geometry.hpp"
+#include "util/units.hpp"
+
+namespace witag::sim {
+
+/// Cell-center positions for an `n`-cell deployment: a square grid with
+/// `spacing` metres of pitch, row-major from the origin. Pure function
+/// of (n, spacing); every layer derives geometry from this one list.
+std::vector<channel::Point2> cell_grid(std::size_t n, util::Meters spacing);
+
+/// Dense pairwise power-coupling matrix (row-major, n x n): entry
+/// [i * n + j] is tx_power * |direct_gain(distance(i, j))|^2 * scale,
+/// with zero diagonal. Built once at setup from the cell grid.
+class CouplingMatrix {
+ public:
+  CouplingMatrix() = default;
+  CouplingMatrix(const std::vector<channel::Point2>& centers,
+                 util::Hertz carrier, util::Watts tx_power, double scale);
+
+  std::size_t size() const { return n_; }
+  double at(std::size_t i, std::size_t j) const { return gains_[i * n_ + j]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> gains_;
+};
+
+/// Ambient noise floor per cell [W per subcarrier] for the next epoch,
+/// from this epoch's per-cell airtime loads (each in [0, 1]; values
+/// outside are clamped). Requires loads.size() == coupling.size().
+std::vector<double> ambient_noise(const CouplingMatrix& coupling,
+                                  const std::vector<double>& loads);
+
+}  // namespace witag::sim

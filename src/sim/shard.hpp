@@ -1,0 +1,66 @@
+// Internal shard/cell state for the city simulator. city.cpp builds
+// these; city_run.cpp's event loop advances them. Not an API surface —
+// bench and test code drive sim/city.hpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/hdr.hpp"
+#include "sim/event_queue.hpp"
+#include "witag/metrics.hpp"
+#include "witag/reader.hpp"
+#include "witag/session.hpp"
+#include "witag/supervisor.hpp"
+
+namespace witag::sim {
+
+/// One deployment cell: an AP + client + tag triple with its own fully
+/// independent Session (channel, MAC, RNG). Only its owning shard
+/// touches a cell during an epoch. Non-movable (the HDR histogram and
+/// the Reader/supervisor back-references pin the address), so cells
+/// live behind unique_ptr.
+struct Cell {
+  std::unique_ptr<core::Session> session;
+  /// Supervised mode only; reader references the session, supervisor
+  /// the reader — construction order matters, destruction is reversed.
+  std::unique_ptr<core::Reader> reader;
+  std::unique_ptr<core::LinkSupervisor> supervisor;
+
+  core::LinkMetrics metrics;
+  /// Simulated us between consecutive successful exchanges/deliveries.
+  obs::HdrHistogram latency;
+  double last_delivery_us = 0.0;
+  bool delivered_once = false;
+  /// Client airtime accumulated in the current epoch (reset at each
+  /// barrier; becomes the cell's interference load).
+  double epoch_airtime_us = 0.0;
+  std::size_t deliveries_ok = 0;
+  std::size_t deliveries_failed = 0;
+
+  Cell() = default;
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+};
+
+/// A pure execution partition: the cells assigned to one worker plus
+/// their shared event calendar.
+struct Shard {
+  std::vector<std::uint32_t> cells;
+  EventQueue calendar;
+  std::uint64_t events = 0;
+  /// Busy wall time across epochs (observability; runner::steady_ms).
+  double busy_ms = 0.0;
+};
+
+/// Advances one shard to `epoch_end_us`: pops calendar events with
+/// time_us < epoch_end_us, runs the exchange/delivery they stand for,
+/// and schedules each cell's next event. The hot loop — no container
+/// construction, no registry lookups beyond the hoisted WITAG macros,
+/// event nodes recycled through the calendar pool.
+void run_shard_epoch(Shard& shard, const std::vector<std::unique_ptr<Cell>>& cells,
+                     double epoch_end_us, bool supervised);
+
+}  // namespace witag::sim

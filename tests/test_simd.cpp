@@ -9,10 +9,13 @@
 #include <span>
 #include <vector>
 
+#include "phy/channel_est.hpp"
 #include "phy/constellation.hpp"
 #include "phy/convolutional.hpp"
 #include "phy/fft.hpp"
+#include "phy/interleaver.hpp"
 #include "phy/mcs.hpp"
+#include "phy/preamble.hpp"
 #include "phy/simd.hpp"
 #include "phy/viterbi.hpp"
 #include "util/bits.hpp"
@@ -225,6 +228,138 @@ TEST(SimdParity, DemapSoaMatchesAosPath) {
                               expect.size() * sizeof(double)),
                   0)
             << "trial " << trial << " tier " << phy::simd::tier_name(t);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Equalize.
+// ---------------------------------------------------------------------
+
+/// Fuzz a channel estimate + received symbol: random h with occasional
+/// dead bins (|h|^2 < kEqualizeMinGain must select the neutral point),
+/// near-dead bins straddling the threshold, and noise variances from
+/// the degenerate zero (floored to 1e-12) to large.
+void fuzz_channel(util::Rng& rng, phy::FreqSymbol& rx,
+                  phy::ChannelEstimate& est) {
+  est = phy::ChannelEstimate{};
+  const auto data_sc = phy::data_subcarriers();
+  for (const int sc : data_sc) {
+    const unsigned bin = phy::bin_index(sc);
+    switch (rng.uniform_int(4)) {
+      case 0:
+        est.h[bin] = util::Cx{};  // dead bin
+        break;
+      case 1:
+        est.h[bin] = rng.complex_normal(1e-10);  // straddles kMinGain
+        break;
+      default:
+        est.h[bin] = rng.complex_normal(1.0);
+        break;
+    }
+    rx[bin] = rng.complex_normal(1.0);
+  }
+  const auto pilot_sc = phy::pilot_subcarriers();
+  for (const int sc : pilot_sc) {
+    const unsigned bin = phy::bin_index(sc);
+    est.h[bin] = rng.complex_normal(1.0);
+    rx[bin] = rng.complex_normal(1.0);
+  }
+  est.noise_var = rng.uniform_int(3) == 0 ? 0.0 : rng.uniform(1e-6, 10.0);
+  est.mean_gain = 1.0;
+}
+
+TEST(SimdParity, EqualizeEveryTierBitIdentical) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  phy::FreqSymbol rx{};
+  phy::ChannelEstimate est;
+  phy::EqualizedSymbol scalar_out, got;
+  for (std::uint64_t trial = 0; trial < 500; ++trial) {
+    util::Rng rng(0xE9'0A'11 + trial);
+    fuzz_channel(rng, rx, est);
+    const bool cpe = (trial % 2) == 0;
+    {
+      const phy::simd::ScopedTier pin(Tier::kScalar);
+      phy::equalize_into(rx, est, trial % 7, cpe, scalar_out);
+    }
+    for (const Tier t : tiers) {
+      const phy::simd::ScopedTier pin(t);
+      phy::equalize_into(rx, est, trial % 7, cpe, got);
+      ASSERT_EQ(got.points.size(), scalar_out.points.size());
+      ASSERT_EQ(std::memcmp(got.points.data(), scalar_out.points.data(),
+                            scalar_out.points.size() * sizeof(util::Cx)),
+                0)
+          << "trial " << trial << " tier " << phy::simd::tier_name(t);
+      ASSERT_EQ(std::memcmp(got.noise_vars.data(),
+                            scalar_out.noise_vars.data(),
+                            scalar_out.noise_vars.size() * sizeof(double)),
+                0)
+          << "trial " << trial << " tier " << phy::simd::tier_name(t);
+    }
+  }
+}
+
+TEST(SimdParity, EqualizeKernelMatchesComplexDivisionReference) {
+  // The kernel computes y * conj(h) / |h|^2 in separable real
+  // arithmetic; the reference uses std::complex operator/ (libgcc's
+  // scaled Smith algorithm). Identical real math is impossible, so this
+  // pins the agreement to a few ULP in relative terms instead — enough
+  // that the demapper's LLRs are indistinguishable.
+  phy::FreqSymbol rx{};
+  phy::ChannelEstimate est;
+  phy::EqualizedSymbol got;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    util::Rng rng(0xE9'0B'22 + trial);
+    fuzz_channel(rng, rx, est);
+    const bool cpe = (trial % 2) == 0;
+    phy::equalize_into(rx, est, trial % 7, cpe, got);
+    const phy::EqualizedSymbol expect =
+        phy::detail::equalize_reference(rx, est, trial % 7, cpe);
+    ASSERT_EQ(got.points.size(), expect.points.size());
+    for (std::size_t i = 0; i < expect.points.size(); ++i) {
+      const double scale = std::max(1.0, std::abs(expect.points[i]));
+      ASSERT_NEAR(got.points[i].real(), expect.points[i].real(),
+                  1e-12 * scale)
+          << "trial " << trial << " point " << i;
+      ASSERT_NEAR(got.points[i].imag(), expect.points[i].imag(),
+                  1e-12 * scale)
+          << "trial " << trial << " point " << i;
+      ASSERT_NEAR(got.noise_vars[i], expect.noise_vars[i],
+                  1e-12 * expect.noise_vars[i])
+          << "trial " << trial << " point " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Deinterleave.
+// ---------------------------------------------------------------------
+
+TEST(SimdParity, DeinterleaveEveryTierBitIdentical) {
+  const std::vector<Tier> tiers = runnable_tiers();
+  std::vector<double> llrs, scalar_out, got;
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    util::Rng rng(0xDE'17'33 + trial);
+    for (const phy::Modulation mod : kMods) {
+      const unsigned n_cbps =
+          phy::kDataSubcarriers * phy::bits_per_symbol(mod);
+      llrs.resize(n_cbps);
+      for (auto& v : llrs) v = rng.uniform(-1e3, 1e3);
+      {
+        const phy::simd::ScopedTier pin(Tier::kScalar);
+        phy::deinterleave_llrs_into(llrs, mod, scalar_out);
+      }
+      // Round-trip sanity: deinterleave inverts interleave's placement.
+      for (const Tier t : tiers) {
+        const phy::simd::ScopedTier pin(t);
+        phy::deinterleave_llrs_into(llrs, mod, got);
+        ASSERT_EQ(got.size(), scalar_out.size());
+        ASSERT_EQ(std::memcmp(got.data(), scalar_out.data(),
+                              scalar_out.size() * sizeof(double)),
+                  0)
+            << "trial " << trial << " mod " << phy::bits_per_symbol(mod)
+            << " bpsc, tier " << phy::simd::tier_name(t);
       }
     }
   }

@@ -20,11 +20,13 @@
 // a baseline refresh; the baseline is only rewritten by hand (commit
 // the new file), never by this tool.
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -222,8 +224,17 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Every pinned gauge is checked before anything fails: the gate
+  // reports the complete set of regressions in one run (worst first),
+  // never just the first one it happens to walk into — one CI round
+  // trip shows the whole damage. tools/bench_fixtures/
+  // current_multi_regress.json pins this in the lint.bench_* tests.
+  struct Failure {
+    double ratio;  // current/baseline; +inf for a missing gauge
+    std::string line;
+  };
   std::size_t pinned = 0;
-  std::vector<std::string> failures;
+  std::vector<Failure> failures;
   std::vector<std::string> improvements;
   for (const auto& [name, base] : baseline.gauges) {
     if (is_quantile_gauge(name)) {
@@ -237,7 +248,8 @@ int main(int argc, char** argv) {
     ++pinned;
     const auto it = current.gauges.find(name);
     if (it == current.gauges.end()) {
-      failures.push_back(name + ": missing from current run");
+      failures.push_back({std::numeric_limits<double>::infinity(),
+                          name + ": missing from current run"});
       continue;
     }
     const double cur = it->second;
@@ -246,8 +258,9 @@ int main(int argc, char** argv) {
     line << name << ": baseline " << base << " ns, current " << cur
          << " ns (x" << ratio << ")";
     if (cur > base * (1.0 + max_regress)) {
-      failures.push_back(line.str() + " exceeds +" +
-                         std::to_string(max_regress * 100.0) + "%");
+      failures.push_back({ratio, line.str() + " exceeds +" +
+                                     std::to_string(max_regress * 100.0) +
+                                     "%"});
     } else {
       std::cout << "  ok  " << line.str() << "\n";
       if (cur < base * (1.0 - max_regress)) {
@@ -270,7 +283,11 @@ int main(int argc, char** argv) {
                    "refresh): " << name << " = " << cur << " ns\n";
     }
   }
-  for (const auto& f : failures) std::cout << "  FAIL " << f << "\n";
+  std::stable_sort(failures.begin(), failures.end(),
+                   [](const Failure& a, const Failure& b) {
+                     return a.ratio > b.ratio;
+                   });
+  for (const auto& f : failures) std::cout << "  FAIL " << f.line << "\n";
   for (const auto& imp : improvements) {
     std::cout << "  note faster than baseline, consider refreshing: " << imp
               << "\n";
@@ -278,7 +295,7 @@ int main(int argc, char** argv) {
   if (!failures.empty()) {
     std::cout << "bench_compare: " << failures.size() << " of " << pinned
               << " pinned gauges regressed beyond "
-              << max_regress * 100.0 << "%\n";
+              << max_regress * 100.0 << "% (worst first above)\n";
     return 1;
   }
   std::cout << "bench_compare: " << pinned << " pinned gauges within "

@@ -31,6 +31,8 @@
 //     └──── witag ───────────┘
 //            │
 //     baselines, runner  (consumers; may see everything below)
+//            │
+//           sim   (city engine: drives sessions through runner)
 //
 // Adding a module to src/ requires adding it here deliberately — an
 // unknown module fails the audit rather than silently bypassing it.
@@ -59,6 +61,9 @@ const std::map<std::string, std::set<std::string>>& layer_deps() {
        {"util", "obs", "phy", "mac", "channel", "tag", "faults", "witag"}},
       {"runner",
        {"util", "obs", "phy", "mac", "channel", "tag", "faults", "witag"}},
+      {"sim",
+       {"util", "obs", "phy", "mac", "channel", "tag", "faults", "witag",
+        "runner"}},
   };
   return kDeps;
 }
@@ -237,7 +242,7 @@ void run_graph_pass(const std::vector<SourceFile>& files,
   // detail-reach: `other_module::detail::` named outside its module.
   if (opts.rule_enabled("detail-reach")) {
     static const std::regex kDetailRef(
-        R"(\b(util|obs|phy|mac|channel|tag|faults|witag|runner|baselines)\s*::\s*detail\s*::)");
+        R"(\b(util|obs|phy|mac|channel|tag|faults|witag|runner|baselines|sim)\s*::\s*detail\s*::)");
     for (const SourceFile* f : graph_files) {
       for (std::size_t i = 0; i < f->code.size(); ++i) {
         std::smatch m;

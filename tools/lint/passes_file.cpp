@@ -29,11 +29,14 @@ bool determinism_applies(const std::string& path) {
   return true;
 }
 
-/// Hot-alloc applies to the files holding the per-step decode loops,
-/// where the zero-alloc contract is load-bearing for throughput.
+/// Hot-alloc applies to the files holding the per-step decode loops
+/// and the city simulator's event loop, where the zero-alloc contract
+/// is load-bearing for throughput (pooled calendar nodes in sim/).
 bool hot_alloc_applies(const std::string& path) {
   return path.find("phy/viterbi.cpp") != std::string::npos ||
-         path.find("phy/ofdm.cpp") != std::string::npos;
+         path.find("phy/ofdm.cpp") != std::string::npos ||
+         path.find("sim/event_queue.cpp") != std::string::npos ||
+         path.find("sim/city_run.cpp") != std::string::npos;
 }
 
 /// Hot-lookup adds the session exchange loop: its per-round work is

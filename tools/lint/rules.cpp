@@ -49,8 +49,8 @@ const std::map<std::string, std::string>& rule_descriptions() {
        "pointer cannot be aligned."},
       {"layering",
        "Cross-module includes must follow the layer DAG (util -> obs -> "
-       "phy -> mac/channel -> tag/faults -> witag -> baselines/runner); "
-       "a back-edge makes the architecture cyclic."},
+       "phy -> mac/channel -> tag/faults -> witag -> baselines/runner "
+       "-> sim); a back-edge makes the architecture cyclic."},
       {"include-cycle",
        "The src/ include graph must be acyclic at file granularity."},
       {"detail-reach",
